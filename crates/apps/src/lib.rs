@@ -1,0 +1,19 @@
+//! The Rover applications: mail reader, calendar, and Web browser
+//! proxy, plus the synthetic workload generators that stand in for the
+//! paper's real users, mailboxes, and Web.
+//!
+//! The paper ported Exmh (mail) and Ical (calendar) onto the toolkit and
+//! built a browser proxy that gives unmodified Web browsers click-ahead
+//! and prefetching. These headless re-creations drive the *real* toolkit
+//! API — import/export/invoke over QRPC — with scripted user behaviour,
+//! which is exactly what the evaluation measured (fetch latency, queued
+//! operation drain, conflict resolution, user-perceived stalls).
+
+pub mod calendar;
+pub mod mail;
+pub mod web;
+pub mod workload;
+
+pub use calendar::Calendar;
+pub use mail::{MailReader, MailboxGen};
+pub use web::{BrowserProxy, WebGen};

@@ -1,0 +1,118 @@
+//! Deterministic synthetic-content generators shared by the
+//! applications and the benchmark harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic text/content generator.
+pub struct TextGen {
+    rng: StdRng,
+}
+
+const WORDS: &[&str] = &[
+    "rover", "mobile", "queued", "object", "cache", "import", "export", "promise", "toolkit",
+    "network", "schedule", "tentative", "commit", "conflict", "resolve", "session", "log",
+    "flush", "modem", "wireless", "ethernet", "laptop", "server", "client", "message", "folder",
+    "meeting", "budget", "draft", "patch", "review", "deploy", "agenda", "minutes", "report",
+];
+
+impl TextGen {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> TextGen {
+        TextGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Returns a word-soup string of roughly `bytes` bytes.
+    pub fn text(&mut self, bytes: usize) -> String {
+        let mut out = String::with_capacity(bytes + 16);
+        while out.len() < bytes {
+            out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+            out.push(' ');
+        }
+        out.truncate(bytes);
+        out
+    }
+
+    /// Returns a short title of `n` words.
+    pub fn title(&mut self, n: usize) -> String {
+        (0..n)
+            .map(|_| WORDS[self.rng.gen_range(0..WORDS.len())])
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Returns one of the canned user names.
+    pub fn user(&mut self) -> &'static str {
+        const USERS: &[&str] =
+            &["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"];
+        USERS[self.rng.gen_range(0..USERS.len())]
+    }
+
+    /// Samples a mail-body size: mostly short text, a heavy tail of
+    /// larger messages (attachments), in bytes.
+    pub fn mail_size(&mut self) -> usize {
+        if self.rng.gen_bool(0.85) {
+            self.rng.gen_range(400..3_000)
+        } else {
+            self.rng.gen_range(8_000..60_000)
+        }
+    }
+
+    /// Samples a Web-page size in bytes (HTML plus inlined media).
+    pub fn page_size(&mut self) -> usize {
+        if self.rng.gen_bool(0.7) {
+            self.rng.gen_range(2_000..15_000)
+        } else {
+            self.rng.gen_range(20_000..120_000)
+        }
+    }
+
+    /// Returns a uniformly random integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Returns a uniformly random value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TextGen::new(5);
+        let mut b = TextGen::new(5);
+        assert_eq!(a.text(100), b.text(100));
+        assert_eq!(a.mail_size(), b.mail_size());
+        let mut c = TextGen::new(6);
+        assert_ne!(a.text(100), c.text(100));
+    }
+
+    #[test]
+    fn text_hits_requested_size() {
+        let mut g = TextGen::new(1);
+        for n in [1usize, 10, 1000, 4096] {
+            assert_eq!(g.text(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn size_distributions_are_in_range() {
+        let mut g = TextGen::new(2);
+        for _ in 0..200 {
+            let m = g.mail_size();
+            assert!((400..60_000).contains(&m));
+            let p = g.page_size();
+            assert!((2_000..120_000).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! E1–E4: QRPC microbenchmarks and the RDO-caching result.
+
+use rover_core::{Client, LogPolicy, RoverObject, Urn};
+use rover_net::LinkSpec;
+use rover_sim::SimDuration;
+use rover_wire::Priority;
+
+use crate::table::{ms, ratio, Table};
+use crate::testbed::{mean, Rig};
+
+/// E1: null RPC vs null QRPC across the four testbed channels.
+///
+/// Reproduces the paper's results #1/#2: QRPC's stable-log flush is
+/// visible on Ethernet but dwarfed by transmission time on dial-up.
+pub fn e1_null_qrpc() {
+    let mut t = Table::new(
+        "E1 — Null-RPC latency: plain RPC vs QRPC (mean of 20)",
+        &["network", "plain RPC", "QRPC (no log)", "QRPC (logged)", "log overhead"],
+    )
+    .note(
+        "Shape check: the logged-QRPC overhead is large relative to RPC on fast links \
+         and negligible on 14.4/2.4 Kbit/s (paper finding #2).",
+    );
+
+    for spec in LinkSpec::TESTBED {
+        let plain = {
+            let mut rig = Rig::new(spec);
+            let xs: Vec<f64> = (0..20)
+                .map(|_| {
+                    rig.time_op(|r| {
+                        Client::ping_direct(&r.client, &mut r.sim, r.session).expect("connected")
+                    })
+                })
+                .collect();
+            mean(&xs)
+        };
+        let unlogged = {
+            let mut rig = Rig::with_config(spec, |c| c.log_policy = LogPolicy::None);
+            let xs: Vec<f64> = (0..20)
+                .map(|_| {
+                    rig.time_op(|r| Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND))
+                })
+                .collect();
+            mean(&xs)
+        };
+        let logged = {
+            let mut rig = Rig::new(spec);
+            let xs: Vec<f64> = (0..20)
+                .map(|_| {
+                    rig.time_op(|r| Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND))
+                })
+                .collect();
+            mean(&xs)
+        };
+        let overhead = (logged - plain) / plain * 100.0;
+        t.row(vec![
+            spec.name.into(),
+            ms(plain),
+            ms(unlogged),
+            ms(logged),
+            format!("{overhead:.0}%"),
+        ]);
+    }
+    t.print();
+}
+
+/// E2: where a QRPC's time goes, per channel.
+pub fn e2_breakdown() {
+    let mut t = Table::new(
+        "E2 — QRPC cost breakdown (1 KiB import, mean of 20)",
+        &["network", "marshal", "log flush", "server", "network+rest", "total RTT"],
+    )
+    .note("Network time is the residual: total minus the measured CPU/log components.");
+
+    for spec in LinkSpec::TESTBED {
+        let mut rig = Rig::new(spec);
+        for i in 0..20 {
+            let urn = rig.put_blob(&format!("b{i}"), 1024);
+            let p = Client::import(&rig.client, &mut rig.sim, &urn, rig.session, Priority::FOREGROUND)
+                .expect("session");
+            rig.await_promise(&p);
+        }
+        let series = |k: &str| rig.sim.stats.series(k).map(|s| s.mean()).unwrap_or(0.0);
+        let marshal = series("client.marshal_ms");
+        let flush = series("client.flush_ms");
+        let server = series("server.exec_ms");
+        let total = series("client.qrpc_rtt_ms");
+        let rest = (total - marshal - flush - server).max(0.0);
+        t.row(vec![
+            spec.name.into(),
+            ms(marshal),
+            ms(flush),
+            ms(server),
+            ms(rest),
+            ms(total),
+        ]);
+    }
+    t.print();
+}
+
+/// E3: object-import latency versus object size.
+pub fn e3_import_size() {
+    const SIZES: [(usize, &str); 6] = [
+        (64, "64B"),
+        (1 << 10, "1KiB"),
+        (8 << 10, "8KiB"),
+        (64 << 10, "64KiB"),
+        (256 << 10, "256KiB"),
+        (1 << 20, "1MiB"),
+    ];
+    let mut headers: Vec<&str> = vec!["object size"];
+    headers.extend(LinkSpec::TESTBED.iter().map(|s| s.name));
+    let mut t = Table::new("E3 — Import latency vs object size", &headers).note(
+        "Latency is flat in size on fast links until transmission dominates; on CSLIP \
+         it is linear in size almost immediately.",
+    );
+
+    for (size, label) in SIZES {
+        let mut row = vec![label.to_string()];
+        for spec in LinkSpec::TESTBED {
+            let mut rig = Rig::new(spec);
+            let urn = rig.put_blob("obj", size);
+            let lat = rig.time_op(|r| {
+                Client::import(&r.client, &mut r.sim, &urn, r.session, Priority::FOREGROUND)
+                    .expect("session")
+            });
+            row.push(ms(lat));
+        }
+        t.row(row);
+    }
+    t.print();
+}
+
+/// Builds the E4/E5-style compute object: `n` records and a summing
+/// method.
+fn compute_object(n: usize) -> RoverObject {
+    let mut obj = RoverObject::new(Urn::parse("urn:rover:bench/compute").unwrap(), "counter")
+        .with_code(
+            "proc summarize {} {
+                 set total 0
+                 foreach k [rover::keys item*] {
+                     incr total [rover::get $k]
+                 }
+                 return $total
+             }",
+        );
+    for i in 0..n {
+        obj.fields.insert(format!("item{i:03}"), (i % 97).to_string());
+    }
+    obj
+}
+
+/// E4: local invocation on a cached RDO vs the same call as an RPC.
+///
+/// The paper's headline: "a local invocation on an RDO is 56 times
+/// faster than sending an RPC over a TCP/CSLIP14.4 connection."
+pub fn e4_rdo_cache() {
+    let mut t = Table::new(
+        "E4 — Cached-RDO invocation vs remote RPC (summarize over 100 records, mean of 10)",
+        &["network", "local invoke", "remote RPC", "speedup"],
+    )
+    .note("Paper reports 56x for TCP/CSLIP-14.4; the shape to match is tens-of-x on dial-up.");
+
+    for spec in LinkSpec::TESTBED {
+        let mut rig = Rig::new(spec);
+        rig.server.borrow_mut().put_object(compute_object(100));
+        let urn = Urn::parse("urn:rover:bench/compute").unwrap();
+        let p = Client::import(&rig.client, &mut rig.sim, &urn, rig.session, Priority::FOREGROUND)
+            .expect("session");
+        rig.await_promise(&p);
+
+        let local: Vec<f64> = (0..10)
+            .map(|_| {
+                rig.time_op(|r| {
+                    Client::invoke_local(&r.client, &mut r.sim, &urn, "summarize", &[])
+                        .expect("cached")
+                })
+            })
+            .collect();
+        let remote: Vec<f64> = (0..10)
+            .map(|_| {
+                rig.time_op(|r| {
+                    Client::invoke_remote(
+                        &r.client, &mut r.sim, &urn, r.session, "summarize", &[],
+                        Priority::FOREGROUND,
+                    )
+                    .expect("session")
+                })
+            })
+            .collect();
+        let (l, r) = (mean(&local), mean(&remote));
+        t.row(vec![spec.name.into(), ms(l), ms(r), ratio(r / l)]);
+        // Idle pause between networks keeps per-network rigs independent.
+        rig.sim.run_for(SimDuration::from_secs(1));
+    }
+    t.print();
+}

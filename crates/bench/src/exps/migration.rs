@@ -1,0 +1,130 @@
+//! E5: the RDO-migration benefit — ship the function or ship the data?
+
+use rover_core::{Client, Placement, PlacementHints, RoverObject, Urn};
+use rover_net::LinkSpec;
+use rover_wire::Priority;
+
+use crate::table::{bytes, ms, Table};
+use crate::testbed::Rig;
+
+const RECORDS: usize = 300;
+const PAYLOAD: usize = 120;
+
+/// Builds a record store where a fraction `sel` of records carry tag
+/// `t1` (the filter target) and the rest `t0`.
+fn record_store(sel: f64) -> RoverObject {
+    let mut obj = RoverObject::new(Urn::parse("urn:rover:bench/records").unwrap(), "counter")
+        .with_code(
+            "proc filter {pat} {
+                 set out {}
+                 foreach k [rover::keys rec*] {
+                     set v [rover::get $k]
+                     if {[string match $pat [lindex $v 0]]} {lappend out $v}
+                 }
+                 return $out
+             }
+             proc filter_local {pat} {filter $pat}",
+        );
+    let matching = (RECORDS as f64 * sel).round() as usize;
+    for i in 0..RECORDS {
+        let tag = if i < matching { "t1" } else { "t0" };
+        let payload = "p".repeat(PAYLOAD);
+        obj.fields.insert(format!("rec{i:04}"), format!("{tag} {payload}"));
+    }
+    obj
+}
+
+/// E5: function shipping vs data shipping across selectivity and
+/// channels.
+///
+/// The paper's result #4: migrating RDOs gives excellent performance on
+/// moderate-bandwidth links — exactly when result size ≪ data size.
+pub fn e5_migration() {
+    let mut t = Table::new(
+        "E5 — RDO migration: filter at server (ship function) vs fetch-all (ship data)",
+        &["network", "selectivity", "ship function", "ship data", "adaptive", "picked", "fn bytes", "data bytes"],
+    )
+    .note(
+        "Ship-function sends the call and returns matches only; ship-data imports the whole \
+         300-record object and filters locally. The adaptive client estimates both over the \
+         live link and should track the winner.",
+    );
+
+    for spec in [LinkSpec::ETHERNET_10M, LinkSpec::WAVELAN_2M, LinkSpec::CSLIP_14_4, LinkSpec::CSLIP_2_4]
+    {
+        for sel in [0.02, 0.10, 0.50] {
+            let urn = Urn::parse("urn:rover:bench/records").unwrap();
+
+            // Ship the function: invoke at the server.
+            let (fn_ms, fn_bytes) = {
+                let mut rig = Rig::new(spec);
+                rig.server.borrow_mut().put_object(record_store(sel));
+                let b0 = rig.sim.stats.counter("net.sent_bytes");
+                let lat = rig.time_op(|r| {
+                    Client::invoke_remote(
+                        &r.client, &mut r.sim, &urn, r.session, "filter", &["t1*"],
+                        Priority::FOREGROUND,
+                    )
+                    .expect("session")
+                });
+                (lat, rig.sim.stats.counter("net.sent_bytes") - b0)
+            };
+
+            // Ship the data: import, then filter on the cached copy.
+            let (data_ms, data_bytes) = {
+                let mut rig = Rig::new(spec);
+                rig.server.borrow_mut().put_object(record_store(sel));
+                let b0 = rig.sim.stats.counter("net.sent_bytes");
+                let t0 = rig.sim.now();
+                let p = Client::import(
+                    &rig.client, &mut rig.sim, &urn, rig.session, Priority::FOREGROUND,
+                )
+                .expect("session");
+                rig.await_promise(&p);
+                let p2 = Client::invoke_local(&rig.client, &mut rig.sim, &urn, "filter_local", &["t1*"])
+                    .expect("cached");
+                rig.await_promise(&p2);
+                let lat = rig.sim.now().since(t0).as_millis_f64();
+                (lat, rig.sim.stats.counter("net.sent_bytes") - b0)
+            };
+
+            // Adaptive: the client decides placement from hints.
+            let (ad_ms, picked) = {
+                let mut rig = Rig::new(spec);
+                rig.server.borrow_mut().put_object(record_store(sel));
+                let matching = (RECORDS as f64 * sel).round() as usize;
+                let hints = PlacementHints {
+                    result_bytes: matching * (PAYLOAD + 8),
+                    object_bytes: Some(RECORDS * (PAYLOAD + 16)),
+                    compute_steps: (RECORDS * 5) as u64,
+                    reuse_likely: false,
+                };
+                let t0 = rig.sim.now();
+                let (p, placement) = Client::invoke_adaptive(
+                    &rig.client, &mut rig.sim, &urn, rig.session, "filter", &["t1*"],
+                    hints, Priority::FOREGROUND,
+                )
+                .expect("session");
+                rig.await_promise(&p);
+                let lat = rig.sim.now().since(t0).as_millis_f64();
+                let label = match placement {
+                    Placement::Remote => "function",
+                    Placement::ImportThenLocal => "data",
+                    Placement::Local => "cached",
+                };
+                (lat, label)
+            };
+            t.row(vec![
+                spec.name.into(),
+                format!("{:.0}%", sel * 100.0),
+                ms(fn_ms),
+                ms(data_ms),
+                ms(ad_ms),
+                picked.into(),
+                bytes(fn_bytes),
+                bytes(data_bytes),
+            ]);
+        }
+    }
+    t.print();
+}

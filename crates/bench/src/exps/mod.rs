@@ -1,0 +1,56 @@
+//! The experiments, one module per DESIGN.md group.
+
+pub mod ablations;
+pub mod apps;
+pub mod drain;
+pub mod micro;
+pub mod migration;
+pub mod tables;
+
+/// All experiment ids, in report order.
+pub const ALL: &[&str] = &[
+    "t1-api",
+    "t2-loc",
+    "t3-apps",
+    "e1-null-qrpc",
+    "e2-breakdown",
+    "e3-import-size",
+    "e4-rdo-cache",
+    "e5-migration",
+    "e6-mail",
+    "e7-calendar",
+    "e8-web",
+    "e9-drain",
+    "a1-flush",
+    "a2-compress",
+    "a3-priority",
+    "a4-consistency",
+    "a5-callbacks",
+    "a6-fragmentation",
+];
+
+/// Runs one experiment by id; returns false for unknown ids.
+pub fn run(id: &str) -> bool {
+    match id {
+        "t1-api" => tables::t1_api(),
+        "t2-loc" => tables::t2_loc(),
+        "t3-apps" => tables::t3_apps(),
+        "e1-null-qrpc" => micro::e1_null_qrpc(),
+        "e2-breakdown" => micro::e2_breakdown(),
+        "e3-import-size" => micro::e3_import_size(),
+        "e4-rdo-cache" => micro::e4_rdo_cache(),
+        "e5-migration" => migration::e5_migration(),
+        "e6-mail" => apps::e6_mail(),
+        "e7-calendar" => apps::e7_calendar(),
+        "e8-web" => apps::e8_web(),
+        "e9-drain" => drain::e9_drain(),
+        "a1-flush" => ablations::a1_flush(),
+        "a2-compress" => ablations::a2_compress(),
+        "a3-priority" => ablations::a3_priority(),
+        "a4-consistency" => ablations::a4_consistency(),
+        "a5-callbacks" => ablations::a5_callbacks(),
+        "a6-fragmentation" => ablations::a6_fragmentation(),
+        _ => return false,
+    }
+    true
+}

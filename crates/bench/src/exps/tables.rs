@@ -1,0 +1,125 @@
+//! T1–T3: the paper's descriptive tables — API surface, implementation
+//! size, and the applications built on the toolkit.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::table::Table;
+
+/// T1: the Rover client API (the paper's Table 1 listed the toolkit's
+/// client-library operations).
+pub fn t1_api() {
+    let mut t = Table::new("T1 — Rover client API", &["operation", "behaviour"]);
+    for (op, desc) in [
+        ("create_session(guarantees, tentative?)", "open a session scoping consistency"),
+        ("import(urn, session, prio) -> promise", "fetch an object into the cache (QRPC on miss)"),
+        ("export(urn, session, method, args) -> handles", "apply locally (tentative), queue to home server"),
+        ("invoke_local(urn, method, args) -> promise", "run an RDO method on the cached copy (read-only)"),
+        ("invoke_remote(urn, session, method, args)", "ship the call to the home server's RDO environment"),
+        ("prefetch(urns, session)", "background-fill the cache before disconnection"),
+        ("ping / ping_direct", "null QRPC / conventional null RPC"),
+        ("on_event(callback)", "user notification: connectivity, commits, conflicts, evictions"),
+        ("outstanding_count / log_len / cache_usage", "introspection of queue, stable log, cache"),
+        ("rover::get/set/has/del/keys/urn", "host commands available to RDO method code"),
+    ] {
+        t.row(vec![op.into(), desc.into()]);
+    }
+    t.print();
+}
+
+fn count_rs_lines(dir: &Path) -> (usize, usize) {
+    // (files, non-blank lines)
+    let mut files = 0;
+    let mut lines = 0;
+    let Ok(entries) = fs::read_dir(dir) else {
+        return (0, 0);
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            let (f, l) = count_rs_lines(&p);
+            files += f;
+            lines += l;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            files += 1;
+            if let Ok(src) = fs::read_to_string(&p) {
+                lines += src.lines().filter(|l| !l.trim().is_empty()).count();
+            }
+        }
+    }
+    (files, lines)
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+/// T2: implementation size per component (the paper's Table 2 reported
+/// the toolkit's code sizes; here we count this reproduction).
+pub fn t2_loc() {
+    let root = repo_root();
+    let mut t = Table::new(
+        "T2 — Implementation size (non-blank Rust lines, tests included)",
+        &["component", "files", "lines"],
+    );
+    let mut total = (0, 0);
+    for (label, rel) in [
+        ("simulation kernel (rover-sim)", "crates/sim/src"),
+        ("marshalling + compression (rover-wire)", "crates/wire/src"),
+        ("stable log (rover-log)", "crates/log/src"),
+        ("network substrate + scheduler (rover-net)", "crates/net/src"),
+        ("RDO interpreter (rover-script)", "crates/script/src"),
+        ("toolkit core (rover-core)", "crates/core/src"),
+        ("toolkit core integration tests", "crates/core/tests"),
+        ("applications (rover-apps)", "crates/apps/src"),
+        ("application tests", "crates/apps/tests"),
+        ("benchmark harness (rover-bench)", "crates/bench/src"),
+        ("facade + examples + workspace tests", "src"),
+        ("examples", "examples"),
+        ("workspace tests", "tests"),
+    ] {
+        let (f, l) = count_rs_lines(&root.join(rel));
+        if f == 0 {
+            continue;
+        }
+        total.0 += f;
+        total.1 += l;
+        t.row(vec![label.into(), f.to_string(), l.to_string()]);
+    }
+    t.row(vec!["TOTAL".into(), total.0.to_string(), total.1.to_string()]);
+    t.print();
+}
+
+/// T3: the applications built on the toolkit (the paper's Table 3
+/// described Exmh, Ical and the Web proxy ports).
+pub fn t3_apps() {
+    let root = repo_root();
+    let line_count = |rel: &str| -> usize {
+        fs::read_to_string(root.join(rel))
+            .map(|s| s.lines().filter(|l| !l.trim().is_empty()).count())
+            .unwrap_or(0)
+    };
+    let mut t = Table::new(
+        "T3 — Applications built on the Rover toolkit",
+        &["application", "paper analogue", "app lines", "toolkit features exercised"],
+    );
+    t.row(vec![
+        "mail reader".into(),
+        "Exmh port".into(),
+        line_count("crates/apps/src/mail.rs").to_string(),
+        "folder/message RDOs, prefetch, queued compose, commutative del merge".into(),
+    ]);
+    t.row(vec![
+        "calendar".into(),
+        "Ical port".into(),
+        line_count("crates/apps/src/calendar.rs").to_string(),
+        "tentative bookings, script resolver, conflict reflection".into(),
+    ]);
+    t.row(vec![
+        "web browser proxy".into(),
+        "Mosaic/Netscape proxy".into(),
+        line_count("crates/apps/src/web.rs").to_string(),
+        "click-ahead promises, link prefetch, disconnected cache browsing".into(),
+    ]);
+    t.print();
+}

@@ -1,0 +1,10 @@
+//! Experiment harness for the Rover reproduction.
+//!
+//! Each experiment regenerates one table or figure from the paper's
+//! evaluation (see DESIGN.md §4 for the index and EXPERIMENTS.md for
+//! recorded results). Everything runs on virtual time, so results are
+//! deterministic and complete in seconds of wall clock.
+
+pub mod exps;
+pub mod table;
+pub mod testbed;

@@ -1,0 +1,36 @@
+//! `rover-bench`: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! rover-bench all            # every experiment, report order
+//! rover-bench e1-null-qrpc   # one experiment
+//! rover-bench list           # available experiment ids
+//! ```
+
+use rover_bench::exps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = match args.first().map(String::as_str) {
+        None | Some("all") => exps::ALL.to_vec(),
+        Some("list") => {
+            println!("available experiments:");
+            for id in exps::ALL {
+                println!("  {id}");
+            }
+            return;
+        }
+        Some(_) => args.iter().map(String::as_str).collect(),
+    };
+
+    println!("# Rover reproduction — experiment report");
+    println!("# (virtual-time measurements; deterministic per seed)");
+    for id in ids {
+        eprintln!("running {id}…");
+        if !exps::run(id) {
+            eprintln!("unknown experiment \"{id}\"; try `rover-bench list`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Aligned-column table printing for experiment reports.
+
+/// A printable results table.
+pub struct Table {
+    title: String,
+    note: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            note: None,
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attaches a footnote printed under the table.
+    pub fn note(mut self, note: &str) -> Table {
+        self.note = Some(note.to_owned());
+        self
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Writes the table as CSV into the directory named by the
+    /// `ROVER_BENCH_CSV` environment variable (no-op when unset). The
+    /// file name is derived from the title's leading experiment id.
+    fn maybe_write_csv(&self) {
+        let Ok(dir) = std::env::var("ROVER_BENCH_CSV") else { return };
+        let slug: String = self
+            .title
+            .split_whitespace()
+            .next()
+            .unwrap_or("table")
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(path, out);
+        }
+    }
+
+    /// Prints the table to stdout (and writes CSV when
+    /// `ROVER_BENCH_CSV` is set).
+    pub fn print(&self) {
+        self.maybe_write_csv();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        println!("\n### {}\n", self.title);
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("| ");
+            for (i, c) in cells.iter().enumerate() {
+                // Right-align numeric-looking cells, left-align labels.
+                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                    && c.chars().any(|ch| ch.is_ascii_digit());
+                if numeric && i > 0 {
+                    line.push_str(&format!("{c:>w$} | ", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{c:<w$} | ", w = widths[i]));
+                }
+            }
+            line
+        };
+        println!("{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", fmt_row(&sep));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+        if let Some(n) = &self.note {
+            println!("\n  {n}");
+        }
+    }
+}
+
+/// Formats milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}s", v / 1000.0)
+    } else if v >= 100.0 {
+        format!("{v:.0}ms")
+    } else if v >= 1.0 {
+        format!("{v:.1}ms")
+    } else {
+        format!("{:.0}us", v * 1000.0)
+    }
+}
+
+/// Formats a byte count.
+pub fn bytes(v: u64) -> String {
+    if v >= 1 << 20 {
+        format!("{:.1}MiB", v as f64 / (1 << 20) as f64)
+    } else if v >= 1 << 10 {
+        format!("{:.1}KiB", v as f64 / 1024.0)
+    } else {
+        format!("{v}B")
+    }
+}
+
+/// Formats a ratio like `56x`.
+pub fn ratio(v: f64) -> String {
+    if v >= 10.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(ms(0.5), "500us");
+        assert_eq!(ms(5.25), "5.2ms");
+        assert_eq!(ms(250.0), "250ms");
+        assert_eq!(ms(12_000.0), "12.0s");
+        assert_eq!(bytes(100), "100B");
+        assert_eq!(bytes(2048), "2.0KiB");
+        assert_eq!(bytes(3 << 20), "3.0MiB");
+        assert_eq!(ratio(56.2), "56x");
+        assert_eq!(ratio(1.5), "1.5x");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

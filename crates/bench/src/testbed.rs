@@ -1,0 +1,119 @@
+//! Shared experiment testbed: one mobile client, one home server, one
+//! configurable channel — the paper's measurement setup.
+
+use rover_core::{
+    Client, ClientConfig, ClientRef, Guarantees, Promise, ReexecuteResolver, RoverObject,
+    ScriptResolver, Server, ServerConfig, ServerRef, Urn,
+};
+use rover_net::{LinkId, LinkSpec, Net};
+use rover_sim::{Sim, SimDuration};
+use rover_wire::{HostId, SessionId};
+
+/// The client host id used by all rigs.
+pub const CLIENT: HostId = HostId(1);
+/// The server host id used by all rigs.
+pub const SERVER: HostId = HostId(2);
+
+/// One client/server pair over one link.
+pub struct Rig {
+    /// The simulation world.
+    pub sim: Sim,
+    /// The network.
+    pub net: Net,
+    /// The (single) client↔server link.
+    pub link: LinkId,
+    /// The home server.
+    pub server: ServerRef,
+    /// The mobile client.
+    pub client: ClientRef,
+    /// A ready-made session with all guarantees.
+    pub session: SessionId,
+}
+
+impl Rig {
+    /// Builds a rig over `spec` with the paper's default client config.
+    pub fn new(spec: LinkSpec) -> Rig {
+        Rig::with_config(spec, |_| {})
+    }
+
+    /// Builds a rig, letting the caller tweak the client configuration.
+    pub fn with_config(spec: LinkSpec, tweak: impl FnOnce(&mut ClientConfig)) -> Rig {
+        Rig::with_configs(spec, tweak, |_| {})
+    }
+
+    /// Builds a rig, letting the caller tweak both configurations.
+    pub fn with_configs(
+        spec: LinkSpec,
+        tweak: impl FnOnce(&mut ClientConfig),
+        tweak_server: impl FnOnce(&mut rover_core::ServerConfig),
+    ) -> Rig {
+        let mut sim = Sim::new(1995);
+        let net = Net::new();
+        let link = net.add_link(spec, CLIENT, SERVER);
+        let mut scfg = ServerConfig::workstation(SERVER);
+        tweak_server(&mut scfg);
+        let server = Server::new(&net, scfg);
+        server.borrow_mut().add_route(CLIENT, link);
+        server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+        for ty in ["mailfolder", "mailmsg", "spool", "calendar", "webpage"] {
+            server.borrow_mut().register_resolver(ty, Box::new(ScriptResolver::default()));
+        }
+        let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+        tweak(&mut cfg);
+        let client = Client::new(&mut sim, &net, cfg, vec![link]);
+        let session = Client::create_session(&client, Guarantees::ALL, true);
+        Rig { sim, net, link, server, client, session }
+    }
+
+    /// Installs a payload object of roughly `bytes` data bytes.
+    pub fn put_blob(&self, path: &str, bytes: usize) -> Urn {
+        let urn = Urn::new("bench", path).expect("valid urn");
+        self.server.borrow_mut().put_object(
+            RoverObject::new(urn.clone(), "blob").with_field("body", &"x".repeat(bytes)),
+        );
+        urn
+    }
+
+    /// Runs the sim until `p` resolves (panics after 10 simulated hours
+    /// — nothing in these experiments legitimately takes that long).
+    pub fn await_promise(&mut self, p: &Promise) {
+        let deadline = self.sim.now() + SimDuration::from_secs(36_000);
+        while !p.is_ready() {
+            if !self.sim.step() || self.sim.now() > deadline {
+                panic!("promise did not resolve (t = {})", self.sim.now());
+            }
+        }
+    }
+
+    /// Steps the simulation until no QRPCs are outstanding; returns the
+    /// elapsed virtual milliseconds. (Unlike `sim.run()`, this does not
+    /// wait out parked retransmission timers.)
+    pub fn await_drain(&mut self) -> f64 {
+        let t0 = self.sim.now();
+        let deadline = t0 + SimDuration::from_secs(36_000);
+        while Client::outstanding_count(&self.client) > 0 {
+            if !self.sim.step() || self.sim.now() > deadline {
+                panic!("queue did not drain (t = {})", self.sim.now());
+            }
+        }
+        self.sim.now().since(t0).as_millis_f64()
+    }
+
+    /// Measures the resolution latency of the promise returned by `f`,
+    /// in milliseconds of virtual time.
+    pub fn time_op(&mut self, f: impl FnOnce(&mut Rig) -> Promise) -> f64 {
+        let t0 = self.sim.now();
+        let p = f(self);
+        self.await_promise(&p);
+        p.resolved_at().expect("resolved").since(t0).as_millis_f64()
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

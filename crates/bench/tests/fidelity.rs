@@ -1,0 +1,103 @@
+//! Fidelity tests: measured simulator behaviour matches the closed-form
+//! cost model, so the experiment harness measures what it claims to.
+
+use rover_bench::testbed::Rig;
+use rover_core::Client;
+use rover_net::LinkSpec;
+use rover_wire::Priority;
+
+/// Analytic one-way time for an uncontended message.
+fn analytic_one_way(spec: LinkSpec, payload: usize) -> f64 {
+    spec.one_way(payload).as_millis_f64()
+}
+
+#[test]
+fn link_model_matches_closed_form() {
+    for spec in LinkSpec::TESTBED {
+        for size in [0usize, 100, 1460, 10_000] {
+            let t = spec.tx_time(size).as_secs_f64();
+            let expect = (size + spec.overhead_bytes) as f64 * 8.0 / spec.bandwidth_bps as f64;
+            assert!(
+                (t - expect).abs() < 2e-6,
+                "{}: tx({size}) = {t}, analytic {expect}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn import_latency_decomposes_into_model_terms() {
+    // total ≥ flush + request one-way + reply one-way; and within 25%
+    // of the analytic sum for a mid-size object on a slow link (where
+    // transmission dominates and queueing is absent).
+    let spec = LinkSpec::CSLIP_14_4;
+    let size = 32 << 10;
+    let mut rig = Rig::new(spec);
+    let urn = rig.put_blob("obj", size);
+    let measured = rig.time_op(|r| {
+        Client::import(&r.client, &mut r.sim, &urn, r.session, Priority::FOREGROUND).unwrap()
+    });
+
+    let flush = 15.7; // ms, from the storage model for a small record
+    // The reply carries the object plus per-fragment framing; the
+    // request is small.
+    let analytic = flush + analytic_one_way(spec, 120) + analytic_one_way(spec, size + size / 48);
+    assert!(
+        measured >= analytic * 0.8 && measured <= analytic * 1.25,
+        "measured {measured:.0}ms vs analytic {analytic:.0}ms"
+    );
+}
+
+#[test]
+fn qrpc_rtt_exceeds_plain_rpc_by_flush() {
+    // On Ethernet the difference between logged QRPC and plain RPC is
+    // the flush cost, within a millisecond of slack.
+    let mut rig = Rig::new(LinkSpec::ETHERNET_10M);
+    let plain = rig.time_op(|r| {
+        Client::ping_direct(&r.client, &mut r.sim, r.session).unwrap()
+    });
+    let logged = rig.time_op(|r| {
+        Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
+    });
+    let delta = logged - plain;
+    assert!(
+        (14.0..19.0).contains(&delta),
+        "flush delta should be ~15.7ms, got {delta:.1}ms (plain {plain:.1}, logged {logged:.1})"
+    );
+}
+
+#[test]
+fn determinism_across_runs() {
+    // The same experiment twice gives bit-identical timings.
+    let run = || -> Vec<u64> {
+        let mut rig = Rig::new(LinkSpec::WAVELAN_2M);
+        let urn = rig.put_blob("d", 4096);
+        (0..5)
+            .map(|_| {
+                let lat = rig.time_op(|r| {
+                    Client::import(&r.client, &mut r.sim, &urn, r.session, Priority::FOREGROUND)
+                        .unwrap()
+                });
+                (lat * 1000.0) as u64
+            })
+            .collect()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn bandwidth_ordering_is_strict_for_fixed_work() {
+    // The same import is strictly slower on each slower channel.
+    let mut lat = Vec::new();
+    for spec in LinkSpec::TESTBED {
+        let mut rig = Rig::new(spec);
+        let urn = rig.put_blob("o", 16 << 10);
+        lat.push(rig.time_op(|r| {
+            Client::import(&r.client, &mut r.sim, &urn, r.session, Priority::FOREGROUND).unwrap()
+        }));
+    }
+    for pair in lat.windows(2) {
+        assert!(pair[0] < pair[1], "latencies not monotone: {lat:?}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Client and server configuration: cost models and policies.
+
+use rover_log::FlushReceipt;
+use rover_net::SchedMode;
+use rover_script::Budget;
+use rover_sim::{CpuModel, SimDuration};
+use rover_wire::HostId;
+
+/// Stable-storage cost model: how long a log flush takes.
+///
+/// The paper's prototype wrote its operation log to the ThinkPad's local
+/// disk with a synchronous flush on every QRPC ("the flush is on the
+/// critical path for message sending", §5.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StorageModel {
+    /// Fixed cost of one synchronous flush (seek + rotation).
+    pub sync_latency: SimDuration,
+    /// Additional cost per KiB written.
+    pub per_kib: SimDuration,
+}
+
+impl StorageModel {
+    /// A 1995 laptop IDE disk: ~15 ms per synchronous write.
+    pub const LAPTOP_DISK_1995: StorageModel = StorageModel {
+        sync_latency: SimDuration::from_millis(15),
+        per_kib: SimDuration::from_micros(700),
+    };
+
+    /// Flash RAM-class stable storage (the paper's "efficient
+    /// techniques" future work; A1 ablation arm).
+    pub const FLASH_RAM: StorageModel = StorageModel {
+        sync_latency: SimDuration::from_micros(300),
+        per_kib: SimDuration::from_micros(50),
+    };
+
+    /// Free stable storage (the "no log cost" ablation bound).
+    pub const FREE: StorageModel =
+        StorageModel { sync_latency: SimDuration::ZERO, per_kib: SimDuration::ZERO };
+
+    /// Returns the virtual time one flush receipt costs.
+    pub fn flush_cost(&self, receipt: FlushReceipt) -> SimDuration {
+        if !receipt.synced {
+            return SimDuration::ZERO;
+        }
+        let kib = receipt.bytes.div_ceil(1024) as u64;
+        self.sync_latency + SimDuration::from_micros(self.per_kib.as_micros() * kib)
+    }
+}
+
+/// When the client forces QRPC log records to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogPolicy {
+    /// Flush on every QRPC (the paper's prototype).
+    PerOperation,
+    /// Group commit: flush when `n` records have accumulated or after
+    /// `timeout` since the first unflushed record, whichever is first.
+    GroupCommit {
+        /// Records per group.
+        n: usize,
+        /// Maximum time a record may sit unflushed.
+        timeout: SimDuration,
+    },
+    /// No stable log at all (ablation lower bound: queued requests do
+    /// not survive a crash).
+    None,
+}
+
+/// Client-side configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// This client's host id on the network.
+    pub host: HostId,
+    /// The default home server (authorities not listed in
+    /// `authorities` route here).
+    pub server: HostId,
+    /// Per-URN-authority home servers: "every object has a home
+    /// server" (paper §2), and different authorities may live on
+    /// different hosts.
+    pub authorities: std::collections::HashMap<String, HostId>,
+    /// CPU cost model for marshalling and RDO execution.
+    pub cpu: CpuModel,
+    /// Stable-storage cost model for the QRPC log.
+    pub storage: StorageModel,
+    /// Log flush policy.
+    pub log_policy: LogPolicy,
+    /// Compress log records (A2 ablation).
+    pub log_compress: bool,
+    /// Object-cache capacity in bytes.
+    pub cache_capacity: usize,
+    /// Network-scheduler queue discipline.
+    pub sched_mode: SchedMode,
+    /// Retransmission probe interval for outstanding QRPCs.
+    pub rto: SimDuration,
+    /// Execution budget for RDO methods run on this client.
+    pub budget: Budget,
+    /// Authentication token presented with every QRPC (0 = anonymous).
+    pub auth_token: u64,
+    /// Transport fragmentation MTU in payload bytes (`usize::MAX`
+    /// disables fragmentation; A6 ablation).
+    pub mtu: usize,
+}
+
+impl ClientConfig {
+    /// The paper's mobile-client configuration: ThinkPad CPU, laptop
+    /// disk, per-operation flush, priority scheduling.
+    pub fn thinkpad(host: HostId, server: HostId) -> ClientConfig {
+        ClientConfig {
+            host,
+            server,
+            authorities: std::collections::HashMap::new(),
+            cpu: CpuModel::THINKPAD_701C,
+            storage: StorageModel::LAPTOP_DISK_1995,
+            log_policy: LogPolicy::PerOperation,
+            log_compress: false,
+            cache_capacity: 16 << 20,
+            sched_mode: SchedMode::Priority,
+            rto: SimDuration::from_secs(120),
+            budget: Budget::default(),
+            auth_token: 0,
+            mtu: rover_net::DEFAULT_MTU,
+        }
+    }
+}
+
+/// Server-side configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// This server's host id.
+    pub host: HostId,
+    /// CPU cost model (stationary workstation).
+    pub cpu: CpuModel,
+    /// Execution budget for RDO methods and resolvers run here.
+    pub budget: Budget,
+    /// Maximum retained (client, request) → reply dedup entries.
+    pub dedup_capacity: usize,
+    /// Reply-scheduler queue discipline (per client).
+    pub sched_mode: SchedMode,
+    /// Send cache-invalidation callbacks to importers when another
+    /// client commits a new version (paper §2: "server callbacks").
+    pub callbacks: bool,
+    /// Transport fragmentation MTU for replies (`usize::MAX` disables).
+    pub mtu: usize,
+}
+
+impl ServerConfig {
+    /// The paper's stationary-server configuration.
+    pub fn workstation(host: HostId) -> ServerConfig {
+        ServerConfig {
+            host,
+            cpu: CpuModel::SERVER_WORKSTATION,
+            budget: Budget::default(),
+            dedup_capacity: 4096,
+            sched_mode: SchedMode::Priority,
+            callbacks: false,
+            mtu: rover_net::DEFAULT_MTU,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_cost_zero_without_sync() {
+        let m = StorageModel::LAPTOP_DISK_1995;
+        assert_eq!(m.flush_cost(FlushReceipt { bytes: 0, synced: false }), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn flush_cost_scales_with_bytes() {
+        let m = StorageModel::LAPTOP_DISK_1995;
+        let small = m.flush_cost(FlushReceipt { bytes: 100, synced: true });
+        let big = m.flush_cost(FlushReceipt { bytes: 100 * 1024, synced: true });
+        assert!(small >= m.sync_latency);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn flash_is_much_faster_than_disk() {
+        let r = FlushReceipt { bytes: 200, synced: true };
+        assert!(
+            StorageModel::LAPTOP_DISK_1995.flush_cost(r).as_micros()
+                > 10 * StorageModel::FLASH_RAM.flush_cost(r).as_micros()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Toolkit-level errors.
+
+use std::fmt;
+
+/// Errors surfaced by the Rover toolkit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RoverError {
+    /// A URN failed validation.
+    BadUrn(String),
+    /// The named object is not present (cache or store, per context).
+    NoSuchObject(String),
+    /// The object has no such method.
+    NoSuchMethod(String),
+    /// RDO execution failed (script error, budget exhaustion).
+    Exec(String),
+    /// The referenced session does not exist.
+    NoSuchSession(u64),
+    /// A local invocation attempted to mutate the object; mutations must
+    /// go through `export` so they reach the home server.
+    LocalMutation(String),
+    /// The stable log failed.
+    Log(String),
+    /// A wire-format error (corrupt message).
+    Wire(String),
+    /// The operation requires a cached copy that is not present.
+    NotCached(String),
+}
+
+impl fmt::Display for RoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoverError::BadUrn(m) => write!(f, "bad URN: {m}"),
+            RoverError::NoSuchObject(u) => write!(f, "no such object: {u}"),
+            RoverError::NoSuchMethod(m) => write!(f, "no such method: {m}"),
+            RoverError::Exec(m) => write!(f, "RDO execution failed: {m}"),
+            RoverError::NoSuchSession(s) => write!(f, "no such session: {s}"),
+            RoverError::LocalMutation(u) => {
+                write!(f, "local invocation mutated {u}; use export for updates")
+            }
+            RoverError::Log(m) => write!(f, "stable log failure: {m}"),
+            RoverError::Wire(m) => write!(f, "wire error: {m}"),
+            RoverError::NotCached(u) => write!(f, "object not in cache: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for RoverError {}
+
+impl From<rover_log::LogError> for RoverError {
+    fn from(e: rover_log::LogError) -> Self {
+        RoverError::Log(e.to_string())
+    }
+}
+
+impl From<rover_wire::WireError> for RoverError {
+    fn from(e: rover_wire::WireError) -> Self {
+        RoverError::Wire(e.to_string())
+    }
+}

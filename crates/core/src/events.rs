@@ -1,0 +1,77 @@
+//! User-notification events.
+//!
+//! "Because the mobile environment may rapidly change from moment to
+//! moment, it is important to present the user with information about
+//! its current state" (paper §3.4). Applications register listeners on
+//! the client; the access manager emits an event whenever consistency
+//! or connectivity state changes in a way a user interface would
+//! surface.
+
+use rover_wire::{OpStatus, RequestId};
+
+use crate::urn::Urn;
+
+/// Events emitted by the client access manager.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientEvent {
+    /// The active link's connectivity changed.
+    Connectivity {
+        /// True when connected.
+        up: bool,
+    },
+    /// An import completed (from cache or from the home server).
+    ImportDone {
+        /// Object imported.
+        urn: Urn,
+        /// Served locally without network traffic.
+        from_cache: bool,
+        /// Whether the data is tentative.
+        tentative: bool,
+        /// Final status.
+        status: OpStatus,
+    },
+    /// A local export was applied tentatively (the user sees the effect
+    /// now; commit happens later).
+    TentativeApplied {
+        /// Object updated.
+        urn: Urn,
+        /// The queued QRPC carrying the update.
+        req: RequestId,
+    },
+    /// A queued export reached the home server and was decided.
+    Committed {
+        /// Object updated.
+        urn: Urn,
+        /// The QRPC that committed.
+        req: RequestId,
+        /// `Ok`, `Resolved` (auto-reconciled) or `Conflict` (reflected
+        /// to the user).
+        status: OpStatus,
+    },
+    /// A conflicting update could not be auto-resolved; the user must
+    /// reconcile.
+    ConflictReflected {
+        /// Object in conflict.
+        urn: Urn,
+        /// The rejected QRPC.
+        req: RequestId,
+    },
+    /// The cache evicted an object to stay within capacity.
+    Evicted {
+        /// Object evicted.
+        urn: Urn,
+    },
+    /// A QRPC was retransmitted after a suspected loss.
+    Retransmit {
+        /// The retransmitted request.
+        req: RequestId,
+    },
+    /// A server callback reported a newer committed version of a cached
+    /// object; the local copy is stale.
+    Invalidated {
+        /// Object invalidated.
+        urn: Urn,
+        /// The newer committed version at the home server.
+        version: rover_wire::Version,
+    },
+}

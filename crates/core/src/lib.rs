@@ -1,0 +1,85 @@
+//! The Rover toolkit: relocatable dynamic objects and queued remote
+//! procedure calls for mobile information access.
+//!
+//! This crate is the paper's primary contribution — a client/server
+//! distributed object system in which:
+//!
+//! - applications **import** objects from their home servers into a
+//!   client-side cache, mutate them locally, and **export** the
+//!   operations back (optimistic, primary-copy replication with
+//!   server-side conflict detection and type-specific resolution);
+//! - every remote operation is a **queued RPC**: written to a stable
+//!   log, scheduled by priority over whatever link is up, delivered on
+//!   reconnection, answered through a **promise**;
+//! - objects are **RDOs** — data plus method code executed by a budgeted
+//!   interpreter on either side of the link, so computation can move to
+//!   where it is cheapest (`invoke_local` on the cached copy,
+//!   `invoke_remote` to ship the call to the server);
+//! - applications observe connectivity and consistency transitions
+//!   through **notification events**, and scope their consistency
+//!   demands with Bayou-style **session guarantees** over tentative
+//!   data.
+//!
+//! The moving parts live in focused modules: the [`Client`] access
+//! manager, the home [`Server`] (RDO execution + resolvers), the
+//! [`Cache`], [`Session`] guarantees, [`RoverObject`] RDOs, the
+//! [`Resolver`] registry, and [`Promise`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use rover_core::{Client, ClientConfig, Guarantees, RoverObject, Server, ServerConfig, Urn};
+//! use rover_net::{LinkSpec, Net};
+//! use rover_sim::Sim;
+//! use rover_wire::{HostId, Priority};
+//!
+//! let mut sim = Sim::new(7);
+//! let net = Net::new();
+//! let (ch, sh) = (HostId(1), HostId(2));
+//! let link = net.add_link(LinkSpec::WAVELAN_2M, ch, sh);
+//!
+//! let server = Server::new(&net, ServerConfig::workstation(sh));
+//! server.borrow_mut().add_route(ch, link);
+//! server.borrow_mut().put_object(
+//!     RoverObject::new(Urn::parse("urn:rover:demo/hello").unwrap(), "demo")
+//!         .with_field("msg", "hello mobile world"),
+//! );
+//!
+//! let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(ch, sh), vec![link]);
+//! let session = Client::create_session(&client, Guarantees::ALL, true);
+//! let p = Client::import(
+//!     &client, &mut sim,
+//!     &Urn::parse("urn:rover:demo/hello").unwrap(),
+//!     session, Priority::FOREGROUND,
+//! ).unwrap();
+//! sim.run();
+//! assert_eq!(p.poll().unwrap().object.unwrap().field("msg"), Some("hello mobile world"));
+//! ```
+
+mod cache;
+mod client;
+mod config;
+mod error;
+mod events;
+mod object;
+mod payload;
+mod promise;
+mod resolve;
+mod server;
+mod session;
+mod urn;
+
+pub use cache::{Cache, CacheEntry};
+pub use client::{Client, ClientRef, ExportHandle, Placement, PlacementHints, PollGuard};
+pub use config::{ClientConfig, LogPolicy, ServerConfig, StorageModel};
+pub use error::RoverError;
+pub use events::ClientEvent;
+pub use object::{collection_object, MethodRun, RoverObject};
+pub use payload::{ExportPayload, InvokePayload};
+pub use promise::{Outcome, Promise};
+pub use resolve::{ReexecuteResolver, RejectResolver, Resolution, Resolver, ScriptResolver};
+pub use server::{Server, ServerRef};
+pub use session::{Guarantees, Session};
+pub use urn::Urn;
+
+pub use rover_wire::{HostId, OpStatus, Priority, RequestId, SessionId, Version};

@@ -1,0 +1,373 @@
+//! Relocatable dynamic objects: data + code, and their execution
+//! environment.
+//!
+//! An RDO bundles named data fields with a script (its *code*) defining
+//! methods as procs. The same object executes unchanged at the client
+//! or at the server — that is the "relocatable" in the name — inside a
+//! budgeted interpreter whose host commands (`rover::get` etc.) expose
+//! the object's own fields. Method execution reports the interpreter
+//! steps consumed so the caller can charge CPU time on whichever host
+//! ran it.
+
+use std::collections::BTreeMap;
+
+use rover_script::{Budget, HostEnv, Interp, ScriptError, Value};
+use rover_wire::{Decoder, Encoder, Version, Wire, WireError};
+
+use crate::urn::Urn;
+use crate::RoverError;
+
+/// A relocatable dynamic object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoverObject {
+    /// Location-independent name; the authority picks the home server.
+    pub urn: Urn,
+    /// Application type, selecting the server-side conflict resolver.
+    pub type_name: String,
+    /// Method definitions: script source evaluated before each method
+    /// call (procs, typically).
+    pub code: String,
+    /// Named data fields.
+    pub fields: BTreeMap<String, String>,
+    /// Commit version at the home server (0 = never committed).
+    pub version: Version,
+}
+
+impl RoverObject {
+    /// Creates an object with empty code and fields.
+    pub fn new(urn: Urn, type_name: &str) -> RoverObject {
+        RoverObject {
+            urn,
+            type_name: type_name.to_owned(),
+            code: String::new(),
+            fields: BTreeMap::new(),
+            version: Version(0),
+        }
+    }
+
+    /// Sets the method-definition script (builder style).
+    pub fn with_code(mut self, code: &str) -> RoverObject {
+        self.code = code.to_owned();
+        self
+    }
+
+    /// Sets a data field (builder style).
+    pub fn with_field(mut self, key: &str, value: &str) -> RoverObject {
+        self.fields.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Returns a field's value, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Returns the approximate in-memory / on-wire size in bytes, used
+    /// for cache accounting and transfer modelling.
+    pub fn size_bytes(&self) -> usize {
+        self.code.len()
+            + self.urn.as_str().len()
+            + self.type_name.len()
+            + self.fields.iter().map(|(k, v)| k.len() + v.len() + 8).sum::<usize>()
+    }
+
+    /// Runs `method(args…)` against this object in a fresh budgeted
+    /// interpreter, mutating fields through the `rover::*` host
+    /// commands. Returns the result and execution accounting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rover_core::{RoverObject, Urn};
+    /// use rover_script::{Budget, Value};
+    ///
+    /// let mut obj = RoverObject::new(Urn::parse("urn:rover:d/c").unwrap(), "counter")
+    ///     .with_code("proc bump {} {rover::set n [expr {[rover::get n 0] + 1}]}")
+    ///     .with_field("n", "41");
+    /// let run = obj.run_method("bump", &[], Budget::default()).unwrap();
+    /// assert!(run.mutated);
+    /// assert_eq!(obj.field("n"), Some("42"));
+    /// ```
+    pub fn run_method(
+        &mut self,
+        method: &str,
+        args: &[Value],
+        budget: Budget,
+    ) -> Result<MethodRun, RoverError> {
+        let mut interp = Interp::with_budget(budget);
+        let before = self.fields.clone();
+        let mut host = RdoHost { urn: self.urn.clone(), fields: &mut self.fields };
+
+        interp
+            .eval(&mut host, &self.code)
+            .map_err(|e| RoverError::Exec(format!("loading code for {}: {e}", host.urn)))?;
+        if !interp.has_proc(method) {
+            // Restore: a missing method must not leave partial effects
+            // from code loading (code should only define procs anyway).
+            *host.fields = before;
+            return Err(RoverError::NoSuchMethod(method.to_owned()));
+        }
+
+        // Build the invocation as a proper list so arguments with spaces
+        // survive quoting.
+        let mut call = vec![Value::str(method)];
+        call.extend(args.iter().cloned());
+        let call_src = rover_script::format_list(&call);
+
+        match interp.eval(&mut host, &call_src) {
+            Ok(result) => {
+                let mutated = *host.fields != before;
+                Ok(MethodRun {
+                    result,
+                    steps: interp.steps_used(),
+                    mutated,
+                    output: interp.take_output(),
+                })
+            }
+            Err(e) => {
+                // Failed methods roll back field mutations.
+                self.fields = before;
+                Err(RoverError::Exec(e.to_string()))
+            }
+        }
+    }
+}
+
+/// Builds a *collection* object: an index whose `members` field lists
+/// the URNs of a prefetchable group (see
+/// [`crate::Client::prefetch_collection`]).
+pub fn collection_object(urn: Urn, members: &[Urn]) -> RoverObject {
+    let list: Vec<rover_script::Value> =
+        members.iter().map(|u| rover_script::Value::str(u.as_str())).collect();
+    RoverObject::new(urn, "collection")
+        .with_field("members", &rover_script::format_list(&list))
+        .with_code("proc size {} {llength [rover::get members {}]}")
+}
+
+/// Accounting for one RDO method execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MethodRun {
+    /// The method's return value.
+    pub result: Value,
+    /// Interpreter steps consumed (CPU-model input).
+    pub steps: u64,
+    /// Whether any field changed.
+    pub mutated: bool,
+    /// Captured `puts` output.
+    pub output: String,
+}
+
+/// Host commands exposed to RDO code.
+///
+/// | Command | Effect |
+/// |---|---|
+/// | `rover::get key` | read field (error if missing) |
+/// | `rover::get key default` | read field with default |
+/// | `rover::set key value` | write field |
+/// | `rover::has key` | 1 if field exists |
+/// | `rover::del key` | remove field |
+/// | `rover::keys ?glob?` | list field names |
+/// | `rover::urn` | this object's URN |
+struct RdoHost<'a> {
+    urn: Urn,
+    fields: &'a mut BTreeMap<String, String>,
+}
+
+impl HostEnv for RdoHost<'_> {
+    fn call(
+        &mut self,
+        _interp: &mut Interp,
+        name: &str,
+        args: &[Value],
+    ) -> Option<Result<Value, ScriptError>> {
+        let r = match name {
+            "rover::get" => match args {
+                [k] => match self.fields.get(&k.as_str()) {
+                    Some(v) => Ok(Value::str(v)),
+                    None => Err(ScriptError::new(format!("no such field \"{k}\""))),
+                },
+                [k, default] => Ok(self
+                    .fields
+                    .get(&k.as_str())
+                    .map(Value::str)
+                    .unwrap_or_else(|| default.clone())),
+                _ => Err(ScriptError::new("usage: rover::get key ?default?")),
+            },
+            "rover::set" => match args {
+                [k, v] => {
+                    self.fields.insert(k.as_str(), v.as_str());
+                    Ok(v.clone())
+                }
+                _ => Err(ScriptError::new("usage: rover::set key value")),
+            },
+            "rover::has" => match args {
+                [k] => Ok(Value::bool(self.fields.contains_key(&k.as_str()))),
+                _ => Err(ScriptError::new("usage: rover::has key")),
+            },
+            "rover::del" => match args {
+                [k] => {
+                    self.fields.remove(&k.as_str());
+                    Ok(Value::empty())
+                }
+                _ => Err(ScriptError::new("usage: rover::del key")),
+            },
+            "rover::keys" => {
+                let pat = args.first().map(|v| v.as_str());
+                let keys: Vec<Value> = self
+                    .fields
+                    .keys()
+                    .filter(|k| pat.as_deref().is_none_or(|p| glob_lite(p, k)))
+                    .map(Value::str)
+                    .collect();
+                Ok(Value::list(keys))
+            }
+            "rover::urn" => Ok(Value::str(self.urn.as_str())),
+            _ => return None,
+        };
+        Some(r)
+    }
+}
+
+// Minimal glob (`*` and `?`) for rover::keys; the full matcher lives in
+// the script crate's `string match`.
+fn glob_lite(pat: &str, s: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let t: Vec<char> = s.chars().collect();
+    fn go(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('*') => (0..=t.len()).any(|k| go(&p[1..], &t[k..])),
+            Some('?') => !t.is_empty() && go(&p[1..], &t[1..]),
+            Some(&c) => t.first() == Some(&c) && go(&p[1..], &t[1..]),
+        }
+    }
+    go(&p, &t)
+}
+
+impl Wire for RoverObject {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self.urn.as_str());
+        enc.put_str(&self.type_name);
+        enc.put_str(&self.code);
+        self.version.encode(enc);
+        let pairs: Vec<(&String, &String)> = self.fields.iter().collect();
+        enc.put_seq(&pairs, |e, (k, v)| {
+            e.put_str(k);
+            e.put_str(v);
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let urn = dec.get_str()?;
+        let urn = Urn::parse(&urn).map_err(|_| WireError::BadTag(0xBD))?;
+        let type_name = dec.get_str()?;
+        let code = dec.get_str()?;
+        let version = Version::decode(dec)?;
+        let pairs = dec.get_seq(|d| Ok((d.get_str()?, d.get_str()?)))?;
+        Ok(RoverObject { urn, type_name, code, fields: pairs.into_iter().collect(), version })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> RoverObject {
+        RoverObject::new(Urn::parse("urn:rover:test/counter").unwrap(), "counter")
+            .with_code(
+                "proc get {} {rover::get n 0}
+                 proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}
+                 proc reset {} {rover::del n}",
+            )
+            .with_field("n", "10")
+    }
+
+    #[test]
+    fn method_reads_and_writes_fields() {
+        let mut obj = counter();
+        let run = obj.run_method("add", &[Value::Int(5)], Budget::default()).unwrap();
+        assert!(run.mutated);
+        assert!(run.steps > 0);
+        assert_eq!(obj.field("n"), Some("15"));
+        let run = obj.run_method("get", &[], Budget::default()).unwrap();
+        assert_eq!(run.result, Value::Int(15));
+        assert!(!run.mutated);
+    }
+
+    #[test]
+    fn missing_method_is_reported_without_effects() {
+        let mut obj = counter();
+        let err = obj.run_method("nope", &[], Budget::default()).unwrap_err();
+        assert!(matches!(err, RoverError::NoSuchMethod(_)));
+        assert_eq!(obj.field("n"), Some("10"));
+    }
+
+    #[test]
+    fn failing_method_rolls_back() {
+        let mut obj = counter().with_code(
+            "proc boom {} {rover::set n 999; error kapow}",
+        );
+        let err = obj.run_method("boom", &[], Budget::default()).unwrap_err();
+        assert!(matches!(err, RoverError::Exec(_)));
+        assert_eq!(obj.field("n"), Some("10"));
+    }
+
+    #[test]
+    fn budget_bounds_method_execution() {
+        let mut obj = counter().with_code("proc spin {} {while {1} {}}");
+        let err = obj
+            .run_method("spin", &[], Budget { max_steps: 5_000, max_depth: 16 })
+            .unwrap_err();
+        assert!(matches!(err, RoverError::Exec(msg) if msg.contains("budget")));
+    }
+
+    #[test]
+    fn args_with_spaces_survive() {
+        let mut obj = RoverObject::new(Urn::parse("urn:rover:t/echo").unwrap(), "echo")
+            .with_code("proc echo {s} {return $s}");
+        let run = obj
+            .run_method("echo", &[Value::str("two words {and braces}")], Budget::default())
+            .unwrap();
+        assert_eq!(run.result.as_str(), "two words {and braces}");
+    }
+
+    #[test]
+    fn host_commands_cover_fields() {
+        let mut obj = RoverObject::new(Urn::parse("urn:rover:t/h").unwrap(), "t")
+            .with_code(
+                "proc probe {} {
+                    rover::set a 1
+                    rover::set ab 2
+                    rover::set b 3
+                    rover::del b
+                    list [rover::has a] [rover::has b] [rover::keys a*] [rover::urn]
+                }",
+            );
+        let run = obj.run_method("probe", &[], Budget::default()).unwrap();
+        assert_eq!(run.result.as_str(), "1 0 {a ab} urn:rover:t/h");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let obj = counter();
+        let bytes = obj.to_bytes();
+        let back = RoverObject::from_bytes(&bytes).unwrap();
+        assert_eq!(back, obj);
+    }
+
+    #[test]
+    fn size_accounts_fields_and_code() {
+        let small = RoverObject::new(Urn::parse("urn:rover:t/s").unwrap(), "t");
+        let big = small.clone().with_field("body", &"x".repeat(10_000));
+        assert!(big.size_bytes() > small.size_bytes() + 10_000);
+    }
+
+    #[test]
+    fn puts_output_is_captured() {
+        let mut obj = RoverObject::new(Urn::parse("urn:rover:t/p").unwrap(), "t")
+            .with_code("proc hello {} {puts side-channel; return ok}");
+        let run = obj.run_method("hello", &[], Budget::default()).unwrap();
+        assert_eq!(run.output, "side-channel\n");
+        assert_eq!(run.result.as_str(), "ok");
+    }
+}

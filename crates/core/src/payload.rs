@@ -1,0 +1,74 @@
+//! Operation payloads carried inside QRPC requests.
+
+use rover_wire::{Decoder, Encoder, Wire, WireError};
+
+/// Payload of an `Export` QRPC: the method invocation to replay at the
+/// home server, plus the per-session write sequence (0 = unordered).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExportPayload {
+    /// RDO method to re-execute against the server's copy.
+    pub method: String,
+    /// Method arguments (string forms).
+    pub args: Vec<String>,
+    /// Per-session write order (Monotonic Writes / Writes-Follow-Reads);
+    /// zero when the session does not request ordered writes.
+    pub session_seq: u64,
+}
+
+impl Wire for ExportPayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.method);
+        enc.put_seq(&self.args, |e, a| e.put_str(a));
+        enc.put_u64(self.session_seq);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ExportPayload {
+            method: dec.get_str()?,
+            args: dec.get_seq(|d| d.get_str())?,
+            session_seq: dec.get_u64()?,
+        })
+    }
+}
+
+/// Payload of an `Invoke` QRPC: run a method at the server without
+/// importing the object (function shipping).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvokePayload {
+    /// Method name.
+    pub method: String,
+    /// Method arguments (string forms).
+    pub args: Vec<String>,
+}
+
+impl Wire for InvokePayload {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.method);
+        enc.put_seq(&self.args, |e, a| e.put_str(a));
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(InvokePayload { method: dec.get_str()?, args: dec.get_seq(|d| d.get_str())? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_roundtrip() {
+        let p = ExportPayload {
+            method: "append".into(),
+            args: vec!["a b".into(), "".into(), "c".into()],
+            session_seq: 7,
+        };
+        assert_eq!(ExportPayload::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn invoke_roundtrip() {
+        let p = InvokePayload { method: "filter".into(), args: vec!["alice*".into()] };
+        assert_eq!(InvokePayload::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+}

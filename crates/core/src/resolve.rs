@@ -1,0 +1,189 @@
+//! Type-specific conflict resolution at the home server.
+//!
+//! "Update conflicts are detected at the server, where Rover attempts to
+//! reconcile them. Because Rover can employ type-specific concurrency
+//! control, we expect that many conflicts can be resolved automatically"
+//! (paper §2, after Locus and Weihl/Liskov). A conflict exists when an
+//! export's `base_version` is older than the server's current version —
+//! some other client committed in between. The server then consults the
+//! resolver registered for the object's *type*:
+//!
+//! - [`ReexecuteResolver`]: replay the operation against current state —
+//!   correct whenever the type's operations commute (append-only
+//!   folders, counters).
+//! - [`RejectResolver`]: reflect every conflict to the user (the Lotus
+//!   Notes policy the paper contrasts with).
+//! - [`ScriptResolver`]: ask the object's own RDO code by invoking its
+//!   `resolve` proc — the fully application-specific path.
+
+use rover_script::{Budget, Value};
+use rover_wire::Version;
+
+use crate::object::RoverObject;
+use crate::payload::ExportPayload;
+
+/// A resolver's verdict on a conflicting export.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Resolution {
+    /// Re-execute the operation against the server's current state.
+    Reexecute,
+    /// Replace the object's state wholesale with this merged object.
+    Merged(RoverObject),
+    /// Unresolvable: reflect the conflict to the user.
+    Reject,
+}
+
+/// Type-specific conflict resolution policy.
+pub trait Resolver {
+    /// Decides what to do with `op`, exported against `base_version`,
+    /// now that the server holds `current`.
+    fn resolve(
+        &self,
+        current: &RoverObject,
+        base_version: Version,
+        op: &ExportPayload,
+    ) -> Resolution;
+
+    /// Human-readable policy name (for tables and logs).
+    fn name(&self) -> &'static str;
+}
+
+/// Re-executes conflicting operations (commutative types).
+pub struct ReexecuteResolver;
+
+impl Resolver for ReexecuteResolver {
+    fn resolve(&self, _: &RoverObject, _: Version, _: &ExportPayload) -> Resolution {
+        Resolution::Reexecute
+    }
+
+    fn name(&self) -> &'static str {
+        "reexecute"
+    }
+}
+
+/// Rejects all conflicting operations.
+pub struct RejectResolver;
+
+impl Resolver for RejectResolver {
+    fn resolve(&self, _: &RoverObject, _: Version, _: &ExportPayload) -> Resolution {
+        Resolution::Reject
+    }
+
+    fn name(&self) -> &'static str {
+        "reject"
+    }
+}
+
+/// Delegates to the object's own `resolve` proc.
+///
+/// The proc is called as `resolve <method> <args-list> <base-version>`
+/// on a scratch copy of the current object; it may inspect and mutate
+/// fields. Its return value selects the outcome: `accept` re-executes
+/// the original operation, `merged` commits the scratch copy's state
+/// (the proc performed the merge itself), anything else rejects. If the
+/// object defines no `resolve` proc, the conflict is rejected.
+#[derive(Default)]
+pub struct ScriptResolver {
+    /// Execution budget for resolver code.
+    pub budget: Budget,
+}
+
+
+impl Resolver for ScriptResolver {
+    fn resolve(
+        &self,
+        current: &RoverObject,
+        base_version: Version,
+        op: &ExportPayload,
+    ) -> Resolution {
+        let mut scratch = current.clone();
+        let args = vec![
+            Value::str(&op.method),
+            Value::list(op.args.iter().map(Value::str).collect()),
+            Value::Int(base_version.0 as i64),
+        ];
+        match scratch.run_method("resolve", &args, self.budget) {
+            Ok(run) => match run.result.as_str().as_str() {
+                "accept" => Resolution::Reexecute,
+                "merged" => Resolution::Merged(scratch),
+                _ => Resolution::Reject,
+            },
+            Err(_) => Resolution::Reject,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "script"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::urn::Urn;
+
+    fn op(method: &str) -> ExportPayload {
+        ExportPayload { method: method.into(), args: vec!["x".into()], session_seq: 0 }
+    }
+
+    fn obj(code: &str) -> RoverObject {
+        RoverObject::new(Urn::parse("urn:rover:t/o").unwrap(), "t").with_code(code)
+    }
+
+    #[test]
+    fn fixed_policies() {
+        let o = obj("");
+        assert_eq!(ReexecuteResolver.resolve(&o, Version(1), &op("m")), Resolution::Reexecute);
+        assert_eq!(RejectResolver.resolve(&o, Version(1), &op("m")), Resolution::Reject);
+    }
+
+    #[test]
+    fn script_resolver_accepts() {
+        let o = obj(
+            "proc resolve {method args_list base} {
+                if {$method eq \"append\"} {return accept}
+                return reject
+            }",
+        );
+        let r = ScriptResolver::default();
+        assert_eq!(r.resolve(&o, Version(1), &op("append")), Resolution::Reexecute);
+        assert_eq!(r.resolve(&o, Version(1), &op("overwrite")), Resolution::Reject);
+    }
+
+    #[test]
+    fn script_resolver_merges() {
+        let o = obj(
+            "proc resolve {method args_list base} {
+                rover::set merged_by resolver
+                return merged
+            }",
+        )
+        .with_field("n", "1");
+        match ScriptResolver::default().resolve(&o, Version(3), &op("set")) {
+            Resolution::Merged(m) => {
+                assert_eq!(m.field("merged_by"), Some("resolver"));
+                assert_eq!(m.field("n"), Some("1"));
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_resolve_proc_rejects() {
+        let o = obj("proc something_else {} {}");
+        assert_eq!(ScriptResolver::default().resolve(&o, Version(1), &op("m")), Resolution::Reject);
+    }
+
+    #[test]
+    fn resolver_sees_operation_details() {
+        let o = obj(
+            "proc resolve {method args_list base} {
+                if {[lindex $args_list 0] eq \"x\" && $base == 2} {return accept}
+                return reject
+            }",
+        );
+        let r = ScriptResolver::default();
+        assert_eq!(r.resolve(&o, Version(2), &op("m")), Resolution::Reexecute);
+        assert_eq!(r.resolve(&o, Version(1), &op("m")), Resolution::Reject);
+    }
+}

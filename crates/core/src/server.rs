@@ -1,0 +1,680 @@
+//! The Rover home server.
+//!
+//! Every object has a home server: the primary copy lives here, commit
+//! versions are assigned here, and conflicting exports are detected and
+//! reconciled here (paper §2). The server also provides the server-side
+//! RDO execution environment, so clients can ship function instead of
+//! data (`Invoke`). Requests are executed at-most-once: a dedup cache
+//! keyed by (client, request-id) replays the original reply to
+//! retransmissions.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::rc::Rc;
+
+use rover_net::{HostSched, LinkId, Net, SchedRef, SmtpRelay, SmtpRelayRef};
+use rover_sim::Sim;
+use rover_wire::{
+    Bytes, Encoder, Envelope, HostId, MsgKind, OpStatus, QrpcReply, QrpcRequest, RoverOp,
+    Version, Wire,
+};
+
+use crate::config::ServerConfig;
+use crate::object::RoverObject;
+use crate::payload::{ExportPayload, InvokePayload};
+use crate::resolve::{RejectResolver, Resolution, Resolver};
+use crate::urn::Urn;
+
+/// Shared handle to a server.
+pub type ServerRef = Rc<RefCell<Server>>;
+
+/// How replies reach one client.
+struct ReplyRoute {
+    /// Candidate links, best first.
+    links: Vec<LinkId>,
+    /// SMTP relay fallback: used when every link is down, so the reply
+    /// is spooled instead of waiting (split-phase QRPC).
+    smtp: Option<SmtpRelayRef>,
+    /// Per-client outbound scheduler: replies carry their request's
+    /// priority, so a foreground import's reply overtakes queued bulk
+    /// prefetch replies (the server end of the paper's network
+    /// scheduler).
+    sched: Option<SchedRef>,
+}
+
+/// A Rover home server.
+pub struct Server {
+    cfg: ServerConfig,
+    net: Net,
+    routes: HashMap<u32, ReplyRoute>,
+    store: HashMap<Urn, RoverObject>,
+    resolvers: HashMap<String, Box<dyn Resolver>>,
+    /// At-most-once replay cache, FIFO-bounded.
+    dedup: HashMap<(u32, u64), QrpcReply>,
+    dedup_order: VecDeque<(u32, u64)>,
+    /// Per (client, session): next admissible ordered-write sequence.
+    expected_seq: HashMap<(u32, u64), u64>,
+    /// Ordered writes held for a predecessor.
+    held: HashMap<(u32, u64), BTreeMap<u64, QrpcRequest>>,
+    /// Single-CPU serialization horizon for execution costs.
+    cpu_free_at: rover_sim::SimTime,
+    /// Clients holding an imported copy of each object (callback set).
+    importers: HashMap<Urn, std::collections::HashSet<u32>>,
+    /// Accepted authentication tokens; `None` disables authentication.
+    accepted_tokens: Option<std::collections::HashSet<u64>>,
+}
+
+impl Server {
+    /// Creates a server and registers its request handler on the
+    /// network.
+    pub fn new(net: &Net, cfg: ServerConfig) -> ServerRef {
+        let server = Rc::new(RefCell::new(Server {
+            cfg,
+            net: net.clone(),
+            routes: HashMap::new(),
+            store: HashMap::new(),
+            resolvers: HashMap::new(),
+            dedup: HashMap::new(),
+            dedup_order: VecDeque::new(),
+            expected_seq: HashMap::new(),
+            held: HashMap::new(),
+            cpu_free_at: rover_sim::SimTime::ZERO,
+            importers: HashMap::new(),
+            accepted_tokens: None,
+        }));
+        let weak = Rc::downgrade(&server);
+        let host = server.borrow().cfg.host;
+        net.register_host(
+            host,
+            rover_net::wrap_reassembly(move |sim: &mut Sim, _net: &Net, env: Envelope| {
+                if env.kind != MsgKind::Request {
+                    return;
+                }
+                if let Some(sv) = weak.upgrade() {
+                    Server::on_request(&sv, sim, env);
+                }
+            }),
+        );
+        server
+    }
+
+    /// Installs (or replaces) an object; assigns version 1 if the object
+    /// was never committed. Returns the stored version.
+    pub fn put_object(&mut self, mut obj: RoverObject) -> Version {
+        if obj.version == Version(0) {
+            obj.version = Version(1);
+        }
+        let v = obj.version;
+        self.store.insert(obj.urn.clone(), obj);
+        v
+    }
+
+    /// Returns the stored object, if any.
+    pub fn get_object(&self, urn: &Urn) -> Option<&RoverObject> {
+        self.store.get(urn)
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Declares a link used to reach `client`; call once per candidate
+    /// interface, best quality first.
+    pub fn add_route(&mut self, client: HostId, link: LinkId) {
+        let host = self.cfg.host;
+        let net = self.net.clone();
+        let route = self.routes.entry(client.0).or_insert_with(|| ReplyRoute {
+            links: Vec::new(),
+            smtp: None,
+            sched: None,
+        });
+        route.links.push(link);
+        let mode = self.cfg.sched_mode;
+        let mtu = self.cfg.mtu;
+        let sched = route.sched.get_or_insert_with(|| {
+            let s = HostSched::new(host, mode);
+            HostSched::set_mtu(&s, mtu);
+            s
+        });
+        HostSched::attach_link(sched, &net, link);
+    }
+
+    /// Declares an SMTP fallback for replies to `client`.
+    pub fn add_smtp_route(&mut self, client: HostId, relay: SmtpRelayRef) {
+        self.routes
+            .entry(client.0)
+            .or_insert_with(|| ReplyRoute { links: Vec::new(), smtp: None, sched: None })
+            .smtp = Some(relay);
+    }
+
+    /// Registers the conflict resolver for an object type. Types without
+    /// a registered resolver reject all conflicts.
+    pub fn register_resolver(&mut self, type_name: &str, resolver: Box<dyn Resolver>) {
+        self.resolvers.insert(type_name.to_owned(), resolver);
+    }
+
+    /// Requires every request to present one of `tokens` (the paper's
+    /// server "authenticates requests from client applications").
+    /// Unauthenticated requests are answered with `Rejected`.
+    pub fn require_auth(&mut self, tokens: &[u64]) {
+        self.accepted_tokens = Some(tokens.iter().copied().collect());
+    }
+
+    /// Serializes the server's durable state (for checkpointing /
+    /// restart): the object store plus the per-session write-ordering
+    /// floors. Ordering state must survive a restart or ordered exports
+    /// issued after it would wait forever for predecessors the old
+    /// incarnation already admitted.
+    pub fn export_store(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(0x524F_5631); // "ROV1"
+        let mut objs: Vec<&RoverObject> = self.store.values().collect();
+        objs.sort_by(|a, b| a.urn.cmp(&b.urn));
+        enc.put_u32(objs.len() as u32);
+        for o in objs {
+            o.encode(&mut enc);
+        }
+        let mut seqs: Vec<((u32, u64), u64)> =
+            self.expected_seq.iter().map(|(k, v)| (*k, *v)).collect();
+        seqs.sort();
+        enc.put_u32(seqs.len() as u32);
+        for ((client, session), expected) in seqs {
+            enc.put_u32(client);
+            enc.put_u64(session);
+            enc.put_u64(expected);
+        }
+        enc.into_vec()
+    }
+
+    /// Restores state written by [`Server::export_store`]. Object
+    /// versions are preserved, so clients holding cached copies remain
+    /// consistent across the restart. The at-most-once dedup cache does
+    /// *not* survive (as in a real restart); retransmissions of already-
+    /// committed exports surface as conflicts and go through resolution.
+    pub fn import_store(&mut self, bytes: &[u8]) -> Result<usize, crate::RoverError> {
+        let mut dec = rover_wire::Decoder::new(bytes);
+        let magic = dec.get_u32().map_err(crate::RoverError::from)?;
+        if magic != 0x524F_5631 {
+            return Err(crate::RoverError::Wire("bad checkpoint magic".into()));
+        }
+        let n = dec.get_u32().map_err(crate::RoverError::from)?;
+        let mut loaded = 0;
+        for _ in 0..n {
+            let obj = RoverObject::decode(&mut dec).map_err(crate::RoverError::from)?;
+            self.store.insert(obj.urn.clone(), obj);
+            loaded += 1;
+        }
+        let m = dec.get_u32().map_err(crate::RoverError::from)?;
+        for _ in 0..m {
+            let client = dec.get_u32().map_err(crate::RoverError::from)?;
+            let session = dec.get_u64().map_err(crate::RoverError::from)?;
+            let expected = dec.get_u64().map_err(crate::RoverError::from)?;
+            self.expected_seq.insert((client, session), expected);
+        }
+        Ok(loaded)
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Serializes an execution cost behind earlier server work.
+    fn charge_serial(
+        &mut self,
+        now: rover_sim::SimTime,
+        cost: rover_sim::SimDuration,
+    ) -> rover_sim::SimDuration {
+        let start = self.cpu_free_at.max(now);
+        let done = start + cost;
+        self.cpu_free_at = done;
+        done.since(now)
+    }
+
+    fn on_request(sv: &ServerRef, sim: &mut Sim, env: Envelope) {
+        // Charge unmarshalling cost, then process.
+        let cost = {
+            let mut s = sv.borrow_mut();
+            let m = s.cfg.cpu.marshal_cost(env.body.len());
+            s.charge_serial(sim.now(), m)
+        };
+        let sv2 = sv.clone();
+        sim.schedule_after(cost, move |sim| {
+            let req = match QrpcRequest::from_bytes(&env.body) {
+                Ok(r) => r,
+                Err(_) => {
+                    sim.stats.incr("server.bad_request");
+                    return;
+                }
+            };
+            Server::admit(&sv2, sim, req);
+        });
+    }
+
+    /// Ordering gate: ordered exports must arrive in per-session
+    /// sequence; later ones are held, duplicates replay the cached
+    /// reply.
+    fn admit(sv: &ServerRef, sim: &mut Sim, req: QrpcRequest) {
+        // Authentication gate: reject before any state is touched.
+        let authed = match &sv.borrow().accepted_tokens {
+            None => true,
+            Some(set) => set.contains(&req.auth),
+        };
+        if !authed {
+            sim.stats.incr("server.auth_rejected");
+            let reply = QrpcReply {
+                req_id: req.req_id,
+                status: OpStatus::Rejected,
+                version: Version(0),
+                payload: Bytes::new(),
+            };
+            Server::send_reply(sv, sim, req.client, reply, req.priority);
+            return;
+        }
+
+        // At-most-once: a replayed request gets its original reply.
+        let key = (req.client.0, req.req_id.0);
+        let cached = sv.borrow().dedup.get(&key).cloned();
+        if let Some(reply) = cached {
+            sim.stats.incr("server.dedup_replay");
+            sim.trace("server", format!("dedup replay req={}", req.req_id.0));
+            Server::send_reply(sv, sim, req.client, reply, req.priority);
+            return;
+        }
+
+        let ordered_seq = match &req.op {
+            RoverOp::Export { .. } => ExportPayload::from_bytes(&req.payload)
+                .map(|p| p.session_seq)
+                .unwrap_or(0),
+            _ => 0,
+        };
+        if ordered_seq > 0 {
+            let skey = (req.client.0, req.session.0);
+            let expected = {
+                let mut s = sv.borrow_mut();
+                *s.expected_seq.entry(skey).or_insert(1)
+            };
+            if ordered_seq > expected {
+                sim.stats.incr("server.held_out_of_order");
+                sv.borrow_mut().held.entry(skey).or_default().insert(ordered_seq, req);
+                return;
+            }
+            if ordered_seq < expected {
+                // A stale duplicate whose dedup entry was evicted: never
+                // re-execute; answer with the current committed state.
+                sim.stats.incr("server.stale_duplicate");
+                let reply = {
+                    let s = sv.borrow();
+                    let obj = Urn::parse(&req.urn).ok().and_then(|u| s.store.get(&u).cloned());
+                    match obj {
+                        Some(o) => QrpcReply {
+                            req_id: req.req_id,
+                            status: OpStatus::Ok,
+                            version: o.version,
+                            payload: o.to_bytes(),
+                        },
+                        None => QrpcReply {
+                            req_id: req.req_id,
+                            status: OpStatus::NoSuchObject,
+                            version: Version(0),
+                            payload: Bytes::new(),
+                        },
+                    }
+                };
+                Server::send_reply(sv, sim, req.client, reply, req.priority);
+                return;
+            }
+            // ordered_seq == expected: process, then drain any held
+            // successors.
+            Server::process(sv, sim, req);
+            loop {
+                let next = {
+                    let mut s = sv.borrow_mut();
+                    let exp = s.expected_seq.get(&skey).copied().unwrap_or(1);
+                    s.held.get_mut(&skey).and_then(|h| h.remove(&exp))
+                };
+                match next {
+                    Some(r) => Server::process(sv, sim, r),
+                    None => break,
+                }
+            }
+        } else {
+            Server::process(sv, sim, req);
+        }
+    }
+
+    fn process(sv: &ServerRef, sim: &mut Sim, req: QrpcRequest) {
+        let client = req.client;
+        let (reply, steps) = {
+            let mut s = sv.borrow_mut();
+            s.execute(&req)
+        };
+
+        // Record dedup + ordering bookkeeping.
+        {
+            let mut s = sv.borrow_mut();
+            if let RoverOp::Export { .. } = &req.op {
+                if let Ok(p) = ExportPayload::from_bytes(&req.payload) {
+                    if p.session_seq > 0 {
+                        let skey = (req.client.0, req.session.0);
+                        let e = s.expected_seq.entry(skey).or_insert(1);
+                        *e = (*e).max(p.session_seq + 1);
+                    }
+                }
+            }
+            let key = (req.client.0, req.req_id.0);
+            if s.dedup.insert(key, reply.clone()).is_none() {
+                s.dedup_order.push_back(key);
+                if s.dedup_order.len() > s.cfg.dedup_capacity {
+                    if let Some(old) = s.dedup_order.pop_front() {
+                        s.dedup.remove(&old);
+                    }
+                }
+            }
+        }
+
+        // Charge execution + reply marshalling, then transmit.
+        let total = {
+            let mut s = sv.borrow_mut();
+            let raw = s.cfg.cpu.interp_cost(steps) + s.cfg.cpu.marshal_cost(reply.payload.len());
+            s.charge_serial(sim.now(), raw)
+        };
+        sim.stats.sample_duration("server.exec_ms", total);
+        sim.stats.incr("server.requests");
+        let reply_status = reply.status;
+        let reply_version = reply.version;
+        let sv2 = sv.clone();
+        let prio = req.priority;
+        sim.schedule_after(total, move |sim| {
+            Server::send_reply(&sv2, sim, client, reply, prio);
+        });
+
+        // Cache-invalidation callbacks: tell other importers that a new
+        // version committed (paper §2's "server callbacks" option).
+        let committed = matches!(req.op, RoverOp::Export { .. })
+            && matches!(reply_status, OpStatus::Ok | OpStatus::Resolved);
+        if committed && sv.borrow().cfg.callbacks {
+            if let Ok(urn) = Urn::parse(&req.urn) {
+                Server::notify_importers(sv, sim, &urn, reply_version, client);
+            }
+        }
+    }
+
+    /// Sends a small callback envelope to every importer of `urn`
+    /// except `exclude`. Callbacks are best-effort background traffic:
+    /// a disconnected importer simply misses it (and still detects the
+    /// change at export time via version comparison).
+    fn notify_importers(
+        sv: &ServerRef,
+        sim: &mut Sim,
+        urn: &Urn,
+        version: Version,
+        exclude: HostId,
+    ) {
+        let (host, targets) = {
+            let s = sv.borrow();
+            let targets: Vec<u32> = s
+                .importers
+                .get(urn)
+                .map(|set| set.iter().copied().filter(|c| *c != exclude.0).collect())
+                .unwrap_or_default();
+            (s.cfg.host, targets)
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let mut enc = Encoder::new();
+        enc.put_str(urn.as_str());
+        enc.put_u64(version.0);
+        let body = enc.finish();
+        for t in targets {
+            let env = Envelope {
+                kind: MsgKind::Callback,
+                src: host,
+                dst: HostId(t),
+                body: body.clone(),
+            };
+            Server::send_callback(sv, sim, HostId(t), env);
+            sim.stats.incr("server.callbacks_sent");
+        }
+    }
+
+    fn send_callback(sv: &ServerRef, sim: &mut Sim, client: HostId, env: Envelope) {
+        let (net, sched) = {
+            let s = sv.borrow();
+            (s.net.clone(), s.routes.get(&client.0).and_then(|r| r.sched.clone()))
+        };
+        if let Some(sched) = sched {
+            HostSched::enqueue_keyed(&sched, sim, &net, env, rover_wire::Priority::BACKGROUND, None);
+        }
+    }
+
+    /// Pure state transition: executes `req` against the store and
+    /// returns the reply plus interpreter steps consumed.
+    fn execute(&mut self, req: &QrpcRequest) -> (QrpcReply, u64) {
+        let fail = |status: OpStatus| QrpcReply {
+            req_id: req.req_id,
+            status,
+            version: Version(0),
+            payload: Bytes::new(),
+        };
+        let urn = match Urn::parse(&req.urn) {
+            Ok(u) => u,
+            Err(_) => return (fail(OpStatus::Rejected), 0),
+        };
+
+        match &req.op {
+            RoverOp::Ping => (
+                QrpcReply {
+                    req_id: req.req_id,
+                    status: OpStatus::Ok,
+                    version: Version(0),
+                    payload: Bytes::new(),
+                },
+                0,
+            ),
+
+            RoverOp::Import => match self.store.get(&urn) {
+                Some(obj) => {
+                    self.importers.entry(urn.clone()).or_default().insert(req.client.0);
+                    (
+                    QrpcReply {
+                        req_id: req.req_id,
+                        status: OpStatus::Ok,
+                        version: obj.version,
+                            payload: obj.to_bytes(),
+                        },
+                        0,
+                    )
+                }
+                None => (fail(OpStatus::NoSuchObject), 0),
+            },
+
+            RoverOp::Invoke { .. } => {
+                let payload = match InvokePayload::from_bytes(&req.payload) {
+                    Ok(p) => p,
+                    Err(_) => return (fail(OpStatus::Rejected), 0),
+                };
+                let Some(obj) = self.store.get(&urn) else {
+                    return (fail(OpStatus::NoSuchObject), 0);
+                };
+                // Invocations are read-only: run on a scratch copy.
+                let mut scratch = obj.clone();
+                let args: Vec<rover_script::Value> =
+                    payload.args.iter().map(rover_script::Value::str).collect();
+                match scratch.run_method(&payload.method, &args, self.cfg.budget) {
+                    Ok(run) => {
+                        let mut enc = Encoder::new();
+                        enc.put_str(&run.result.as_str());
+                        (
+                            QrpcReply {
+                                req_id: req.req_id,
+                                status: OpStatus::Ok,
+                                version: obj.version,
+                                payload: enc.finish(),
+                            },
+                            run.steps,
+                        )
+                    }
+                    Err(crate::RoverError::NoSuchMethod(_)) => (fail(OpStatus::NoSuchMethod), 0),
+                    Err(_) => (fail(OpStatus::ExecError), 0),
+                }
+            }
+
+            RoverOp::Export { .. } => {
+                let payload = match ExportPayload::from_bytes(&req.payload) {
+                    Ok(p) => p,
+                    Err(_) => return (fail(OpStatus::Rejected), 0),
+                };
+                let Some(current) = self.store.get(&urn) else {
+                    return (fail(OpStatus::NoSuchObject), 0);
+                };
+
+                let conflict = req.base_version != current.version;
+                let (resolution, resolved_status) = if conflict {
+                    let resolver: &dyn Resolver = self
+                        .resolvers
+                        .get(&current.type_name)
+                        .map(|b| b.as_ref())
+                        .unwrap_or(&RejectResolver);
+                    (resolver.resolve(current, req.base_version, &payload), OpStatus::Resolved)
+                } else {
+                    (Resolution::Reexecute, OpStatus::Ok)
+                };
+
+                match resolution {
+                    Resolution::Reject => {
+                        // Reflect the conflict with the current state so
+                        // the user can reconcile.
+                        let obj = self.store.get(&urn).expect("checked");
+                        (
+                            QrpcReply {
+                                req_id: req.req_id,
+                                status: OpStatus::Conflict,
+                                version: obj.version,
+                                payload: obj.to_bytes(),
+                            },
+                            0,
+                        )
+                    }
+                    Resolution::Merged(mut merged) => {
+                        let v = Version(self.store.get(&urn).expect("checked").version.0 + 1);
+                        merged.version = v;
+                        let bytes = merged.to_bytes();
+                        self.store.insert(urn.clone(), merged);
+                        (
+                            QrpcReply {
+                                req_id: req.req_id,
+                                status: OpStatus::Resolved,
+                                version: v,
+                                payload: bytes,
+                            },
+                            0,
+                        )
+                    }
+                    Resolution::Reexecute => {
+                        let obj = self.store.get_mut(&urn).expect("checked");
+                        let args: Vec<rover_script::Value> =
+                            payload.args.iter().map(rover_script::Value::str).collect();
+                        match obj.run_method(&payload.method, &args, self.cfg.budget) {
+                            Ok(run) => {
+                                obj.version = Version(obj.version.0 + 1);
+                                (
+                                    QrpcReply {
+                                        req_id: req.req_id,
+                                        status: resolved_status,
+                                        version: obj.version,
+                                        payload: obj.to_bytes(),
+                                    },
+                                    run.steps,
+                                )
+                            }
+                            Err(crate::RoverError::NoSuchMethod(_)) => {
+                                (fail(OpStatus::NoSuchMethod), 0)
+                            }
+                            Err(_) => (fail(OpStatus::ExecError), 0),
+                        }
+                    }
+                }
+            }
+
+            RoverOp::Custom(_) => (fail(OpStatus::Rejected), 0),
+        }
+    }
+
+    fn send_reply(
+        sv: &ServerRef,
+        sim: &mut Sim,
+        client: HostId,
+        reply: QrpcReply,
+        prio: rover_wire::Priority,
+    ) {
+        let (net, host, mut sched, mut any_up, smtp) = {
+            let s = sv.borrow();
+            let route = s.routes.get(&client.0);
+            let any_up = route
+                .map(|r| r.links.iter().any(|&l| s.net.is_up(l)))
+                .unwrap_or(false);
+            (
+                s.net.clone(),
+                s.cfg.host,
+                route.and_then(|r| r.sched.clone()),
+                any_up,
+                route.and_then(|r| r.smtp.clone()),
+            )
+        };
+
+        // The mobile client may have switched to an interface we were
+        // never told about; learn any up link the network layer knows.
+        if !any_up {
+            let known: Vec<LinkId> = sv
+                .borrow()
+                .routes
+                .get(&client.0)
+                .map(|r| r.links.clone())
+                .unwrap_or_default();
+            if let Some(l) = net
+                .links_between(host, client)
+                .into_iter()
+                .find(|l| !known.contains(l) && net.is_up(*l))
+            {
+                sv.borrow_mut().add_route(client, l);
+                let s = sv.borrow();
+                sched = s.routes.get(&client.0).and_then(|r| r.sched.clone());
+                any_up = true;
+            }
+        }
+
+        let env = Envelope::reply(host, client, &reply);
+
+        // Disconnected client with an SMTP route: spool the reply
+        // (split-phase QRPC) instead of queueing it at the server.
+        if !any_up {
+            if let Some(relay) = smtp {
+                SmtpRelay::submit(&relay, sim, env);
+                sim.stats.incr("server.replies_via_smtp");
+                return;
+            }
+        }
+
+        match sched {
+            Some(sched) => {
+                // Priority-queued: drains now or whenever a link to the
+                // client comes back up.
+                HostSched::enqueue_keyed(&sched, sim, &net, env, prio, None);
+                sim.stats.incr("server.replies");
+            }
+            None => {
+                // No configured route: best-effort direct send.
+                match net.up_link_between(host, client) {
+                    Some(l) if net.send(sim, l, env).is_ok() => {
+                        sim.stats.incr("server.replies");
+                    }
+                    _ => {
+                        // The client will retransmit and hit the dedup
+                        // cache.
+                        sim.stats.incr("server.reply_dropped");
+                    }
+                }
+            }
+        }
+    }
+}

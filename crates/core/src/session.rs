@@ -1,0 +1,184 @@
+//! Application sessions and Bayou-style session guarantees.
+//!
+//! Rover "borrows the notions of tentative data [and] session
+//! guarantees … from the Bayou project" (paper §7). A session scopes an
+//! application's consistency expectations over weakly consistent
+//! replicated objects; each of the four classic guarantees can be
+//! enabled independently:
+//!
+//! - **Read Your Writes** — a read must reflect the session's own
+//!   earlier writes. Enforced by serving the *tentative* cached copy
+//!   (which replays the session's pending exports) whenever the session
+//!   has written the object.
+//! - **Monotonic Reads** — successive reads never go backwards. A cached
+//!   copy older than the session's read vector forces a fresh import.
+//! - **Monotonic Writes** / **Writes Follow Reads** — write ordering,
+//!   enforced by per-session sequence numbers that the home server
+//!   admits strictly in order.
+
+use std::collections::HashMap;
+
+use rover_wire::{HostId, SessionId, Version};
+
+use crate::urn::Urn;
+
+/// Which session guarantees are enforced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Guarantees {
+    /// Read Your Writes.
+    pub ryw: bool,
+    /// Monotonic Reads.
+    pub mr: bool,
+    /// Monotonic Writes (implies ordered admission at the server).
+    pub mw: bool,
+    /// Writes Follow Reads.
+    pub wfr: bool,
+}
+
+impl Guarantees {
+    /// No guarantees: the weakest (and cheapest) session.
+    pub const NONE: Guarantees = Guarantees { ryw: false, mr: false, mw: false, wfr: false };
+
+    /// All four guarantees.
+    pub const ALL: Guarantees = Guarantees { ryw: true, mr: true, mw: true, wfr: true };
+
+    /// Returns whether exports need per-session ordering at the server.
+    pub fn ordered_writes(&self) -> bool {
+        self.mw || self.wfr
+    }
+}
+
+/// One application session at a client.
+#[derive(Debug)]
+pub struct Session {
+    /// Session identifier (appears in every QRPC it issues).
+    pub id: SessionId,
+    /// Enforced guarantees.
+    pub guarantees: Guarantees,
+    /// Whether imports may be satisfied by tentative cached data.
+    pub accept_tentative: bool,
+    /// Highest version read per object (Monotonic Reads floor).
+    pub read_vector: HashMap<Urn, Version>,
+    /// Objects this session has exported updates to, with the count of
+    /// writes still pending commit (Read-Your-Writes trigger).
+    pub pending_writes: HashMap<Urn, usize>,
+    /// Next export sequence number *per home server*: write ordering is
+    /// enforced by each server independently, and a single counter
+    /// across servers would make one server wait forever for sequence
+    /// numbers that went elsewhere.
+    pub next_write_seq: HashMap<u32, u64>,
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(id: SessionId, guarantees: Guarantees, accept_tentative: bool) -> Session {
+        Session {
+            id,
+            guarantees,
+            accept_tentative,
+            read_vector: HashMap::new(),
+            pending_writes: HashMap::new(),
+            next_write_seq: HashMap::new(),
+        }
+    }
+
+    /// Records a completed read of `urn` at `version`.
+    pub fn note_read(&mut self, urn: &Urn, version: Version) {
+        let slot = self.read_vector.entry(urn.clone()).or_insert(Version(0));
+        if version > *slot {
+            *slot = version;
+        }
+    }
+
+    /// Records an issued (pending) write destined for `server`; returns
+    /// its per-server session sequence.
+    pub fn note_write_issued(&mut self, urn: &Urn, server: HostId) -> u64 {
+        *self.pending_writes.entry(urn.clone()).or_insert(0) += 1;
+        let slot = self.next_write_seq.entry(server.0).or_insert(1);
+        let seq = *slot;
+        *slot += 1;
+        seq
+    }
+
+    /// Records a write completing (committed, resolved, or rejected).
+    pub fn note_write_done(&mut self, urn: &Urn, committed_version: Version) {
+        if let Some(n) = self.pending_writes.get_mut(urn) {
+            *n -= 1;
+            if *n == 0 {
+                self.pending_writes.remove(urn);
+            }
+        }
+        // A session's own committed write is also a read floor under MR:
+        // seeing older state later would un-happen the write.
+        if committed_version > Version(0) {
+            self.note_read(urn, committed_version);
+        }
+    }
+
+    /// Whether a cached copy at `version` may satisfy a read under
+    /// Monotonic Reads.
+    pub fn read_admissible(&self, urn: &Urn, version: Version) -> bool {
+        if !self.guarantees.mr {
+            return true;
+        }
+        version >= self.read_vector.get(urn).copied().unwrap_or(Version(0))
+    }
+
+    /// Whether Read-Your-Writes requires the tentative copy for `urn`.
+    pub fn needs_own_writes(&self, urn: &Urn) -> bool {
+        self.guarantees.ryw && self.pending_writes.contains_key(urn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urn(p: &str) -> Urn {
+        Urn::parse(&format!("urn:rover:t/{p}")).unwrap()
+    }
+
+    #[test]
+    fn read_vector_is_monotone() {
+        let mut s = Session::new(SessionId(1), Guarantees::ALL, true);
+        s.note_read(&urn("a"), Version(5));
+        s.note_read(&urn("a"), Version(3));
+        assert!(s.read_admissible(&urn("a"), Version(5)));
+        assert!(!s.read_admissible(&urn("a"), Version(4)));
+        assert!(s.read_admissible(&urn("b"), Version(0)));
+    }
+
+    #[test]
+    fn mr_disabled_admits_anything() {
+        let mut s = Session::new(SessionId(1), Guarantees::NONE, true);
+        s.note_read(&urn("a"), Version(9));
+        assert!(s.read_admissible(&urn("a"), Version(1)));
+    }
+
+    #[test]
+    fn ryw_triggers_only_with_pending_writes() {
+        let mut s = Session::new(SessionId(1), Guarantees::ALL, true);
+        assert!(!s.needs_own_writes(&urn("a")));
+        let seq1 = s.note_write_issued(&urn("a"), HostId(9));
+        let seq2 = s.note_write_issued(&urn("a"), HostId(9));
+        assert_eq!((seq1, seq2), (1, 2));
+        // A different server gets its own sequence space.
+        assert_eq!(s.note_write_issued(&urn("b"), HostId(8)), 1);
+        assert!(s.needs_own_writes(&urn("a")));
+        s.note_write_done(&urn("a"), Version(7));
+        assert!(s.needs_own_writes(&urn("a")));
+        s.note_write_done(&urn("a"), Version(8));
+        assert!(!s.needs_own_writes(&urn("a")));
+        // Committed writes raised the read floor.
+        assert!(!s.read_admissible(&urn("a"), Version(7)));
+        assert!(s.read_admissible(&urn("a"), Version(8)));
+    }
+
+    #[test]
+    fn ordered_writes_flag() {
+        assert!(Guarantees::ALL.ordered_writes());
+        assert!(!Guarantees::NONE.ordered_writes());
+        assert!(Guarantees { mw: true, ..Guarantees::NONE }.ordered_writes());
+        assert!(Guarantees { wfr: true, ..Guarantees::NONE }.ordered_writes());
+    }
+}

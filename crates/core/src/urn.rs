@@ -1,0 +1,126 @@
+//! Uniform Resource Names for Rover objects.
+//!
+//! Every Rover object has a location-independent name of the form
+//! `urn:rover:<authority>/<path>` (the paper names objects with URNs per
+//! RFC 1737 and maps them onto HTTP). The authority designates the home
+//! server's namespace; the path is application-chosen.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::RoverError;
+
+/// A validated Rover URN.
+///
+/// # Examples
+///
+/// ```
+/// use rover_core::Urn;
+///
+/// let urn = Urn::parse("urn:rover:mail/inbox/42").unwrap();
+/// assert_eq!(urn.authority(), "mail");
+/// assert_eq!(urn.path(), "inbox/42");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Urn(Rc<str>);
+
+impl Urn {
+    /// Parses and validates a URN string.
+    pub fn parse(s: &str) -> Result<Urn, RoverError> {
+        let rest = s
+            .strip_prefix("urn:rover:")
+            .ok_or_else(|| RoverError::BadUrn(format!("missing urn:rover: prefix in \"{s}\"")))?;
+        let (auth, path) = match rest.split_once('/') {
+            Some((a, p)) => (a, p),
+            None => (rest, ""),
+        };
+        if auth.is_empty() {
+            return Err(RoverError::BadUrn(format!("empty authority in \"{s}\"")));
+        }
+        let ok = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '/' | '~');
+        if !auth.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')) {
+            return Err(RoverError::BadUrn(format!("invalid authority in \"{s}\"")));
+        }
+        if !path.chars().all(ok) {
+            return Err(RoverError::BadUrn(format!("invalid path character in \"{s}\"")));
+        }
+        Ok(Urn(Rc::from(s)))
+    }
+
+    /// Builds a URN from authority and path components.
+    pub fn new(authority: &str, path: &str) -> Result<Urn, RoverError> {
+        if path.is_empty() {
+            Urn::parse(&format!("urn:rover:{authority}"))
+        } else {
+            Urn::parse(&format!("urn:rover:{authority}/{path}"))
+        }
+    }
+
+    /// Returns the full URN string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the authority (home-server namespace).
+    pub fn authority(&self) -> &str {
+        let rest = &self.0["urn:rover:".len()..];
+        rest.split('/').next().expect("validated")
+    }
+
+    /// Returns the path under the authority (may be empty).
+    pub fn path(&self) -> &str {
+        let rest = &self.0["urn:rover:".len()..];
+        rest.split_once('/').map(|(_, p)| p).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Urn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_splits() {
+        let u = Urn::parse("urn:rover:cal/2026/07/07").unwrap();
+        assert_eq!(u.authority(), "cal");
+        assert_eq!(u.path(), "2026/07/07");
+        assert_eq!(u.to_string(), "urn:rover:cal/2026/07/07");
+    }
+
+    #[test]
+    fn authority_only() {
+        let u = Urn::parse("urn:rover:web").unwrap();
+        assert_eq!(u.authority(), "web");
+        assert_eq!(u.path(), "");
+    }
+
+    #[test]
+    fn new_builds_both_forms() {
+        assert_eq!(Urn::new("m", "a/b").unwrap().as_str(), "urn:rover:m/a/b");
+        assert_eq!(Urn::new("m", "").unwrap().as_str(), "urn:rover:m");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(Urn::parse("http://x").is_err());
+        assert!(Urn::parse("urn:rover:").is_err());
+        assert!(Urn::parse("urn:rover:a b/c").is_err());
+        assert!(Urn::parse("urn:rover:a/with space").is_err());
+    }
+
+    #[test]
+    fn equality_and_hashing() {
+        use std::collections::HashSet;
+        let a = Urn::parse("urn:rover:m/x").unwrap();
+        let b = Urn::parse("urn:rover:m/x").unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,510 @@
+//! Tests for the extension features: lossy-channel retransmission,
+//! client crash recovery from the stable log, and server callbacks.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rover_core::{
+    Client, ClientConfig, ClientEvent, Guarantees, OpStatus, Priority, ReexecuteResolver,
+    RoverObject, Server, ServerConfig, Urn,
+};
+use rover_net::{LinkSpec, Net};
+use rover_sim::{Sim, SimDuration};
+use rover_wire::HostId;
+
+const CLIENT: HostId = HostId(1);
+const CLIENT2: HostId = HostId(3);
+const SERVER: HostId = HostId(2);
+
+fn counter(path: &str) -> RoverObject {
+    RoverObject::new(Urn::parse(&format!("urn:rover:t/{path}")).unwrap(), "counter")
+        .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+        .with_field("n", "0")
+}
+
+fn urn(path: &str) -> Urn {
+    Urn::parse(&format!("urn:rover:t/{path}")).unwrap()
+}
+
+#[test]
+fn lossy_channel_recovers_via_strike_retransmission() {
+    let mut sim = Sim::new(99);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, SERVER);
+    net.set_loss(link, 0.20); // a noisy wireless channel
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, link);
+    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("c"));
+
+    let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    cfg.rto = SimDuration::from_secs(5);
+    let client = Client::new(&mut sim, &net, cfg, vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+
+    let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
+    sim.run_until(rover_sim::SimTime::from_secs(600));
+    assert!(p.is_ready(), "import survived 20% loss");
+
+    let mut handles = Vec::new();
+    for _ in 0..10 {
+        let h = Client::export(&client, &mut sim, &urn("c"), session, "add", &["1"], Priority::NORMAL)
+            .unwrap();
+        handles.push(h);
+        sim.run_for(SimDuration::from_secs(2));
+    }
+    sim.run_until(sim.now() + SimDuration::from_secs(3600));
+    assert!(handles.iter().all(|h| h.committed.is_ready()), "all exports completed");
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("10"),
+        "exactly-once despite {} random losses / {} retransmits",
+        sim.stats.counter("net.random_losses"),
+        sim.stats.counter("client.retransmits"),
+    );
+    assert!(sim.stats.counter("net.random_losses") > 0, "the channel actually lost messages");
+}
+
+#[test]
+fn crash_recovery_reissues_queued_qrpcs() {
+    let mut sim = Sim::new(7);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::CSLIP_14_4, CLIENT, SERVER);
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, link);
+    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("c"));
+
+    let cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    let client = Client::new(&mut sim, &net, cfg.clone(), vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+    let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert!(p.is_ready());
+
+    // Disconnect and queue five updates; the log holds them durably.
+    net.set_up(&mut sim, link, false);
+    for _ in 0..5 {
+        Client::export(&client, &mut sim, &urn("c"), session, "add", &["1"], Priority::NORMAL)
+            .unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+    }
+    assert_eq!(Client::log_len(&client), 5);
+
+    // Crash: everything in memory is gone; only the log device remains.
+    let store = Client::crash(&client);
+    drop(client);
+    sim.run_for(SimDuration::from_secs(60));
+
+    // Reboot, recover, reconnect: the queued updates drain.
+    let client = Client::recover(&mut sim, &net, cfg, vec![link], store);
+    assert_eq!(Client::outstanding_count(&client), 5);
+    assert_eq!(sim.stats.counter("client.recovered_qrpcs"), 5);
+    net.set_up(&mut sim, link, true);
+    sim.run_until(sim.now() + SimDuration::from_secs(600));
+    assert_eq!(Client::outstanding_count(&client), 0);
+    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("5"));
+}
+
+#[test]
+fn crash_recovery_is_exactly_once_even_if_ops_already_committed() {
+    // Ops commit at the server, but the client crashes before
+    // processing the replies: recovery re-sends them and the server's
+    // dedup cache answers without re-executing.
+    let mut sim = Sim::new(8);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, link);
+    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("c"));
+
+    let cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    let client = Client::new(&mut sim, &net, cfg.clone(), vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+    let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert!(p.is_ready());
+
+    // Issue three exports and let them *reach the server* but crash
+    // before the replies are consumed.
+    for _ in 0..3 {
+        Client::export(&client, &mut sim, &urn("c"), session, "add", &["1"], Priority::NORMAL)
+            .unwrap();
+    }
+    sim.run_for(SimDuration::from_millis(80)); // requests land, replies in flight
+    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("3"));
+    let store = Client::crash(&client);
+    drop(client);
+
+    let client = Client::recover(&mut sim, &net, cfg, vec![link], store);
+    sim.run_until(sim.now() + SimDuration::from_secs(60));
+    assert_eq!(Client::outstanding_count(&client), 0);
+    // Still exactly 3 — dedup replayed, never re-executed.
+    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("3"));
+    assert!(sim.stats.counter("server.dedup_replay") >= 1);
+}
+
+#[test]
+fn server_callbacks_invalidate_stale_caches() {
+    let run = |callbacks: bool| -> (bool, u64) {
+        let mut sim = Sim::new(5);
+        let net = Net::new();
+        let l1 = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
+        let l2 = net.add_link(LinkSpec::ETHERNET_10M, CLIENT2, SERVER);
+        let mut scfg = ServerConfig::workstation(SERVER);
+        scfg.callbacks = callbacks;
+        let server = Server::new(&net, scfg);
+        server.borrow_mut().add_route(CLIENT, l1);
+        server.borrow_mut().add_route(CLIENT2, l2);
+        server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+        server.borrow_mut().put_object(counter("c"));
+
+        let writer = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
+        let reader = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+        let ws = Client::create_session(&writer, Guarantees::ALL, true);
+        let rs = Client::create_session(&reader, Guarantees::NONE, false);
+
+        let invalidations = Rc::new(RefCell::new(0u64));
+        let k = invalidations.clone();
+        Client::on_event(&reader, move |_s, e| {
+            if matches!(e, ClientEvent::Invalidated { .. }) {
+                *k.borrow_mut() += 1;
+            }
+        });
+
+        // Both import; the reader caches version 1.
+        for (c, s) in [(&writer, ws), (&reader, rs)] {
+            let p = Client::import(c, &mut sim, &urn("c"), s, Priority::FOREGROUND).unwrap();
+            sim.run();
+            assert!(p.is_ready());
+        }
+
+        // The writer commits a new version.
+        let h = Client::export(&writer, &mut sim, &urn("c"), ws, "add", &["7"], Priority::NORMAL)
+            .unwrap();
+        sim.run();
+        assert_eq!(h.committed.poll().unwrap().status, OpStatus::Ok);
+
+        // The reader re-imports: with callbacks the stale copy was
+        // invalidated, so this refetches the new version.
+        let p = Client::import(&reader, &mut sim, &urn("c"), rs, Priority::FOREGROUND).unwrap();
+        sim.run();
+        let o = p.poll().unwrap();
+        let saw_new = o.object.as_ref().and_then(|ob| ob.field("n")) == Some("7");
+        assert_eq!(saw_new, !o.from_cache);
+        let events = *invalidations.borrow();
+        (saw_new, events)
+    };
+
+    let (fresh_with, events_with) = run(true);
+    assert!(fresh_with, "callbacks force a refetch of the committed version");
+    assert_eq!(events_with, 1, "the reader's UI was notified");
+
+    let (fresh_without, events_without) = run(false);
+    assert!(!fresh_without, "without callbacks the stale copy is served (the paper's window)");
+    assert_eq!(events_without, 0);
+}
+
+#[test]
+fn disconnected_reader_serves_stale_copy_despite_invalidation() {
+    let mut sim = Sim::new(6);
+    let net = Net::new();
+    let l1 = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
+    let l2 = net.add_link(LinkSpec::ETHERNET_10M, CLIENT2, SERVER);
+    let mut scfg = ServerConfig::workstation(SERVER);
+    scfg.callbacks = true;
+    let server = Server::new(&net, scfg);
+    server.borrow_mut().add_route(CLIENT, l1);
+    server.borrow_mut().add_route(CLIENT2, l2);
+    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("c"));
+
+    let writer = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
+    let reader = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let ws = Client::create_session(&writer, Guarantees::ALL, true);
+    let rs = Client::create_session(&reader, Guarantees::NONE, false);
+    for (c, s) in [(&writer, ws), (&reader, rs)] {
+        let p = Client::import(c, &mut sim, &urn("c"), s, Priority::FOREGROUND).unwrap();
+        sim.run();
+        assert!(p.is_ready());
+    }
+
+    // Writer commits; reader receives the callback, *then* disconnects.
+    let h = Client::export(&writer, &mut sim, &urn("c"), ws, "add", &["7"], Priority::NORMAL)
+        .unwrap();
+    sim.run();
+    assert!(h.committed.is_ready());
+    net.set_up(&mut sim, l2, false);
+
+    // Disconnected import: stale is better than blocked.
+    let p = Client::import(&reader, &mut sim, &urn("c"), rs, Priority::FOREGROUND).unwrap();
+    sim.run_for(SimDuration::from_secs(2));
+    let o = p.poll().expect("served while disconnected");
+    assert!(o.from_cache);
+    assert_eq!(o.object.unwrap().field("n"), Some("0"), "knowingly stale copy");
+}
+
+#[test]
+fn authentication_gates_all_operations() {
+    let mut sim = Sim::new(17);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, link);
+    server.borrow_mut().put_object(counter("c"));
+    server.borrow_mut().require_auth(&[0xC0FFEE, 0xBEEF]);
+
+    // Wrong token: every operation is rejected.
+    let mut bad_cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    bad_cfg.auth_token = 0xBAD;
+    let bad = Client::new(&mut sim, &net, bad_cfg, vec![link]);
+    let bs = Client::create_session(&bad, Guarantees::ALL, true);
+    let p = Client::import(&bad, &mut sim, &urn("c"), bs, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert_eq!(p.poll().unwrap().status, OpStatus::Rejected);
+    assert_eq!(sim.stats.counter("server.auth_rejected"), 1);
+
+    // Correct token: admitted. (Re-register the host with a fresh
+    // client; the latest registration wins.)
+    let mut good_cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    good_cfg.auth_token = 0xC0FFEE;
+    let good = Client::new(&mut sim, &net, good_cfg, vec![link]);
+    let gs = Client::create_session(&good, Guarantees::ALL, true);
+    let p = Client::import(&good, &mut sim, &urn("c"), gs, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert_eq!(p.poll().unwrap().status, OpStatus::Ok);
+
+    // Authenticated exports execute; unauthenticated would not have.
+    let h = Client::export(&good, &mut sim, &urn("c"), gs, "add", &["2"], Priority::NORMAL)
+        .unwrap();
+    sim.run();
+    assert_eq!(h.committed.poll().unwrap().status, OpStatus::Ok);
+    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("2"));
+}
+
+#[test]
+fn server_store_checkpoint_and_restart() {
+    let mut sim = Sim::new(21);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, link);
+    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("a").with_field("n", "3"));
+    server.borrow_mut().put_object(counter("b").with_field("n", "9"));
+
+    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+    let p = Client::import(&client, &mut sim, &urn("a"), session, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert!(p.is_ready());
+    // Commit one export so versions advance past 1.
+    let h = Client::export(&client, &mut sim, &urn("a"), session, "add", &["4"], Priority::NORMAL)
+        .unwrap();
+    sim.run();
+    assert!(h.committed.is_ready());
+
+    // Checkpoint, "restart" into a brand-new server on the same host.
+    let snapshot = server.borrow().export_store();
+    drop(server);
+    let server2 = Server::new(&net, ServerConfig::workstation(SERVER));
+    server2.borrow_mut().add_route(CLIENT, link);
+    server2.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    assert_eq!(server2.borrow_mut().import_store(&snapshot).unwrap(), 2);
+
+    {
+        let sv = server2.borrow();
+        assert_eq!(sv.get_object(&urn("a")).unwrap().field("n"), Some("7"));
+        assert_eq!(sv.get_object(&urn("b")).unwrap().field("n"), Some("9"));
+        assert!(sv.get_object(&urn("a")).unwrap().version.0 >= 2, "versions preserved");
+    }
+
+    // The client keeps working against the restarted server, and its
+    // cached base version still lines up (no spurious conflict) — and
+    // the restored write-ordering floor admits the next ordered export.
+    let h = Client::export(&client, &mut sim, &urn("a"), session, "add", &["1"], Priority::NORMAL)
+        .unwrap();
+    sim.run_until(sim.now() + SimDuration::from_secs(1000));
+    assert!(h.committed.is_ready(), "commit never arrived");
+    assert_eq!(h.committed.poll().unwrap().status, OpStatus::Ok);
+    assert_eq!(server2.borrow().get_object(&urn("a")).unwrap().field("n"), Some("8"));
+}
+
+#[test]
+fn trace_records_protocol_events() {
+    let mut sim = Sim::new(23);
+    sim.trace.set_enabled(true);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, SERVER);
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, link);
+    server.borrow_mut().put_object(counter("c"));
+    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+
+    let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
+    net.set_up(&mut sim, link, false);
+    net.set_up(&mut sim, link, true);
+    sim.run();
+    assert!(p.is_ready());
+
+    let dump = sim.trace.dump();
+    assert!(dump.contains("issue req=1"), "{dump}");
+    assert!(dump.contains("complete req=1"), "{dump}");
+    assert!(dump.contains("link 0 down"), "{dump}");
+    assert!(dump.contains("link 0 up"), "{dump}");
+    assert!(sim.trace.with_tag("qrpc").count() >= 2);
+}
+
+#[test]
+fn polling_refreshes_stale_caches_and_stops_on_drop() {
+    let mut sim = Sim::new(29);
+    let net = Net::new();
+    let l1 = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
+    let l2 = net.add_link(LinkSpec::ETHERNET_10M, CLIENT2, SERVER);
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, l1);
+    server.borrow_mut().add_route(CLIENT2, l2);
+    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("c"));
+
+    let writer = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
+    let reader = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let ws = Client::create_session(&writer, Guarantees::ALL, true);
+    let rs = Client::create_session(&reader, Guarantees::NONE, false);
+    for (c, s) in [(&writer, ws), (&reader, rs)] {
+        let p = Client::import(c, &mut sim, &urn("c"), s, Priority::FOREGROUND).unwrap();
+        sim.run();
+        assert!(p.is_ready());
+    }
+
+    // The reader polls every 10 s.
+    let guard = Client::poll_object(&reader, &mut sim, &urn("c"), rs, SimDuration::from_secs(10));
+
+    // The writer commits; within one poll period the reader's cache
+    // catches up without any explicit read.
+    let h = Client::export(&writer, &mut sim, &urn("c"), ws, "add", &["5"], Priority::NORMAL)
+        .unwrap();
+    sim.run_for(SimDuration::from_secs(12));
+    assert!(h.committed.is_ready());
+    let cached = Client::cached_object(&reader, &urn("c"), false).unwrap();
+    assert_eq!(cached.field("n"), Some("5"), "poll refreshed the cache");
+    let polls_before = sim.stats.counter("client.polls");
+    assert!(polls_before >= 1);
+
+    // Dropping the guard stops the loop.
+    drop(guard);
+    sim.run_for(SimDuration::from_secs(60));
+    let polls_after = sim.stats.counter("client.polls");
+    assert!(
+        polls_after <= polls_before + 1,
+        "polling kept running after drop: {polls_before} -> {polls_after}"
+    );
+    sim.run();
+}
+
+#[test]
+fn multiple_home_servers_routed_by_authority() {
+    // "Every object has a home server": the mail authority lives on one
+    // host, the calendar authority on another, each behind its own
+    // link; the client's scheduler routes each QRPC to the right one.
+    let mut sim = Sim::new(41);
+    let net = Net::new();
+    let mail_host = HostId(10);
+    let cal_host = HostId(11);
+    let l_mail = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, mail_host);
+    let l_cal = net.add_link(LinkSpec::CSLIP_14_4, CLIENT, cal_host);
+
+    let mail_sv = Server::new(&net, ServerConfig::workstation(mail_host));
+    mail_sv.borrow_mut().add_route(CLIENT, l_mail);
+    mail_sv.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    mail_sv.borrow_mut().put_object(
+        RoverObject::new(Urn::parse("urn:rover:mail/box").unwrap(), "counter")
+            .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+            .with_field("n", "0"),
+    );
+
+    let cal_sv = Server::new(&net, ServerConfig::workstation(cal_host));
+    cal_sv.borrow_mut().add_route(CLIENT, l_cal);
+    cal_sv.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    cal_sv.borrow_mut().put_object(
+        RoverObject::new(Urn::parse("urn:rover:cal/team").unwrap(), "counter")
+            .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+            .with_field("n", "100"),
+    );
+
+    let mut cfg = ClientConfig::thinkpad(CLIENT, mail_host);
+    cfg.authorities.insert("mail".into(), mail_host);
+    cfg.authorities.insert("cal".into(), cal_host);
+    let client = Client::new(&mut sim, &net, cfg, vec![l_mail, l_cal]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+
+    // Both imports resolve, each from its own server over its own link.
+    let pm = Client::import(&client, &mut sim, &Urn::parse("urn:rover:mail/box").unwrap(), session, Priority::FOREGROUND).unwrap();
+    let pc = Client::import(&client, &mut sim, &Urn::parse("urn:rover:cal/team").unwrap(), session, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert_eq!(pm.poll().unwrap().object.unwrap().field("n"), Some("0"));
+    assert_eq!(pc.poll().unwrap().object.unwrap().field("n"), Some("100"));
+    // The WaveLAN import finished long before the modem one.
+    assert!(pm.resolved_at().unwrap() < pc.resolved_at().unwrap());
+
+    // Exports land at the right servers.
+    let hm = Client::export(&client, &mut sim, &Urn::parse("urn:rover:mail/box").unwrap(), session, "add", &["1"], Priority::NORMAL).unwrap();
+    let hc = Client::export(&client, &mut sim, &Urn::parse("urn:rover:cal/team").unwrap(), session, "add", &["2"], Priority::NORMAL).unwrap();
+    sim.run();
+    assert!(hm.committed.is_ready() && hc.committed.is_ready());
+    assert_eq!(
+        mail_sv.borrow().get_object(&Urn::parse("urn:rover:mail/box").unwrap()).unwrap().field("n"),
+        Some("1")
+    );
+    assert_eq!(
+        cal_sv.borrow().get_object(&Urn::parse("urn:rover:cal/team").unwrap()).unwrap().field("n"),
+        Some("102")
+    );
+}
+
+#[test]
+fn partial_connectivity_to_one_of_two_servers() {
+    // Only the mail server's link is up: mail QRPCs flow, calendar
+    // QRPCs queue, and nothing deadlocks. On reconnect the calendar
+    // queue drains.
+    let mut sim = Sim::new(43);
+    let net = Net::new();
+    let mail_host = HostId(10);
+    let cal_host = HostId(11);
+    let l_mail = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, mail_host);
+    let l_cal = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, cal_host);
+
+    for (host, link, path, n0) in
+        [(mail_host, l_mail, "mail/box", "0"), (cal_host, l_cal, "cal/team", "100")]
+    {
+        let sv = Server::new(&net, ServerConfig::workstation(host));
+        sv.borrow_mut().add_route(CLIENT, link);
+        sv.borrow_mut().put_object(
+            RoverObject::new(Urn::parse(&format!("urn:rover:{path}")).unwrap(), "counter")
+                .with_field("n", n0),
+        );
+        // Leak the server handle so it stays alive for the test.
+        std::mem::forget(sv);
+    }
+
+    let mut cfg = ClientConfig::thinkpad(CLIENT, mail_host);
+    cfg.authorities.insert("mail".into(), mail_host);
+    cfg.authorities.insert("cal".into(), cal_host);
+    cfg.rto = SimDuration::from_secs(10);
+    let client = Client::new(&mut sim, &net, cfg, vec![l_mail, l_cal]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+
+    net.set_up(&mut sim, l_cal, false);
+    let pm = Client::import(&client, &mut sim, &Urn::parse("urn:rover:mail/box").unwrap(), session, Priority::FOREGROUND).unwrap();
+    let pc = Client::import(&client, &mut sim, &Urn::parse("urn:rover:cal/team").unwrap(), session, Priority::FOREGROUND).unwrap();
+    sim.run_for(SimDuration::from_secs(60));
+    assert!(pm.is_ready(), "reachable server answered");
+    assert!(!pc.is_ready(), "unreachable server's QRPC still queued");
+
+    net.set_up(&mut sim, l_cal, true);
+    sim.run_until(sim.now() + SimDuration::from_secs(120));
+    assert!(pc.is_ready(), "queued QRPC drained once its server was reachable");
+    assert_eq!(pc.poll().unwrap().object.unwrap().field("n"), Some("100"));
+}

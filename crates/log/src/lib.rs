@@ -1,0 +1,36 @@
+//! Stable operation log for the Rover toolkit.
+//!
+//! Every QRPC a Rover client issues is written to a stable log *before*
+//! it is handed to the network scheduler, so that queued operations
+//! survive crashes and disconnections; the flush is therefore on the
+//! critical path of every request (paper §5.2). The paper's prototype
+//! "does not perform any compression on the log and does not employ
+//! efficient techniques for implementing stable storage (e.g., Flash RAM
+//! or group commit)" — this crate implements the baseline behaviour
+//! faithfully *and* provides compression and group commit as switchable
+//! policies for the A1/A2 ablations.
+//!
+//! The log itself is storage-agnostic: [`StableStore`] abstracts the
+//! device (an in-memory store with crash simulation for tests and the
+//! simulator, and a real file-backed store). Time is *not* charged here —
+//! the toolkit core maps the [`FlushReceipt`] onto virtual time using its
+//! stable-storage cost model, keeping this crate free of simulator
+//! dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use rover_log::{MemStore, OpLog, RecordKind};
+//!
+//! let mut log = OpLog::open(MemStore::new()).unwrap();
+//! let seq = log.append(RecordKind::Request, b"qrpc bytes".to_vec()).unwrap();
+//! log.flush().unwrap();
+//! assert_eq!(log.records().count(), 1);
+//! log.remove(seq).unwrap();
+//! ```
+
+mod oplog;
+mod store;
+
+pub use oplog::{FlushPolicy, FlushReceipt, LogError, LogRecord, OpLog, RecordKind};
+pub use store::{FileStore, MemStore, StableStore};

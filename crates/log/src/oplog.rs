@@ -1,0 +1,478 @@
+//! The operation log: framed, checksummed, replayable records.
+//!
+//! Record framing on the device:
+//!
+//! ```text
+//! [magic u16 = 0x5256 "RV"] [flags u8] [seq u64] [kind u8]
+//! [len u32] [crc32 u32 over payload] [payload]
+//! ```
+//!
+//! `flags` bit 0 marks an LZSS-compressed payload. Recovery scans from
+//! the start and stops at the first frame that is truncated or fails its
+//! checksum — exactly the torn-write behaviour a crash mid-flush
+//! produces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rover_wire::{compress, crc32, decompress};
+
+use crate::store::StableStore;
+
+const MAGIC: u16 = 0x5256;
+const HEADER_LEN: usize = 2 + 1 + 8 + 1 + 4 + 4;
+const FLAG_COMPRESSED: u8 = 0x01;
+
+/// Errors from log operations.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying storage failed.
+    Io(String),
+    /// A record frame failed validation during an explicit (non-recovery)
+    /// read.
+    Corrupt {
+        /// Byte offset of the bad frame.
+        at: u64,
+    },
+    /// The referenced sequence number is not in the log.
+    NoSuchRecord(u64),
+}
+
+impl LogError {
+    pub(crate) fn io(e: std::io::Error) -> Self {
+        LogError::Io(e.to_string())
+    }
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "stable store I/O error: {e}"),
+            LogError::Corrupt { at } => write!(f, "corrupt log frame at byte {at}"),
+            LogError::NoSuchRecord(seq) => write!(f, "no log record with seq {seq}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Classifies log records so recovery can route them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecordKind {
+    /// A queued QRPC request awaiting delivery.
+    Request,
+    /// A tentative local update awaiting commit.
+    TentativeOp,
+    /// A completion marker: the named request's reply was processed, so
+    /// recovery must not re-issue it even if its request record is
+    /// still on the device (completion markers ride along with later
+    /// flushes; losing one is safe — the server's dedup cache absorbs
+    /// the re-issue).
+    Completion,
+    /// Application-defined record.
+    Other(u8),
+}
+
+impl RecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            RecordKind::Request => 0,
+            RecordKind::TentativeOp => 1,
+            RecordKind::Completion => 2,
+            RecordKind::Other(b) => b.max(3),
+        }
+    }
+
+    fn from_byte(b: u8) -> Self {
+        match b {
+            0 => RecordKind::Request,
+            1 => RecordKind::TentativeOp,
+            2 => RecordKind::Completion,
+            b => RecordKind::Other(b),
+        }
+    }
+}
+
+/// One durable log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogRecord {
+    /// Monotonic sequence number assigned at append.
+    pub seq: u64,
+    /// Record class.
+    pub kind: RecordKind,
+    /// Application payload (marshalled QRPC, usually).
+    pub payload: Vec<u8>,
+}
+
+/// When appended records are forced to stable storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlushPolicy {
+    /// Sync on every append — the paper's prototype behaviour; the flush
+    /// is on the critical path of each QRPC.
+    PerOperation,
+    /// Group commit: sync once at least `n` records are buffered (the
+    /// toolkit core adds a timeout using simulator events).
+    GroupCommit {
+        /// Records per group.
+        n: usize,
+    },
+    /// Never sync automatically; callers invoke [`OpLog::flush`]
+    /// themselves. Used by the "no stable log" ablation arm.
+    Manual,
+}
+
+/// What one [`OpLog::flush`] made durable; the toolkit core converts this
+/// into virtual time via its stable-storage cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FlushReceipt {
+    /// Bytes written to the device by this sync (0 = no-op).
+    pub bytes: usize,
+    /// Whether a physical sync was issued.
+    pub synced: bool,
+}
+
+/// The client's stable operation log.
+pub struct OpLog<S: StableStore> {
+    store: S,
+    records: BTreeMap<u64, LogRecord>,
+    next_seq: u64,
+    policy: FlushPolicy,
+    compress: bool,
+    buffered: usize,
+    appended_since_sync: usize,
+}
+
+impl<S: StableStore> OpLog<S> {
+    /// Opens a log over `store`, replaying any durable records
+    /// (crash recovery). Truncated or corrupt tail frames are discarded.
+    pub fn open(store: S) -> Result<Self, LogError> {
+        Self::open_with(store, FlushPolicy::PerOperation, false)
+    }
+
+    /// Opens a log with an explicit flush policy and compression flag.
+    pub fn open_with(mut store: S, policy: FlushPolicy, compress: bool) -> Result<Self, LogError> {
+        let bytes = store.read_all()?;
+        let mut records = BTreeMap::new();
+        let mut next_seq = 1;
+        let mut pos = 0usize;
+        while let Some((rec, used)) = parse_frame(&bytes[pos..]) {
+            next_seq = next_seq.max(rec.seq + 1);
+            records.insert(rec.seq, rec);
+            pos += used;
+        }
+        Ok(OpLog {
+            store,
+            records,
+            next_seq,
+            policy,
+            compress,
+            buffered: 0,
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Appends a record, returning its sequence number.
+    ///
+    /// Under [`FlushPolicy::PerOperation`] the record is durable when
+    /// this returns; under group commit it becomes durable when the group
+    /// fills (or on an explicit [`OpLog::flush`]).
+    pub fn append(&mut self, kind: RecordKind, payload: Vec<u8>) -> Result<u64, LogError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = LogRecord { seq, kind, payload };
+        let frame = encode_frame(&rec, self.compress);
+        self.buffered += frame.len();
+        self.store.append(&frame)?;
+        self.records.insert(seq, rec);
+        self.appended_since_sync += 1;
+        match self.policy {
+            FlushPolicy::PerOperation => {
+                self.flush()?;
+            }
+            FlushPolicy::GroupCommit { n } if self.appended_since_sync >= n => {
+                self.flush()?;
+            }
+            _ => {}
+        }
+        Ok(seq)
+    }
+
+    /// Forces buffered records to stable storage.
+    pub fn flush(&mut self) -> Result<FlushReceipt, LogError> {
+        let bytes = self.store.sync()?;
+        let receipt = FlushReceipt { bytes, synced: bytes > 0 };
+        self.buffered = 0;
+        self.appended_since_sync = 0;
+        Ok(receipt)
+    }
+
+    /// Returns the number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the log holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Returns the number of bytes appended but not yet synced.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered
+    }
+
+    /// Iterates live records in sequence order.
+    pub fn records(&self) -> impl Iterator<Item = &LogRecord> {
+        self.records.values()
+    }
+
+    /// Returns the record with sequence number `seq`, if live.
+    pub fn get(&self, seq: u64) -> Option<&LogRecord> {
+        self.records.get(&seq)
+    }
+
+    /// Removes a record (its QRPC completed). The on-device bytes are
+    /// reclaimed lazily by [`OpLog::compact`].
+    pub fn remove(&mut self, seq: u64) -> Result<LogRecord, LogError> {
+        self.records.remove(&seq).ok_or(LogError::NoSuchRecord(seq))
+    }
+
+    /// Rewrites the device to contain only live records, reclaiming space
+    /// from removed ones. Returns the new device size in bytes.
+    pub fn compact(&mut self) -> Result<u64, LogError> {
+        let mut out = Vec::new();
+        for rec in self.records.values() {
+            out.extend_from_slice(&encode_frame(rec, self.compress));
+        }
+        self.store.reset(&out)?;
+        self.buffered = 0;
+        self.appended_since_sync = 0;
+        Ok(out.len() as u64)
+    }
+
+    /// Returns the durable device size in bytes (includes dead records
+    /// until [`OpLog::compact`] runs).
+    pub fn device_len(&self) -> u64 {
+        self.store.durable_len()
+    }
+
+    /// Consumes the log, returning the underlying store (for crash
+    /// simulation in tests).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+fn encode_frame(rec: &LogRecord, compress_payload: bool) -> Vec<u8> {
+    let (flags, payload) = if compress_payload {
+        let z = compress(&rec.payload);
+        if z.len() < rec.payload.len() {
+            (FLAG_COMPRESSED, z)
+        } else {
+            (0, rec.payload.clone())
+        }
+    } else {
+        (0, rec.payload.clone())
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(flags);
+    out.extend_from_slice(&rec.seq.to_be_bytes());
+    out.push(rec.kind.to_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(&payload).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses one frame from `buf`; `None` on truncation or corruption
+/// (recovery stops there).
+fn parse_frame(buf: &[u8]) -> Option<(LogRecord, usize)> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    if u16::from_be_bytes([buf[0], buf[1]]) != MAGIC {
+        return None;
+    }
+    let flags = buf[2];
+    let seq = u64::from_be_bytes(buf[3..11].try_into().expect("len 8"));
+    let kind = RecordKind::from_byte(buf[11]);
+    let len = u32::from_be_bytes(buf[12..16].try_into().expect("len 4")) as usize;
+    let sum = u32::from_be_bytes(buf[16..20].try_into().expect("len 4"));
+    if buf.len() < HEADER_LEN + len {
+        return None;
+    }
+    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    if crc32(payload) != sum {
+        return None;
+    }
+    let payload = if flags & FLAG_COMPRESSED != 0 {
+        decompress(payload).ok()?
+    } else {
+        payload.to_vec()
+    };
+    Some((LogRecord { seq, kind, payload }, HEADER_LEN + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    #[test]
+    fn append_and_replay() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        let s1 = log.append(RecordKind::Request, b"one".to_vec()).unwrap();
+        let s2 = log.append(RecordKind::TentativeOp, b"two".to_vec()).unwrap();
+        assert_eq!((s1, s2), (1, 2));
+
+        let store = log.into_store();
+        let log = OpLog::open(store).unwrap();
+        let recs: Vec<_> = log.records().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].payload, b"one");
+        assert_eq!(recs[1].kind, RecordKind::TentativeOp);
+    }
+
+    #[test]
+    fn per_operation_policy_is_durable_immediately() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        log.append(RecordKind::Request, b"x".to_vec()).unwrap();
+        let store = log.into_store().crash(None);
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn manual_policy_loses_unflushed_on_crash() {
+        let mut log =
+            OpLog::open_with(MemStore::new(), FlushPolicy::Manual, false).unwrap();
+        log.append(RecordKind::Request, b"a".to_vec()).unwrap();
+        log.flush().unwrap();
+        log.append(RecordKind::Request, b"b".to_vec()).unwrap();
+        let store = log.into_store().crash(None);
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records().next().unwrap().payload, b"a");
+    }
+
+    #[test]
+    fn group_commit_syncs_on_group_boundary() {
+        let mut log =
+            OpLog::open_with(MemStore::new(), FlushPolicy::GroupCommit { n: 3 }, false).unwrap();
+        log.append(RecordKind::Request, b"1".to_vec()).unwrap();
+        log.append(RecordKind::Request, b"2".to_vec()).unwrap();
+        assert!(log.buffered_bytes() > 0);
+        log.append(RecordKind::Request, b"3".to_vec()).unwrap();
+        assert_eq!(log.buffered_bytes(), 0);
+        let store = log.into_store().crash(None);
+        assert_eq!(OpLog::open(store).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_on_recovery() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        log.append(RecordKind::Request, b"good record".to_vec()).unwrap();
+        log.append(RecordKind::Request, b"torn record".to_vec()).unwrap();
+        let durable = log.device_len();
+        // Tear the last frame in half.
+        let store = log.into_store().crash(Some(durable as usize - 5));
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records().next().unwrap().payload, b"good record");
+    }
+
+    #[test]
+    fn corrupt_frame_stops_recovery() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        log.append(RecordKind::Request, b"aaaa".to_vec()).unwrap();
+        log.append(RecordKind::Request, b"bbbb".to_vec()).unwrap();
+        let mut store = log.into_store();
+        // Flip a payload byte in the second frame.
+        let mut bytes = store.read_all().unwrap();
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF;
+        store.reset(&bytes).unwrap();
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_compact_reclaims_space() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        let mut seqs = Vec::new();
+        for i in 0..10 {
+            seqs.push(log.append(RecordKind::Request, vec![i; 100]).unwrap());
+        }
+        let full = log.device_len();
+        for s in &seqs[..9] {
+            log.remove(*s).unwrap();
+        }
+        assert_eq!(log.len(), 1);
+        // Device still holds dead frames until compaction.
+        assert_eq!(log.device_len(), full);
+        let new_len = log.compact().unwrap();
+        assert!(new_len < full / 5);
+        let store = log.into_store();
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records().next().unwrap().seq, seqs[9]);
+    }
+
+    #[test]
+    fn seq_numbers_continue_after_recovery() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        log.append(RecordKind::Request, b"a".to_vec()).unwrap();
+        log.append(RecordKind::Request, b"b".to_vec()).unwrap();
+        let store = log.into_store();
+        let mut log = OpLog::open(store).unwrap();
+        let s = log.append(RecordKind::Request, b"c".to_vec()).unwrap();
+        assert_eq!(s, 3);
+    }
+
+    #[test]
+    fn compressed_log_roundtrips() {
+        let mut log = OpLog::open_with(MemStore::new(), FlushPolicy::PerOperation, true).unwrap();
+        let payload = b"request request request request request".repeat(20);
+        log.append(RecordKind::Request, payload.clone()).unwrap();
+        let small = log.device_len();
+        let store = log.into_store();
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.records().next().unwrap().payload, payload);
+        // Compare against an uncompressed log of the same record.
+        let mut plain = OpLog::open(MemStore::new()).unwrap();
+        plain.append(RecordKind::Request, payload).unwrap();
+        assert!(small < plain.device_len());
+    }
+
+    #[test]
+    fn incompressible_payload_stored_raw_under_compression() {
+        let mut log = OpLog::open_with(MemStore::new(), FlushPolicy::PerOperation, true).unwrap();
+        let payload: Vec<u8> = (0..=255u8).collect();
+        log.append(RecordKind::Request, payload.clone()).unwrap();
+        let store = log.into_store();
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.records().next().unwrap().payload, payload);
+    }
+
+    #[test]
+    fn get_and_missing_remove() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        let s = log.append(RecordKind::Request, b"z".to_vec()).unwrap();
+        assert_eq!(log.get(s).unwrap().payload, b"z");
+        assert!(log.get(99).is_none());
+        assert!(matches!(log.remove(99), Err(LogError::NoSuchRecord(99))));
+    }
+
+    #[test]
+    fn flush_receipt_reports_bytes() {
+        let mut log = OpLog::open_with(MemStore::new(), FlushPolicy::Manual, false).unwrap();
+        log.append(RecordKind::Request, b"payload".to_vec()).unwrap();
+        let r = log.flush().unwrap();
+        assert!(r.synced);
+        assert_eq!(r.bytes, HEADER_LEN + 7);
+        let r2 = log.flush().unwrap();
+        assert!(!r2.synced);
+        assert_eq!(r2.bytes, 0);
+    }
+}

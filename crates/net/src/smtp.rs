@@ -1,0 +1,185 @@
+//! The connectionless transport: an SMTP-style store-and-forward relay.
+//!
+//! "SMTP allows Rover to exploit E-mail for queued communication"
+//! (paper §4): a QRPC or its reply can be handed to the mail system,
+//! which spools it and delivers it whenever the destination becomes
+//! reachable — with mail-system latency, in batches. The relay polls its
+//! spool on a fixed interval; at each poll it forwards every spooled
+//! envelope whose delivery link is up.
+
+use std::cell::RefCell;
+use std::rc::{Rc, Weak};
+
+use rover_sim::{Sim, SimDuration};
+use rover_wire::Envelope;
+
+use crate::spec::LinkId;
+use crate::topo::Net;
+
+/// Shared handle to an SMTP relay.
+pub type SmtpRelayRef = Rc<RefCell<SmtpRelay>>;
+
+/// Store-and-forward mail relay between one host pair.
+pub struct SmtpRelay {
+    net: Net,
+    /// Link used for the final delivery hop.
+    link: LinkId,
+    /// Spool polling interval (mail-system latency).
+    poll: SimDuration,
+    spool: Vec<Envelope>,
+    /// Whether the periodic poll event is running.
+    running: bool,
+}
+
+impl SmtpRelay {
+    /// Creates a relay delivering over `link`, polling its spool every
+    /// `poll`.
+    pub fn new(net: Net, link: LinkId, poll: SimDuration) -> SmtpRelayRef {
+        Rc::new(RefCell::new(SmtpRelay { net, link, poll, spool: Vec::new(), running: false }))
+    }
+
+    /// Submits an envelope to the mail system. Always succeeds — that is
+    /// the point of the connectionless transport; delivery happens at a
+    /// future poll when the link is up.
+    pub fn submit(relay: &SmtpRelayRef, sim: &mut Sim, env: Envelope) {
+        relay.borrow_mut().spool.push(env);
+        sim.stats.incr("smtp.submitted");
+        SmtpRelay::ensure_polling(relay, sim);
+    }
+
+    /// Returns the number of spooled (undelivered) envelopes.
+    pub fn spooled(relay: &SmtpRelayRef) -> usize {
+        relay.borrow().spool.len()
+    }
+
+    fn ensure_polling(relay: &SmtpRelayRef, sim: &mut Sim) {
+        let poll = {
+            let mut r = relay.borrow_mut();
+            if r.running {
+                return;
+            }
+            r.running = true;
+            r.poll
+        };
+        SmtpRelay::schedule_poll(Rc::downgrade(relay), sim, poll);
+    }
+
+    fn schedule_poll(relay: Weak<RefCell<SmtpRelay>>, sim: &mut Sim, poll: SimDuration) {
+        sim.schedule_after(poll, move |sim| {
+            let strong = match relay.upgrade() {
+                Some(r) => r,
+                None => return,
+            };
+            SmtpRelay::poll_once(&strong, sim);
+            let keep_going = {
+                let mut r = strong.borrow_mut();
+                r.running = !r.spool.is_empty();
+                r.running
+            };
+            if keep_going {
+                SmtpRelay::schedule_poll(relay, sim, poll);
+            }
+        });
+    }
+
+    /// One spool scan: forward everything if the link is up.
+    fn poll_once(relay: &SmtpRelayRef, sim: &mut Sim) {
+        let (net, link, batch) = {
+            let mut r = relay.borrow_mut();
+            if !r.net.is_up(r.link) {
+                return;
+            }
+            let batch: Vec<Envelope> = r.spool.drain(..).collect();
+            (r.net.clone(), r.link, batch)
+        };
+        for env in batch {
+            // A mid-batch disconnection re-spools the remainder.
+            if net.send(sim, link, env.clone()).is_err() {
+                relay.borrow_mut().spool.push(env);
+            } else {
+                sim.stats.incr("smtp.forwarded");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::LinkSpec;
+    use rover_wire::{Bytes, HostId, MsgKind};
+
+    fn env(tag: u8) -> Envelope {
+        Envelope {
+            kind: MsgKind::Reply,
+            src: HostId(1),
+            dst: HostId(2),
+            body: Bytes::from(vec![tag]),
+        }
+    }
+
+    type Inbox = Rc<RefCell<Vec<(u64, u8)>>>;
+
+    fn rig() -> (Sim, Net, LinkId, SmtpRelayRef, Inbox) {
+        let sim = Sim::new(1);
+        let net = Net::new();
+        let link = net.add_link(LinkSpec::ETHERNET_10M, HostId(1), HostId(2));
+        let inbox = Rc::new(RefCell::new(Vec::new()));
+        let sink = inbox.clone();
+        net.register_host(HostId(2), move |sim: &mut Sim, _n: &Net, e: Envelope| {
+            sink.borrow_mut().push((sim.now().as_millis(), e.body[0]));
+        });
+        let relay = SmtpRelay::new(net.clone(), link, SimDuration::from_secs(30));
+        (sim, net, link, relay, inbox)
+    }
+
+    #[test]
+    fn delivery_waits_for_poll() {
+        let (mut sim, _net, _link, relay, inbox) = rig();
+        SmtpRelay::submit(&relay, &mut sim, env(1));
+        sim.run_for(SimDuration::from_secs(29));
+        assert!(inbox.borrow().is_empty());
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(inbox.borrow().len(), 1);
+        assert!(inbox.borrow()[0].0 >= 30_000);
+    }
+
+    #[test]
+    fn spool_survives_disconnection_and_batches() {
+        let (mut sim, net, link, relay, inbox) = rig();
+        net.set_up(&mut sim, link, false);
+        for i in 0..4 {
+            SmtpRelay::submit(&relay, &mut sim, env(i));
+        }
+        sim.run_for(SimDuration::from_secs(120));
+        assert!(inbox.borrow().is_empty());
+        assert_eq!(SmtpRelay::spooled(&relay), 4);
+        net.set_up(&mut sim, link, true);
+        sim.run_for(SimDuration::from_secs(40));
+        assert_eq!(inbox.borrow().len(), 4);
+        // Batch: all four arrive at (nearly) the same poll.
+        let times: Vec<u64> = inbox.borrow().iter().map(|(t, _)| *t).collect();
+        assert!(times[3] - times[0] < 1_000);
+        assert_eq!(SmtpRelay::spooled(&relay), 0);
+    }
+
+    #[test]
+    fn always_accepts_submissions() {
+        let (mut sim, net, link, relay, _inbox) = rig();
+        net.set_up(&mut sim, link, false);
+        SmtpRelay::submit(&relay, &mut sim, env(9));
+        assert_eq!(SmtpRelay::spooled(&relay), 1);
+        assert_eq!(sim.stats.counter("smtp.submitted"), 1);
+    }
+
+    #[test]
+    fn polling_stops_when_spool_empties() {
+        let (mut sim, _net, _link, relay, inbox) = rig();
+        SmtpRelay::submit(&relay, &mut sim, env(1));
+        sim.run();
+        // The queue fully drains: no immortal poll events keep the sim
+        // alive, and the message arrived.
+        assert_eq!(inbox.borrow().len(), 1);
+        assert_eq!(sim.pending(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Link models: the paper's four channel classes as parameter presets.
+
+use rover_sim::SimDuration;
+
+/// Index of a link within a [`crate::Net`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub usize);
+
+/// Static parameters of one channel.
+///
+/// A message of `n` payload bytes occupies the link for
+/// `(n + overhead_bytes) · 8 / bandwidth_bps` seconds and arrives
+/// `latency` later. `setup` is charged once each time the link comes up
+/// (modem dialing / PPP negotiation); messages queued during setup wait.
+///
+/// # Examples
+///
+/// ```
+/// use rover_net::LinkSpec;
+///
+/// // A 1 KiB page takes ~0.6 s on the 14.4K modem but <1 ms on Ethernet.
+/// let modem = LinkSpec::CSLIP_14_4.one_way(1024);
+/// let ether = LinkSpec::ETHERNET_10M.one_way(1024);
+/// assert!(modem.as_millis() > 500);
+/// assert!(ether.as_millis() < 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable channel name, used in benchmark tables.
+    pub name: &'static str,
+    /// Raw channel bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation + stack latency.
+    pub latency: SimDuration,
+    /// Per-message link/transport header bytes actually transmitted.
+    /// CSLIP presets assume Van Jacobson compression (≈5 bytes); the
+    /// uncompressed SLIP presets carry full 40-byte TCP/IP headers.
+    pub overhead_bytes: usize,
+    /// Connection-establishment cost charged when the link comes up.
+    pub setup: SimDuration,
+}
+
+impl LinkSpec {
+    /// Switched 10 Mbit/s Ethernet (the testbed's office network).
+    pub const ETHERNET_10M: LinkSpec = LinkSpec {
+        name: "Ethernet-10M",
+        bandwidth_bps: 10_000_000,
+        latency: SimDuration::from_micros(500),
+        overhead_bytes: 58,
+        setup: SimDuration::ZERO,
+    };
+
+    /// 2 Mbit/s AT&T WaveLAN wireless.
+    pub const WAVELAN_2M: LinkSpec = LinkSpec {
+        name: "WaveLAN-2M",
+        bandwidth_bps: 2_000_000,
+        latency: SimDuration::from_millis(2),
+        overhead_bytes: 58,
+        setup: SimDuration::ZERO,
+    };
+
+    /// 14.4 Kbit/s dial-up with CSLIP (VJ header compression).
+    pub const CSLIP_14_4: LinkSpec = LinkSpec {
+        name: "CSLIP-14.4K",
+        bandwidth_bps: 14_400,
+        latency: SimDuration::from_millis(50),
+        overhead_bytes: 5,
+        setup: SimDuration::from_secs(8),
+    };
+
+    /// 2.4 Kbit/s dial-up with CSLIP (VJ header compression).
+    pub const CSLIP_2_4: LinkSpec = LinkSpec {
+        name: "CSLIP-2.4K",
+        bandwidth_bps: 2_400,
+        latency: SimDuration::from_millis(100),
+        overhead_bytes: 5,
+        setup: SimDuration::from_secs(8),
+    };
+
+    /// 14.4 Kbit/s dial-up *without* VJ compression (ablation arm).
+    pub const SLIP_14_4_NOVJ: LinkSpec = LinkSpec {
+        name: "SLIP-14.4K-noVJ",
+        bandwidth_bps: 14_400,
+        latency: SimDuration::from_millis(50),
+        overhead_bytes: 40,
+        setup: SimDuration::from_secs(8),
+    };
+
+    /// The four testbed channels, fastest first.
+    pub const TESTBED: [LinkSpec; 4] = [
+        LinkSpec::ETHERNET_10M,
+        LinkSpec::WAVELAN_2M,
+        LinkSpec::CSLIP_14_4,
+        LinkSpec::CSLIP_2_4,
+    ];
+
+    /// Returns the time the link is occupied transmitting a message of
+    /// `payload_bytes` (headers included automatically).
+    pub fn tx_time(&self, payload_bytes: usize) -> SimDuration {
+        let bits = (payload_bytes + self.overhead_bytes) as f64 * 8.0;
+        SimDuration::from_secs_f64(bits / self.bandwidth_bps as f64)
+    }
+
+    /// Returns the one-way delivery time for an uncontended message:
+    /// transmission plus propagation.
+    pub fn one_way(&self, payload_bytes: usize) -> SimDuration {
+        self.tx_time(payload_bytes) + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_matches_bandwidth() {
+        // 1000 payload + 58 header bytes at 10 Mbit/s = 846.4 us.
+        let t = LinkSpec::ETHERNET_10M.tx_time(1000);
+        assert_eq!(t.as_micros(), 846);
+        // Same message at 2.4 Kbit/s takes ~3.5 s.
+        let slow = LinkSpec::CSLIP_2_4.tx_time(1000);
+        assert!(slow.as_secs_f64() > 3.0 && slow.as_secs_f64() < 4.0);
+    }
+
+    #[test]
+    fn vj_compression_shrinks_small_messages() {
+        let vj = LinkSpec::CSLIP_14_4.tx_time(20);
+        let novj = LinkSpec::SLIP_14_4_NOVJ.tx_time(20);
+        assert!(novj.as_micros() > vj.as_micros() * 2);
+    }
+
+    #[test]
+    fn testbed_is_ordered_fastest_first() {
+        for pair in LinkSpec::TESTBED.windows(2) {
+            assert!(pair[0].bandwidth_bps > pair[1].bandwidth_bps);
+        }
+    }
+
+    #[test]
+    fn one_way_includes_latency() {
+        let s = LinkSpec::WAVELAN_2M;
+        assert_eq!(s.one_way(0), s.tx_time(0) + s.latency);
+    }
+}

@@ -1,0 +1,58 @@
+//! Script errors and the internal control-flow exception.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// An error raised during parsing or evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScriptError {
+    /// Human-readable message (what `catch` exposes to scripts).
+    pub message: String,
+    /// True when the error was the execution budget running out; budget
+    /// errors are not catchable by scripts (a sandboxed RDO must not be
+    /// able to outlive its budget by wrapping itself in `catch`).
+    pub budget_exhausted: bool,
+}
+
+impl ScriptError {
+    /// Creates an ordinary script error.
+    pub fn new(message: impl Into<String>) -> Self {
+        ScriptError { message: message.into(), budget_exhausted: false }
+    }
+
+    /// Creates the budget-exhausted error.
+    pub fn budget() -> Self {
+        ScriptError { message: "execution budget exhausted".into(), budget_exhausted: true }
+    }
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Internal non-local control flow: errors plus `return` / `break` /
+/// `continue`, which loop and proc bodies intercept.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Exc {
+    Err(ScriptError),
+    Return(Value),
+    Break,
+    Continue,
+}
+
+impl From<ScriptError> for Exc {
+    fn from(e: ScriptError) -> Self {
+        Exc::Err(e)
+    }
+}
+
+impl Exc {
+    pub(crate) fn err(msg: impl Into<String>) -> Exc {
+        Exc::Err(ScriptError::new(msg))
+    }
+}

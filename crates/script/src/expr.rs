@@ -1,0 +1,671 @@
+//! The `expr` evaluator: arithmetic, comparison, logic, and a few math
+//! functions over script values.
+//!
+//! Substitution happens during tokenization: `$var` references resolve
+//! through the interpreter and `[cmd]` substitutions evaluate the inner
+//! script, each becoming a *single* operand token (so values containing
+//! spaces never splice into the expression grammar). Inside `expr`,
+//! array references support literal indices (`$a(k)`); computed indices
+//! use command substitution (`[set a($i)]`), which runs the full parser.
+
+use crate::error::Exc;
+use crate::interp::{HostEnv, Interp};
+use crate::value::Value;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Val(Value),
+    Ident(String),
+    Op(&'static str),
+}
+
+pub(crate) fn eval_expr(
+    interp: &mut Interp,
+    host: &mut dyn HostEnv,
+    src: &str,
+) -> Result<Value, Exc> {
+    interp.charge(1)?;
+    let toks = tokenize(interp, host, src)?;
+    let mut p = P { toks, i: 0 };
+    let v = p.ternary()?;
+    if p.i != p.toks.len() {
+        return Err(Exc::err(format!("extra tokens after expression in \"{src}\"")));
+    }
+    Ok(v)
+}
+
+// ----------------------------------------------------------------------
+// Tokenizer (with substitution).
+
+fn tokenize(interp: &mut Interp, host: &mut dyn HostEnv, src: &str) -> Result<Vec<Tok>, Exc> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '0'..='9' | '.' => {
+                let (v, used) = lex_number(&b[i..])?;
+                toks.push(Tok::Val(v));
+                i += used;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        i += 1;
+                        s.push(match b[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    } else {
+                        s.push(b[i]);
+                    }
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(Exc::err("unterminated string in expression"));
+                }
+                i += 1;
+                toks.push(Tok::Val(Value::from(s)));
+            }
+            '{' => {
+                let mut depth = 1;
+                let mut s = String::new();
+                i += 1;
+                while i < b.len() && depth > 0 {
+                    match b[i] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    s.push(b[i]);
+                    i += 1;
+                }
+                if depth != 0 {
+                    return Err(Exc::err("unterminated brace in expression"));
+                }
+                i += 1;
+                toks.push(Tok::Val(Value::from(s)));
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == '_' || b[i] == ':')
+                {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(Exc::err("lone \"$\" in expression"));
+                }
+                let name: String = b[start..i].iter().collect();
+                let idx = if i < b.len() && b[i] == '(' {
+                    let mut depth = 1;
+                    let mut s = String::new();
+                    i += 1;
+                    while i < b.len() && depth > 0 {
+                        match b[i] {
+                            '(' => depth += 1,
+                            ')' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        s.push(b[i]);
+                        i += 1;
+                    }
+                    if depth != 0 {
+                        return Err(Exc::err("unmatched paren in array reference"));
+                    }
+                    i += 1;
+                    Some(s)
+                } else {
+                    None
+                };
+                let v = interp.var_get(&name, idx.as_deref())?;
+                toks.push(Tok::Val(v));
+            }
+            '[' => {
+                let mut depth = 1;
+                let mut s = String::new();
+                i += 1;
+                while i < b.len() && depth > 0 {
+                    match b[i] {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    s.push(b[i]);
+                    i += 1;
+                }
+                if depth != 0 {
+                    return Err(Exc::err("unmatched bracket in expression"));
+                }
+                i += 1;
+                let v = interp.eval_script(host, &s)?;
+                toks.push(Tok::Val(v));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                match word.as_str() {
+                    "true" | "yes" | "on" => toks.push(Tok::Val(Value::Int(1))),
+                    "false" | "no" | "off" => toks.push(Tok::Val(Value::Int(0))),
+                    "eq" => toks.push(Tok::Op("eq")),
+                    "ne" => toks.push(Tok::Op("ne")),
+                    _ => toks.push(Tok::Ident(word)),
+                }
+            }
+            _ => {
+                let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+                let op2 = ["||", "&&", "==", "!=", "<=", ">=", "<<", ">>"]
+                    .iter()
+                    .find(|&&o| o == two);
+                if let Some(&op) = op2 {
+                    toks.push(Tok::Op(op));
+                    i += 2;
+                } else {
+                    let op1 = match c {
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        '%' => "%",
+                        '<' => "<",
+                        '>' => ">",
+                        '!' => "!",
+                        '~' => "~",
+                        '&' => "&",
+                        '|' => "|",
+                        '^' => "^",
+                        '(' => "(",
+                        ')' => ")",
+                        '?' => "?",
+                        ':' => ":",
+                        ',' => ",",
+                        other => {
+                            return Err(Exc::err(format!(
+                                "unexpected character '{other}' in expression"
+                            )))
+                        }
+                    };
+                    toks.push(Tok::Op(op1));
+                    i += 1;
+                }
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(b: &[char]) -> Result<(Value, usize), Exc> {
+    // Hex.
+    if b.len() >= 2 && b[0] == '0' && (b[1] == 'x' || b[1] == 'X') {
+        let mut i = 2;
+        while i < b.len() && b[i].is_ascii_hexdigit() {
+            i += 1;
+        }
+        let s: String = b[2..i].iter().collect();
+        let v = i64::from_str_radix(&s, 16)
+            .map_err(|_| Exc::err(format!("bad hex literal 0x{s}")))?;
+        return Ok((Value::Int(v), i));
+    }
+    let mut i = 0;
+    let mut is_float = false;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < b.len() && b[i] == '.' {
+        is_float = true;
+        i += 1;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < b.len() && (b[i] == 'e' || b[i] == 'E') {
+        let mut j = i + 1;
+        if j < b.len() && (b[j] == '+' || b[j] == '-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let s: String = b[..i].iter().collect();
+    if is_float {
+        let v = s.parse::<f64>().map_err(|_| Exc::err(format!("bad number \"{s}\"")))?;
+        Ok((Value::Double(v), i))
+    } else {
+        let v = s.parse::<i64>().map_err(|_| Exc::err(format!("bad number \"{s}\"")))?;
+        Ok((Value::Int(v), i))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Parser / evaluator.
+
+struct P {
+    toks: Vec<Tok>,
+    i: usize,
+}
+
+/// Numeric operand: integer where possible, double otherwise.
+enum Num {
+    I(i64),
+    D(f64),
+}
+
+fn as_num(v: &Value) -> Option<Num> {
+    if let Value::Int(i) = v {
+        return Some(Num::I(*i));
+    }
+    if let Value::Double(d) = v {
+        return Some(Num::D(*d));
+    }
+    let s = v.as_str();
+    let t = s.trim();
+    if t.is_empty() {
+        return None;
+    }
+    if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return i64::from_str_radix(h, 16).ok().map(Num::I);
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Some(Num::I(i));
+    }
+    t.parse::<f64>().ok().map(Num::D)
+}
+
+impl P {
+    fn peek_op(&self) -> Option<&'static str> {
+        match self.toks.get(self.i) {
+            Some(Tok::Op(o)) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn eat(&mut self, op: &str) -> bool {
+        if self.peek_op() == Some(op) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, op: &str) -> Result<(), Exc> {
+        if self.eat(op) {
+            Ok(())
+        } else {
+            Err(Exc::err(format!("expected \"{op}\" in expression")))
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Value, Exc> {
+        let cond = self.or()?;
+        if self.eat("?") {
+            let a = self.ternary()?;
+            self.expect(":")?;
+            let b = self.ternary()?;
+            return Ok(if cond.as_bool().map_err(Exc::Err)? { a } else { b });
+        }
+        Ok(cond)
+    }
+
+    fn or(&mut self) -> Result<Value, Exc> {
+        let mut v = self.and()?;
+        while self.eat("||") {
+            let rhs = self.and()?;
+            v = Value::bool(
+                v.as_bool().map_err(Exc::Err)? || rhs.as_bool().map_err(Exc::Err)?,
+            );
+        }
+        Ok(v)
+    }
+
+    fn and(&mut self) -> Result<Value, Exc> {
+        let mut v = self.bitor()?;
+        while self.eat("&&") {
+            let rhs = self.bitor()?;
+            v = Value::bool(
+                v.as_bool().map_err(Exc::Err)? && rhs.as_bool().map_err(Exc::Err)?,
+            );
+        }
+        Ok(v)
+    }
+
+    fn bitor(&mut self) -> Result<Value, Exc> {
+        let mut v = self.bitxor()?;
+        while self.eat("|") {
+            let rhs = self.bitxor()?;
+            v = Value::Int(v.as_int().map_err(Exc::Err)? | rhs.as_int().map_err(Exc::Err)?);
+        }
+        Ok(v)
+    }
+
+    fn bitxor(&mut self) -> Result<Value, Exc> {
+        let mut v = self.bitand()?;
+        while self.eat("^") {
+            let rhs = self.bitand()?;
+            v = Value::Int(v.as_int().map_err(Exc::Err)? ^ rhs.as_int().map_err(Exc::Err)?);
+        }
+        Ok(v)
+    }
+
+    fn bitand(&mut self) -> Result<Value, Exc> {
+        let mut v = self.equality()?;
+        while self.eat("&") {
+            let rhs = self.equality()?;
+            v = Value::Int(v.as_int().map_err(Exc::Err)? & rhs.as_int().map_err(Exc::Err)?);
+        }
+        Ok(v)
+    }
+
+    fn equality(&mut self) -> Result<Value, Exc> {
+        let mut v = self.relational()?;
+        loop {
+            if self.eat("==") {
+                let r = self.relational()?;
+                v = Value::bool(value_cmp(&v, &r) == std::cmp::Ordering::Equal);
+            } else if self.eat("!=") {
+                let r = self.relational()?;
+                v = Value::bool(value_cmp(&v, &r) != std::cmp::Ordering::Equal);
+            } else if self.eat("eq") {
+                let r = self.relational()?;
+                v = Value::bool(v.as_str() == r.as_str());
+            } else if self.eat("ne") {
+                let r = self.relational()?;
+                v = Value::bool(v.as_str() != r.as_str());
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn relational(&mut self) -> Result<Value, Exc> {
+        let mut v = self.shift()?;
+        loop {
+            let op = match self.peek_op() {
+                Some(o @ ("<" | ">" | "<=" | ">=")) => o,
+                _ => return Ok(v),
+            };
+            self.i += 1;
+            let r = self.shift()?;
+            let ord = value_cmp(&v, &r);
+            use std::cmp::Ordering::*;
+            v = Value::bool(match op {
+                "<" => ord == Less,
+                ">" => ord == Greater,
+                "<=" => ord != Greater,
+                ">=" => ord != Less,
+                _ => unreachable!(),
+            });
+        }
+    }
+
+    fn shift(&mut self) -> Result<Value, Exc> {
+        let mut v = self.additive()?;
+        loop {
+            let op = match self.peek_op() {
+                Some(o @ ("<<" | ">>")) => o,
+                _ => return Ok(v),
+            };
+            self.i += 1;
+            let r = self.additive()?;
+            let (a, b) = (v.as_int().map_err(Exc::Err)?, r.as_int().map_err(Exc::Err)?);
+            if !(0..64).contains(&b) {
+                return Err(Exc::err("shift amount out of range"));
+            }
+            v = Value::Int(if op == "<<" { a.wrapping_shl(b as u32) } else { a >> b });
+        }
+    }
+
+    fn additive(&mut self) -> Result<Value, Exc> {
+        let mut v = self.multiplicative()?;
+        loop {
+            let op = match self.peek_op() {
+                Some(o @ ("+" | "-")) => o,
+                _ => return Ok(v),
+            };
+            self.i += 1;
+            let r = self.multiplicative()?;
+            v = arith(op, &v, &r)?;
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Value, Exc> {
+        let mut v = self.unary()?;
+        loop {
+            let op = match self.peek_op() {
+                Some(o @ ("*" | "/" | "%")) => o,
+                _ => return Ok(v),
+            };
+            self.i += 1;
+            let r = self.unary()?;
+            v = arith(op, &v, &r)?;
+        }
+    }
+
+    fn unary(&mut self) -> Result<Value, Exc> {
+        if self.eat("-") {
+            let v = self.unary()?;
+            return match as_num(&v) {
+                Some(Num::I(i)) => Ok(Value::Int(-i)),
+                Some(Num::D(d)) => Ok(Value::Double(-d)),
+                None => Err(Exc::err(format!("can't negate \"{v}\""))),
+            };
+        }
+        if self.eat("+") {
+            return self.unary();
+        }
+        if self.eat("!") {
+            let v = self.unary()?;
+            return Ok(Value::bool(!v.as_bool().map_err(Exc::Err)?));
+        }
+        if self.eat("~") {
+            let v = self.unary()?;
+            return Ok(Value::Int(!v.as_int().map_err(Exc::Err)?));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Value, Exc> {
+        if self.eat("(") {
+            let v = self.ternary()?;
+            self.expect(")")?;
+            return Ok(v);
+        }
+        match self.toks.get(self.i).cloned() {
+            Some(Tok::Val(v)) => {
+                self.i += 1;
+                Ok(v)
+            }
+            Some(Tok::Ident(name)) => {
+                self.i += 1;
+                if !self.eat("(") {
+                    // A bare word is a string operand (Tcl would reject
+                    // this; accepting it keeps `expr $x eq abc` usable).
+                    return Ok(Value::from(name));
+                }
+                let mut args = Vec::new();
+                if !self.eat(")") {
+                    loop {
+                        args.push(self.ternary()?);
+                        if self.eat(")") {
+                            break;
+                        }
+                        self.expect(",")?;
+                    }
+                }
+                call_func(&name, &args)
+            }
+            _ => Err(Exc::err("missing operand in expression")),
+        }
+    }
+}
+
+fn value_cmp(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (as_num(a), as_num(b)) {
+        (Some(x), Some(y)) => {
+            let (x, y) = match (x, y) {
+                (Num::I(i), Num::I(j)) => return i.cmp(&j),
+                (Num::I(i), Num::D(d)) => (i as f64, d),
+                (Num::D(d), Num::I(j)) => (d, j as f64),
+                (Num::D(d), Num::D(e)) => (d, e),
+            };
+            x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+        }
+        _ => a.as_str().cmp(&b.as_str()),
+    }
+}
+
+fn arith(op: &str, a: &Value, b: &Value) -> Result<Value, Exc> {
+    let (x, y) = match (as_num(a), as_num(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            return Err(Exc::err(format!(
+                "can't use non-numeric operand in \"{op}\" ({a} {op} {b})"
+            )))
+        }
+    };
+    match (x, y) {
+        (Num::I(i), Num::I(j)) => match op {
+            "+" => Ok(Value::Int(i.wrapping_add(j))),
+            "-" => Ok(Value::Int(i.wrapping_sub(j))),
+            "*" => Ok(Value::Int(i.wrapping_mul(j))),
+            "/" => {
+                if j == 0 {
+                    Err(Exc::err("divide by zero"))
+                } else {
+                    Ok(Value::Int(i.div_euclid(j)))
+                }
+            }
+            "%" => {
+                if j == 0 {
+                    Err(Exc::err("divide by zero"))
+                } else {
+                    Ok(Value::Int(i.rem_euclid(j)))
+                }
+            }
+            _ => unreachable!(),
+        },
+        (x, y) => {
+            let (d, e) = (
+                match x {
+                    Num::I(i) => i as f64,
+                    Num::D(d) => d,
+                },
+                match y {
+                    Num::I(i) => i as f64,
+                    Num::D(d) => d,
+                },
+            );
+            let r = match op {
+                "+" => d + e,
+                "-" => d - e,
+                "*" => d * e,
+                "/" => {
+                    if e == 0.0 {
+                        return Err(Exc::err("divide by zero"));
+                    }
+                    d / e
+                }
+                "%" => {
+                    if e == 0.0 {
+                        return Err(Exc::err("divide by zero"));
+                    }
+                    d % e
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Double(r))
+        }
+    }
+}
+
+fn call_func(name: &str, args: &[Value]) -> Result<Value, Exc> {
+    let one = |args: &[Value]| -> Result<f64, Exc> {
+        if args.len() != 1 {
+            return Err(Exc::err(format!("{name}() takes one argument")));
+        }
+        args[0].as_double().map_err(Exc::Err)
+    };
+    match name {
+        "abs" => {
+            if args.len() != 1 {
+                return Err(Exc::err("abs() takes one argument"));
+            }
+            match as_num(&args[0]) {
+                Some(Num::I(i)) => Ok(Value::Int(i.abs())),
+                Some(Num::D(d)) => Ok(Value::Double(d.abs())),
+                None => Err(Exc::err("abs() needs a number")),
+            }
+        }
+        "int" => Ok(Value::Int(one(args)? as i64)),
+        "double" => Ok(Value::Double(one(args)?)),
+        "round" => Ok(Value::Int(one(args)?.round() as i64)),
+        "sqrt" => Ok(Value::Double(one(args)?.sqrt())),
+        "min" | "max" => {
+            if args.is_empty() {
+                return Err(Exc::err(format!("{name}() needs arguments")));
+            }
+            let mut best = args[0].clone();
+            for a in &args[1..] {
+                let ord = value_cmp(a, &best);
+                let take = if name == "min" {
+                    ord == std::cmp::Ordering::Less
+                } else {
+                    ord == std::cmp::Ordering::Greater
+                };
+                if take {
+                    best = a.clone();
+                }
+            }
+            Ok(best)
+        }
+        "pow" => {
+            if args.len() != 2 {
+                return Err(Exc::err("pow() takes two arguments"));
+            }
+            let b = args[0].as_double().map_err(Exc::Err)?;
+            let e = args[1].as_double().map_err(Exc::Err)?;
+            Ok(Value::Double(b.powf(e)))
+        }
+        "fmod" => {
+            if args.len() != 2 {
+                return Err(Exc::err("fmod() takes two arguments"));
+            }
+            let a = args[0].as_double().map_err(Exc::Err)?;
+            let b = args[1].as_double().map_err(Exc::Err)?;
+            if b == 0.0 {
+                return Err(Exc::err("divide by zero"));
+            }
+            Ok(Value::Double(a % b))
+        }
+        other => Err(Exc::err(format!("unknown math function \"{other}\""))),
+    }
+}

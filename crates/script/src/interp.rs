@@ -1,0 +1,886 @@
+//! The interpreter: variables, frames, procs, control flow, dispatch.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::builtins;
+use crate::error::{Exc, ScriptError};
+use crate::expr;
+use crate::parser::{parse_script, Command, Frag, Word};
+use crate::value::Value;
+
+/// Execution limits enforced on RDO code.
+///
+/// The paper names *safe execution* as the first goal of an RDO
+/// implementation; its Tcl environment achieved it by interpretation in
+/// a limited environment. Here the budget bounds both runtime (steps)
+/// and stack (depth), so a hostile or buggy RDO cannot wedge the access
+/// manager. Budget exhaustion is not catchable from within the script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum command/expression evaluations.
+    pub max_steps: u64,
+    /// Maximum proc-call / command-substitution nesting depth.
+    pub max_depth: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { max_steps: 1_000_000, max_depth: 64 }
+    }
+}
+
+/// Host-command environment: how Rover exposes toolkit operations
+/// (`rover::get`, `rover::set`, …) to RDO code.
+///
+/// Commands not recognized by the interpreter or defined as procs are
+/// offered to the host; returning `None` means "not mine" and produces
+/// an *invalid command name* script error.
+pub trait HostEnv {
+    /// Attempts to run host command `name` with `args`.
+    fn call(
+        &mut self,
+        interp: &mut Interp,
+        name: &str,
+        args: &[Value],
+    ) -> Option<Result<Value, ScriptError>>;
+}
+
+/// The no-op host environment.
+pub struct NoHost;
+
+impl HostEnv for NoHost {
+    fn call(&mut self, _: &mut Interp, _: &str, _: &[Value]) -> Option<Result<Value, ScriptError>> {
+        None
+    }
+}
+
+/// A variable slot: Tcl scalars and arrays are distinct kinds.
+#[derive(Clone, Debug)]
+pub(crate) enum Slot {
+    Scalar(Value),
+    Array(HashMap<String, Value>),
+}
+
+pub(crate) struct Frame {
+    pub vars: HashMap<String, Slot>,
+    /// Names declared `global` in this frame.
+    pub globals: std::collections::HashSet<String>,
+    /// `upvar` aliases: local name → (target frame index or usize::MAX
+    /// for the global scope, target name).
+    pub upvars: HashMap<String, (usize, String)>,
+}
+
+#[derive(Clone)]
+pub(crate) struct Proc {
+    pub params: Vec<(String, Option<Value>)>,
+    pub body: Rc<str>,
+}
+
+/// A Tcl-subset interpreter executing RDO methods.
+///
+/// # Examples
+///
+/// ```
+/// use rover_script::{Interp, NoHost};
+///
+/// let mut interp = Interp::new();
+/// let v = interp
+///     .eval(&mut NoHost, "set total 0\nforeach x {1 2 3 4} {incr total $x}\nset total")
+///     .unwrap();
+/// assert_eq!(v.as_int().unwrap(), 10);
+/// ```
+pub struct Interp {
+    pub(crate) globals: HashMap<String, Slot>,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) procs: HashMap<String, Proc>,
+    budget: Budget,
+    steps: u64,
+    depth: usize,
+    output: String,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with the default budget.
+    pub fn new() -> Self {
+        Self::with_budget(Budget::default())
+    }
+
+    /// Creates an interpreter with an explicit budget.
+    pub fn with_budget(budget: Budget) -> Self {
+        Interp {
+            globals: HashMap::new(),
+            frames: Vec::new(),
+            procs: HashMap::new(),
+            budget,
+            steps: 0,
+            depth: 0,
+            output: String::new(),
+        }
+    }
+
+    /// Evaluates a script, returning the value of its last command.
+    ///
+    /// `return` at top level yields its value; `break`/`continue`
+    /// escaping to the top level are errors, as in Tcl.
+    pub fn eval(&mut self, host: &mut dyn HostEnv, src: &str) -> Result<Value, ScriptError> {
+        match self.eval_script(host, src) {
+            Ok(v) => Ok(v),
+            Err(Exc::Return(v)) => Ok(v),
+            Err(Exc::Err(e)) => Err(e),
+            Err(Exc::Break) => Err(ScriptError::new("invoked \"break\" outside of a loop")),
+            Err(Exc::Continue) => Err(ScriptError::new("invoked \"continue\" outside of a loop")),
+        }
+    }
+
+    /// Steps consumed since construction or the last
+    /// [`Interp::reset_steps`]; the toolkit charges CPU time from this.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Resets the step counter (per-invocation accounting).
+    pub fn reset_steps(&mut self) {
+        self.steps = 0;
+    }
+
+    /// Returns accumulated `puts` output, clearing the buffer.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Sets a global scalar variable.
+    pub fn set_global(&mut self, name: &str, v: Value) {
+        self.globals.insert(name.to_owned(), Slot::Scalar(v));
+    }
+
+    /// Reads a global scalar variable.
+    pub fn get_global(&self, name: &str) -> Option<Value> {
+        match self.globals.get(name) {
+            Some(Slot::Scalar(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// Returns whether a proc with this name is defined.
+    pub fn has_proc(&self, name: &str) -> bool {
+        self.procs.contains_key(name)
+    }
+
+    /// Returns the defined proc names, sorted.
+    pub fn proc_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.procs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // ------------------------------------------------------------------
+    // Budget accounting.
+
+    pub(crate) fn charge(&mut self, n: u64) -> Result<(), Exc> {
+        self.steps += n;
+        if self.steps > self.budget.max_steps {
+            Err(Exc::Err(ScriptError::budget()))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Exc> {
+        self.depth += 1;
+        if self.depth > self.budget.max_depth {
+            self.depth -= 1;
+            return Err(Exc::err("too many nested evaluations (possible infinite recursion)"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Variables.
+
+    /// Resolves which scope a variable name denotes in the current
+    /// frame, following `global` declarations and `upvar` aliases.
+    /// Returns (frame index or usize::MAX for globals, target name).
+    fn resolve_scope(&self, name: &str) -> (usize, String) {
+        const GLOBAL: usize = usize::MAX;
+        let mut idx = match self.frames.len() {
+            0 => return (GLOBAL, name.to_owned()),
+            n => n - 1,
+        };
+        let mut name = name.to_owned();
+        for _ in 0..16 {
+            if idx == GLOBAL {
+                return (GLOBAL, name);
+            }
+            let f = &self.frames[idx];
+            if f.globals.contains(&name) {
+                return (GLOBAL, name);
+            }
+            match f.upvars.get(&name) {
+                Some((target, other)) => {
+                    name = other.clone();
+                    idx = *target;
+                }
+                None => return (idx, name),
+            }
+        }
+        (idx, name)
+    }
+
+    fn scope_map(&mut self, idx: usize) -> &mut HashMap<String, Slot> {
+        if idx == usize::MAX {
+            &mut self.globals
+        } else {
+            &mut self.frames[idx].vars
+        }
+    }
+
+    fn scope_map_ref(&self, idx: usize) -> &HashMap<String, Slot> {
+        if idx == usize::MAX {
+            &self.globals
+        } else {
+            &self.frames[idx].vars
+        }
+    }
+
+    pub(crate) fn var_get(&mut self, name: &str, idx: Option<&str>) -> Result<Value, Exc> {
+        let (scope, name) = self.resolve_scope(name);
+        let name = name.as_str();
+        let map = self.scope_map_ref(scope);
+        match (map.get(name), idx) {
+            (Some(Slot::Scalar(v)), None) => Ok(v.clone()),
+            (Some(Slot::Array(a)), Some(i)) => a
+                .get(i)
+                .cloned()
+                .ok_or_else(|| Exc::err(format!("can't read \"{name}({i})\": no such element"))),
+            (Some(Slot::Array(_)), None) => {
+                Err(Exc::err(format!("can't read \"{name}\": variable is array")))
+            }
+            (Some(Slot::Scalar(_)), Some(_)) => {
+                Err(Exc::err(format!("can't read \"{name}\": variable isn't array")))
+            }
+            (None, _) => Err(Exc::err(format!("can't read \"{name}\": no such variable"))),
+        }
+    }
+
+    pub(crate) fn var_set(&mut self, name: &str, idx: Option<&str>, v: Value) -> Result<(), Exc> {
+        let (scope, name) = self.resolve_scope(name);
+        let name = name.as_str();
+        let map = self.scope_map(scope);
+        match idx {
+            None => match map.get(name) {
+                Some(Slot::Array(_)) => {
+                    Err(Exc::err(format!("can't set \"{name}\": variable is array")))
+                }
+                _ => {
+                    map.insert(name.to_owned(), Slot::Scalar(v));
+                    Ok(())
+                }
+            },
+            Some(i) => {
+                let slot =
+                    map.entry(name.to_owned()).or_insert_with(|| Slot::Array(HashMap::new()));
+                match slot {
+                    Slot::Array(a) => {
+                        a.insert(i.to_owned(), v);
+                        Ok(())
+                    }
+                    Slot::Scalar(_) => {
+                        Err(Exc::err(format!("can't set \"{name}({i})\": variable isn't array")))
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn var_unset(&mut self, name: &str, idx: Option<&str>) -> Result<(), Exc> {
+        let (scope, name) = self.resolve_scope(name);
+        let name = name.as_str();
+        let map = self.scope_map(scope);
+        match idx {
+            None => {
+                map.remove(name)
+                    .map(|_| ())
+                    .ok_or_else(|| Exc::err(format!("can't unset \"{name}\": no such variable")))
+            }
+            Some(i) => match map.get_mut(name) {
+                Some(Slot::Array(a)) => a.remove(i).map(|_| ()).ok_or_else(|| {
+                    Exc::err(format!("can't unset \"{name}({i})\": no such element"))
+                }),
+                _ => Err(Exc::err(format!("can't unset \"{name}({i})\": no such array"))),
+            },
+        }
+    }
+
+    pub(crate) fn var_exists(&mut self, name: &str, idx: Option<&str>) -> bool {
+        let (scope, name) = self.resolve_scope(name);
+        let name = name.as_str();
+        let map = self.scope_map_ref(scope);
+        match (map.get(name), idx) {
+            (Some(Slot::Scalar(_)), None) => true,
+            (Some(Slot::Array(_)), None) => true,
+            (Some(Slot::Array(a)), Some(i)) => a.contains_key(i),
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation.
+
+    pub(crate) fn eval_script(&mut self, host: &mut dyn HostEnv, src: &str) -> Result<Value, Exc> {
+        let script = parse_script(src).map_err(Exc::Err)?;
+        let mut last = Value::empty();
+        for cmd in &script.commands {
+            last = self.eval_command(host, cmd)?;
+        }
+        Ok(last)
+    }
+
+    fn eval_command(&mut self, host: &mut dyn HostEnv, cmd: &Command) -> Result<Value, Exc> {
+        self.charge(1)?;
+        let mut words = Vec::with_capacity(cmd.words.len());
+        for w in &cmd.words {
+            words.push(self.subst_word(host, w)?);
+        }
+        if words.is_empty() {
+            return Ok(Value::empty());
+        }
+        let name = words[0].as_str();
+        self.dispatch(host, &name, &words[1..])
+    }
+
+    pub(crate) fn subst_word(&mut self, host: &mut dyn HostEnv, w: &Word) -> Result<Value, Exc> {
+        match w {
+            Word::Braced(s) => Ok(Value::str(s)),
+            Word::Subst(frags) => self.subst_frags(host, frags),
+        }
+    }
+
+    pub(crate) fn subst_frags(
+        &mut self,
+        host: &mut dyn HostEnv,
+        frags: &[Frag],
+    ) -> Result<Value, Exc> {
+        // A single fragment preserves the value's representation (a list
+        // stays a list); multiple fragments concatenate as strings.
+        if frags.len() == 1 {
+            return self.subst_frag(host, &frags[0]);
+        }
+        let mut out = String::new();
+        for f in frags {
+            out.push_str(&self.subst_frag(host, f)?.as_str());
+        }
+        Ok(Value::from(out))
+    }
+
+    fn subst_frag(&mut self, host: &mut dyn HostEnv, f: &Frag) -> Result<Value, Exc> {
+        match f {
+            Frag::Lit(s) => Ok(Value::str(s)),
+            Frag::Var(name, None) => self.var_get(name, None),
+            Frag::Var(name, Some(idx_frags)) => {
+                let idx = self.subst_frags(host, idx_frags)?.as_str();
+                self.var_get(name, Some(&idx))
+            }
+            Frag::Cmd(src) => {
+                self.enter()?;
+                let r = self.eval_script(host, src);
+                self.leave();
+                r
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        host: &mut dyn HostEnv,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, Exc> {
+        // Built-ins first, then user procs, then host commands.
+        if let Some(r) = self.builtin(host, name, args) {
+            return r;
+        }
+        if self.procs.contains_key(name) {
+            return self.call_proc(host, name, args);
+        }
+        match host.call(self, name, args) {
+            Some(Ok(v)) => Ok(v),
+            Some(Err(e)) => Err(Exc::Err(e)),
+            None => Err(Exc::err(format!("invalid command name \"{name}\""))),
+        }
+    }
+
+    fn call_proc(
+        &mut self,
+        host: &mut dyn HostEnv,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Value, Exc> {
+        let proc = self.procs.get(name).expect("checked").clone();
+        let mut frame = Frame {
+            vars: HashMap::new(),
+            globals: std::collections::HashSet::new(),
+            upvars: HashMap::new(),
+        };
+
+        let mut ai = 0usize;
+        for (pi, (pname, default)) in proc.params.iter().enumerate() {
+            if pname == "args" && pi == proc.params.len() - 1 {
+                let rest: Vec<Value> = args[ai.min(args.len())..].to_vec();
+                frame.vars.insert("args".into(), Slot::Scalar(Value::list(rest)));
+                ai = args.len();
+                break;
+            }
+            match args.get(ai) {
+                Some(v) => {
+                    frame.vars.insert(pname.clone(), Slot::Scalar(v.clone()));
+                    ai += 1;
+                }
+                None => match default {
+                    Some(d) => {
+                        frame.vars.insert(pname.clone(), Slot::Scalar(d.clone()));
+                    }
+                    None => {
+                        return Err(Exc::err(format!(
+                            "wrong # args: should be \"{name} {}\"",
+                            proc.params
+                                .iter()
+                                .map(|(n, _)| n.as_str())
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        )))
+                    }
+                },
+            }
+        }
+        if ai < args.len() {
+            return Err(Exc::err(format!("wrong # args: too many arguments to \"{name}\"")));
+        }
+
+        self.enter()?;
+        self.frames.push(frame);
+        let r = self.eval_script(host, &proc.body);
+        self.frames.pop();
+        self.leave();
+        match r {
+            Ok(v) => Ok(v),
+            Err(Exc::Return(v)) => Ok(v),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Attempts builtin dispatch; `None` means "no such builtin".
+    fn builtin(
+        &mut self,
+        host: &mut dyn HostEnv,
+        name: &str,
+        args: &[Value],
+    ) -> Option<Result<Value, Exc>> {
+        let r = match name {
+            "set" => self.cmd_set(args),
+            "unset" => self.cmd_unset(args),
+            "incr" => self.cmd_incr(args),
+            "append" => self.cmd_append(args),
+            "proc" => self.cmd_proc(args),
+            "return" => {
+                Err(Exc::Return(args.first().cloned().unwrap_or_else(Value::empty)))
+            }
+            "break" => Err(Exc::Break),
+            "continue" => Err(Exc::Continue),
+            "error" => Err(Exc::err(
+                args.first().map(|v| v.as_str()).unwrap_or_default(),
+            )),
+            "if" => self.cmd_if(host, args),
+            "while" => self.cmd_while(host, args),
+            "for" => self.cmd_for(host, args),
+            "foreach" => self.cmd_foreach(host, args),
+            "expr" => {
+                let src =
+                    args.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(" ");
+                expr::eval_expr(self, host, &src)
+            }
+            "eval" => {
+                let src =
+                    args.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(" ");
+                self.enter().and_then(|_| {
+                    let r = self.eval_script(host, &src);
+                    self.leave();
+                    r
+                })
+            }
+            "catch" => self.cmd_catch(host, args),
+            "puts" => self.cmd_puts(args),
+            "global" => self.cmd_global(args),
+            "upvar" => self.cmd_upvar(args),
+            "switch" => self.cmd_switch(host, args),
+            "info" => self.cmd_info(args),
+            _ => return builtins::dispatch(self, name, args),
+        };
+        Some(r)
+    }
+
+    // ------------------------------------------------------------------
+    // Core commands.
+
+    /// Splits `name` or `name(index)`.
+    pub(crate) fn split_varname(spec: &str) -> (String, Option<String>) {
+        if let Some(open) = spec.find('(') {
+            if spec.ends_with(')') {
+                return (
+                    spec[..open].to_owned(),
+                    Some(spec[open + 1..spec.len() - 1].to_owned()),
+                );
+            }
+        }
+        (spec.to_owned(), None)
+    }
+
+    fn cmd_set(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        match args {
+            [name] => {
+                let (n, i) = Self::split_varname(&name.as_str());
+                self.var_get(&n, i.as_deref())
+            }
+            [name, value] => {
+                let (n, i) = Self::split_varname(&name.as_str());
+                self.var_set(&n, i.as_deref(), value.clone())?;
+                Ok(value.clone())
+            }
+            _ => Err(Exc::err("wrong # args: should be \"set varName ?newValue?\"")),
+        }
+    }
+
+    fn cmd_unset(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        for a in args {
+            let (n, i) = Self::split_varname(&a.as_str());
+            self.var_unset(&n, i.as_deref())?;
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_incr(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        let (name, by) = match args {
+            [n] => (n, 1),
+            [n, d] => (n, d.as_int().map_err(Exc::Err)?),
+            _ => return Err(Exc::err("wrong # args: should be \"incr varName ?increment?\"")),
+        };
+        let (n, i) = Self::split_varname(&name.as_str());
+        let cur = if self.var_exists(&n, i.as_deref()) {
+            self.var_get(&n, i.as_deref())?.as_int().map_err(Exc::Err)?
+        } else {
+            0
+        };
+        let v = Value::Int(cur + by);
+        self.var_set(&n, i.as_deref(), v.clone())?;
+        Ok(v)
+    }
+
+    fn cmd_append(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        let name = args.first().ok_or_else(|| Exc::err("wrong # args: append"))?;
+        let (n, i) = Self::split_varname(&name.as_str());
+        let mut cur = if self.var_exists(&n, i.as_deref()) {
+            self.var_get(&n, i.as_deref())?.as_str()
+        } else {
+            String::new()
+        };
+        for a in &args[1..] {
+            cur.push_str(&a.as_str());
+        }
+        let v = Value::from(cur);
+        self.var_set(&n, i.as_deref(), v.clone())?;
+        Ok(v)
+    }
+
+    fn cmd_proc(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        let [name, params, body] = args else {
+            return Err(Exc::err("wrong # args: should be \"proc name params body\""));
+        };
+        let mut parsed = Vec::new();
+        for p in params.as_list().map_err(Exc::Err)? {
+            let spec = p.as_list().map_err(Exc::Err)?;
+            match spec.len() {
+                0 => return Err(Exc::err("bad parameter specification")),
+                1 => parsed.push((spec[0].as_str(), None)),
+                _ => parsed.push((spec[0].as_str(), Some(spec[1].clone()))),
+            }
+        }
+        self.procs
+            .insert(name.as_str(), Proc { params: parsed, body: Rc::from(body.as_str().as_str()) });
+        Ok(Value::empty())
+    }
+
+    fn cmd_if(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
+        let mut i = 0;
+        loop {
+            let cond = args
+                .get(i)
+                .ok_or_else(|| Exc::err("wrong # args: no expression after \"if\""))?;
+            let taken = expr::eval_expr(self, host, &cond.as_str())?
+                .as_bool()
+                .map_err(Exc::Err)?;
+            let mut bi = i + 1;
+            if args.get(bi).map(|v| v.as_str()) == Some("then".into()) {
+                bi += 1;
+            }
+            let body = args
+                .get(bi)
+                .ok_or_else(|| Exc::err("wrong # args: no script after \"if\" condition"))?;
+            if taken {
+                return self.eval_script(host, &body.as_str());
+            }
+            // Look for elseif / else.
+            match args.get(bi + 1).map(|v| v.as_str()) {
+                Some(k) if k == "elseif" => {
+                    i = bi + 2;
+                }
+                Some(k) if k == "else" => {
+                    let e = args
+                        .get(bi + 2)
+                        .ok_or_else(|| Exc::err("wrong # args: no script after \"else\""))?;
+                    return self.eval_script(host, &e.as_str());
+                }
+                Some(_) => return Err(Exc::err("expected \"elseif\" or \"else\"")),
+                None => return Ok(Value::empty()),
+            }
+        }
+    }
+
+    fn cmd_while(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
+        let [cond, body] = args else {
+            return Err(Exc::err("wrong # args: should be \"while test command\""));
+        };
+        let (cond, body) = (cond.as_str(), body.as_str());
+        loop {
+            self.charge(1)?;
+            if !expr::eval_expr(self, host, &cond)?.as_bool().map_err(Exc::Err)? {
+                break;
+            }
+            match self.eval_script(host, &body) {
+                Ok(_) => {}
+                Err(Exc::Break) => break,
+                Err(Exc::Continue) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_for(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
+        let [init, cond, next, body] = args else {
+            return Err(Exc::err("wrong # args: should be \"for start test next command\""));
+        };
+        self.eval_script(host, &init.as_str())?;
+        let (cond, next, body) = (cond.as_str(), next.as_str(), body.as_str());
+        loop {
+            self.charge(1)?;
+            if !expr::eval_expr(self, host, &cond)?.as_bool().map_err(Exc::Err)? {
+                break;
+            }
+            match self.eval_script(host, &body) {
+                Ok(_) => {}
+                Err(Exc::Break) => break,
+                Err(Exc::Continue) => {}
+                Err(e) => return Err(e),
+            }
+            self.eval_script(host, &next)?;
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_foreach(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
+        let [vars, list, body] = args else {
+            return Err(Exc::err("wrong # args: should be \"foreach varList list body\""));
+        };
+        let names: Vec<String> =
+            vars.as_list().map_err(Exc::Err)?.iter().map(|v| v.as_str()).collect();
+        if names.is_empty() {
+            return Err(Exc::err("foreach: empty variable list"));
+        }
+        let items = list.as_list().map_err(Exc::Err)?;
+        let body = body.as_str();
+        let mut i = 0;
+        while i < items.len() {
+            self.charge(1)?;
+            for (k, n) in names.iter().enumerate() {
+                let v = items.get(i + k).cloned().unwrap_or_else(Value::empty);
+                self.var_set(n, None, v)?;
+            }
+            i += names.len();
+            match self.eval_script(host, &body) {
+                Ok(_) => {}
+                Err(Exc::Break) => break,
+                Err(Exc::Continue) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_catch(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
+        let body = args.first().ok_or_else(|| Exc::err("wrong # args: catch"))?;
+        let result = self.eval_script(host, &body.as_str());
+        let (code, val) = match result {
+            Ok(v) => (0, v),
+            Err(Exc::Return(v)) => (2, v),
+            Err(Exc::Break) => (3, Value::empty()),
+            Err(Exc::Continue) => (4, Value::empty()),
+            Err(Exc::Err(e)) => {
+                if e.budget_exhausted {
+                    // Budget exhaustion must not be containable.
+                    return Err(Exc::Err(e));
+                }
+                (1, Value::from(e.message))
+            }
+        };
+        if let Some(var) = args.get(1) {
+            let (n, i) = Self::split_varname(&var.as_str());
+            self.var_set(&n, i.as_deref(), val)?;
+        }
+        Ok(Value::Int(code))
+    }
+
+    fn cmd_puts(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        let (newline, text) = match args {
+            [v] => (true, v.as_str()),
+            [flag, v] if flag.as_str() == "-nonewline" => (false, v.as_str()),
+            _ => return Err(Exc::err("wrong # args: should be \"puts ?-nonewline? string\"")),
+        };
+        self.output.push_str(&text);
+        if newline {
+            self.output.push('\n');
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_global(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        if let Some(f) = self.frames.last_mut() {
+            for a in args {
+                f.globals.insert(a.as_str());
+            }
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_upvar(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        // upvar ?level? otherVar localVar ?otherVar localVar ...?
+        if self.frames.is_empty() {
+            return Err(Exc::err("upvar: not in a procedure"));
+        }
+        let mut rest = args;
+        // Default level 1 = the caller's frame.
+        let mut target: usize = self.frames.len().checked_sub(2).unwrap_or(usize::MAX);
+        if let Some(first) = args.first() {
+            let spec = first.as_str();
+            let parsed = if let Some(g) = spec.strip_prefix('#') {
+                g.parse::<usize>().ok().map(|abs| {
+                    if abs == 0 {
+                        usize::MAX
+                    } else {
+                        abs - 1 // frame #k is frames[k-1]
+                    }
+                })
+            } else if args.len() % 2 == 1 {
+                // A leading numeric level only makes sense when the
+                // remaining arguments pair up.
+                spec.parse::<usize>().ok().map(|lv| {
+                    self.frames
+                        .len()
+                        .checked_sub(1 + lv)
+                        .unwrap_or(usize::MAX)
+                })
+            } else {
+                None
+            };
+            if let Some(t) = parsed {
+                target = t;
+                rest = &args[1..];
+            }
+        }
+        if rest.is_empty() || !rest.len().is_multiple_of(2) {
+            return Err(Exc::err("wrong # args: should be \"upvar ?level? otherVar localVar ...\""));
+        }
+        if target != usize::MAX && target >= self.frames.len() {
+            return Err(Exc::err("upvar: bad level"));
+        }
+        for pair in rest.chunks(2) {
+            let other = pair[0].as_str();
+            let local = pair[1].as_str();
+            let f = self.frames.last_mut().expect("checked non-empty");
+            f.upvars.insert(local, (target, other));
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_switch(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
+        // switch ?-exact|-glob? value {pat body pat body ... ?default body?}
+        let mut i = 0;
+        let mut glob = false;
+        while let Some(a) = args.get(i) {
+            match a.as_str().as_str() {
+                "-glob" => {
+                    glob = true;
+                    i += 1;
+                }
+                "-exact" => {
+                    i += 1;
+                }
+                "--" => {
+                    i += 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let value = args.get(i).ok_or_else(|| Exc::err("wrong # args: switch"))?.as_str();
+        let clauses = args
+            .get(i + 1)
+            .ok_or_else(|| Exc::err("wrong # args: switch"))?
+            .as_list()
+            .map_err(Exc::Err)?;
+        if clauses.len() % 2 != 0 {
+            return Err(Exc::err("extra switch pattern with no body"));
+        }
+        let mut k = 0;
+        while k < clauses.len() {
+            let pat = clauses[k].as_str();
+            let matched = pat == "default"
+                || if glob { builtins::glob_match(&pat, &value) } else { pat == value };
+            if matched {
+                let mut body = clauses[k + 1].as_str();
+                // `-` falls through to the next body.
+                let mut j = k + 1;
+                while body == "-" && j + 2 < clauses.len() {
+                    j += 2;
+                    body = clauses[j].as_str();
+                }
+                return self.eval_script(host, &body);
+            }
+            k += 2;
+        }
+        Ok(Value::empty())
+    }
+
+    fn cmd_info(&mut self, args: &[Value]) -> Result<Value, Exc> {
+        let sub = args.first().ok_or_else(|| Exc::err("wrong # args: info"))?.as_str();
+        match sub.as_str() {
+            "exists" => {
+                let spec = args.get(1).ok_or_else(|| Exc::err("info exists varName"))?;
+                let (n, i) = Self::split_varname(&spec.as_str());
+                Ok(Value::bool(self.var_exists(&n, i.as_deref())))
+            }
+            "procs" => Ok(Value::list(self.proc_names().into_iter().map(Value::from).collect())),
+            "level" => Ok(Value::Int(self.frames.len() as i64)),
+            other => Err(Exc::err(format!("unknown info subcommand \"{other}\""))),
+        }
+    }
+}

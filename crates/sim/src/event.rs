@@ -1,0 +1,309 @@
+//! The event loop: a cancellable, deterministic priority queue of
+//! closures over virtual time.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Handle identifying a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+    // Ties break by insertion sequence for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation: virtual clock, event heap, seeded RNG and statistics.
+///
+/// Events are `FnOnce(&mut Sim)` closures; they typically capture
+/// `Rc<RefCell<…>>` handles to the simulated components they mutate, and
+/// may schedule further events. Two events scheduled for the same instant
+/// fire in scheduling order, which keeps runs deterministic.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    heap: BinaryHeap<Scheduled>,
+    cancelled: HashSet<EventId>,
+    rng: StdRng,
+    /// Run-wide counters and sample sets, keyed by name.
+    pub stats: Stats,
+    /// Optional bounded event trace (disabled by default).
+    pub trace: Trace,
+}
+
+impl Sim {
+    /// Creates a simulation at `t = 0` with a deterministically seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_id: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: Stats::new(),
+            trace: Trace::default(),
+        }
+    }
+
+    /// Records a trace point at the current virtual time (no-op unless
+    /// `sim.trace` is enabled).
+    pub fn trace(&mut self, tag: &'static str, detail: impl Into<String>) {
+        let now = self.now;
+        self.trace.record(now, tag, detail);
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns the deterministic random-number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past; events cannot violate causality.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            id,
+            f: Box::new(f),
+        });
+        id
+    }
+
+    /// Schedules `f` to run after `delay` elapses.
+    pub fn schedule_after<F>(&mut self, delay: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an event that already fired (or was already cancelled)
+    /// is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Runs the earliest pending event; returns `false` when none remain.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs events until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs events with timestamps `<= deadline`, then advances the clock
+    /// to `deadline` (even if the queue drained earlier).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.heap.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs events for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_micros(t), move |_| {
+                order.borrow_mut().push(tag);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(sim.now(), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn same_instant_fires_in_scheduling_order() {
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..16 {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_micros(5), move |_| {
+                order.borrow_mut().push(tag);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        let id = sim.schedule_after(SimDuration::from_micros(1), move |_| {
+            *h.borrow_mut() += 1;
+        });
+        sim.cancel(id);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut sim = Sim::new(1);
+        let id = sim.schedule_after(SimDuration::ZERO, |_| {});
+        sim.run();
+        sim.cancel(id);
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(1);
+        let done = Rc::new(RefCell::new(false));
+        let d = done.clone();
+        sim.schedule_after(SimDuration::from_millis(1), move |sim| {
+            sim.schedule_after(SimDuration::from_millis(2), move |sim| {
+                assert_eq!(sim.now().as_millis(), 3);
+                *d.borrow_mut() = true;
+            });
+        });
+        sim.run();
+        assert!(*done.borrow());
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for t in [5u64, 15, 25] {
+            let hits = hits.clone();
+            sim.schedule_at(SimTime::from_micros(t), move |_| {
+                hits.borrow_mut().push(t);
+            });
+        }
+        sim.run_until(SimTime::from_micros(20));
+        assert_eq!(*hits.borrow(), vec![5, 15]);
+        assert_eq!(sim.now(), SimTime::from_micros(20));
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![5, 15, 25]);
+    }
+
+    #[test]
+    fn run_until_advances_past_empty_queue() {
+        let mut sim = Sim::new(1);
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Sim::new(1);
+        sim.schedule_at(SimTime::from_micros(10), |sim| {
+            sim.schedule_at(SimTime::from_micros(5), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        use rand::Rng;
+        let mut a = Sim::new(7);
+        let mut b = Sim::new(7);
+        let xs: Vec<u32> = (0..8).map(|_| a.rng().gen()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.rng().gen()).collect();
+        assert_eq!(xs, ys);
+        let mut c = Sim::new(8);
+        let zs: Vec<u32> = (0..8).map(|_| c.rng().gen()).collect();
+        assert_ne!(xs, zs);
+    }
+}

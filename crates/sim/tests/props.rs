@@ -1,0 +1,102 @@
+//! Property tests for the simulation kernel: causal ordering, stable
+//! tie-breaks, cancellation soundness.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use rover_sim::{Sim, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn events_fire_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for t in &times {
+            let fired = fired.clone();
+            sim.schedule_at(SimTime::from_micros(*t), move |sim| {
+                fired.borrow_mut().push(sim.now().as_micros());
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), times.len());
+        prop_assert!(fired.windows(2).all(|w| w[0] <= w[1]));
+        let mut want = times.clone();
+        want.sort();
+        prop_assert_eq!(&*fired, &want);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order(n in 1usize..64, t in 0u64..1000) {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..n {
+            let fired = fired.clone();
+            sim.schedule_at(SimTime::from_micros(t), move |_| fired.borrow_mut().push(i));
+        }
+        sim.run();
+        prop_assert_eq!(&*fired.borrow(), &(0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_subset_never_fires(
+        times in proptest::collection::vec(0u64..10_000, 1..50),
+        mask: u64,
+    ) {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut cancelled = Vec::new();
+        for (i, t) in times.iter().enumerate() {
+            let fired = fired.clone();
+            let id = sim.schedule_at(SimTime::from_micros(*t), move |_| {
+                fired.borrow_mut().push(i);
+            });
+            if mask & (1 << (i % 64)) != 0 {
+                sim.cancel(id);
+                cancelled.push(i);
+            }
+        }
+        sim.run();
+        let fired = fired.borrow();
+        for c in &cancelled {
+            prop_assert!(!fired.contains(c));
+        }
+        prop_assert_eq!(fired.len() + cancelled.len(), times.len());
+    }
+
+    #[test]
+    fn run_until_is_a_clean_partition(
+        times in proptest::collection::vec(0u64..10_000, 1..50),
+        split in 0u64..10_000,
+    ) {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for t in &times {
+            let fired = fired.clone();
+            sim.schedule_at(SimTime::from_micros(*t), move |sim| {
+                fired.borrow_mut().push(sim.now().as_micros());
+            });
+        }
+        sim.run_until(SimTime::from_micros(split));
+        let before = fired.borrow().len();
+        prop_assert_eq!(before, times.iter().filter(|t| **t <= split).count());
+        prop_assert!(sim.now() >= SimTime::from_micros(split));
+        sim.run();
+        prop_assert_eq!(fired.borrow().len(), times.len());
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (da, db) = (SimDuration::from_micros(a), SimDuration::from_micros(b));
+        prop_assert_eq!((da + db).as_micros(), a + b);
+        let t = SimTime::from_micros(a) + db;
+        prop_assert_eq!(t.since(SimTime::from_micros(a)), db);
+        if a >= b {
+            prop_assert_eq!((da - db).as_micros(), a - b);
+        }
+    }
+}

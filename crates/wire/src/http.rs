@@ -1,0 +1,395 @@
+//! HTTP/1.0 framing: the paper's on-the-wire syntax.
+//!
+//! Rover's prototype spoke real HTTP — "our implementation is fully
+//! compatible with the HyperText Transport Protocol", with one server
+//! variant living behind a stock CGI web server. This module implements
+//! the subset that carries Rover traffic: request/response parsing and
+//! serialization with `Content-Length` bodies, plus the mapping between
+//! QRPC [`Envelope`]s and HTTP messages (`POST /rover` with the
+//! envelope marshalled in the body, a `200 OK` carrying the reply).
+//!
+//! The simulator's transports move envelopes directly; this layer
+//! exists so the framing itself is real and testable, and so a bridge
+//! to an actual HTTP stack stays a drop-in.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::marshal::Wire;
+use crate::message::{Envelope, HostId, MsgKind};
+
+/// Errors from HTTP parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// More bytes are needed to complete the message.
+    Incomplete,
+    /// The start line or a header is malformed.
+    Malformed(String),
+    /// The body length header is missing or invalid.
+    BadLength,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Incomplete => write!(f, "incomplete HTTP message"),
+            HttpError::Malformed(m) => write!(f, "malformed HTTP: {m}"),
+            HttpError::BadLength => write!(f, "missing or invalid Content-Length"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// An HTTP/1.0 request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (`/rover/import`).
+    pub path: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP/1.0 response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header name/value pairs in order.
+    pub headers: Vec<(String, String)>,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+impl HttpRequest {
+    /// Creates a request with a body and `Content-Length` set.
+    pub fn new(method: &str, path: &str, body: Vec<u8>) -> HttpRequest {
+        HttpRequest {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers: vec![
+                ("User-Agent".into(), "rover/0.1".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// Returns a header value, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.0\r\n", self.method, self.path).into_bytes();
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses one request from the front of `buf`; returns it and the
+    /// bytes consumed (pipelined messages may follow).
+    pub fn parse(buf: &[u8]) -> Result<(HttpRequest, usize), HttpError> {
+        let (start, headers, body_at) = parse_head(buf)?;
+        let mut parts = start.split_whitespace();
+        let method = parts.next().ok_or_else(|| HttpError::Malformed("empty start".into()))?;
+        let path = parts.next().ok_or_else(|| HttpError::Malformed("no path".into()))?;
+        let version = parts.next().unwrap_or("HTTP/1.0");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version {version}")));
+        }
+        let len = body_len(&headers, method == "GET" || method == "HEAD")?;
+        if buf.len() < body_at + len {
+            return Err(HttpError::Incomplete);
+        }
+        Ok((
+            HttpRequest {
+                method: method.to_owned(),
+                path: path.to_owned(),
+                headers,
+                body: buf[body_at..body_at + len].to_vec(),
+            },
+            body_at + len,
+        ))
+    }
+}
+
+impl HttpResponse {
+    /// Creates a response with a body and `Content-Length` set.
+    pub fn new(status: u16, reason: &str, body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status,
+            reason: reason.to_owned(),
+            headers: vec![
+                ("Server".into(), "rover/0.1".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// Returns a header value, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header(&self.headers, name)
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.0 {} {}\r\n", self.status, self.reason).into_bytes();
+        for (k, v) in &self.headers {
+            out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses one response from the front of `buf`; returns it and the
+    /// bytes consumed.
+    pub fn parse(buf: &[u8]) -> Result<(HttpResponse, usize), HttpError> {
+        let (start, headers, body_at) = parse_head(buf)?;
+        let mut parts = start.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version {version}")));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed("bad status".into()))?;
+        let reason = parts.next().unwrap_or("").to_owned();
+        let len = body_len(&headers, false)?;
+        if buf.len() < body_at + len {
+            return Err(HttpError::Incomplete);
+        }
+        Ok((
+            HttpResponse { status, reason, headers, body: buf[body_at..body_at + len].to_vec() },
+            body_at + len,
+        ))
+    }
+}
+
+/// Parsed message head: start line, headers, body offset.
+type Head = (String, Vec<(String, String)>, usize);
+
+/// Splits head from body: returns (start line, headers, body offset).
+fn parse_head(buf: &[u8]) -> Result<Head, HttpError> {
+    let head_end = find_head_end(buf).ok_or(HttpError::Incomplete)?;
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(HttpError::Incomplete)?.to_owned();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((k.trim().to_owned(), v.trim().to_owned()));
+    }
+    Ok((start, headers, head_end + 4))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn body_len(headers: &[(String, String)], optional: bool) -> Result<usize, HttpError> {
+    match header(headers, "Content-Length") {
+        Some(v) => v.trim().parse().map_err(|_| HttpError::BadLength),
+        None if optional => Ok(0),
+        None => Ok(0), // HTTP/1.0 bodyless messages are common.
+    }
+}
+
+// ----------------------------------------------------------------------
+// Envelope mapping.
+
+/// Wraps a QRPC envelope as the HTTP request Rover's prototype would
+/// send: `POST /rover HTTP/1.0` with the marshalled envelope as body
+/// and routing carried in `X-Rover-*` headers.
+pub fn envelope_to_http_request(env: &Envelope) -> HttpRequest {
+    let mut req = HttpRequest::new("POST", "/rover", env.to_bytes().to_vec());
+    req.headers.push(("X-Rover-Kind".into(), (env.kind.to_byte()).to_string()));
+    req.headers.push(("X-Rover-Src".into(), env.src.0.to_string()));
+    req.headers.push(("X-Rover-Dst".into(), env.dst.0.to_string()));
+    req
+}
+
+/// Extracts the envelope from a Rover-over-HTTP request.
+pub fn http_request_to_envelope(req: &HttpRequest) -> Result<Envelope, HttpError> {
+    if req.method != "POST" || !req.path.starts_with("/rover") {
+        return Err(HttpError::Malformed(format!("not a rover request: {} {}", req.method, req.path)));
+    }
+    Envelope::from_bytes(&req.body)
+        .map_err(|e| HttpError::Malformed(format!("bad envelope body: {e}")))
+}
+
+/// Wraps a reply envelope as the HTTP response.
+pub fn envelope_to_http_response(env: &Envelope) -> HttpResponse {
+    let mut resp = HttpResponse::new(200, "OK", env.to_bytes().to_vec());
+    resp.headers.push(("X-Rover-Kind".into(), (env.kind.to_byte()).to_string()));
+    resp
+}
+
+/// Extracts the envelope from a Rover-over-HTTP response.
+pub fn http_response_to_envelope(resp: &HttpResponse) -> Result<Envelope, HttpError> {
+    if resp.status != 200 {
+        return Err(HttpError::Malformed(format!("status {}", resp.status)));
+    }
+    Envelope::from_bytes(&resp.body)
+        .map_err(|e| HttpError::Malformed(format!("bad envelope body: {e}")))
+}
+
+/// Convenience: the HTTP bytes for an envelope in one call.
+pub fn envelope_http_bytes(env: &Envelope) -> Vec<u8> {
+    envelope_to_http_request(env).to_bytes()
+}
+
+#[allow(dead_code)]
+fn _doc_types(_: HostId, _: MsgKind, _: Bytes) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Priority, QrpcRequest, RequestId, RoverOp, SessionId, Version};
+
+    fn sample_env() -> Envelope {
+        let req = QrpcRequest {
+            req_id: RequestId(5),
+            client: HostId(1),
+            session: SessionId(2),
+            op: RoverOp::Import,
+            urn: "urn:rover:web/p1".into(),
+            base_version: Version(0),
+            priority: Priority::FOREGROUND,
+            auth: 0,
+            payload: Bytes::new(),
+        };
+        Envelope::request(HostId(1), HostId(2), &req)
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = HttpRequest::new("POST", "/rover", b"hello body".to_vec());
+        let bytes = req.to_bytes();
+        let (back, used) = HttpRequest::parse(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.path, "/rover");
+        assert_eq!(back.body, b"hello body");
+        assert_eq!(back.header("content-length"), Some("10"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::new(200, "OK", vec![1, 2, 3]);
+        let bytes = resp.to_bytes();
+        let (back, used) = HttpResponse::parse(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back.status, 200);
+        assert_eq!(back.reason, "OK");
+        assert_eq!(back.body, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn hand_written_get_parses() {
+        let raw = b"GET /index.html HTTP/1.0\r\nHost: server\r\nAccept: */*\r\n\r\n";
+        let (req, used) = HttpRequest::parse(raw).unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/index.html");
+        assert_eq!(req.header("host"), Some("server"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_incrementally() {
+        let a = HttpRequest::new("POST", "/rover", b"first".to_vec()).to_bytes();
+        let b = HttpRequest::new("POST", "/rover", b"second!".to_vec()).to_bytes();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (r1, used1) = HttpRequest::parse(&stream).unwrap();
+        assert_eq!(r1.body, b"first");
+        let (r2, used2) = HttpRequest::parse(&stream[used1..]).unwrap();
+        assert_eq!(r2.body, b"second!");
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn incomplete_and_malformed_are_distinguished() {
+        let full = HttpRequest::new("POST", "/rover", b"0123456789".to_vec()).to_bytes();
+        // Head incomplete.
+        assert_eq!(HttpRequest::parse(&full[..10]).unwrap_err(), HttpError::Incomplete);
+        // Head complete, body short.
+        let head_end = full.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        assert_eq!(
+            HttpRequest::parse(&full[..head_end + 3]).unwrap_err(),
+            HttpError::Incomplete
+        );
+        // Garbage start line.
+        assert!(matches!(
+            HttpRequest::parse(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Bad Content-Length.
+        let raw = b"POST / HTTP/1.0\r\nContent-Length: banana\r\n\r\n";
+        assert_eq!(HttpRequest::parse(raw).unwrap_err(), HttpError::BadLength);
+    }
+
+    #[test]
+    fn envelope_survives_http_framing() {
+        let env = sample_env();
+        let http = envelope_to_http_request(&env).to_bytes();
+        let (req, _) = HttpRequest::parse(&http).unwrap();
+        assert_eq!(req.header("x-rover-src"), Some("1"));
+        let back = http_request_to_envelope(&req).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn reply_envelope_survives_http_response() {
+        let env = sample_env();
+        let http = envelope_to_http_response(&env).to_bytes();
+        let (resp, _) = HttpResponse::parse(&http).unwrap();
+        let back = http_response_to_envelope(&resp).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn non_rover_requests_are_rejected() {
+        let req = HttpRequest::new("GET", "/favicon.ico", Vec::new());
+        assert!(http_request_to_envelope(&req).is_err());
+        let resp = HttpResponse::new(404, "Not Found", Vec::new());
+        assert!(http_response_to_envelope(&resp).is_err());
+    }
+
+    #[test]
+    fn corrupted_body_is_rejected() {
+        let env = sample_env();
+        let mut req = envelope_to_http_request(&env);
+        let mid = req.body.len() / 2;
+        req.body[mid] ^= 0xFF;
+        assert!(http_request_to_envelope(&req).is_err());
+    }
+}

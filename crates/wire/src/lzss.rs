@@ -1,0 +1,290 @@
+//! LZSS compression, implemented from scratch.
+//!
+//! The paper notes its prototype "does not perform any compression on the
+//! log" and leaves compression as an obvious improvement; ablation A2
+//! measures exactly that, for both stable-log records and slow-link
+//! payloads. The format:
+//!
+//! - a 4-byte big-endian uncompressed length header, then
+//! - groups of eight items preceded by one flag byte; flag bit `i` set
+//!   means item `i` is a literal byte, clear means it is a 2-byte
+//!   back-reference: 12-bit distance (1-based) and 4-bit length
+//!   (`len - MIN_MATCH`).
+//!
+//! Window 4096 bytes, match lengths 3–18: the classic Storer–Szymanski
+//! parameters, period-appropriate for a 1995 toolkit.
+
+use std::fmt;
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// Errors produced while decompressing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LzssError {
+    /// The stream ended mid-item.
+    Truncated,
+    /// A back-reference pointed before the start of output.
+    BadReference {
+        /// Output position at the bad item.
+        at: usize,
+        /// The (1-based) distance that was out of range.
+        distance: usize,
+    },
+    /// Decoded output did not match the declared length.
+    LengthMismatch {
+        /// Declared uncompressed length.
+        expected: usize,
+        /// Actually decoded length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LzssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "compressed stream truncated"),
+            LzssError::BadReference { at, distance } => {
+                write!(f, "back-reference distance {distance} out of range at {at}")
+            }
+            LzssError::LengthMismatch { expected, got } => {
+                write!(f, "declared length {expected} but decoded {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Compresses `input` with LZSS.
+///
+/// Worst-case expansion is 1/8 overhead plus the 4-byte header; the
+/// compressor never fails.
+///
+/// # Examples
+///
+/// ```
+/// let data = b"abcabcabcabcabcabc".repeat(10);
+/// let z = rover_wire::compress(&data);
+/// assert!(z.len() < data.len());
+/// assert_eq!(rover_wire::decompress(&z).unwrap(), data);
+/// ```
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_be_bytes());
+
+    // Hash chains over 3-byte prefixes for match finding.
+    let mut head = vec![usize::MAX; 1 << 12];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+    let hash = |s: &[u8]| -> usize {
+        ((s[0] as usize) << 4 ^ (s[1] as usize) << 2 ^ (s[2] as usize)) & 0xFFF
+    };
+
+    let mut i = 0;
+    let mut flag_pos = 0usize;
+    let mut flag = 0u8;
+    let mut nitems = 0u8;
+
+    let begin_group = |out: &mut Vec<u8>, flag_pos: &mut usize| {
+        *flag_pos = out.len();
+        out.push(0);
+    };
+    begin_group(&mut out, &mut flag_pos);
+
+    while i < input.len() {
+        // Find the longest match within the window via the hash chain.
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash(&input[i..]);
+            let mut cand = head[h];
+            let mut probes = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && probes < 64 {
+                let max = MAX_MATCH.min(input.len() - i);
+                let mut l = 0;
+                while l < max && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                probes += 1;
+            }
+        }
+
+        let took = if best_len >= MIN_MATCH {
+            // Emit a (distance, length) pair.
+            debug_assert!((1..=WINDOW).contains(&best_dist));
+            let d = (best_dist - 1) as u16;
+            let l = (best_len - MIN_MATCH) as u16;
+            let word = (d << 4) | l;
+            out.extend_from_slice(&word.to_be_bytes());
+            best_len
+        } else {
+            flag |= 1 << nitems;
+            out.push(input[i]);
+            1
+        };
+
+        // Insert the positions we consumed into the hash chains.
+        for p in i..(i + took).min(input.len().saturating_sub(MIN_MATCH - 1)) {
+            let h = hash(&input[p..]);
+            prev[p] = head[h];
+            head[h] = p;
+        }
+        i += took;
+
+        nitems += 1;
+        if nitems == 8 {
+            out[flag_pos] = flag;
+            flag = 0;
+            nitems = 0;
+            if i < input.len() {
+                begin_group(&mut out, &mut flag_pos);
+            }
+        }
+    }
+    if nitems > 0 {
+        out[flag_pos] = flag;
+    } else if out.len() == flag_pos + 1 && input.is_empty() {
+        // Empty input: drop the unused flag byte.
+        out.pop();
+    }
+    out
+}
+
+/// Decompresses an LZSS stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
+    if input.len() < 4 {
+        return Err(LzssError::Truncated);
+    }
+    let expected = u32::from_be_bytes(input[..4].try_into().expect("len 4")) as usize;
+    let mut out = Vec::with_capacity(expected);
+    let mut pos = 4;
+
+    while out.len() < expected {
+        if pos >= input.len() {
+            return Err(LzssError::Truncated);
+        }
+        let flag = input[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= expected {
+                break;
+            }
+            if flag & (1 << bit) != 0 {
+                let b = *input.get(pos).ok_or(LzssError::Truncated)?;
+                pos += 1;
+                out.push(b);
+            } else {
+                if pos + 2 > input.len() {
+                    return Err(LzssError::Truncated);
+                }
+                let word = u16::from_be_bytes(input[pos..pos + 2].try_into().expect("len 2"));
+                pos += 2;
+                let dist = (word >> 4) as usize + 1;
+                let len = (word & 0xF) as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(LzssError::BadReference { at: out.len(), distance: dist });
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+
+    if out.len() != expected {
+        return Err(LzssError::LengthMismatch { expected, got: out.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let z = compress(data);
+        assert_eq!(decompress(&z).expect("decompress"), data);
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn short_literals_roundtrip() {
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data = b"the mail header the mail header the mail header".repeat(40);
+        let z = compress(&data);
+        assert!(z.len() < data.len() / 2, "{} !< {}", z.len(), data.len() / 2);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_roundtrips() {
+        // RLE-like runs exercise distance-1 overlapping copies.
+        roundtrip(&[7u8; 1000]);
+        roundtrip(b"abababababababababababab");
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // A deterministic pseudo-random byte soup.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let z = compress(&data);
+        // Worst case is bounded: 1 flag byte per 8 literals + header.
+        assert!(z.len() <= data.len() + data.len() / 8 + 8);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_input_spanning_many_windows() {
+        let mut data = Vec::new();
+        for i in 0..20_000u32 {
+            data.extend_from_slice(format!("rec{:05} ", i % 997).as_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let z = compress(b"hello hello hello hello");
+        assert_eq!(decompress(&z[..2]), Err(LzssError::Truncated));
+        assert!(decompress(&z[..z.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn bad_reference_errors() {
+        // Header says 4 bytes, first item is a reference with distance 16
+        // but nothing has been output yet.
+        let stream = [0, 0, 0, 4, 0b0000_0000, 0x00, 0xF0];
+        assert!(matches!(
+            decompress(&stream),
+            Err(LzssError::BadReference { .. }) | Err(LzssError::Truncated)
+        ));
+    }
+}

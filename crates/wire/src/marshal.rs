@@ -1,0 +1,433 @@
+//! XDR-style binary encoding.
+//!
+//! The format is deliberately simple and 1995-flavoured: big-endian
+//! fixed-width integers, length-prefixed byte strings, and explicit
+//! presence tags for options. Every field written by [`Encoder`] is read
+//! back by the mirror-image [`Decoder`] method; there is no schema
+//! negotiation.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Errors produced while decoding a marshalled buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the expected field.
+    Truncated {
+        /// Bytes needed by the failed read.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A tag byte had an unknown value.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A length prefix exceeded the sanity limit.
+    TooLarge(usize),
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "truncated buffer: needed {needed} bytes, {remaining} remain")
+            }
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TooLarge(n) => write!(f, "length prefix {n} exceeds limit"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Upper bound on any single length-prefixed field (16 MiB): a decoded
+/// length above this indicates corruption, not a real Rover payload.
+pub const MAX_FIELD_LEN: usize = 16 << 20;
+
+/// Appends fields to a growable buffer in wire order.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an encoder with pre-reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(n) }
+    }
+
+    /// Returns the number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes an IEEE-754 `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a boolean as one tag byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes a `u32` length prefix followed by the raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds [`MAX_FIELD_LEN`]; producing such a field is
+    /// a caller bug, not a recoverable condition.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        assert!(v.len() <= MAX_FIELD_LEN, "field too large: {}", v.len());
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes an optional field: a presence tag, then the value.
+    pub fn put_opt<T, F>(&mut self, v: Option<&T>, put: F)
+    where
+        F: FnOnce(&mut Encoder, &T),
+    {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                put(self, x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Writes a `u32` count followed by each element.
+    pub fn put_seq<T, F>(&mut self, items: &[T], mut put: F)
+    where
+        F: FnMut(&mut Encoder, &T),
+    {
+        assert!(items.len() <= MAX_FIELD_LEN, "sequence too long");
+        self.put_u32(items.len() as u32);
+        for it in items {
+            put(self, it);
+        }
+    }
+
+    /// Consumes the encoder and returns the marshalled buffer.
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Consumes the encoder and returns the raw vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads fields from a marshalled buffer in wire order.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Returns the number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `Ok(())` if the buffer is fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a big-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an IEEE-754 `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a boolean tag byte.
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.get_u32()? as usize;
+        if n > MAX_FIELD_LEN {
+            return Err(WireError::TooLarge(n));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let raw = self.get_bytes()?;
+        String::from_utf8(raw).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads an optional field written by [`Encoder::put_opt`].
+    pub fn get_opt<T, F>(&mut self, get: F) -> Result<Option<T>, WireError>
+    where
+        F: FnOnce(&mut Decoder<'a>) -> Result<T, WireError>,
+    {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(get(self)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    /// Reads a sequence written by [`Encoder::put_seq`].
+    pub fn get_seq<T, F>(&mut self, mut get: F) -> Result<Vec<T>, WireError>
+    where
+        F: FnMut(&mut Decoder<'a>) -> Result<T, WireError>,
+    {
+        let n = self.get_u32()? as usize;
+        if n > MAX_FIELD_LEN {
+            return Err(WireError::TooLarge(n));
+        }
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(get(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A type with a fixed wire representation.
+pub trait Wire: Sized {
+    /// Appends this value's wire form to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reads one value from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: marshals this value into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Convenience: unmarshals a value, requiring full consumption.
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut dec = Decoder::new(buf);
+        let v = Self::decode(&mut dec)?;
+        dec.expect_end()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(0xAB);
+        e.put_u16(0xBEEF);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX);
+        e.put_i64(-42);
+        e.put_f64(3.5);
+        e.put_bool(true);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_u8().unwrap(), 0xAB);
+        assert_eq!(d.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_i64().unwrap(), -42);
+        assert_eq!(d.get_f64().unwrap(), 3.5);
+        assert!(d.get_bool().unwrap());
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn strings_and_bytes_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_str("héllo rover");
+        e.put_bytes(&[0, 1, 2, 255]);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_str().unwrap(), "héllo rover");
+        assert_eq!(d.get_bytes().unwrap(), vec![0, 1, 2, 255]);
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_opt(Some(&7u64), |e, v| e.put_u64(*v));
+        e.put_opt::<u64, _>(None, |e, v| e.put_u64(*v));
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_opt(|d| d.get_u64()).unwrap(), Some(7));
+        assert_eq!(d.get_opt(|d| d.get_u64()).unwrap(), None);
+    }
+
+    #[test]
+    fn sequences_roundtrip() {
+        let items = vec!["a".to_owned(), "bb".to_owned(), "".to_owned()];
+        let mut e = Encoder::new();
+        e.put_seq(&items, |e, s| e.put_str(s));
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_seq(|d| d.get_str()).unwrap(), items);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut e = Encoder::new();
+        e.put_u64(1);
+        let b = e.finish();
+        let mut d = Decoder::new(&b[..4]);
+        assert!(matches!(
+            d.get_u64(),
+            Err(WireError::Truncated { needed: 8, remaining: 4 })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_tag_is_detected() {
+        let mut d = Decoder::new(&[9]);
+        assert_eq!(d.get_bool(), Err(WireError::BadTag(9)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert!(matches!(d.get_bytes(), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xFF, 0xFE]);
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        assert_eq!(d.get_str(), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let d = Decoder::new(&[1, 2, 3]);
+        assert_eq!(d.expect_end(), Err(WireError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn wire_trait_roundtrip_helpers() {
+        #[derive(Debug, PartialEq)]
+        struct P(u32, String);
+        impl Wire for P {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.put_u32(self.0);
+                enc.put_str(&self.1);
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+                Ok(P(dec.get_u32()?, dec.get_str()?))
+            }
+        }
+        let p = P(9, "x".into());
+        let b = p.to_bytes();
+        assert_eq!(P::from_bytes(&b).unwrap(), p);
+        // Trailing garbage fails from_bytes.
+        let mut v = b.to_vec();
+        v.push(0);
+        assert!(P::from_bytes(&v).is_err());
+    }
+}

@@ -1,0 +1,528 @@
+//! QRPC protocol envelopes and toolkit-wide identifier types.
+//!
+//! A QRPC travels as an [`Envelope`] whose body is a [`QrpcRequest`] or
+//! [`QrpcReply`]. Requests carry the operation ([`RoverOp`]), the object
+//! name, the session, a scheduling [`Priority`], and the version the
+//! client's cached copy was based on (for server-side conflict
+//! detection). Replies carry the status, the result payload, and the new
+//! committed version.
+
+use bytes::Bytes;
+
+use crate::marshal::{Decoder, Encoder, Wire, WireError};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub u64);
+
+        impl Wire for $name {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.put_u64(self.0);
+            }
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+                Ok($name(dec.get_u64()?))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype! {
+    /// Uniquely identifies one QRPC within a client; replies echo it.
+    RequestId
+}
+id_newtype! {
+    /// An application session at a client (scope of session guarantees).
+    SessionId
+}
+id_newtype! {
+    /// A monotonically increasing per-object commit version, assigned by
+    /// the object's home server.
+    Version
+}
+
+/// Identifies a host (client or server) on the simulated network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+impl Wire for HostId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(HostId(dec.get_u32()?))
+    }
+}
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// QRPC scheduling priority; the network scheduler drains lower values
+/// first (the paper's scheduler "has several queues for different
+/// priorities").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// User is actively waiting (e.g. the document being viewed).
+    pub const FOREGROUND: Priority = Priority(0);
+    /// Interactive but not blocking (click-ahead requests).
+    pub const INTERACTIVE: Priority = Priority(1);
+    /// Default priority.
+    pub const NORMAL: Priority = Priority(2);
+    /// Prefetch and other speculative traffic.
+    pub const BACKGROUND: Priority = Priority(3);
+    /// Bulk transfers (folder refresh, log drain).
+    pub const BULK: Priority = Priority(4);
+
+    /// Number of distinct priority levels.
+    pub const LEVELS: usize = 5;
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+impl Wire for Priority {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.0);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Priority(dec.get_u8()?))
+    }
+}
+
+/// The operation a QRPC asks the home server to perform.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RoverOp {
+    /// Fetch an object (RDO code + data) into the client cache.
+    Import,
+    /// Apply a client-side mutating operation at the home server.
+    Export {
+        /// Name of the exported method (an RDO method or built-in op).
+        method: String,
+    },
+    /// Invoke a method at the server without importing the object.
+    Invoke {
+        /// Name of the method to run in the server's RDO environment.
+        method: String,
+    },
+    /// Liveness probe / null RPC (used by E1).
+    Ping,
+    /// Application-defined operation, dispatched by tag.
+    Custom(u16),
+}
+
+impl Wire for RoverOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RoverOp::Import => enc.put_u8(0),
+            RoverOp::Export { method } => {
+                enc.put_u8(1);
+                enc.put_str(method);
+            }
+            RoverOp::Invoke { method } => {
+                enc.put_u8(2);
+                enc.put_str(method);
+            }
+            RoverOp::Ping => enc.put_u8(3),
+            RoverOp::Custom(tag) => {
+                enc.put_u8(4);
+                enc.put_u16(*tag);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.get_u8()? {
+            0 => Ok(RoverOp::Import),
+            1 => Ok(RoverOp::Export { method: dec.get_str()? }),
+            2 => Ok(RoverOp::Invoke { method: dec.get_str()? }),
+            3 => Ok(RoverOp::Ping),
+            4 => Ok(RoverOp::Custom(dec.get_u16()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Outcome of a QRPC at the home server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpStatus {
+    /// The operation committed.
+    Ok,
+    /// The operation conflicted and was automatically resolved; the
+    /// payload carries the reconciled state.
+    Resolved,
+    /// The operation conflicted and could not be resolved; it is
+    /// reflected back to the user.
+    Conflict,
+    /// The named object does not exist at this server.
+    NoSuchObject,
+    /// The named method does not exist on the object.
+    NoSuchMethod,
+    /// RDO execution failed (script error or budget exhausted).
+    ExecError,
+    /// The request was malformed or unauthorized.
+    Rejected,
+}
+
+impl Wire for OpStatus {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            OpStatus::Ok => 0,
+            OpStatus::Resolved => 1,
+            OpStatus::Conflict => 2,
+            OpStatus::NoSuchObject => 3,
+            OpStatus::NoSuchMethod => 4,
+            OpStatus::ExecError => 5,
+            OpStatus::Rejected => 6,
+        });
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(match dec.get_u8()? {
+            0 => OpStatus::Ok,
+            1 => OpStatus::Resolved,
+            2 => OpStatus::Conflict,
+            3 => OpStatus::NoSuchObject,
+            4 => OpStatus::NoSuchMethod,
+            5 => OpStatus::ExecError,
+            6 => OpStatus::Rejected,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// A queued remote procedure call request.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QrpcRequest {
+    /// Client-unique request identifier (at-most-once key).
+    pub req_id: RequestId,
+    /// Originating client host.
+    pub client: HostId,
+    /// Application session issuing the request.
+    pub session: SessionId,
+    /// The operation to perform.
+    pub op: RoverOp,
+    /// Canonical URN of the target object.
+    pub urn: String,
+    /// Version of the client's cached copy this request was based on
+    /// (zero if none); the server detects conflicts against it.
+    pub base_version: Version,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Authentication token presented to the home server (0 = none).
+    /// The paper's Rover server is "a secure setuid application that
+    /// authenticates requests from client applications".
+    pub auth: u64,
+    /// Operation arguments / update payload.
+    pub payload: Bytes,
+}
+
+impl Wire for QrpcRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        self.req_id.encode(enc);
+        self.client.encode(enc);
+        self.session.encode(enc);
+        self.op.encode(enc);
+        enc.put_str(&self.urn);
+        self.base_version.encode(enc);
+        self.priority.encode(enc);
+        enc.put_u64(self.auth);
+        enc.put_bytes(&self.payload);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(QrpcRequest {
+            req_id: RequestId::decode(dec)?,
+            client: HostId::decode(dec)?,
+            session: SessionId::decode(dec)?,
+            op: RoverOp::decode(dec)?,
+            urn: dec.get_str()?,
+            base_version: Version::decode(dec)?,
+            priority: Priority::decode(dec)?,
+            auth: dec.get_u64()?,
+            payload: Bytes::from(dec.get_bytes()?),
+        })
+    }
+}
+
+/// A reply to a [`QrpcRequest`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct QrpcReply {
+    /// Echo of the request identifier.
+    pub req_id: RequestId,
+    /// Outcome at the home server.
+    pub status: OpStatus,
+    /// New committed version of the object (unchanged on failure).
+    pub version: Version,
+    /// Result payload (imported object, method result, or reconciled
+    /// state on [`OpStatus::Resolved`]).
+    pub payload: Bytes,
+}
+
+impl Wire for QrpcReply {
+    fn encode(&self, enc: &mut Encoder) {
+        self.req_id.encode(enc);
+        self.status.encode(enc);
+        self.version.encode(enc);
+        enc.put_bytes(&self.payload);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(QrpcReply {
+            req_id: RequestId::decode(dec)?,
+            status: OpStatus::decode(dec)?,
+            version: Version::decode(dec)?,
+            payload: Bytes::from(dec.get_bytes()?),
+        })
+    }
+}
+
+/// Discriminates envelope bodies on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgKind {
+    /// Body is a [`QrpcRequest`].
+    Request,
+    /// Body is a [`QrpcReply`].
+    Reply,
+    /// Transport-level acknowledgement (body is the acked [`RequestId`]).
+    Ack,
+    /// Body is a [`Fragment`] of a larger message; the transport
+    /// reassembles before delivery.
+    Fragment,
+    /// Server→client cache-invalidation callback: the body names an
+    /// object (URN string) and its new committed version.
+    Callback,
+}
+
+/// One transport-level fragment of a large envelope.
+///
+/// Links carry packets, not arbitrarily large messages: the network
+/// scheduler splits any oversized envelope into MTU-sized fragments so
+/// that a high-priority message can preempt a bulk transfer *between*
+/// packets — without this, one 100 KiB prefetch would block a
+/// foreground request for its entire transmission time.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Fragment {
+    /// Kind of the original (reassembled) envelope.
+    pub orig_kind: u8,
+    /// Sender-unique id of the original message.
+    pub msg_id: u64,
+    /// This fragment's index.
+    pub idx: u32,
+    /// Total fragments in the message.
+    pub total: u32,
+    /// The payload slice.
+    pub chunk: Bytes,
+}
+
+impl Wire for Fragment {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.orig_kind);
+        enc.put_u64(self.msg_id);
+        enc.put_u32(self.idx);
+        enc.put_u32(self.total);
+        enc.put_bytes(&self.chunk);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Fragment {
+            orig_kind: dec.get_u8()?,
+            msg_id: dec.get_u64()?,
+            idx: dec.get_u32()?,
+            total: dec.get_u32()?,
+            chunk: Bytes::from(dec.get_bytes()?),
+        })
+    }
+}
+
+impl MsgKind {
+    /// Stable wire tag for this kind.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            MsgKind::Request => 0,
+            MsgKind::Reply => 1,
+            MsgKind::Ack => 2,
+            MsgKind::Fragment => 3,
+            MsgKind::Callback => 4,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_byte(b: u8) -> Option<MsgKind> {
+        Some(match b {
+            0 => MsgKind::Request,
+            1 => MsgKind::Reply,
+            2 => MsgKind::Ack,
+            3 => MsgKind::Fragment,
+            4 => MsgKind::Callback,
+            _ => return None,
+        })
+    }
+}
+
+/// The unit handed to the transport layer: a framed, checksummed message.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Envelope {
+    /// Body discriminator.
+    pub kind: MsgKind,
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Marshalled body ([`QrpcRequest`] or [`QrpcReply`]).
+    pub body: Bytes,
+}
+
+impl Envelope {
+    /// Wraps a request for transport.
+    pub fn request(src: HostId, dst: HostId, req: &QrpcRequest) -> Self {
+        Envelope { kind: MsgKind::Request, src, dst, body: req.to_bytes() }
+    }
+
+    /// Wraps a reply for transport.
+    pub fn reply(src: HostId, dst: HostId, rep: &QrpcReply) -> Self {
+        Envelope { kind: MsgKind::Reply, src, dst, body: rep.to_bytes() }
+    }
+
+    /// Returns the total wire size of this envelope in bytes, including
+    /// framing; this is the size the link model charges for.
+    pub fn wire_size(&self) -> usize {
+        // kind + src + dst + len + body + crc32
+        1 + 4 + 4 + 4 + self.body.len() + 4
+    }
+}
+
+impl Wire for Envelope {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.kind.to_byte());
+        self.src.encode(enc);
+        self.dst.encode(enc);
+        enc.put_bytes(&self.body);
+        // Frame checksum over the body.
+        enc.put_u32(crate::crc32(&self.body));
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let tag = dec.get_u8()?;
+        let kind = MsgKind::from_byte(tag).ok_or(WireError::BadTag(tag))?;
+        let src = HostId::decode(dec)?;
+        let dst = HostId::decode(dec)?;
+        let body = dec.get_bytes()?;
+        let sum = dec.get_u32()?;
+        if sum != crate::crc32(&body) {
+            return Err(WireError::BadTag(0xCC));
+        }
+        Ok(Envelope { kind, src, dst, body: Bytes::from(body) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> QrpcRequest {
+        QrpcRequest {
+            req_id: RequestId(42),
+            client: HostId(3),
+            session: SessionId(7),
+            op: RoverOp::Export { method: "append".into() },
+            urn: "urn:rover:mail/inbox/12".into(),
+            base_version: Version(9),
+            priority: Priority::INTERACTIVE,
+            auth: 0xfeed,
+            payload: Bytes::from_static(b"body bytes"),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let r = sample_request();
+        assert_eq!(QrpcRequest::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        for op in [
+            RoverOp::Import,
+            RoverOp::Export { method: "m".into() },
+            RoverOp::Invoke { method: "filter".into() },
+            RoverOp::Ping,
+            RoverOp::Custom(777),
+        ] {
+            assert_eq!(RoverOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn all_statuses_roundtrip() {
+        for s in [
+            OpStatus::Ok,
+            OpStatus::Resolved,
+            OpStatus::Conflict,
+            OpStatus::NoSuchObject,
+            OpStatus::NoSuchMethod,
+            OpStatus::ExecError,
+            OpStatus::Rejected,
+        ] {
+            assert_eq!(OpStatus::from_bytes(&s.to_bytes()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let r = QrpcReply {
+            req_id: RequestId(1),
+            status: OpStatus::Resolved,
+            version: Version(10),
+            payload: Bytes::from_static(&[1, 2, 3]),
+        };
+        assert_eq!(QrpcReply::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn envelope_roundtrips_and_checks() {
+        let env = Envelope::request(HostId(1), HostId(2), &sample_request());
+        let bytes = env.to_bytes();
+        assert_eq!(bytes.len(), env.wire_size());
+        let back = Envelope::from_bytes(&bytes).unwrap();
+        assert_eq!(back, env);
+        let req = QrpcRequest::from_bytes(&back.body).unwrap();
+        assert_eq!(req, sample_request());
+    }
+
+    #[test]
+    fn corrupted_envelope_is_rejected() {
+        let env = Envelope::request(HostId(1), HostId(2), &sample_request());
+        let mut bytes = env.to_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(Envelope::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::FOREGROUND < Priority::INTERACTIVE);
+        assert!(Priority::BACKGROUND < Priority::BULK);
+        assert_eq!(Priority::default(), Priority::NORMAL);
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(RoverOp::from_bytes(&[9]).is_err());
+        assert!(OpStatus::from_bytes(&[200]).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! The Rover Web browser proxy on a 14.4 K modem: click-ahead browsing
+//! and link prefetching versus a conventional blocking browser.
+//!
+//! Run with: `cargo run --example web_clickahead`
+
+use std::rc::Rc;
+
+use rover::apps::web::{run_session, BrowseMode, BrowserProxy, WebGen};
+use rover::{Client, ClientConfig, LinkSpec, Net, Server, ServerConfig, Sim, SimDuration};
+use rover_wire::HostId;
+
+fn browse(mode: BrowseMode, prefetch: bool) -> (f64, f64, f64) {
+    let mut sim = Sim::new(404);
+    let net = Net::new();
+    let (pda, gateway) = (HostId(1), HostId(2));
+    let link = net.add_link(LinkSpec::CSLIP_14_4, pda, gateway);
+    let server = Server::new(&net, ServerConfig::workstation(gateway));
+    server.borrow_mut().add_route(pda, link);
+    WebGen { pages: 60, seed: 1995 }.populate(&server);
+
+    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(pda, gateway), vec![link]);
+    let proxy = Rc::new(BrowserProxy::new(&client, prefetch));
+    let stats = run_session(proxy, &mut sim, "p0", 15, SimDuration::from_secs(30), mode, 7);
+    sim.run();
+
+    let st = stats.borrow();
+    let total = st.finished_at.expect("all pages arrived").as_secs_f64();
+    let mean_stall = st.stalls_ms.iter().sum::<f64>() / st.stalls_ms.len() as f64 / 1000.0;
+    let max_stall =
+        st.stalls_ms.iter().copied().fold(0.0f64, f64::max) / 1000.0;
+    (total, mean_stall, max_stall)
+}
+
+fn main() {
+    println!("15-click browsing session, 30 s think time, CSLIP 14.4 Kbit/s\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "browser", "session (s)", "mean stall", "max stall"
+    );
+    for (label, mode, prefetch) in [
+        ("blocking (conventional)", BrowseMode::Blocking, false),
+        ("click-ahead", BrowseMode::ClickAhead, false),
+        ("click-ahead + prefetch", BrowseMode::ClickAhead, true),
+    ] {
+        let (total, mean, max) = browse(mode, prefetch);
+        println!("{label:<28} {total:>12.1} {mean:>11.1}s {max:>11.1}s");
+    }
+    println!(
+        "\nClick-ahead overlaps transfers with think time; prefetching turns\n\
+         followed links into cache hits — the user stalls far less on the\n\
+         same channel."
+    );
+}
