@@ -6,7 +6,9 @@
 //! paper borrows — a conflicting booking is accepted iff its slot is
 //! still free, otherwise it is reflected back to the user.
 
-use rover_core::{Client, ClientRef, ExportHandle, Guarantees, Promise, RoverError, RoverObject, Urn};
+use rover_core::{
+    Client, ClientRef, ExportHandle, Guarantees, Promise, RoverError, RoverObject, Urn,
+};
 use rover_sim::Sim;
 use rover_wire::{Priority, SessionId};
 
@@ -44,8 +46,11 @@ proc resolve {method args_list base} {
 
 /// Builds an empty calendar object named `urn:rover:cal/<name>`.
 pub fn calendar_object(name: &str) -> RoverObject {
-    RoverObject::new(Urn::new("cal", name).expect("valid calendar urn"), "calendar")
-        .with_code(CALENDAR_CODE)
+    RoverObject::new(
+        Urn::new("cal", name).expect("valid calendar urn"),
+        "calendar",
+    )
+    .with_code(CALENDAR_CODE)
 }
 
 /// A headless calendar client (one replica of the shared calendar).
@@ -77,7 +82,13 @@ impl Calendar {
 
     /// Imports the calendar into the local cache.
     pub fn open(&self, sim: &mut Sim) -> Result<Promise, RoverError> {
-        Client::import(&self.client, sim, &self.urn(), self.session, Priority::FOREGROUND)
+        Client::import(
+            &self.client,
+            sim,
+            &self.urn(),
+            self.session,
+            Priority::FOREGROUND,
+        )
     }
 
     /// Books a slot: tentative locally, queued to the home server.
@@ -114,7 +125,13 @@ impl Calendar {
 
     /// Looks a slot up on the cached copy.
     pub fn lookup_local(&self, sim: &mut Sim, slot: u32) -> Result<Promise, RoverError> {
-        Client::invoke_local(&self.client, sim, &self.urn(), "lookup", &[&slot.to_string()])
+        Client::invoke_local(
+            &self.client,
+            sim,
+            &self.urn(),
+            "lookup",
+            &[&slot.to_string()],
+        )
     }
 }
 
@@ -127,9 +144,14 @@ mod tests {
         calendar_object("test")
     }
 
-    fn run(obj: &mut RoverObject, method: &str, args: &[&str]) -> Result<Value, rover_core::RoverError> {
+    fn run(
+        obj: &mut RoverObject,
+        method: &str,
+        args: &[&str],
+    ) -> Result<Value, rover_core::RoverError> {
         let vals: Vec<Value> = args.iter().map(Value::str).collect();
-        obj.run_method(method, &vals, Budget::default()).map(|r| r.result)
+        obj.run_method(method, &vals, Budget::default())
+            .map(|r| r.result)
     }
 
     #[test]
@@ -180,19 +202,27 @@ mod tests {
         let mut c = cal();
         run(&mut c, "book", &["9", "alice", "a"]).unwrap();
         assert_eq!(
-            run(&mut c, "resolve", &["book", "9 bob b", "1"]).unwrap().as_str(),
+            run(&mut c, "resolve", &["book", "9 bob b", "1"])
+                .unwrap()
+                .as_str(),
             "reject"
         );
         assert_eq!(
-            run(&mut c, "resolve", &["book", "10 bob b", "1"]).unwrap().as_str(),
+            run(&mut c, "resolve", &["book", "10 bob b", "1"])
+                .unwrap()
+                .as_str(),
             "accept"
         );
         assert_eq!(
-            run(&mut c, "resolve", &["cancel", "9 alice", "1"]).unwrap().as_str(),
+            run(&mut c, "resolve", &["cancel", "9 alice", "1"])
+                .unwrap()
+                .as_str(),
             "accept"
         );
         assert_eq!(
-            run(&mut c, "resolve", &["nuke_all", "", "1"]).unwrap().as_str(),
+            run(&mut c, "resolve", &["nuke_all", "", "1"])
+                .unwrap()
+                .as_str(),
             "reject"
         );
     }

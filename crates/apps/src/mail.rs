@@ -86,7 +86,11 @@ impl MailReader {
     /// sends immediately).
     pub fn new(client: &ClientRef, user: &str, guarantees: Guarantees) -> MailReader {
         let session = Client::create_session(client, guarantees, true);
-        MailReader { client: client.clone(), session, user: user.to_owned() }
+        MailReader {
+            client: client.clone(),
+            session,
+            user: user.to_owned(),
+        }
     }
 
     /// URN of one of this user's folders.
@@ -106,12 +110,29 @@ impl MailReader {
 
     /// Imports a folder (summary lines included) at foreground priority.
     pub fn open_folder(&self, sim: &mut Sim, folder: &str) -> Result<Promise, RoverError> {
-        Client::import(&self.client, sim, &self.folder_urn(folder), self.session, Priority::FOREGROUND)
+        Client::import(
+            &self.client,
+            sim,
+            &self.folder_urn(folder),
+            self.session,
+            Priority::FOREGROUND,
+        )
     }
 
     /// Imports one message for display.
-    pub fn read_message(&self, sim: &mut Sim, folder: &str, id: &str) -> Result<Promise, RoverError> {
-        Client::import(&self.client, sim, &self.msg_urn(folder, id), self.session, Priority::FOREGROUND)
+    pub fn read_message(
+        &self,
+        sim: &mut Sim,
+        folder: &str,
+        id: &str,
+    ) -> Result<Promise, RoverError> {
+        Client::import(
+            &self.client,
+            sim,
+            &self.msg_urn(folder, id),
+            self.session,
+            Priority::FOREGROUND,
+        )
     }
 
     /// Prefetches message bodies (before an anticipated disconnection).
@@ -136,7 +157,13 @@ impl MailReader {
     /// Lists message summaries from the cached folder copy (local RDO
     /// invocation — no network).
     pub fn summaries_local(&self, sim: &mut Sim, folder: &str) -> Result<Promise, RoverError> {
-        Client::invoke_local(&self.client, sim, &self.folder_urn(folder), "summaries", &[])
+        Client::invoke_local(
+            &self.client,
+            sim,
+            &self.folder_urn(folder),
+            "summaries",
+            &[],
+        )
     }
 
     /// Filters the folder by sender *at the server* (function shipping;
@@ -261,9 +288,8 @@ impl MailboxGen {
         server.borrow_mut().put_object(outbox);
 
         // The folder's hoard collection: folder index + every message.
-        let mut members = vec![
-            Urn::new("mail", &format!("{}/{}", self.user, self.folder)).expect("urn"),
-        ];
+        let mut members =
+            vec![Urn::new("mail", &format!("{}/{}", self.user, self.folder)).expect("urn")];
         members.extend(ids.iter().map(|id| {
             Urn::new("mail", &format!("{}/{}/{id}", self.user, self.folder)).expect("urn")
         }));
@@ -282,13 +308,14 @@ mod tests {
     use rover_script::Budget;
 
     fn folder() -> RoverObject {
-        RoverObject::new(Urn::new("mail", "t/inbox").unwrap(), "mailfolder")
-            .with_code(FOLDER_CODE)
+        RoverObject::new(Urn::new("mail", "t/inbox").unwrap(), "mailfolder").with_code(FOLDER_CODE)
     }
 
     fn run(obj: &mut RoverObject, method: &str, args: &[&str]) -> Value {
         let vals: Vec<Value> = args.iter().map(Value::str).collect();
-        obj.run_method(method, &vals, Budget::default()).expect(method).result
+        obj.run_method(method, &vals, Budget::default())
+            .expect(method)
+            .result
     }
 
     #[test]
@@ -329,11 +356,7 @@ mod tests {
     #[test]
     fn folder_resolver_accepts_commutative_ops_only() {
         let mut f = folder();
-        let accept = run(
-            &mut f,
-            "resolve",
-            &["add_msg", "m9 carol 5 subject", "3"],
-        );
+        let accept = run(&mut f, "resolve", &["add_msg", "m9 carol 5 subject", "3"]);
         assert_eq!(accept.as_str(), "accept");
         let reject = run(&mut f, "resolve", &["overwrite_all", "", "3"]);
         assert_eq!(reject.as_str(), "reject");
@@ -341,8 +364,8 @@ mod tests {
 
     #[test]
     fn spool_deposit_and_count() {
-        let mut s = RoverObject::new(Urn::new("mail", "t/outbox").unwrap(), "spool")
-            .with_code(SPOOL_CODE);
+        let mut s =
+            RoverObject::new(Urn::new("mail", "t/outbox").unwrap(), "spool").with_code(SPOOL_CODE);
         run(&mut s, "deposit", &["o1", "alice", "subj", "body text"]);
         run(&mut s, "deposit", &["o2", "alice", "subj2", "more text"]);
         assert_eq!(run(&mut s, "spooled", &[]), Value::Int(2));
@@ -357,14 +380,28 @@ mod tests {
         let s1 = Server::new(&net, ServerConfig::workstation(rover_wire::HostId(9)));
         let s2 = Server::new(&net, ServerConfig::workstation(rover_wire::HostId(9)));
         let g = |sv: &rover_core::ServerRef| {
-            MailboxGen { user: "u".into(), folder: "f".into(), count: 12, seed: 4 }.populate(sv)
+            MailboxGen {
+                user: "u".into(),
+                folder: "f".into(),
+                count: 12,
+                seed: 4,
+            }
+            .populate(sv)
         };
         let ids1 = g(&s1);
         let ids2 = g(&s2);
         assert_eq!(ids1, ids2);
         assert_eq!(s1.borrow().object_count(), 12 + 3); // msgs + folder + outbox + hoard
-        let f1 = s1.borrow().get_object(&Urn::new("mail", "u/f").unwrap()).unwrap().clone();
-        let f2 = s2.borrow().get_object(&Urn::new("mail", "u/f").unwrap()).unwrap().clone();
+        let f1 = s1
+            .borrow()
+            .get_object(&Urn::new("mail", "u/f").unwrap())
+            .unwrap()
+            .clone();
+        let f2 = s2
+            .borrow()
+            .get_object(&Urn::new("mail", "u/f").unwrap())
+            .unwrap()
+            .clone();
         assert_eq!(f1, f2);
     }
 }

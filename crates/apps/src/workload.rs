@@ -10,16 +10,49 @@ pub struct TextGen {
 }
 
 const WORDS: &[&str] = &[
-    "rover", "mobile", "queued", "object", "cache", "import", "export", "promise", "toolkit",
-    "network", "schedule", "tentative", "commit", "conflict", "resolve", "session", "log",
-    "flush", "modem", "wireless", "ethernet", "laptop", "server", "client", "message", "folder",
-    "meeting", "budget", "draft", "patch", "review", "deploy", "agenda", "minutes", "report",
+    "rover",
+    "mobile",
+    "queued",
+    "object",
+    "cache",
+    "import",
+    "export",
+    "promise",
+    "toolkit",
+    "network",
+    "schedule",
+    "tentative",
+    "commit",
+    "conflict",
+    "resolve",
+    "session",
+    "log",
+    "flush",
+    "modem",
+    "wireless",
+    "ethernet",
+    "laptop",
+    "server",
+    "client",
+    "message",
+    "folder",
+    "meeting",
+    "budget",
+    "draft",
+    "patch",
+    "review",
+    "deploy",
+    "agenda",
+    "minutes",
+    "report",
 ];
 
 impl TextGen {
     /// Creates a generator with a fixed seed.
     pub fn new(seed: u64) -> TextGen {
-        TextGen { rng: StdRng::seed_from_u64(seed) }
+        TextGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Returns a word-soup string of roughly `bytes` bytes.
@@ -43,8 +76,9 @@ impl TextGen {
 
     /// Returns one of the canned user names.
     pub fn user(&mut self) -> &'static str {
-        const USERS: &[&str] =
-            &["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"];
+        const USERS: &[&str] = &[
+            "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+        ];
         USERS[self.rng.gen_range(0..USERS.len())]
     }
 

@@ -25,9 +25,16 @@ fn rig(spec: LinkSpec) -> (Sim, Net, LinkId, ServerRef, ClientRef) {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
     for ty in ["mailfolder", "mailmsg", "spool", "calendar", "webpage"] {
-        server.borrow_mut().register_resolver(ty, Box::new(ScriptResolver::default()));
+        server
+            .borrow_mut()
+            .register_resolver(ty, Box::new(ScriptResolver::default()));
     }
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![link]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![link],
+    );
     (sim, net, link, server, client)
 }
 
@@ -37,9 +44,13 @@ fn rig(spec: LinkSpec) -> (Sim, Net, LinkId, ServerRef, ClientRef) {
 #[test]
 fn mail_open_read_and_summaries() {
     let (mut sim, _net, _link, server, client) = rig(LinkSpec::WAVELAN_2M);
-    let ids =
-        MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 20, seed: 3 }
-            .populate(&server);
+    let ids = MailboxGen {
+        user: "alice".into(),
+        folder: "inbox".into(),
+        count: 20,
+        seed: 3,
+    }
+    .populate(&server);
     let reader = MailReader::new(&client, "alice", Guarantees::ALL);
 
     let p = reader.open_folder(&mut sim, "inbox").unwrap();
@@ -63,13 +74,22 @@ fn mail_open_read_and_summaries() {
 #[test]
 fn mail_compose_while_disconnected_drains_later() {
     let (mut sim, net, link, server, client) = rig(LinkSpec::CSLIP_14_4);
-    MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 2, seed: 3 }
-        .populate(&server);
+    MailboxGen {
+        user: "alice".into(),
+        folder: "inbox".into(),
+        count: 2,
+        seed: 3,
+    }
+    .populate(&server);
     let reader = MailReader::new(&client, "alice", Guarantees::ALL);
 
     // Import the outbox while connected (exports need a cached copy).
     let p = Client::import(
-        &client, &mut sim, &reader.outbox_urn(), reader.session, rover_wire::Priority::NORMAL,
+        &client,
+        &mut sim,
+        &reader.outbox_urn(),
+        reader.session,
+        rover_wire::Priority::NORMAL,
     )
     .unwrap();
     sim.run();
@@ -79,7 +99,12 @@ fn mail_compose_while_disconnected_drains_later() {
     let mut handles = Vec::new();
     for i in 0..5 {
         let h = reader
-            .compose(&mut sim, &format!("out{i}"), "status report", "all quiet on the 2.4k link")
+            .compose(
+                &mut sim,
+                &format!("out{i}"),
+                "status report",
+                "all quiet on the 2.4k link",
+            )
             .unwrap();
         handles.push(h);
         sim.run_for(SimDuration::from_secs(1));
@@ -92,7 +117,14 @@ fn mail_compose_while_disconnected_drains_later() {
     assert!(handles.iter().all(|h| h.committed.is_ready()));
     let sv = server.borrow();
     let outbox = sv.get_object(&reader.outbox_urn()).unwrap();
-    assert_eq!(outbox.fields.keys().filter(|k| k.starts_with("msg")).count(), 5);
+    assert_eq!(
+        outbox
+            .fields
+            .keys()
+            .filter(|k| k.starts_with("msg"))
+            .count(),
+        5
+    );
 }
 
 #[test]
@@ -106,12 +138,29 @@ fn mail_two_readers_merge_deletes() {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, l1);
     server.borrow_mut().add_route(CLIENT2, l2);
-    server.borrow_mut().register_resolver("mailfolder", Box::new(ScriptResolver::default()));
-    let ids = MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 10, seed: 9 }
-        .populate(&server);
+    server
+        .borrow_mut()
+        .register_resolver("mailfolder", Box::new(ScriptResolver::default()));
+    let ids = MailboxGen {
+        user: "alice".into(),
+        folder: "inbox".into(),
+        count: 10,
+        seed: 9,
+    }
+    .populate(&server);
 
-    let c1 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
-    let c2 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let c1 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![l1],
+    );
+    let c2 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT2, SERVER),
+        vec![l2],
+    );
     let laptop = MailReader::new(&c1, "alice", Guarantees::ALL);
     let desktop = MailReader::new(&c2, "alice", Guarantees::ALL);
     for (r, _) in [(&laptop, 0), (&desktop, 1)] {
@@ -140,8 +189,13 @@ fn mail_two_readers_merge_deletes() {
 #[test]
 fn mail_filter_ships_function_not_data() {
     let (mut sim, _net, _link, server, client) = rig(LinkSpec::CSLIP_2_4);
-    MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 40, seed: 21 }
-        .populate(&server);
+    MailboxGen {
+        user: "alice".into(),
+        folder: "inbox".into(),
+        count: 40,
+        seed: 21,
+    }
+    .populate(&server);
     let reader = MailReader::new(&client, "alice", Guarantees::NONE);
 
     let before = sim.stats.counter("net.sent_bytes");
@@ -175,11 +229,23 @@ fn calendar_disconnected_booking_and_slot_conflict() {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, l1);
     server.borrow_mut().add_route(CLIENT2, l2);
-    server.borrow_mut().register_resolver("calendar", Box::new(ScriptResolver::default()));
+    server
+        .borrow_mut()
+        .register_resolver("calendar", Box::new(ScriptResolver::default()));
     server.borrow_mut().put_object(calendar_object("team"));
 
-    let c1 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
-    let c2 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let c1 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![l1],
+    );
+    let c2 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT2, SERVER),
+        vec![l2],
+    );
     let alice = Calendar::new(&c1, "team", "alice", Guarantees::ALL);
     let bob = Calendar::new(&c2, "team", "bob", Guarantees::ALL);
     for cal in [&alice, &bob] {
@@ -207,11 +273,16 @@ fn calendar_disconnected_booking_and_slot_conflict() {
     net.set_up(&mut sim, l2, true);
     sim.run();
 
-    let statuses =
-        [&a9, &a11, &b9, &b14].map(|h| h.committed.poll().unwrap().status);
+    let statuses = [&a9, &a11, &b9, &b14].map(|h| h.committed.poll().unwrap().status);
     // Slot 9: one side wins, the other is reflected as a conflict.
-    let conflicts = statuses.iter().filter(|s| **s == OpStatus::Conflict).count();
-    assert_eq!(conflicts, 1, "exactly one slot-9 booking must lose: {statuses:?}");
+    let conflicts = statuses
+        .iter()
+        .filter(|s| **s == OpStatus::Conflict)
+        .count();
+    assert_eq!(
+        conflicts, 1,
+        "exactly one slot-9 booking must lose: {statuses:?}"
+    );
 
     let sv = server.borrow();
     let cal = sv.get_object(&alice.urn()).unwrap();
@@ -239,7 +310,12 @@ fn calendar_cancel_roundtrip() {
     let c = cal.cancel(&mut sim, 10).unwrap();
     sim.run();
     assert_eq!(c.committed.poll().unwrap().status, OpStatus::Ok);
-    assert!(server.borrow().get_object(&cal.urn()).unwrap().field("ev10").is_none());
+    assert!(server
+        .borrow()
+        .get_object(&cal.urn())
+        .unwrap()
+        .field("ev10")
+        .is_none());
 }
 
 // ----------------------------------------------------------------------
@@ -248,7 +324,11 @@ fn calendar_cancel_roundtrip() {
 #[test]
 fn web_prefetch_turns_clicks_into_cache_hits() {
     let (mut sim, _net, _link, server, client) = rig(LinkSpec::CSLIP_14_4);
-    WebGen { pages: 30, seed: 13 }.populate(&server);
+    WebGen {
+        pages: 30,
+        seed: 13,
+    }
+    .populate(&server);
     let proxy = Rc::new(BrowserProxy::new(&client, true));
 
     // First click: fetched over the modem, links prefetched after.
@@ -271,10 +351,21 @@ fn web_prefetch_turns_clicks_into_cache_hits() {
 fn web_clickahead_beats_blocking_on_slow_links() {
     let run = |mode: BrowseMode| -> (f64, u64) {
         let (mut sim, _net, _link, server, client) = rig(LinkSpec::CSLIP_14_4);
-        WebGen { pages: 40, seed: 17 }.populate(&server);
+        WebGen {
+            pages: 40,
+            seed: 17,
+        }
+        .populate(&server);
         let proxy = Rc::new(BrowserProxy::new(&client, false));
-        let stats =
-            run_session(proxy, &mut sim, "p0", 12, SimDuration::from_secs(5), mode, 99);
+        let stats = run_session(
+            proxy,
+            &mut sim,
+            "p0",
+            12,
+            SimDuration::from_secs(5),
+            mode,
+            99,
+        );
         sim.run();
         let st = stats.borrow();
         assert_eq!(st.stalls_ms.len(), 12, "all pages arrived");
@@ -294,7 +385,11 @@ fn web_clickahead_beats_blocking_on_slow_links() {
 #[test]
 fn web_disconnected_browsing_from_cache() {
     let (mut sim, net, link, server, client) = rig(LinkSpec::WAVELAN_2M);
-    WebGen { pages: 10, seed: 23 }.populate(&server);
+    WebGen {
+        pages: 10,
+        seed: 23,
+    }
+    .populate(&server);
     let proxy = Rc::new(BrowserProxy::new(&client, true));
 
     let p = proxy.request(&mut sim, "p3").unwrap();
@@ -326,8 +421,13 @@ fn web_disconnected_browsing_from_cache() {
 #[test]
 fn mail_hoard_enables_full_offline_folder() {
     let (mut sim, net, link, server, client) = rig(LinkSpec::WAVELAN_2M);
-    let ids = MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 15, seed: 8 }
-        .populate(&server);
+    let ids = MailboxGen {
+        user: "alice".into(),
+        folder: "inbox".into(),
+        count: 15,
+        seed: 8,
+    }
+    .populate(&server);
     let reader = MailReader::new(&client, "alice", Guarantees::ALL);
 
     // One call hoards the folder index and all 15 bodies.
@@ -353,7 +453,11 @@ fn web_prefetch_threshold_gates_prefetching() {
     // on a modem the same threshold lets prefetch kick in.
     let prefetches = |spec: LinkSpec| -> u64 {
         let (mut sim, _net, _link, server, client) = rig(spec);
-        WebGen { pages: 20, seed: 31 }.populate(&server);
+        WebGen {
+            pages: 20,
+            seed: 31,
+        }
+        .populate(&server);
         let mut proxy = BrowserProxy::new(&client, true);
         proxy.prefetch_threshold = SimDuration::from_millis(500);
         let p = proxy.request(&mut sim, "p0").unwrap();
@@ -362,8 +466,15 @@ fn web_prefetch_threshold_gates_prefetching() {
         sim.stats.counter("client.prefetches")
     };
 
-    assert_eq!(prefetches(LinkSpec::ETHERNET_10M), 0, "fast link: below threshold");
-    assert!(prefetches(LinkSpec::CSLIP_14_4) > 0, "modem: above threshold");
+    assert_eq!(
+        prefetches(LinkSpec::ETHERNET_10M),
+        0,
+        "fast link: below threshold"
+    );
+    assert!(
+        prefetches(LinkSpec::CSLIP_14_4) > 0,
+        "modem: above threshold"
+    );
 }
 
 #[test]
@@ -371,17 +482,35 @@ fn web_session_survives_flaky_modem() {
     // A browsing session across repeated disconnections: every clicked
     // page eventually arrives (click-ahead + QRPC retransmission).
     let (mut sim, net, link, server, client) = rig(LinkSpec::CSLIP_14_4);
-    WebGen { pages: 25, seed: 37 }.populate(&server);
+    WebGen {
+        pages: 25,
+        seed: 37,
+    }
+    .populate(&server);
     let proxy = Rc::new(BrowserProxy::new(&client, false));
     // 40 s up / 20 s down, repeatedly.
     net.schedule_pattern(
-        &mut sim, link, SimDuration::from_secs(40), SimDuration::from_secs(20), 40,
+        &mut sim,
+        link,
+        SimDuration::from_secs(40),
+        SimDuration::from_secs(20),
+        40,
     );
     let stats = run_session(
-        proxy, &mut sim, "p0", 10, SimDuration::from_secs(25), BrowseMode::ClickAhead, 3,
+        proxy,
+        &mut sim,
+        "p0",
+        10,
+        SimDuration::from_secs(25),
+        BrowseMode::ClickAhead,
+        3,
     );
     sim.run_until(sim.now() + rover_sim::SimDuration::from_secs(3600));
     let st = stats.borrow();
-    assert_eq!(st.stalls_ms.len(), 10, "every page arrived despite the flapping");
+    assert_eq!(
+        st.stalls_ms.len(),
+        10,
+        "every page arrived despite the flapping"
+    );
     assert!(st.finished_at.is_some());
 }

@@ -1,0 +1,236 @@
+//! Criterion microbenchmarks for this release's two hot paths: the
+//! generation-stamped event loop (vs the old tombstone-set design) and
+//! zero-copy fragmentation (vs the old copy-per-hop path).
+//!
+//! Each benchmark runs one "round" against a 10k-pending backlog:
+//! schedule 100 events, cancel three of every four, then pop the
+//! survivors — the retransmission-timer mix QRPC produces in the
+//! simulator (most timers are cancelled by the reply arriving first).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use rover_net::{split_envelope, Reassembler};
+use rover_sim::{Sim, SimDuration, SimTime};
+use rover_wire::{Bytes, Envelope, Fragment, HostId, MsgKind, Wire};
+
+const BACKLOG: usize = 10_000;
+const ROUND: u64 = 100;
+
+/// Minimal reimplementation of the pre-slab event loop: closures keyed
+/// by sequence number in a `HashMap`, cancellation via a tombstone
+/// `HashSet` consulted on every pop. Kept here as the comparison
+/// baseline for the slab design in `rover_sim::Sim`.
+struct TombstoneLoop {
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    events: HashMap<u64, Box<dyn FnMut()>>,
+    cancelled: HashSet<u64>,
+}
+
+impl TombstoneLoop {
+    fn new() -> Self {
+        TombstoneLoop {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            events: HashMap::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    fn schedule_at(&mut self, at: u64, f: Box<dyn FnMut()>) -> u64 {
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.events.insert(id, f);
+        id
+    }
+
+    fn cancel(&mut self, id: u64) {
+        if self.events.remove(&id).is_some() {
+            self.cancelled.insert(id);
+        }
+    }
+
+    fn run_until(&mut self, deadline: u64) {
+        while let Some(Reverse((at, id))) = self.heap.peek().copied() {
+            if at > deadline {
+                break;
+            }
+            self.heap.pop();
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            self.now = at;
+            if let Some(mut f) = self.events.remove(&id) {
+                f();
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+}
+
+/// One schedule/cancel/pop round on the slab loop.
+fn slab_round(sim: &mut Sim, fired: &std::rc::Rc<std::cell::Cell<u64>>) {
+    let base = sim.now();
+    let ids: Vec<_> = (0..ROUND)
+        .map(|i| {
+            let fired = fired.clone();
+            sim.schedule_at(base + SimDuration::from_micros(i + 1), move |_| {
+                fired.set(fired.get() + 1);
+            })
+        })
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        if i % 4 != 3 {
+            sim.cancel(*id);
+        }
+    }
+    sim.run_until(base + SimDuration::from_micros(ROUND + 1));
+}
+
+/// The same round on the tombstone baseline.
+fn tombstone_round(ev: &mut TombstoneLoop, fired: &std::rc::Rc<std::cell::Cell<u64>>) {
+    let base = ev.now;
+    let ids: Vec<_> = (0..ROUND)
+        .map(|i| {
+            let fired = fired.clone();
+            ev.schedule_at(base + i + 1, Box::new(move || fired.set(fired.get() + 1)))
+        })
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        if i % 4 != 3 {
+            ev.cancel(*id);
+        }
+    }
+    ev.run_until(base + ROUND + 1);
+}
+
+fn slab_fixture() -> (Sim, std::rc::Rc<std::cell::Cell<u64>>) {
+    let mut sim = Sim::new(7);
+    let far = SimTime::from_secs(1 << 30);
+    for _ in 0..BACKLOG {
+        sim.schedule_at(far, |_| {});
+    }
+    (sim, std::rc::Rc::new(std::cell::Cell::new(0)))
+}
+
+fn tombstone_fixture() -> (TombstoneLoop, std::rc::Rc<std::cell::Cell<u64>>) {
+    let mut ev = TombstoneLoop::new();
+    for _ in 0..BACKLOG {
+        ev.schedule_at(u64::MAX / 2, Box::new(|| {}));
+    }
+    (ev, std::rc::Rc::new(std::cell::Cell::new(0)))
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let (mut sim, fired) = slab_fixture();
+    c.bench_function("event/slab_round_10k_pending", |b| {
+        b.iter(|| slab_round(&mut sim, &fired));
+    });
+
+    let (mut ev, fired) = tombstone_fixture();
+    c.bench_function("event/tombstone_round_10k_pending", |b| {
+        b.iter(|| tombstone_round(&mut ev, &fired));
+    });
+
+    // Headline ratio, measured directly so the report carries it.
+    const ITERS: u64 = 2_000;
+    let (mut sim, fired) = slab_fixture();
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        slab_round(&mut sim, &fired);
+    }
+    let slab_ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+
+    let (mut ev, fired) = tombstone_fixture();
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        tombstone_round(&mut ev, &fired);
+    }
+    let tomb_ns = t0.elapsed().as_nanos() as f64 / ITERS as f64;
+    println!(
+        "event/speedup_vs_tombstone                   {:>10.2}x  (slab {:.0} ns/round, tombstone {:.0} ns/round)",
+        tomb_ns / slab_ns,
+        slab_ns,
+        tomb_ns
+    );
+}
+
+const MIB: usize = 1 << 20;
+const MTU: usize = 1460;
+
+fn big_envelope() -> Envelope {
+    Envelope {
+        kind: MsgKind::Request,
+        src: HostId(1),
+        dst: HostId(2),
+        body: Bytes::from(vec![0xC3u8; MIB]),
+    }
+}
+
+/// The pre-`Bytes` fragmentation path: chunks copied out of the body on
+/// split, copied again out of each fragment on decode, then concatenated.
+fn copy_roundtrip(env: &Envelope) -> usize {
+    let total = env.body.len().div_ceil(MTU) as u32;
+    let mut frags = Vec::with_capacity(total as usize);
+    for idx in 0..total {
+        let start = idx as usize * MTU;
+        let end = (start + MTU).min(env.body.len());
+        let frag = Fragment {
+            orig_kind: env.kind.to_byte(),
+            msg_id: 9,
+            idx,
+            total,
+            chunk: Bytes::from(env.body[start..end].to_vec()),
+        };
+        frags.push(frag.to_bytes());
+    }
+    let mut chunks: Vec<Vec<u8>> = vec![Vec::new(); total as usize];
+    for body in &frags {
+        // `from_bytes` has no shared source, so the chunk is copied.
+        let frag = Fragment::from_bytes(body).unwrap();
+        chunks[frag.idx as usize] = frag.chunk.to_vec();
+    }
+    let mut out = Vec::new();
+    for c in chunks {
+        out.extend_from_slice(&c);
+    }
+    out.len()
+}
+
+/// The current path: `split_envelope` slices, `Reassembler` decodes
+/// shared views and performs the single exactly-sized rebuild.
+fn bytes_roundtrip(env: &Envelope) -> usize {
+    let frags = split_envelope(env.clone(), MTU, 9);
+    let mut re = Reassembler::new(4);
+    let mut out = None;
+    for f in frags {
+        if let Some(whole) = re.accept(f) {
+            out = Some(whole);
+        }
+    }
+    out.expect("reassembled").body.len()
+}
+
+fn bench_frag(c: &mut Criterion) {
+    let env = big_envelope();
+    c.bench_function("frag/roundtrip_1mib_bytes", |b| {
+        b.iter(|| {
+            assert_eq!(black_box(bytes_roundtrip(&env)), MIB);
+        });
+    });
+    c.bench_function("frag/roundtrip_1mib_copy_baseline", |b| {
+        b.iter(|| {
+            assert_eq!(black_box(copy_roundtrip(&env)), MIB);
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_loop, bench_frag);
+criterion_main!(benches);

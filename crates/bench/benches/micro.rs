@@ -9,15 +9,19 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rover_core::{RoverObject, Urn};
 use rover_log::{FlushPolicy, MemStore, OpLog, RecordKind};
 use rover_script::{Budget, Interp, NoHost};
-use rover_wire::{compress, decompress, Bytes, HostId, Priority, QrpcRequest, RequestId, RoverOp,
-    SessionId, Version, Wire};
+use rover_wire::{
+    compress, decompress, Bytes, HostId, Priority, QrpcRequest, RequestId, RoverOp, SessionId,
+    Version, Wire,
+};
 
 fn sample_request(n: usize) -> QrpcRequest {
     QrpcRequest {
         req_id: RequestId(7),
         client: HostId(1),
         session: SessionId(3),
-        op: RoverOp::Export { method: "add_msg".into() },
+        op: RoverOp::Export {
+            method: "add_msg".into(),
+        },
         urn: "urn:rover:mail/alice/inbox".into(),
         base_version: Version(9),
         priority: Priority::NORMAL,
@@ -65,7 +69,10 @@ fn bench_interp(c: &mut Criterion) {
         b.iter(|| {
             let mut i = Interp::new();
             let v = i
-                .eval(&mut NoHost, "set s 0; for {set k 0} {$k < 1000} {incr k} {incr s $k}; set s")
+                .eval(
+                    &mut NoHost,
+                    "set s 0; for {set k 0} {$k < 1000} {incr k} {incr s $k}; set s",
+                )
                 .unwrap();
             black_box(v);
         });

@@ -6,6 +6,7 @@ use rover_net::{LinkSpec, SchedMode};
 use rover_sim::SimDuration;
 use rover_wire::Priority;
 
+use crate::report::Report;
 use crate::table::{bytes, ms, ratio, Table};
 use crate::testbed::{mean, Rig};
 
@@ -14,21 +15,41 @@ use crate::testbed::{mean, Rig};
 /// The paper's prototype flushes per operation and explicitly forgoes
 /// group commit and fast stable storage; this ablation measures what
 /// each would have bought.
-pub fn a1_flush() {
+pub fn a1_flush(r: &mut Report) {
     let arms: [(&str, LogPolicy, StorageModel); 4] = [
-        ("per-op, 1995 disk (paper)", LogPolicy::PerOperation, StorageModel::LAPTOP_DISK_1995),
-        ("per-op, Flash RAM", LogPolicy::PerOperation, StorageModel::FLASH_RAM),
         (
-            "group commit (8 / 100 ms), disk",
-            LogPolicy::GroupCommit { n: 8, timeout: SimDuration::from_millis(100) },
+            "per-op, 1995 disk (paper)",
+            LogPolicy::PerOperation,
             StorageModel::LAPTOP_DISK_1995,
         ),
-        ("no log (unsafe)", LogPolicy::None, StorageModel::LAPTOP_DISK_1995),
+        (
+            "per-op, Flash RAM",
+            LogPolicy::PerOperation,
+            StorageModel::FLASH_RAM,
+        ),
+        (
+            "group commit (8 / 100 ms), disk",
+            LogPolicy::GroupCommit {
+                n: 8,
+                timeout: SimDuration::from_millis(100),
+            },
+            StorageModel::LAPTOP_DISK_1995,
+        ),
+        (
+            "no log (unsafe)",
+            LogPolicy::None,
+            StorageModel::LAPTOP_DISK_1995,
+        ),
     ];
 
     let mut t = Table::new(
         "A1 — Log flush policy: null-QRPC latency, interactive vs burst (Ethernet-10M)",
-        &["policy", "interactive (1-at-a-time)", "burst of 24 (per op)", "CSLIP-14.4K interactive"],
+        &[
+            "policy",
+            "interactive (1-at-a-time)",
+            "burst of 24 (per op)",
+            "CSLIP-14.4K interactive",
+        ],
     )
     .note(
         "On Ethernet the 15 ms disk flush dominates the RPC; on dial-up the channel \
@@ -45,7 +66,9 @@ pub fn a1_flush() {
             });
             let xs: Vec<f64> = (0..20)
                 .map(|_| {
-                    rig.time_op(|r| Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND))
+                    rig.time_op(|r| {
+                        Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
+                    })
                 })
                 .collect();
             mean(&xs)
@@ -65,19 +88,17 @@ pub fn a1_flush() {
             }
             rig.sim.now().since(t0).as_millis_f64() / 24.0
         };
-        t.row(vec![
-            label.to_string(),
-            ms(inter(LinkSpec::ETHERNET_10M)),
-            ms(burst),
-            ms(inter(LinkSpec::CSLIP_14_4)),
-        ]);
+        let (eth, cslip) = (inter(LinkSpec::ETHERNET_10M), inter(LinkSpec::CSLIP_14_4));
+        r.metric(format!("{label}.ethernet_interactive_ms"), eth);
+        r.metric(format!("{label}.burst_per_op_ms"), burst);
+        t.row(vec![label.to_string(), ms(eth), ms(burst), ms(cslip)]);
     }
-    t.print();
+    r.table(&t);
 }
 
 /// A2: log compression (the paper's prototype "does not perform any
 /// compression on the log").
-pub fn a2_compress() {
+pub fn a2_compress(r: &mut Report) {
     // Representative queued-mail payloads: text-heavy QRPC bodies.
     let mut gen = rover_apps::workload::TextGen::new(5);
     let payloads: Vec<Vec<u8>> = (0..100)
@@ -105,26 +126,39 @@ pub fn a2_compress() {
         "LZSS on log records shrinks the stable log (and its flush time) by ~2x on \
          text payloads — the improvement the paper left on the table.",
     );
-    t.row(vec!["raw payload bytes".into(), bytes(raw as u64), "1.0x".into()]);
+    t.row(vec![
+        "raw payload bytes".into(),
+        bytes(raw as u64),
+        "1.0x".into(),
+    ]);
     t.row(vec![
         "log, uncompressed (paper)".into(),
         bytes(plain.device_len()),
         ratio(raw as f64 / plain.device_len() as f64),
     ]);
+    r.metric(
+        "lzss_ratio_vs_raw",
+        raw as f64 / compressed.device_len() as f64,
+    );
     t.row(vec![
         "log, LZSS".into(),
         bytes(compressed.device_len()),
         ratio(raw as f64 / compressed.device_len() as f64),
     ]);
-    t.print();
+    r.table(&t);
 }
 
 /// A3: the network scheduler's priority queues vs FIFO on a busy slow
 /// link (the paper's channel-use optimization).
-pub fn a3_priority() {
+pub fn a3_priority(r: &mut Report) {
     let mut t = Table::new(
         "A3 — Scheduler discipline on CSLIP-14.4K: foreground latency under bulk load",
-        &["discipline", "mean foreground ping", "max foreground ping", "bulk total"],
+        &[
+            "discipline",
+            "mean foreground ping",
+            "max foreground ping",
+            "bulk total",
+        ],
     )
     .note(
         "Five 40 KiB bulk imports are queued, then a foreground ping is issued every \
@@ -132,13 +166,18 @@ pub fn a3_priority() {
          makes them wait out the bulk queue.",
     );
 
-    for (label, mode) in [("priority (Rover)", SchedMode::Priority), ("FIFO", SchedMode::Fifo)] {
+    for (label, mode) in [
+        ("priority (Rover)", SchedMode::Priority),
+        ("FIFO", SchedMode::Fifo),
+    ] {
         let mut rig = Rig::with_configs(
             LinkSpec::CSLIP_14_4,
             |c| c.sched_mode = mode,
             |s| s.sched_mode = mode,
         );
-        let urns: Vec<_> = (0..5).map(|i| rig.put_blob(&format!("bulk{i}"), 40 << 10)).collect();
+        let urns: Vec<_> = (0..5)
+            .map(|i| rig.put_blob(&format!("bulk{i}"), 40 << 10))
+            .collect();
         let t0 = rig.sim.now();
         let bulk: Vec<_> = urns
             .iter()
@@ -151,23 +190,31 @@ pub fn a3_priority() {
         let mut fg = Vec::new();
         for _ in 0..8 {
             rig.sim.run_for(SimDuration::from_secs(10));
-            fg.push(rig.time_op(|r| {
-                Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
-            }));
+            fg.push(
+                rig.time_op(|r| {
+                    Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
+                }),
+            );
         }
         for p in &bulk {
             rig.await_promise(p);
         }
         let bulk_total = rig.sim.now().since(t0).as_millis_f64();
         let max_fg = fg.iter().copied().fold(0.0f64, f64::max);
-        t.row(vec![label.into(), ms(mean(&fg)), ms(max_fg), ms(bulk_total)]);
+        r.metric(format!("{label}.mean_fg_ping_ms"), mean(&fg));
+        t.row(vec![
+            label.into(),
+            ms(mean(&fg)),
+            ms(max_fg),
+            ms(bulk_total),
+        ]);
     }
-    t.print();
+    r.table(&t);
 }
 
 /// A6: transport fragmentation — what packetization buys priority
 /// scheduling on a slow link.
-pub fn a6_fragmentation() {
+pub fn a6_fragmentation(r: &mut Report) {
     let mut t = Table::new(
         "A6 — Fragmentation on CSLIP-14.4K: foreground latency behind one 40 KiB bulk transfer",
         &["transport", "mean foreground ping", "max foreground ping"],
@@ -178,13 +225,14 @@ pub fn a6_fragmentation() {
          the next packet boundary.",
     );
 
-    for (label, mtu) in [("fragmented (1460 B, Rover)", rover_net::DEFAULT_MTU), ("whole messages", usize::MAX)] {
-        let mut rig = Rig::with_configs(
-            LinkSpec::CSLIP_14_4,
-            |c| c.mtu = mtu,
-            |s| s.mtu = mtu,
-        );
-        let urns: Vec<_> = (0..2).map(|i| rig.put_blob(&format!("bulk{i}"), 40 << 10)).collect();
+    for (label, mtu) in [
+        ("fragmented (1460 B, Rover)", rover_net::DEFAULT_MTU),
+        ("whole messages", usize::MAX),
+    ] {
+        let mut rig = Rig::with_configs(LinkSpec::CSLIP_14_4, |c| c.mtu = mtu, |s| s.mtu = mtu);
+        let urns: Vec<_> = (0..2)
+            .map(|i| rig.put_blob(&format!("bulk{i}"), 40 << 10))
+            .collect();
         let bulk: Vec<_> = urns
             .iter()
             .map(|u| {
@@ -195,30 +243,40 @@ pub fn a6_fragmentation() {
         let mut fg = Vec::new();
         for _ in 0..6 {
             rig.sim.run_for(SimDuration::from_secs(8));
-            fg.push(rig.time_op(|r| {
-                Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
-            }));
+            fg.push(
+                rig.time_op(|r| {
+                    Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
+                }),
+            );
         }
         for p in &bulk {
             rig.await_promise(p);
         }
         let max_fg = fg.iter().copied().fold(0.0f64, f64::max);
+        r.metric(format!("{label}.max_fg_ping_ms"), max_fg);
         t.row(vec![label.into(), ms(mean(&fg)), ms(max_fg)]);
     }
-    t.print();
+    r.table(&t);
 }
 
 /// A5: server callbacks — the paper's option for shrinking the
 /// stale-read window, versus its cost in callback traffic.
-pub fn a5_callbacks() {
-    use rover_core::{Client, ClientConfig, ReexecuteResolver, RoverObject, Server, ServerConfig, Urn};
+pub fn a5_callbacks(r: &mut Report) {
+    use rover_core::{
+        Client, ClientConfig, ReexecuteResolver, RoverObject, Server, ServerConfig, Urn,
+    };
     use rover_net::Net;
     use rover_sim::Sim;
     use rover_wire::HostId;
 
     let mut t = Table::new(
         "A5 — Server callbacks: reader staleness while a writer updates (WaveLAN)",
-        &["configuration", "fresh reads", "stale reads", "callbacks sent"],
+        &[
+            "configuration",
+            "fresh reads",
+            "stale reads",
+            "callbacks sent",
+        ],
     )
     .note(
         "A writer commits 10 updates; after each, a reader imports. Without callbacks \
@@ -229,15 +287,17 @@ pub fn a5_callbacks() {
     for callbacks in [false, true] {
         let mut sim = Sim::new(31);
         let net = Net::new();
-        let (w, r, sv_host) = (HostId(1), HostId(3), HostId(2));
+        let (w, rd, sv_host) = (HostId(1), HostId(3), HostId(2));
         let lw = net.add_link(LinkSpec::WAVELAN_2M, w, sv_host);
-        let lr = net.add_link(LinkSpec::WAVELAN_2M, r, sv_host);
+        let lr = net.add_link(LinkSpec::WAVELAN_2M, rd, sv_host);
         let mut scfg = ServerConfig::workstation(sv_host);
         scfg.callbacks = callbacks;
         let server = Server::new(&net, scfg);
         server.borrow_mut().add_route(w, lw);
-        server.borrow_mut().add_route(r, lr);
-        server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+        server.borrow_mut().add_route(rd, lr);
+        server
+            .borrow_mut()
+            .register_resolver("counter", Box::new(ReexecuteResolver));
         let urn = Urn::parse("urn:rover:bench/shared").unwrap();
         server.borrow_mut().put_object(
             RoverObject::new(urn.clone(), "counter")
@@ -246,7 +306,12 @@ pub fn a5_callbacks() {
         );
 
         let writer = Client::new(&mut sim, &net, ClientConfig::thinkpad(w, sv_host), vec![lw]);
-        let reader = Client::new(&mut sim, &net, ClientConfig::thinkpad(r, sv_host), vec![lr]);
+        let reader = Client::new(
+            &mut sim,
+            &net,
+            ClientConfig::thinkpad(rd, sv_host),
+            vec![lr],
+        );
         let ws = Client::create_session(&writer, rover_core::Guarantees::ALL, true);
         let rs = Client::create_session(&reader, rover_core::Guarantees::NONE, false);
         for (c, s) in [(&writer, ws), (&reader, rs)] {
@@ -278,17 +343,22 @@ pub fn a5_callbacks() {
             }
         }
         t.row(vec![
-            if callbacks { "callbacks on" } else { "callbacks off (paper default)" }.into(),
+            if callbacks {
+                "callbacks on"
+            } else {
+                "callbacks off (paper default)"
+            }
+            .into(),
             format!("{fresh}/10"),
             format!("{stale}/10"),
             sim.stats.counter("server.callbacks_sent").to_string(),
         ]);
     }
-    t.print();
+    r.table(&t);
 }
 
 /// A4: session guarantees — what they cost and what they buy.
-pub fn a4_consistency() {
+pub fn a4_consistency(r: &mut Report) {
     // Cost: committed-export latency with all guarantees vs none.
     let mut t = Table::new(
         "A4 — Session guarantees: export commit latency (10 ops, CSLIP-14.4K)",
@@ -306,8 +376,14 @@ pub fn a4_consistency() {
         let mut rig = Rig::new(LinkSpec::CSLIP_14_4);
         let urn = rig.put_counter();
         let session = Client::create_session(&rig.client, guarantees, accept_tentative);
-        let p = Client::import(&rig.client, &mut rig.sim, &urn, session, Priority::FOREGROUND)
-            .expect("session");
+        let p = Client::import(
+            &rig.client,
+            &mut rig.sim,
+            &urn,
+            session,
+            Priority::FOREGROUND,
+        )
+        .expect("session");
         rig.await_promise(&p);
 
         // Connected phase: commit latency.
@@ -315,7 +391,13 @@ pub fn a4_consistency() {
         for _ in 0..10 {
             let t0 = rig.sim.now();
             let h = Client::export(
-                &rig.client, &mut rig.sim, &urn, session, "add", &["1"], Priority::NORMAL,
+                &rig.client,
+                &mut rig.sim,
+                &urn,
+                session,
+                "add",
+                &["1"],
+                Priority::NORMAL,
             )
             .expect("cached");
             rig.await_promise(&h.committed);
@@ -328,12 +410,24 @@ pub fn a4_consistency() {
         const TRIALS: usize = 10;
         for k in 0..TRIALS {
             let _ = Client::export(
-                &rig.client, &mut rig.sim, &urn, session, "add", &["1"], Priority::NORMAL,
+                &rig.client,
+                &mut rig.sim,
+                &urn,
+                session,
+                "add",
+                &["1"],
+                Priority::NORMAL,
             )
             .expect("cached");
             rig.sim.run_for(SimDuration::from_secs(1));
-            let p = Client::import(&rig.client, &mut rig.sim, &urn, session, Priority::FOREGROUND)
-                .expect("session");
+            let p = Client::import(
+                &rig.client,
+                &mut rig.sim,
+                &urn,
+                session,
+                Priority::FOREGROUND,
+            )
+            .expect("session");
             rig.sim.run_for(SimDuration::from_secs(1));
             if let Some(o) = p.poll() {
                 let expect = (10 + k + 1).to_string();
@@ -342,11 +436,12 @@ pub fn a4_consistency() {
                 }
             }
         }
+        r.metric(format!("{label}.mean_commit_ms"), mean(&commits));
         t.row(vec![
             label.into(),
             ms(mean(&commits)),
             format!("{seen_own}/{TRIALS}"),
         ]);
     }
-    t.print();
+    r.table(&t);
 }

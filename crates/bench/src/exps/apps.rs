@@ -12,20 +12,27 @@ use rover_net::{LinkSpec, Net};
 use rover_sim::{Sim, SimDuration};
 use rover_wire::HostId;
 
+use crate::report::Report;
 use crate::table::{ms, Table};
 use crate::testbed::{mean, Rig, CLIENT, SERVER};
 
 /// E6: the mail reader — user-perceived time to work through an inbox,
 /// Rover's prefetching client vs a conventional blocking client, plus
 /// the disconnected compose-and-drain phase.
-pub fn e6_mail() {
+pub fn e6_mail(r: &mut Report) {
     const MSGS: usize = 30;
     const READS: usize = 8;
     let think = SimDuration::from_secs(15);
 
     let mut t = Table::new(
         "E6 — Mail reader: open inbox + read 8 messages (15 s think time between reads)",
-        &["network", "conventional wait", "Rover wait", "Rover speedup", "cache hits"],
+        &[
+            "network",
+            "conventional wait",
+            "Rover wait",
+            "Rover speedup",
+            "cache hits",
+        ],
     )
     .note(
         "Wait = time the user stares at the screen (folder open + per-message stalls). \
@@ -59,6 +66,8 @@ pub fn e6_mail() {
                 hits = rig.sim.stats.counter("client.cache_hits");
             }
         }
+        r.metric(format!("{}.conventional_wait_ms", spec.name), waits[0]);
+        r.metric(format!("{}.rover_wait_ms", spec.name), waits[1]);
         t.row(vec![
             spec.name.into(),
             ms(waits[0]),
@@ -67,20 +76,32 @@ pub fn e6_mail() {
             format!("{hits}/{READS}"),
         ]);
     }
-    t.print();
+    r.table(&t);
 
     // Disconnected phase: compose on the train, drain over the modem.
     let mut t2 = Table::new(
         "E6b — Disconnected mail: compose 5 messages offline, drain on reconnect",
         &["network", "tentative latency", "drain time", "delivered"],
     );
-    for spec in [LinkSpec::WAVELAN_2M, LinkSpec::CSLIP_14_4, LinkSpec::CSLIP_2_4] {
+    for spec in [
+        LinkSpec::WAVELAN_2M,
+        LinkSpec::CSLIP_14_4,
+        LinkSpec::CSLIP_2_4,
+    ] {
         let mut rig = Rig::new(spec);
-        MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 3, seed: 77 }
-            .populate(&rig.server);
+        MailboxGen {
+            user: "alice".into(),
+            folder: "inbox".into(),
+            count: 3,
+            seed: 77,
+        }
+        .populate(&rig.server);
         let reader = MailReader::new(&rig.client, "alice", Guarantees::ALL);
         let p = Client::import(
-            &rig.client, &mut rig.sim, &reader.outbox_urn(), reader.session,
+            &rig.client,
+            &mut rig.sim,
+            &reader.outbox_urn(),
+            reader.session,
             rover_wire::Priority::NORMAL,
         )
         .unwrap();
@@ -92,7 +113,12 @@ pub fn e6_mail() {
         for i in 0..5 {
             let t0 = rig.sim.now();
             let h = reader
-                .compose(&mut rig.sim, &format!("m{i}"), "from the train", &"z".repeat(800))
+                .compose(
+                    &mut rig.sim,
+                    &format!("m{i}"),
+                    "from the train",
+                    &"z".repeat(800),
+                )
                 .unwrap();
             rig.await_promise(&h.tentative);
             tentatives.push(rig.sim.now().since(t0).as_millis_f64());
@@ -103,8 +129,13 @@ pub fn e6_mail() {
         let drain = rig.await_drain();
         let delivered = commits
             .iter()
-            .filter(|p| p.poll().map(|o| o.status == OpStatus::Ok || o.status == OpStatus::Resolved).unwrap_or(false))
+            .filter(|p| {
+                p.poll()
+                    .map(|o| o.status == OpStatus::Ok || o.status == OpStatus::Resolved)
+                    .unwrap_or(false)
+            })
             .count();
+        r.metric(format!("{}.mail_drain_ms", spec.name), drain);
         t2.row(vec![
             spec.name.into(),
             ms(mean(&tentatives)),
@@ -112,12 +143,12 @@ pub fn e6_mail() {
             format!("{delivered}/5"),
         ]);
     }
-    t2.print();
+    r.table(&t2);
 }
 
 /// E7: the shared calendar — tentative vs committed latency, and the
 /// disconnected double-booking experiment.
-pub fn e7_calendar() {
+pub fn e7_calendar(r: &mut Report) {
     let mut t = Table::new(
         "E7 — Calendar: booking latency (tentative vs committed, mean of 8)",
         &["network", "tentative", "committed", "gap"],
@@ -142,9 +173,16 @@ pub fn e7_calendar() {
             comm.push(rig.sim.now().since(t0).as_millis_f64());
         }
         let (tm, cm) = (mean(&tent), mean(&comm));
-        t.row(vec![spec.name.into(), ms(tm), ms(cm), crate::table::ratio(cm / tm.max(0.001))]);
+        r.metric(format!("{}.tentative_ms", spec.name), tm);
+        r.metric(format!("{}.committed_ms", spec.name), cm);
+        t.row(vec![
+            spec.name.into(),
+            ms(tm),
+            ms(cm),
+            crate::table::ratio(cm / tm.max(0.001)),
+        ]);
     }
-    t.print();
+    r.table(&t);
 
     // Two disconnected replicas book overlapping slots.
     let mut t2 = Table::new(
@@ -164,7 +202,9 @@ pub fn e7_calendar() {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(h1, l1);
     server.borrow_mut().add_route(h2, l2);
-    server.borrow_mut().register_resolver("calendar", Box::new(ScriptResolver::default()));
+    server
+        .borrow_mut()
+        .register_resolver("calendar", Box::new(ScriptResolver::default()));
     server.borrow_mut().put_object(calendar_object("team"));
 
     let c1 = Client::new(&mut sim, &net, ClientConfig::thinkpad(h1, SERVER), vec![l1]);
@@ -185,7 +225,10 @@ pub fn e7_calendar() {
     let mut handles = Vec::new();
     for i in 0..15u32 {
         handles.push(alice.book(&mut sim, i * 2, "alice-mtg").unwrap());
-        handles.push(bob.book(&mut sim, bob_slots[i as usize], "bob-mtg").unwrap());
+        handles.push(
+            bob.book(&mut sim, bob_slots[i as usize], "bob-mtg")
+                .unwrap(),
+        );
         sim.run_for(SimDuration::from_secs(2));
     }
     net.set_up(&mut sim, l1, true);
@@ -205,40 +248,69 @@ pub fn e7_calendar() {
         }
     }
     let sv = server.borrow();
-    let final_slots =
-        sv.get_object(&alice.urn()).unwrap().fields.keys().filter(|k| k.starts_with("ev")).count();
+    let final_slots = sv
+        .get_object(&alice.urn())
+        .unwrap()
+        .fields
+        .keys()
+        .filter(|k| k.starts_with("ev"))
+        .count();
     t2.row(vec!["bookings issued".into(), handles.len().to_string()]);
     t2.row(vec!["committed clean (Ok)".into(), ok.to_string()]);
-    t2.row(vec!["auto-resolved (Resolved)".into(), resolved.to_string()]);
+    t2.row(vec![
+        "auto-resolved (Resolved)".into(),
+        resolved.to_string(),
+    ]);
     t2.row(vec!["reflected conflicts".into(), conflicts.to_string()]);
-    t2.row(vec!["local exec errors (slot taken in own replica)".into(), errors.to_string()]);
-    t2.row(vec!["slots booked at server".into(), final_slots.to_string()]);
-    t2.print();
+    t2.row(vec![
+        "local exec errors (slot taken in own replica)".into(),
+        errors.to_string(),
+    ]);
+    t2.row(vec![
+        "slots booked at server".into(),
+        final_slots.to_string(),
+    ]);
+    r.table(&t2);
 }
 
 /// E8: the Web browser proxy — session time and stalls per mode and
 /// channel.
-pub fn e8_web() {
+pub fn e8_web(r: &mut Report) {
     const CLICKS: usize = 15;
     let think = SimDuration::from_secs(30);
 
     let mut t = Table::new(
         "E8 — Web proxy: 15-click session, 30 s think time",
-        &["network", "browser", "session", "mean stall", "max stall", "hit rate"],
+        &[
+            "network",
+            "browser",
+            "session",
+            "mean stall",
+            "max stall",
+            "hit rate",
+        ],
     )
     .note(
         "Blocking = conventional browser; click-ahead = Rover proxy queueing; \
          +prefetch also fetches the first 3 links of each arrived page.",
     );
 
-    for spec in [LinkSpec::WAVELAN_2M, LinkSpec::CSLIP_14_4, LinkSpec::CSLIP_2_4] {
+    for spec in [
+        LinkSpec::WAVELAN_2M,
+        LinkSpec::CSLIP_14_4,
+        LinkSpec::CSLIP_2_4,
+    ] {
         for (label, mode, prefetch) in [
             ("blocking", BrowseMode::Blocking, false),
             ("click-ahead", BrowseMode::ClickAhead, false),
             ("click-ahead+prefetch", BrowseMode::ClickAhead, true),
         ] {
             let mut rig = Rig::new(spec);
-            WebGen { pages: 60, seed: 1995 }.populate(&rig.server);
+            WebGen {
+                pages: 60,
+                seed: 1995,
+            }
+            .populate(&rig.server);
             let proxy = Rc::new(BrowserProxy::new(&rig.client, prefetch));
             let stats = run_session(proxy, &mut rig.sim, "p0", CLICKS, think, mode, 7);
             rig.sim.run();
@@ -248,15 +320,19 @@ pub fn e8_web() {
             let max_stall = st.stalls_ms.iter().copied().fold(0.0f64, f64::max);
             let hits = rig.sim.stats.counter("client.cache_hits");
             let misses = rig.sim.stats.counter("client.cache_misses");
+            r.metric(format!("{}.{label}.session_s", spec.name), session);
             t.row(vec![
                 spec.name.into(),
                 label.into(),
                 format!("{session:.0}s"),
                 ms(mean_stall),
                 ms(max_stall),
-                format!("{:.0}%", hits as f64 / (hits + misses).max(1) as f64 * 100.0),
+                format!(
+                    "{:.0}%",
+                    hits as f64 / (hits + misses).max(1) as f64 * 100.0
+                ),
             ]);
         }
     }
-    t.print();
+    r.table(&t);
 }

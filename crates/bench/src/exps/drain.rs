@@ -5,20 +5,35 @@ use rover_net::LinkSpec;
 use rover_sim::SimDuration;
 use rover_wire::Priority;
 
+use crate::report::Report;
 use crate::table::{ms, Table};
 use crate::testbed::Rig;
 
 fn drain_once(spec: LinkSpec, n: usize) -> (f64, bool) {
     let mut rig = Rig::new(spec);
     let urn = rig.put_counter();
-    let p = Client::import(&rig.client, &mut rig.sim, &urn, rig.session, Priority::FOREGROUND)
-        .expect("session");
+    let p = Client::import(
+        &rig.client,
+        &mut rig.sim,
+        &urn,
+        rig.session,
+        Priority::FOREGROUND,
+    )
+    .expect("session");
     rig.await_promise(&p);
 
     rig.net.set_up(&mut rig.sim, rig.link, false);
     for _ in 0..n {
-        Client::export(&rig.client, &mut rig.sim, &urn, rig.session, "add", &["1"], Priority::BULK)
-            .expect("cached");
+        Client::export(
+            &rig.client,
+            &mut rig.sim,
+            &urn,
+            rig.session,
+            "add",
+            &["1"],
+            Priority::BULK,
+        )
+        .expect("cached");
         rig.sim.run_for(SimDuration::from_millis(500));
     }
     assert_eq!(Client::outstanding_count(&rig.client), n);
@@ -41,9 +56,7 @@ impl Rig {
         let urn = rover_core::Urn::parse("urn:rover:bench/counter").unwrap();
         self.server.borrow_mut().put_object(
             rover_core::RoverObject::new(urn.clone(), "counter")
-                .with_code(
-                    "proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}",
-                )
+                .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
                 .with_field("n", "0"),
         );
         urn
@@ -51,7 +64,7 @@ impl Rig {
 }
 
 /// E9: drain time after reconnection, by channel and queue depth.
-pub fn e9_drain() {
+pub fn e9_drain(r: &mut Report) {
     let mut t = Table::new(
         "E9a — Drain 25 queued QRPCs on reconnection, by channel",
         &["network", "drain time", "exactly-once"],
@@ -59,9 +72,14 @@ pub fn e9_drain() {
     .note("Drain includes dial-up connection setup where the channel has one.");
     for spec in LinkSpec::TESTBED {
         let (drain, correct) = drain_once(spec, 25);
-        t.row(vec![spec.name.into(), ms(drain), if correct { "yes" } else { "NO" }.into()]);
+        r.metric(format!("{}.drain25_ms", spec.name), drain);
+        t.row(vec![
+            spec.name.into(),
+            ms(drain),
+            if correct { "yes" } else { "NO" }.into(),
+        ]);
     }
-    t.print();
+    r.table(&t);
 
     let mut t2 = Table::new(
         "E9b — Drain time vs queue depth (CSLIP-14.4K)",
@@ -71,7 +89,8 @@ pub fn e9_drain() {
     for n in [5usize, 10, 25, 50] {
         let (drain, correct) = drain_once(LinkSpec::CSLIP_14_4, n);
         assert!(correct, "exactly-once violated at n={n}");
+        r.metric(format!("cslip14_4.drain{n}_ms"), drain);
         t2.row(vec![n.to_string(), ms(drain), ms(drain / n as f64)]);
     }
-    t2.print();
+    r.table(&t2);
 }

@@ -5,6 +5,7 @@ use rover_net::LinkSpec;
 use rover_sim::SimDuration;
 use rover_wire::Priority;
 
+use crate::report::Report;
 use crate::table::{ms, ratio, Table};
 use crate::testbed::{mean, Rig};
 
@@ -12,10 +13,16 @@ use crate::testbed::{mean, Rig};
 ///
 /// Reproduces the paper's results #1/#2: QRPC's stable-log flush is
 /// visible on Ethernet but dwarfed by transmission time on dial-up.
-pub fn e1_null_qrpc() {
+pub fn e1_null_qrpc(r: &mut Report) {
     let mut t = Table::new(
         "E1 — Null-RPC latency: plain RPC vs QRPC (mean of 20)",
-        &["network", "plain RPC", "QRPC (no log)", "QRPC (logged)", "log overhead"],
+        &[
+            "network",
+            "plain RPC",
+            "QRPC (no log)",
+            "QRPC (logged)",
+            "log overhead",
+        ],
     )
     .note(
         "Shape check: the logged-QRPC overhead is large relative to RPC on fast links \
@@ -38,7 +45,9 @@ pub fn e1_null_qrpc() {
             let mut rig = Rig::with_config(spec, |c| c.log_policy = LogPolicy::None);
             let xs: Vec<f64> = (0..20)
                 .map(|_| {
-                    rig.time_op(|r| Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND))
+                    rig.time_op(|r| {
+                        Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
+                    })
                 })
                 .collect();
             mean(&xs)
@@ -47,12 +56,16 @@ pub fn e1_null_qrpc() {
             let mut rig = Rig::new(spec);
             let xs: Vec<f64> = (0..20)
                 .map(|_| {
-                    rig.time_op(|r| Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND))
+                    rig.time_op(|r| {
+                        Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
+                    })
                 })
                 .collect();
             mean(&xs)
         };
         let overhead = (logged - plain) / plain * 100.0;
+        r.metric(format!("{}.plain_rpc_ms", spec.name), plain);
+        r.metric(format!("{}.logged_qrpc_ms", spec.name), logged);
         t.row(vec![
             spec.name.into(),
             ms(plain),
@@ -61,14 +74,21 @@ pub fn e1_null_qrpc() {
             format!("{overhead:.0}%"),
         ]);
     }
-    t.print();
+    r.table(&t);
 }
 
 /// E2: where a QRPC's time goes, per channel.
-pub fn e2_breakdown() {
+pub fn e2_breakdown(r: &mut Report) {
     let mut t = Table::new(
         "E2 — QRPC cost breakdown (1 KiB import, mean of 20)",
-        &["network", "marshal", "log flush", "server", "network+rest", "total RTT"],
+        &[
+            "network",
+            "marshal",
+            "log flush",
+            "server",
+            "network+rest",
+            "total RTT",
+        ],
     )
     .note("Network time is the residual: total minus the measured CPU/log components.");
 
@@ -76,8 +96,14 @@ pub fn e2_breakdown() {
         let mut rig = Rig::new(spec);
         for i in 0..20 {
             let urn = rig.put_blob(&format!("b{i}"), 1024);
-            let p = Client::import(&rig.client, &mut rig.sim, &urn, rig.session, Priority::FOREGROUND)
-                .expect("session");
+            let p = Client::import(
+                &rig.client,
+                &mut rig.sim,
+                &urn,
+                rig.session,
+                Priority::FOREGROUND,
+            )
+            .expect("session");
             rig.await_promise(&p);
         }
         let series = |k: &str| rig.sim.stats.series(k).map(|s| s.mean()).unwrap_or(0.0);
@@ -86,6 +112,7 @@ pub fn e2_breakdown() {
         let server = series("server.exec_ms");
         let total = series("client.qrpc_rtt_ms");
         let rest = (total - marshal - flush - server).max(0.0);
+        r.metric(format!("{}.qrpc_rtt_ms", spec.name), total);
         t.row(vec![
             spec.name.into(),
             ms(marshal),
@@ -95,11 +122,11 @@ pub fn e2_breakdown() {
             ms(total),
         ]);
     }
-    t.print();
+    r.table(&t);
 }
 
 /// E3: object-import latency versus object size.
-pub fn e3_import_size() {
+pub fn e3_import_size(r: &mut Report) {
     const SIZES: [(usize, &str); 6] = [
         (64, "64B"),
         (1 << 10, "1KiB"),
@@ -124,11 +151,14 @@ pub fn e3_import_size() {
                 Client::import(&r.client, &mut r.sim, &urn, r.session, Priority::FOREGROUND)
                     .expect("session")
             });
+            if size == 1 << 20 {
+                r.metric(format!("{}.import_1mib_ms", spec.name), lat);
+            }
             row.push(ms(lat));
         }
         t.row(row);
     }
-    t.print();
+    r.table(&t);
 }
 
 /// Builds the E4/E5-style compute object: `n` records and a summing
@@ -145,7 +175,8 @@ fn compute_object(n: usize) -> RoverObject {
              }",
         );
     for i in 0..n {
-        obj.fields.insert(format!("item{i:03}"), (i % 97).to_string());
+        obj.fields
+            .insert(format!("item{i:03}"), (i % 97).to_string());
     }
     obj
 }
@@ -154,7 +185,7 @@ fn compute_object(n: usize) -> RoverObject {
 ///
 /// The paper's headline: "a local invocation on an RDO is 56 times
 /// faster than sending an RPC over a TCP/CSLIP14.4 connection."
-pub fn e4_rdo_cache() {
+pub fn e4_rdo_cache(r: &mut Report) {
     let mut t = Table::new(
         "E4 — Cached-RDO invocation vs remote RPC (summarize over 100 records, mean of 10)",
         &["network", "local invoke", "remote RPC", "speedup"],
@@ -165,8 +196,14 @@ pub fn e4_rdo_cache() {
         let mut rig = Rig::new(spec);
         rig.server.borrow_mut().put_object(compute_object(100));
         let urn = Urn::parse("urn:rover:bench/compute").unwrap();
-        let p = Client::import(&rig.client, &mut rig.sim, &urn, rig.session, Priority::FOREGROUND)
-            .expect("session");
+        let p = Client::import(
+            &rig.client,
+            &mut rig.sim,
+            &urn,
+            rig.session,
+            Priority::FOREGROUND,
+        )
+        .expect("session");
         rig.await_promise(&p);
 
         let local: Vec<f64> = (0..10)
@@ -181,17 +218,23 @@ pub fn e4_rdo_cache() {
             .map(|_| {
                 rig.time_op(|r| {
                     Client::invoke_remote(
-                        &r.client, &mut r.sim, &urn, r.session, "summarize", &[],
+                        &r.client,
+                        &mut r.sim,
+                        &urn,
+                        r.session,
+                        "summarize",
+                        &[],
                         Priority::FOREGROUND,
                     )
                     .expect("session")
                 })
             })
             .collect();
-        let (l, r) = (mean(&local), mean(&remote));
-        t.row(vec![spec.name.into(), ms(l), ms(r), ratio(r / l)]);
+        let (loc, rem) = (mean(&local), mean(&remote));
+        r.metric(format!("{}.rdo_speedup", spec.name), rem / loc);
+        t.row(vec![spec.name.into(), ms(loc), ms(rem), ratio(rem / loc)]);
         // Idle pause between networks keeps per-network rigs independent.
         rig.sim.run_for(SimDuration::from_secs(1));
     }
-    t.print();
+    r.table(&t);
 }

@@ -4,6 +4,7 @@ use rover_core::{Client, Placement, PlacementHints, RoverObject, Urn};
 use rover_net::LinkSpec;
 use rover_wire::Priority;
 
+use crate::report::Report;
 use crate::table::{bytes, ms, Table};
 use crate::testbed::Rig;
 
@@ -29,7 +30,8 @@ fn record_store(sel: f64) -> RoverObject {
     for i in 0..RECORDS {
         let tag = if i < matching { "t1" } else { "t0" };
         let payload = "p".repeat(PAYLOAD);
-        obj.fields.insert(format!("rec{i:04}"), format!("{tag} {payload}"));
+        obj.fields
+            .insert(format!("rec{i:04}"), format!("{tag} {payload}"));
     }
     obj
 }
@@ -39,10 +41,19 @@ fn record_store(sel: f64) -> RoverObject {
 ///
 /// The paper's result #4: migrating RDOs gives excellent performance on
 /// moderate-bandwidth links — exactly when result size ≪ data size.
-pub fn e5_migration() {
+pub fn e5_migration(r: &mut Report) {
     let mut t = Table::new(
         "E5 — RDO migration: filter at server (ship function) vs fetch-all (ship data)",
-        &["network", "selectivity", "ship function", "ship data", "adaptive", "picked", "fn bytes", "data bytes"],
+        &[
+            "network",
+            "selectivity",
+            "ship function",
+            "ship data",
+            "adaptive",
+            "picked",
+            "fn bytes",
+            "data bytes",
+        ],
     )
     .note(
         "Ship-function sends the call and returns matches only; ship-data imports the whole \
@@ -50,8 +61,12 @@ pub fn e5_migration() {
          live link and should track the winner.",
     );
 
-    for spec in [LinkSpec::ETHERNET_10M, LinkSpec::WAVELAN_2M, LinkSpec::CSLIP_14_4, LinkSpec::CSLIP_2_4]
-    {
+    for spec in [
+        LinkSpec::ETHERNET_10M,
+        LinkSpec::WAVELAN_2M,
+        LinkSpec::CSLIP_14_4,
+        LinkSpec::CSLIP_2_4,
+    ] {
         for sel in [0.02, 0.10, 0.50] {
             let urn = Urn::parse("urn:rover:bench/records").unwrap();
 
@@ -62,7 +77,12 @@ pub fn e5_migration() {
                 let b0 = rig.sim.stats.counter("net.sent_bytes");
                 let lat = rig.time_op(|r| {
                     Client::invoke_remote(
-                        &r.client, &mut r.sim, &urn, r.session, "filter", &["t1*"],
+                        &r.client,
+                        &mut r.sim,
+                        &urn,
+                        r.session,
+                        "filter",
+                        &["t1*"],
                         Priority::FOREGROUND,
                     )
                     .expect("session")
@@ -77,12 +97,17 @@ pub fn e5_migration() {
                 let b0 = rig.sim.stats.counter("net.sent_bytes");
                 let t0 = rig.sim.now();
                 let p = Client::import(
-                    &rig.client, &mut rig.sim, &urn, rig.session, Priority::FOREGROUND,
+                    &rig.client,
+                    &mut rig.sim,
+                    &urn,
+                    rig.session,
+                    Priority::FOREGROUND,
                 )
                 .expect("session");
                 rig.await_promise(&p);
-                let p2 = Client::invoke_local(&rig.client, &mut rig.sim, &urn, "filter_local", &["t1*"])
-                    .expect("cached");
+                let p2 =
+                    Client::invoke_local(&rig.client, &mut rig.sim, &urn, "filter_local", &["t1*"])
+                        .expect("cached");
                 rig.await_promise(&p2);
                 let lat = rig.sim.now().since(t0).as_millis_f64();
                 (lat, rig.sim.stats.counter("net.sent_bytes") - b0)
@@ -101,8 +126,14 @@ pub fn e5_migration() {
                 };
                 let t0 = rig.sim.now();
                 let (p, placement) = Client::invoke_adaptive(
-                    &rig.client, &mut rig.sim, &urn, rig.session, "filter", &["t1*"],
-                    hints, Priority::FOREGROUND,
+                    &rig.client,
+                    &mut rig.sim,
+                    &urn,
+                    rig.session,
+                    "filter",
+                    &["t1*"],
+                    hints,
+                    Priority::FOREGROUND,
                 )
                 .expect("session");
                 rig.await_promise(&p);
@@ -114,6 +145,18 @@ pub fn e5_migration() {
                 };
                 (lat, label)
             };
+            r.metric(
+                format!("{}.sel{:02.0}.ship_fn_ms", spec.name, sel * 100.0),
+                fn_ms,
+            );
+            r.metric(
+                format!("{}.sel{:02.0}.ship_data_ms", spec.name, sel * 100.0),
+                data_ms,
+            );
+            r.metric(
+                format!("{}.sel{:02.0}.adaptive_ms", spec.name, sel * 100.0),
+                ad_ms,
+            );
             t.row(vec![
                 spec.name.into(),
                 format!("{:.0}%", sel * 100.0),
@@ -126,5 +169,5 @@ pub fn e5_migration() {
             ]);
         }
     }
-    t.print();
+    r.table(&t);
 }

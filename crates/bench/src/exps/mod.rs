@@ -29,28 +29,42 @@ pub const ALL: &[&str] = &[
     "a6-fragmentation",
 ];
 
-/// Runs one experiment by id; returns false for unknown ids.
-pub fn run(id: &str) -> bool {
+/// Runs one experiment by id into a buffered [`Report`]; `None` for
+/// unknown ids.
+pub fn run_report(id: &str) -> Option<crate::report::Report> {
+    let mut r = crate::report::Report::new(id);
     match id {
-        "t1-api" => tables::t1_api(),
-        "t2-loc" => tables::t2_loc(),
-        "t3-apps" => tables::t3_apps(),
-        "e1-null-qrpc" => micro::e1_null_qrpc(),
-        "e2-breakdown" => micro::e2_breakdown(),
-        "e3-import-size" => micro::e3_import_size(),
-        "e4-rdo-cache" => micro::e4_rdo_cache(),
-        "e5-migration" => migration::e5_migration(),
-        "e6-mail" => apps::e6_mail(),
-        "e7-calendar" => apps::e7_calendar(),
-        "e8-web" => apps::e8_web(),
-        "e9-drain" => drain::e9_drain(),
-        "a1-flush" => ablations::a1_flush(),
-        "a2-compress" => ablations::a2_compress(),
-        "a3-priority" => ablations::a3_priority(),
-        "a4-consistency" => ablations::a4_consistency(),
-        "a5-callbacks" => ablations::a5_callbacks(),
-        "a6-fragmentation" => ablations::a6_fragmentation(),
-        _ => return false,
+        "t1-api" => tables::t1_api(&mut r),
+        "t2-loc" => tables::t2_loc(&mut r),
+        "t3-apps" => tables::t3_apps(&mut r),
+        "e1-null-qrpc" => micro::e1_null_qrpc(&mut r),
+        "e2-breakdown" => micro::e2_breakdown(&mut r),
+        "e3-import-size" => micro::e3_import_size(&mut r),
+        "e4-rdo-cache" => micro::e4_rdo_cache(&mut r),
+        "e5-migration" => migration::e5_migration(&mut r),
+        "e6-mail" => apps::e6_mail(&mut r),
+        "e7-calendar" => apps::e7_calendar(&mut r),
+        "e8-web" => apps::e8_web(&mut r),
+        "e9-drain" => drain::e9_drain(&mut r),
+        "a1-flush" => ablations::a1_flush(&mut r),
+        "a2-compress" => ablations::a2_compress(&mut r),
+        "a3-priority" => ablations::a3_priority(&mut r),
+        "a4-consistency" => ablations::a4_consistency(&mut r),
+        "a5-callbacks" => ablations::a5_callbacks(&mut r),
+        "a6-fragmentation" => ablations::a6_fragmentation(&mut r),
+        _ => return None,
     }
-    true
+    Some(r)
+}
+
+/// Runs one experiment by id, printing its report; returns false for
+/// unknown ids.
+pub fn run(id: &str) -> bool {
+    match run_report(id) {
+        Some(r) => {
+            print!("{}", r.text());
+            true
+        }
+        None => false,
+    }
 }

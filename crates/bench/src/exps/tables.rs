@@ -4,27 +4,55 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::report::Report;
 use crate::table::Table;
 
 /// T1: the Rover client API (the paper's Table 1 listed the toolkit's
 /// client-library operations).
-pub fn t1_api() {
+pub fn t1_api(r: &mut Report) {
     let mut t = Table::new("T1 — Rover client API", &["operation", "behaviour"]);
     for (op, desc) in [
-        ("create_session(guarantees, tentative?)", "open a session scoping consistency"),
-        ("import(urn, session, prio) -> promise", "fetch an object into the cache (QRPC on miss)"),
-        ("export(urn, session, method, args) -> handles", "apply locally (tentative), queue to home server"),
-        ("invoke_local(urn, method, args) -> promise", "run an RDO method on the cached copy (read-only)"),
-        ("invoke_remote(urn, session, method, args)", "ship the call to the home server's RDO environment"),
-        ("prefetch(urns, session)", "background-fill the cache before disconnection"),
+        (
+            "create_session(guarantees, tentative?)",
+            "open a session scoping consistency",
+        ),
+        (
+            "import(urn, session, prio) -> promise",
+            "fetch an object into the cache (QRPC on miss)",
+        ),
+        (
+            "export(urn, session, method, args) -> handles",
+            "apply locally (tentative), queue to home server",
+        ),
+        (
+            "invoke_local(urn, method, args) -> promise",
+            "run an RDO method on the cached copy (read-only)",
+        ),
+        (
+            "invoke_remote(urn, session, method, args)",
+            "ship the call to the home server's RDO environment",
+        ),
+        (
+            "prefetch(urns, session)",
+            "background-fill the cache before disconnection",
+        ),
         ("ping / ping_direct", "null QRPC / conventional null RPC"),
-        ("on_event(callback)", "user notification: connectivity, commits, conflicts, evictions"),
-        ("outstanding_count / log_len / cache_usage", "introspection of queue, stable log, cache"),
-        ("rover::get/set/has/del/keys/urn", "host commands available to RDO method code"),
+        (
+            "on_event(callback)",
+            "user notification: connectivity, commits, conflicts, evictions",
+        ),
+        (
+            "outstanding_count / log_len / cache_usage",
+            "introspection of queue, stable log, cache",
+        ),
+        (
+            "rover::get/set/has/del/keys/urn",
+            "host commands available to RDO method code",
+        ),
     ] {
         t.row(vec![op.into(), desc.into()]);
     }
-    t.print();
+    r.table(&t);
 }
 
 fn count_rs_lines(dir: &Path) -> (usize, usize) {
@@ -51,12 +79,15 @@ fn count_rs_lines(dir: &Path) -> (usize, usize) {
 }
 
 fn repo_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
 }
 
 /// T2: implementation size per component (the paper's Table 2 reported
 /// the toolkit's code sizes; here we count this reproduction).
-pub fn t2_loc() {
+pub fn t2_loc(r: &mut Report) {
     let root = repo_root();
     let mut t = Table::new(
         "T2 — Implementation size (non-blank Rust lines, tests included)",
@@ -67,7 +98,10 @@ pub fn t2_loc() {
         ("simulation kernel (rover-sim)", "crates/sim/src"),
         ("marshalling + compression (rover-wire)", "crates/wire/src"),
         ("stable log (rover-log)", "crates/log/src"),
-        ("network substrate + scheduler (rover-net)", "crates/net/src"),
+        (
+            "network substrate + scheduler (rover-net)",
+            "crates/net/src",
+        ),
         ("RDO interpreter (rover-script)", "crates/script/src"),
         ("toolkit core (rover-core)", "crates/core/src"),
         ("toolkit core integration tests", "crates/core/tests"),
@@ -86,13 +120,17 @@ pub fn t2_loc() {
         total.1 += l;
         t.row(vec![label.into(), f.to_string(), l.to_string()]);
     }
-    t.row(vec!["TOTAL".into(), total.0.to_string(), total.1.to_string()]);
-    t.print();
+    t.row(vec![
+        "TOTAL".into(),
+        total.0.to_string(),
+        total.1.to_string(),
+    ]);
+    r.table(&t);
 }
 
 /// T3: the applications built on the toolkit (the paper's Table 3
 /// described Exmh, Ical and the Web proxy ports).
-pub fn t3_apps() {
+pub fn t3_apps(r: &mut Report) {
     let root = repo_root();
     let line_count = |rel: &str| -> usize {
         fs::read_to_string(root.join(rel))
@@ -101,7 +139,12 @@ pub fn t3_apps() {
     };
     let mut t = Table::new(
         "T3 — Applications built on the Rover toolkit",
-        &["application", "paper analogue", "app lines", "toolkit features exercised"],
+        &[
+            "application",
+            "paper analogue",
+            "app lines",
+            "toolkit features exercised",
+        ],
     );
     t.row(vec![
         "mail reader".into(),
@@ -121,5 +164,5 @@ pub fn t3_apps() {
         line_count("crates/apps/src/web.rs").to_string(),
         "click-ahead promises, link prefetch, disconnected cache browsing".into(),
     ]);
-    t.print();
+    r.table(&t);
 }

@@ -6,5 +6,7 @@
 //! deterministic and complete in seconds of wall clock.
 
 pub mod exps;
+pub mod harness;
+pub mod report;
 pub mod table;
 pub mod testbed;

@@ -3,34 +3,102 @@
 //! Usage:
 //!
 //! ```text
-//! rover-bench all            # every experiment, report order
-//! rover-bench e1-null-qrpc   # one experiment
-//! rover-bench list           # available experiment ids
+//! rover-bench all                 # every experiment, report order
+//! rover-bench all --jobs 4        # same report, 4 worker threads
+//! rover-bench all --jobs 1        # force serial
+//! rover-bench e1-null-qrpc        # one experiment
+//! rover-bench list                # available experiment ids
 //! ```
+//!
+//! Experiments are independent virtual-time simulations, so `--jobs N`
+//! (default: all cores) runs them concurrently and prints the buffered
+//! reports in canonical order — the report bytes are identical to a
+//! serial run. `all` also writes `results/BENCH_rover.json` with
+//! per-experiment wall-clock time and headline virtual-time metrics
+//! (override the directory with `--json <dir>`, disable with
+//! `--json none`).
 
-use rover_bench::exps;
+use rover_bench::{exps, harness};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = match args.first().map(String::as_str) {
-        None | Some("all") => exps::ALL.to_vec(),
-        Some("list") => {
-            println!("available experiments:");
-            for id in exps::ALL {
-                println!("  {id}");
+    let mut jobs: Option<usize> = None;
+    let mut json_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                let n = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--jobs needs a positive integer"));
+                if n == 0 {
+                    usage("--jobs needs a positive integer");
+                }
+                jobs = Some(n);
             }
-            return;
+            "--json" => {
+                json_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--json needs a directory")),
+                );
+            }
+            _ if a.starts_with('-') => usage(&format!("unknown flag {a}")),
+            _ => ids.push(a),
         }
-        Some(_) => args.iter().map(String::as_str).collect(),
-    };
+    }
 
-    println!("# Rover reproduction — experiment report");
-    println!("# (virtual-time measurements; deterministic per seed)");
-    for id in ids {
-        eprintln!("running {id}…");
-        if !exps::run(id) {
+    let run_all = ids.is_empty() || (ids.len() == 1 && ids[0] == "all");
+    if ids.len() == 1 && ids[0] == "list" {
+        println!("available experiments:");
+        for id in exps::ALL {
+            println!("  {id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if run_all {
+        exps::ALL.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !exps::ALL.contains(id) {
             eprintln!("unknown experiment \"{id}\"; try `rover-bench list`");
             std::process::exit(2);
         }
     }
+
+    let jobs = jobs.unwrap_or_else(harness::default_jobs);
+    eprintln!("running {} experiment(s) on {jobs} worker(s)…", ids.len());
+    let results = harness::run_parallel(&ids, jobs);
+
+    println!("# Rover reproduction — experiment report");
+    println!("# (virtual-time measurements; deterministic per seed)");
+    for r in &results {
+        print!("{}", r.text);
+    }
+
+    // `all` runs record machine-readable results unless disabled.
+    let json_dir = match json_dir {
+        Some(d) if d == "none" => None,
+        Some(d) => Some(d),
+        None if run_all => Some("results".to_owned()),
+        None => None,
+    };
+    if let Some(dir) = json_dir {
+        match harness::write_results_json(std::path::Path::new(&dir), &results, jobs) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {dir}/BENCH_rover.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("rover-bench: {msg}");
+    eprintln!("usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]");
+    std::process::exit(2);
 }

@@ -1,0 +1,72 @@
+//! Buffered experiment output.
+//!
+//! Experiments write their tables and headline metrics into a
+//! [`Report`] instead of printing directly. The serial CLI path prints
+//! each report as soon as it finishes; the parallel harness runs
+//! experiments on worker threads and prints the buffered reports in
+//! canonical order, so `--jobs N` output is byte-identical to serial.
+
+use crate::table::Table;
+
+/// One experiment's buffered output: rendered tables plus the headline
+/// virtual-time metrics exported to `BENCH_rover.json`.
+pub struct Report {
+    id: String,
+    out: String,
+    metrics: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates an empty report for the experiment `id`.
+    pub fn new(id: &str) -> Report {
+        Report {
+            id: id.to_owned(),
+            out: String::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Returns the experiment id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Renders a finished table into the report (and writes its CSV when
+    /// `ROVER_BENCH_CSV` is set).
+    pub fn table(&mut self, t: &Table) {
+        t.render_into(&mut self.out);
+    }
+
+    /// Records a headline metric (virtual-time milliseconds, ratios,
+    /// counts) for the JSON results file.
+    pub fn metric(&mut self, key: impl Into<String>, v: f64) {
+        self.metrics.push((key.into(), v));
+    }
+
+    /// Returns the rendered report text.
+    pub fn text(&self) -> &str {
+        &self.out
+    }
+
+    /// Returns the recorded metrics in insertion order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_buffers_tables_and_metrics() {
+        let mut r = Report::new("e0-test");
+        let mut t = Table::new("T — demo", &["k", "v"]);
+        t.row(vec!["a".into(), "1".into()]);
+        r.table(&t);
+        r.metric("demo_ms", 1.5);
+        assert_eq!(r.text(), t.render());
+        assert_eq!(r.metrics(), &[("demo_ms".to_owned(), 1.5)]);
+        assert_eq!(r.id(), "e0-test");
+    }
+}

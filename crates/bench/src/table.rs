@@ -35,14 +35,22 @@ impl Table {
     /// `ROVER_BENCH_CSV` environment variable (no-op when unset). The
     /// file name is derived from the title's leading experiment id.
     fn maybe_write_csv(&self) {
-        let Ok(dir) = std::env::var("ROVER_BENCH_CSV") else { return };
+        let Ok(dir) = std::env::var("ROVER_BENCH_CSV") else {
+            return;
+        };
         let slug: String = self
             .title
             .split_whitespace()
             .next()
             .unwrap_or("table")
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
             .collect();
         let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
         let mut out = String::new();
@@ -53,7 +61,14 @@ impl Table {
                 c.to_owned()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -64,22 +79,27 @@ impl Table {
         }
     }
 
-    /// Prints the table to stdout (and writes CSV when
-    /// `ROVER_BENCH_CSV` is set).
-    pub fn print(&self) {
-        self.maybe_write_csv();
+    /// Renders the table to a string (the exact bytes [`Table::print`]
+    /// would write to stdout). Buffering instead of printing is what
+    /// lets the parallel harness run experiments out of order and still
+    /// emit a canonical, byte-identical report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());
             }
         }
-        println!("\n### {}\n", self.title);
+        out.push_str(&format!("\n### {}\n\n", self.title));
         let fmt_row = |cells: &[String]| {
             let mut line = String::from("| ");
             for (i, c) in cells.iter().enumerate() {
                 // Right-align numeric-looking cells, left-align labels.
-                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                let numeric = c
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
                     && c.chars().any(|ch| ch.is_ascii_digit());
                 if numeric && i > 0 {
                     line.push_str(&format!("{c:>w$} | ", w = widths[i]));
@@ -89,15 +109,33 @@ impl Table {
             }
             line
         };
-        println!("{}", fmt_row(&self.headers));
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
         let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-        println!("{}", fmt_row(&sep));
+        out.push_str(&fmt_row(&sep));
+        out.push('\n');
         for row in &self.rows {
-            println!("{}", fmt_row(row));
+            out.push_str(&fmt_row(row));
+            out.push('\n');
         }
         if let Some(n) = &self.note {
-            println!("\n  {n}");
+            out.push_str(&format!("\n  {n}\n"));
         }
+        out
+    }
+
+    /// Renders the table into a report buffer (and writes CSV when
+    /// `ROVER_BENCH_CSV` is set).
+    pub fn render_into(&self, out: &mut String) {
+        self.maybe_write_csv();
+        out.push_str(&self.render());
+    }
+
+    /// Prints the table to stdout (and writes CSV when
+    /// `ROVER_BENCH_CSV` is set).
+    pub fn print(&self) {
+        self.maybe_write_csv();
+        print!("{}", self.render());
     }
 }
 

@@ -54,15 +54,26 @@ impl Rig {
         tweak_server(&mut scfg);
         let server = Server::new(&net, scfg);
         server.borrow_mut().add_route(CLIENT, link);
-        server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+        server
+            .borrow_mut()
+            .register_resolver("counter", Box::new(ReexecuteResolver));
         for ty in ["mailfolder", "mailmsg", "spool", "calendar", "webpage"] {
-            server.borrow_mut().register_resolver(ty, Box::new(ScriptResolver::default()));
+            server
+                .borrow_mut()
+                .register_resolver(ty, Box::new(ScriptResolver::default()));
         }
         let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
         tweak(&mut cfg);
         let client = Client::new(&mut sim, &net, cfg, vec![link]);
         let session = Client::create_session(&client, Guarantees::ALL, true);
-        Rig { sim, net, link, server, client, session }
+        Rig {
+            sim,
+            net,
+            link,
+            server,
+            client,
+            session,
+        }
     }
 
     /// Installs a payload object of roughly `bytes` data bytes.

@@ -40,8 +40,8 @@ fn import_latency_decomposes_into_model_terms() {
     });
 
     let flush = 15.7; // ms, from the storage model for a small record
-    // The reply carries the object plus per-fragment framing; the
-    // request is small.
+                      // The reply carries the object plus per-fragment framing; the
+                      // request is small.
     let analytic = flush + analytic_one_way(spec, 120) + analytic_one_way(spec, size + size / 48);
     assert!(
         measured >= analytic * 0.8 && measured <= analytic * 1.25,
@@ -54,12 +54,9 @@ fn qrpc_rtt_exceeds_plain_rpc_by_flush() {
     // On Ethernet the difference between logged QRPC and plain RPC is
     // the flush cost, within a millisecond of slack.
     let mut rig = Rig::new(LinkSpec::ETHERNET_10M);
-    let plain = rig.time_op(|r| {
-        Client::ping_direct(&r.client, &mut r.sim, r.session).unwrap()
-    });
-    let logged = rig.time_op(|r| {
-        Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND)
-    });
+    let plain = rig.time_op(|r| Client::ping_direct(&r.client, &mut r.sim, r.session).unwrap());
+    let logged =
+        rig.time_op(|r| Client::ping(&r.client, &mut r.sim, r.session, Priority::FOREGROUND));
     let delta = logged - plain;
     assert!(
         (14.0..19.0).contains(&delta),

@@ -50,8 +50,7 @@ impl CacheEntry {
     }
 
     fn size(&self) -> usize {
-        self.committed.size_bytes()
-            + self.tentative.as_ref().map(|t| t.size_bytes()).unwrap_or(0)
+        self.committed.size_bytes() + self.tentative.as_ref().map(|t| t.size_bytes()).unwrap_or(0)
     }
 }
 
@@ -65,7 +64,11 @@ pub struct Cache {
 impl Cache {
     /// Creates a cache bounded at `capacity_bytes`.
     pub fn new(capacity_bytes: usize) -> Cache {
-        Cache { entries: HashMap::new(), capacity_bytes, used_bytes: 0 }
+        Cache {
+            entries: HashMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+        }
     }
 
     /// Returns the entry for `urn`, updating its LRU timestamp.
@@ -128,7 +131,10 @@ impl Cache {
     /// Panics if the object is not cached; exports require an imported
     /// copy, which the access manager guarantees.
     pub fn set_tentative(&mut self, urn: &Urn, obj: RoverObject) {
-        let e = self.entries.get_mut(urn).expect("set_tentative on uncached object");
+        let e = self
+            .entries
+            .get_mut(urn)
+            .expect("set_tentative on uncached object");
         self.used_bytes -= e.size();
         e.tentative = Some(obj);
         self.used_bytes += e.size();
@@ -152,7 +158,10 @@ impl Cache {
 
     /// Returns the committed version of a cached object (0 if absent).
     pub fn version(&self, urn: &Urn) -> Version {
-        self.entries.get(urn).map(|e| e.committed.version).unwrap_or(Version(0))
+        self.entries
+            .get(urn)
+            .map(|e| e.committed.version)
+            .unwrap_or(Version(0))
     }
 
     /// Returns `true` if `urn` is cached.

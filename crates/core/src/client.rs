@@ -16,12 +16,12 @@ use std::rc::Rc;
 
 use rover_log::{FlushPolicy, MemStore, OpLog, RecordKind};
 use rover_net::{HostSched, LinkId, Net, SchedRef};
+use rover_script::Value;
 use rover_sim::{Sim, SimTime};
 use rover_wire::{
     Bytes, Decoder, Envelope, HostId, MsgKind, OpStatus, Priority, QrpcReply, QrpcRequest,
     RequestId, RoverOp, SessionId, Version, Wire,
 };
-use rover_script::Value;
 
 use crate::cache::Cache;
 use crate::config::{ClientConfig, LogPolicy};
@@ -170,12 +170,16 @@ impl Client {
                 .log
                 .records()
                 .filter(|r| r.kind == RecordKind::Completion)
-                .filter_map(|r| r.payload.as_slice().try_into().ok().map(u64::from_be_bytes))
+                .filter_map(|r| r.payload[..].try_into().ok().map(u64::from_be_bytes))
                 .collect();
             c.log
                 .records()
                 .filter(|r| r.kind == RecordKind::Request)
-                .filter_map(|r| QrpcRequest::from_bytes(&r.payload).ok().map(|q| (r.seq, q)))
+                .filter_map(|r| {
+                    QrpcRequest::from_shared(&r.payload)
+                        .ok()
+                        .map(|q| (r.seq, q))
+                })
                 .filter(|(_, q)| !completed.contains(&q.req_id.0))
                 .collect()
         };
@@ -209,7 +213,8 @@ impl Client {
                 );
             }
         }
-        sim.stats.add("client.recovered_qrpcs", recovered.len() as u64);
+        sim.stats
+            .add("client.recovered_qrpcs", recovered.len() as u64);
         for (_, request) in recovered {
             Client::enqueue_request(&client, sim, request.req_id.0, true);
         }
@@ -316,7 +321,8 @@ impl Client {
         let mut c = cl.borrow_mut();
         let id = SessionId(c.next_session);
         c.next_session += 1;
-        c.sessions.insert(id.0, Session::new(id, guarantees, accept_tentative));
+        c.sessions
+            .insert(id.0, Session::new(id, guarantees, accept_tentative));
         id
     }
 
@@ -327,7 +333,11 @@ impl Client {
 
     /// Queued (unanswered) QRPC records in the stable operation log.
     pub fn log_len(cl: &ClientRef) -> usize {
-        cl.borrow().log.records().filter(|r| r.kind == RecordKind::Request).count()
+        cl.borrow()
+            .log
+            .records()
+            .filter(|r| r.kind == RecordKind::Request)
+            .count()
     }
 
     /// (objects, bytes) in the cache.
@@ -343,7 +353,10 @@ impl Client {
 
     /// Returns a clone of the cached copy a reader would see.
     pub fn cached_object(cl: &ClientRef, urn: &Urn, accept_tentative: bool) -> Option<RoverObject> {
-        cl.borrow().cache.peek(urn).map(|e| e.read_copy(accept_tentative).clone())
+        cl.borrow()
+            .cache
+            .peek(urn)
+            .map(|e| e.read_copy(accept_tentative).clone())
     }
 
     // ------------------------------------------------------------------
@@ -364,8 +377,10 @@ impl Client {
         // Cache path.
         let hit = {
             let mut c = cl.borrow_mut();
-            let sess =
-                c.sessions.get(&session.0).ok_or(RoverError::NoSuchSession(session.0))?;
+            let sess = c
+                .sessions
+                .get(&session.0)
+                .ok_or(RoverError::NoSuchSession(session.0))?;
             let accept_tentative = sess.accept_tentative;
             let needs_own = sess.needs_own_writes(urn);
             let admissible_version = {
@@ -389,8 +404,7 @@ impl Client {
                         let obj = entry.read_copy(use_tent).clone();
                         let tentative = use_tent && has_tent;
                         let version = obj.version;
-                        let sess =
-                            c.sessions.get_mut(&session.0).expect("checked above");
+                        let sess = c.sessions.get_mut(&session.0).expect("checked above");
                         sess.note_read(urn, version);
                         Some((obj, tentative))
                     } else {
@@ -455,9 +469,18 @@ impl Client {
         }
         let request = {
             let mut c = cl.borrow_mut();
-            c.build_request(RoverOp::Import, urn.as_str(), session, prio, Bytes::new(), 0)
+            c.build_request(
+                RoverOp::Import,
+                urn.as_str(),
+                session,
+                prio,
+                Bytes::new(),
+                0,
+            )
         };
-        cl.borrow_mut().inflight_imports.insert(urn.clone(), request.req_id.0);
+        cl.borrow_mut()
+            .inflight_imports
+            .insert(urn.clone(), request.req_id.0);
         Ok(Client::issue_qrpc(
             cl,
             sim,
@@ -510,7 +533,9 @@ impl Client {
                 session_seq: if ordered { seq } else { 0 },
             };
             let request = c.build_request(
-                RoverOp::Export { method: method.to_owned() },
+                RoverOp::Export {
+                    method: method.to_owned(),
+                },
                 urn.as_str(),
                 session,
                 prio,
@@ -540,7 +565,14 @@ impl Client {
                     object: None,
                 },
             );
-            Client::emit(&cl2, sim, ClientEvent::TentativeApplied { urn: urn2, req: req_id });
+            Client::emit(
+                &cl2,
+                sim,
+                ClientEvent::TentativeApplied {
+                    urn: urn2,
+                    req: req_id,
+                },
+            );
         });
 
         // No extra delay: the CPU horizon already serializes the QRPC's
@@ -553,7 +585,11 @@ impl Client {
             OpClass::Export,
             rover_sim::SimDuration::ZERO,
         );
-        Ok(ExportHandle { tentative, committed, req: req_id })
+        Ok(ExportHandle {
+            tentative,
+            committed,
+            req: req_id,
+        })
     }
 
     /// Loads an object and runs a method on arrival: import combined
@@ -631,8 +667,8 @@ impl Client {
         // decision still holds when the queue drains over it).
         let spec = {
             let c = cl.borrow();
-            let active = HostSched::active_link(&c.sched, &c.net)
-                .or_else(|| c.links.first().copied());
+            let active =
+                HostSched::active_link(&c.sched, &c.net).or_else(|| c.links.first().copied());
             match active {
                 Some(l) => c.net.spec(l),
                 None => {
@@ -688,8 +724,10 @@ impl Client {
     ) -> Result<Promise, RoverError> {
         let (result, cost) = {
             let mut c = cl.borrow_mut();
-            let entry =
-                c.cache.peek(urn).ok_or_else(|| RoverError::NotCached(urn.to_string()))?;
+            let entry = c
+                .cache
+                .peek(urn)
+                .ok_or_else(|| RoverError::NotCached(urn.to_string()))?;
             let mut scratch = entry.read_copy(true).clone();
             let vals: Vec<Value> = args.iter().map(Value::str).collect();
             let run = scratch.run_method(method, &vals, c.cfg.budget)?;
@@ -740,7 +778,9 @@ impl Client {
                 args: args.iter().map(|s| s.to_string()).collect(),
             };
             c.build_request(
-                RoverOp::Invoke { method: method.to_owned() },
+                RoverOp::Invoke {
+                    method: method.to_owned(),
+                },
                 urn.as_str(),
                 session,
                 prio,
@@ -762,9 +802,23 @@ impl Client {
     pub fn ping(cl: &ClientRef, sim: &mut Sim, session: SessionId, prio: Priority) -> Promise {
         let request = {
             let mut c = cl.borrow_mut();
-            c.build_request(RoverOp::Ping, "urn:rover:sys/ping", session, prio, Bytes::new(), 0)
+            c.build_request(
+                RoverOp::Ping,
+                "urn:rover:sys/ping",
+                session,
+                prio,
+                Bytes::new(),
+                0,
+            )
         };
-        Client::issue_qrpc(cl, sim, request, None, OpClass::Ping, rover_sim::SimDuration::ZERO)
+        Client::issue_qrpc(
+            cl,
+            sim,
+            request,
+            None,
+            OpClass::Ping,
+            rover_sim::SimDuration::ZERO,
+        )
     }
 
     /// Issues a *plain* (non-queued) null RPC: no stable log, no
@@ -862,7 +916,9 @@ impl Client {
                 if weak_guard.upgrade().is_none() {
                     return; // Guard dropped: stop polling.
                 }
-                let Some(cl) = weak_client.upgrade() else { return };
+                let Some(cl) = weak_client.upgrade() else {
+                    return;
+                };
                 let connected = {
                     let c = cl.borrow();
                     let (sched, net) = (c.sched.clone(), c.net.clone());
@@ -936,7 +992,11 @@ impl Client {
 
     /// Serializes a local CPU/storage cost behind earlier local work;
     /// returns the delay from `now` until this work completes.
-    fn charge_serial(&mut self, now: SimTime, cost: rover_sim::SimDuration) -> rover_sim::SimDuration {
+    fn charge_serial(
+        &mut self,
+        now: SimTime,
+        cost: rover_sim::SimDuration,
+    ) -> rover_sim::SimDuration {
         let start = self.cpu_free_at.max(now);
         let done = start + cost;
         self.cpu_free_at = done;
@@ -992,7 +1052,7 @@ impl Client {
                 LogPolicy::PerOperation => {
                     let seq = c
                         .log
-                        .append(RecordKind::Request, bytes.to_vec())
+                        .append(RecordKind::Request, bytes.clone())
                         .expect("in-memory log append");
                     let receipt = c.log.flush().expect("in-memory log flush");
                     let cost = c.cfg.storage.flush_cost(receipt);
@@ -1002,7 +1062,7 @@ impl Client {
                 LogPolicy::GroupCommit { n, timeout } => {
                     let seq = c
                         .log
-                        .append(RecordKind::Request, bytes.to_vec())
+                        .append(RecordKind::Request, bytes.clone())
                         .expect("in-memory log append");
                     c.unflushed += 1;
                     c.parked.push(req_id.0);
@@ -1092,7 +1152,10 @@ impl Client {
             let epoch = c.link_epoch;
             let host = c.cfg.host;
             let (sched, net) = (c.sched.clone(), c.net.clone());
-            let dst = c.outstanding.get(&req).map(|o| c.server_for(&o.request.urn));
+            let dst = c
+                .outstanding
+                .get(&req)
+                .map(|o| c.server_for(&o.request.urn));
             match (c.outstanding.get_mut(&req), dst) {
                 (Some(o), Some(dst)) => {
                     o.enqueue_epoch = epoch;
@@ -1112,7 +1175,13 @@ impl Client {
             } else {
                 sim.stats.incr("client.retransmits");
                 sim.trace("qrpc", format!("retransmit req={req}"));
-                Client::emit(cl, sim, ClientEvent::Retransmit { req: RequestId(req) });
+                Client::emit(
+                    cl,
+                    sim,
+                    ClientEvent::Retransmit {
+                        req: RequestId(req),
+                    },
+                );
             }
         }
     }
@@ -1195,9 +1264,7 @@ impl Client {
                 c.outstanding
                     .iter()
                     .filter(|(id, o)| {
-                        !o.direct
-                            && o.enqueue_epoch < epoch
-                            && !HostSched::has_key(&sched, **id)
+                        !o.direct && o.enqueue_epoch < epoch && !HostSched::has_key(&sched, **id)
                     })
                     .map(|(id, _)| *id)
                     .collect()
@@ -1225,7 +1292,7 @@ impl Client {
         };
         let cl2 = cl.clone();
         sim.schedule_after(cost, move |sim| {
-            let reply = match QrpcReply::from_bytes(&env.body) {
+            let reply = match QrpcReply::from_shared(&env.body) {
                 Ok(r) => r,
                 Err(_) => {
                     sim.stats.incr("client.bad_reply");
@@ -1254,7 +1321,10 @@ impl Client {
             Client::emit(
                 cl,
                 sim,
-                ClientEvent::Invalidated { urn, version: Version(version) },
+                ClientEvent::Invalidated {
+                    urn,
+                    version: Version(version),
+                },
             );
         }
     }
@@ -1272,9 +1342,10 @@ impl Client {
                 // Completion marker: keeps a post-crash recovery from
                 // re-issuing this request while its bytes still sit on
                 // the device. Not flushed — it rides with later traffic.
-                let _ = c
-                    .log
-                    .append(RecordKind::Completion, reply.req_id.0.to_be_bytes().to_vec());
+                let _ = c.log.append(
+                    RecordKind::Completion,
+                    reply.req_id.0.to_be_bytes().to_vec(),
+                );
                 c.removals_since_compact += 1;
                 if c.removals_since_compact >= 64 {
                     // Compaction drops dead request bytes, which also
@@ -1294,8 +1365,7 @@ impl Client {
             }
             if let Some(u) = &o.urn {
                 c.cache.pin(u, -1);
-                if o.class == OpClass::Import
-                    && c.inflight_imports.get(u) == Some(&reply.req_id.0)
+                if o.class == OpClass::Import && c.inflight_imports.get(u) == Some(&reply.req_id.0)
                 {
                     c.inflight_imports.remove(u);
                 }
@@ -1322,7 +1392,7 @@ impl Client {
                 }
                 OpClass::Import => {
                     if reply.status == OpStatus::Ok {
-                        if let Ok(obj) = RoverObject::from_bytes(&reply.payload) {
+                        if let Ok(obj) = RoverObject::from_shared(&reply.payload) {
                             let urn = obj.urn.clone();
                             outcome.value = Value::str(urn.as_str());
                             outcome.object = Some(obj.clone());
@@ -1359,7 +1429,7 @@ impl Client {
                         sess.note_write_done(&urn, committed_version);
                     }
                     // Install the server's post-decision state.
-                    if let Ok(obj) = RoverObject::from_bytes(&reply.payload) {
+                    if let Ok(obj) = RoverObject::from_shared(&reply.payload) {
                         outcome.object = Some(obj.clone());
                         for u in c.cache.install_committed(obj, sim.now()) {
                             events.push(ClientEvent::Evicted { urn: u });
@@ -1390,7 +1460,10 @@ impl Client {
             }
 
             sim.stats.incr("client.qrpc_completed");
-            sim.trace("qrpc", format!("complete req={} status={:?}", reply.req_id.0, reply.status));
+            sim.trace(
+                "qrpc",
+                format!("complete req={} status={:?}", reply.req_id.0, reply.status),
+            );
             sim.stats
                 .sample_duration("client.qrpc_rtt_ms", sim.now().since(o.issued_at));
             (o.promise, outcome)

@@ -34,8 +34,10 @@ impl StorageModel {
     };
 
     /// Free stable storage (the "no log cost" ablation bound).
-    pub const FREE: StorageModel =
-        StorageModel { sync_latency: SimDuration::ZERO, per_kib: SimDuration::ZERO };
+    pub const FREE: StorageModel = StorageModel {
+        sync_latency: SimDuration::ZERO,
+        per_kib: SimDuration::ZERO,
+    };
 
     /// Returns the virtual time one flush receipt costs.
     pub fn flush_cost(&self, receipt: FlushReceipt) -> SimDuration {
@@ -164,21 +166,36 @@ mod tests {
     #[test]
     fn flush_cost_zero_without_sync() {
         let m = StorageModel::LAPTOP_DISK_1995;
-        assert_eq!(m.flush_cost(FlushReceipt { bytes: 0, synced: false }), SimDuration::ZERO);
+        assert_eq!(
+            m.flush_cost(FlushReceipt {
+                bytes: 0,
+                synced: false
+            }),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn flush_cost_scales_with_bytes() {
         let m = StorageModel::LAPTOP_DISK_1995;
-        let small = m.flush_cost(FlushReceipt { bytes: 100, synced: true });
-        let big = m.flush_cost(FlushReceipt { bytes: 100 * 1024, synced: true });
+        let small = m.flush_cost(FlushReceipt {
+            bytes: 100,
+            synced: true,
+        });
+        let big = m.flush_cost(FlushReceipt {
+            bytes: 100 * 1024,
+            synced: true,
+        });
         assert!(small >= m.sync_latency);
         assert!(big > small);
     }
 
     #[test]
     fn flash_is_much_faster_than_disk() {
-        let r = FlushReceipt { bytes: 200, synced: true };
+        let r = FlushReceipt {
+            bytes: 200,
+            synced: true,
+        };
         assert!(
             StorageModel::LAPTOP_DISK_1995.flush_cost(r).as_micros()
                 > 10 * StorageModel::FLASH_RAM.flush_cost(r).as_micros()

@@ -68,7 +68,11 @@ impl RoverObject {
         self.code.len()
             + self.urn.as_str().len()
             + self.type_name.len()
-            + self.fields.iter().map(|(k, v)| k.len() + v.len() + 8).sum::<usize>()
+            + self
+                .fields
+                .iter()
+                .map(|(k, v)| k.len() + v.len() + 8)
+                .sum::<usize>()
     }
 
     /// Runs `method(args…)` against this object in a fresh budgeted
@@ -96,7 +100,10 @@ impl RoverObject {
     ) -> Result<MethodRun, RoverError> {
         let mut interp = Interp::with_budget(budget);
         let before = self.fields.clone();
-        let mut host = RdoHost { urn: self.urn.clone(), fields: &mut self.fields };
+        let mut host = RdoHost {
+            urn: self.urn.clone(),
+            fields: &mut self.fields,
+        };
 
         interp
             .eval(&mut host, &self.code)
@@ -137,8 +144,10 @@ impl RoverObject {
 /// the URNs of a prefetchable group (see
 /// [`crate::Client::prefetch_collection`]).
 pub fn collection_object(urn: Urn, members: &[Urn]) -> RoverObject {
-    let list: Vec<rover_script::Value> =
-        members.iter().map(|u| rover_script::Value::str(u.as_str())).collect();
+    let list: Vec<rover_script::Value> = members
+        .iter()
+        .map(|u| rover_script::Value::str(u.as_str()))
+        .collect();
     RoverObject::new(urn, "collection")
         .with_field("members", &rover_script::format_list(&list))
         .with_code("proc size {} {llength [rover::get members {}]}")
@@ -264,7 +273,13 @@ impl Wire for RoverObject {
         let code = dec.get_str()?;
         let version = Version::decode(dec)?;
         let pairs = dec.get_seq(|d| Ok((d.get_str()?, d.get_str()?)))?;
-        Ok(RoverObject { urn, type_name, code, fields: pairs.into_iter().collect(), version })
+        Ok(RoverObject {
+            urn,
+            type_name,
+            code,
+            fields: pairs.into_iter().collect(),
+            version,
+        })
     }
 }
 
@@ -285,7 +300,9 @@ mod tests {
     #[test]
     fn method_reads_and_writes_fields() {
         let mut obj = counter();
-        let run = obj.run_method("add", &[Value::Int(5)], Budget::default()).unwrap();
+        let run = obj
+            .run_method("add", &[Value::Int(5)], Budget::default())
+            .unwrap();
         assert!(run.mutated);
         assert!(run.steps > 0);
         assert_eq!(obj.field("n"), Some("15"));
@@ -304,9 +321,7 @@ mod tests {
 
     #[test]
     fn failing_method_rolls_back() {
-        let mut obj = counter().with_code(
-            "proc boom {} {rover::set n 999; error kapow}",
-        );
+        let mut obj = counter().with_code("proc boom {} {rover::set n 999; error kapow}");
         let err = obj.run_method("boom", &[], Budget::default()).unwrap_err();
         assert!(matches!(err, RoverError::Exec(_)));
         assert_eq!(obj.field("n"), Some("10"));
@@ -316,7 +331,14 @@ mod tests {
     fn budget_bounds_method_execution() {
         let mut obj = counter().with_code("proc spin {} {while {1} {}}");
         let err = obj
-            .run_method("spin", &[], Budget { max_steps: 5_000, max_depth: 16 })
+            .run_method(
+                "spin",
+                &[],
+                Budget {
+                    max_steps: 5_000,
+                    max_depth: 16,
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, RoverError::Exec(msg) if msg.contains("budget")));
     }
@@ -326,23 +348,26 @@ mod tests {
         let mut obj = RoverObject::new(Urn::parse("urn:rover:t/echo").unwrap(), "echo")
             .with_code("proc echo {s} {return $s}");
         let run = obj
-            .run_method("echo", &[Value::str("two words {and braces}")], Budget::default())
+            .run_method(
+                "echo",
+                &[Value::str("two words {and braces}")],
+                Budget::default(),
+            )
             .unwrap();
         assert_eq!(run.result.as_str(), "two words {and braces}");
     }
 
     #[test]
     fn host_commands_cover_fields() {
-        let mut obj = RoverObject::new(Urn::parse("urn:rover:t/h").unwrap(), "t")
-            .with_code(
-                "proc probe {} {
+        let mut obj = RoverObject::new(Urn::parse("urn:rover:t/h").unwrap(), "t").with_code(
+            "proc probe {} {
                     rover::set a 1
                     rover::set ab 2
                     rover::set b 3
                     rover::del b
                     list [rover::has a] [rover::has b] [rover::keys a*] [rover::urn]
                 }",
-            );
+        );
         let run = obj.run_method("probe", &[], Budget::default()).unwrap();
         assert_eq!(run.result.as_str(), "1 0 {a ab} urn:rover:t/h");
     }

@@ -48,7 +48,10 @@ impl Wire for InvokePayload {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
-        Ok(InvokePayload { method: dec.get_str()?, args: dec.get_seq(|d| d.get_str())? })
+        Ok(InvokePayload {
+            method: dec.get_str()?,
+            args: dec.get_seq(|d| d.get_str())?,
+        })
     }
 }
 
@@ -68,7 +71,10 @@ mod tests {
 
     #[test]
     fn invoke_roundtrip() {
-        let p = InvokePayload { method: "filter".into(), args: vec!["alice*".into()] };
+        let p = InvokePayload {
+            method: "filter".into(),
+            args: vec!["alice*".into()],
+        };
         assert_eq!(InvokePayload::from_bytes(&p.to_bytes()).unwrap(), p);
     }
 }

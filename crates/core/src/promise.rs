@@ -9,9 +9,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use rover_script::Value;
 use rover_sim::{Sim, SimTime};
 use rover_wire::{OpStatus, Version};
-use rover_script::Value;
 
 /// Final disposition of a Rover operation.
 #[derive(Clone, Debug, PartialEq)]

@@ -88,7 +88,6 @@ pub struct ScriptResolver {
     pub budget: Budget,
 }
 
-
 impl Resolver for ScriptResolver {
     fn resolve(
         &self,
@@ -123,7 +122,11 @@ mod tests {
     use crate::urn::Urn;
 
     fn op(method: &str) -> ExportPayload {
-        ExportPayload { method: method.into(), args: vec!["x".into()], session_seq: 0 }
+        ExportPayload {
+            method: method.into(),
+            args: vec!["x".into()],
+            session_seq: 0,
+        }
     }
 
     fn obj(code: &str) -> RoverObject {
@@ -133,31 +136,39 @@ mod tests {
     #[test]
     fn fixed_policies() {
         let o = obj("");
-        assert_eq!(ReexecuteResolver.resolve(&o, Version(1), &op("m")), Resolution::Reexecute);
-        assert_eq!(RejectResolver.resolve(&o, Version(1), &op("m")), Resolution::Reject);
+        assert_eq!(
+            ReexecuteResolver.resolve(&o, Version(1), &op("m")),
+            Resolution::Reexecute
+        );
+        assert_eq!(
+            RejectResolver.resolve(&o, Version(1), &op("m")),
+            Resolution::Reject
+        );
     }
 
     #[test]
     fn script_resolver_accepts() {
-        let o = obj(
-            "proc resolve {method args_list base} {
+        let o = obj("proc resolve {method args_list base} {
                 if {$method eq \"append\"} {return accept}
                 return reject
-            }",
-        );
+            }");
         let r = ScriptResolver::default();
-        assert_eq!(r.resolve(&o, Version(1), &op("append")), Resolution::Reexecute);
-        assert_eq!(r.resolve(&o, Version(1), &op("overwrite")), Resolution::Reject);
+        assert_eq!(
+            r.resolve(&o, Version(1), &op("append")),
+            Resolution::Reexecute
+        );
+        assert_eq!(
+            r.resolve(&o, Version(1), &op("overwrite")),
+            Resolution::Reject
+        );
     }
 
     #[test]
     fn script_resolver_merges() {
-        let o = obj(
-            "proc resolve {method args_list base} {
+        let o = obj("proc resolve {method args_list base} {
                 rover::set merged_by resolver
                 return merged
-            }",
-        )
+            }")
         .with_field("n", "1");
         match ScriptResolver::default().resolve(&o, Version(3), &op("set")) {
             Resolution::Merged(m) => {
@@ -171,17 +182,18 @@ mod tests {
     #[test]
     fn missing_resolve_proc_rejects() {
         let o = obj("proc something_else {} {}");
-        assert_eq!(ScriptResolver::default().resolve(&o, Version(1), &op("m")), Resolution::Reject);
+        assert_eq!(
+            ScriptResolver::default().resolve(&o, Version(1), &op("m")),
+            Resolution::Reject
+        );
     }
 
     #[test]
     fn resolver_sees_operation_details() {
-        let o = obj(
-            "proc resolve {method args_list base} {
+        let o = obj("proc resolve {method args_list base} {
                 if {[lindex $args_list 0] eq \"x\" && $base == 2} {return accept}
                 return reject
-            }",
-        );
+            }");
         let r = ScriptResolver::default();
         assert_eq!(r.resolve(&o, Version(2), &op("m")), Resolution::Reexecute);
         assert_eq!(r.resolve(&o, Version(1), &op("m")), Resolution::Reject);

@@ -15,8 +15,8 @@ use std::rc::Rc;
 use rover_net::{HostSched, LinkId, Net, SchedRef, SmtpRelay, SmtpRelayRef};
 use rover_sim::Sim;
 use rover_wire::{
-    Bytes, Encoder, Envelope, HostId, MsgKind, OpStatus, QrpcReply, QrpcRequest, RoverOp,
-    Version, Wire,
+    Bytes, Encoder, Envelope, HostId, MsgKind, OpStatus, QrpcReply, QrpcRequest, RoverOp, Version,
+    Wire,
 };
 
 use crate::config::ServerConfig;
@@ -144,7 +144,11 @@ impl Server {
     pub fn add_smtp_route(&mut self, client: HostId, relay: SmtpRelayRef) {
         self.routes
             .entry(client.0)
-            .or_insert_with(|| ReplyRoute { links: Vec::new(), smtp: None, sched: None })
+            .or_insert_with(|| ReplyRoute {
+                links: Vec::new(),
+                smtp: None,
+                sched: None,
+            })
             .smtp = Some(relay);
     }
 
@@ -238,7 +242,7 @@ impl Server {
         };
         let sv2 = sv.clone();
         sim.schedule_after(cost, move |sim| {
-            let req = match QrpcRequest::from_bytes(&env.body) {
+            let req = match QrpcRequest::from_shared(&env.body) {
                 Ok(r) => r,
                 Err(_) => {
                     sim.stats.incr("server.bad_request");
@@ -281,7 +285,7 @@ impl Server {
         }
 
         let ordered_seq = match &req.op {
-            RoverOp::Export { .. } => ExportPayload::from_bytes(&req.payload)
+            RoverOp::Export { .. } => ExportPayload::from_shared(&req.payload)
                 .map(|p| p.session_seq)
                 .unwrap_or(0),
             _ => 0,
@@ -294,7 +298,11 @@ impl Server {
             };
             if ordered_seq > expected {
                 sim.stats.incr("server.held_out_of_order");
-                sv.borrow_mut().held.entry(skey).or_default().insert(ordered_seq, req);
+                sv.borrow_mut()
+                    .held
+                    .entry(skey)
+                    .or_default()
+                    .insert(ordered_seq, req);
                 return;
             }
             if ordered_seq < expected {
@@ -303,7 +311,9 @@ impl Server {
                 sim.stats.incr("server.stale_duplicate");
                 let reply = {
                     let s = sv.borrow();
-                    let obj = Urn::parse(&req.urn).ok().and_then(|u| s.store.get(&u).cloned());
+                    let obj = Urn::parse(&req.urn)
+                        .ok()
+                        .and_then(|u| s.store.get(&u).cloned());
                     match obj {
                         Some(o) => QrpcReply {
                             req_id: req.req_id,
@@ -352,7 +362,7 @@ impl Server {
         {
             let mut s = sv.borrow_mut();
             if let RoverOp::Export { .. } = &req.op {
-                if let Ok(p) = ExportPayload::from_bytes(&req.payload) {
+                if let Ok(p) = ExportPayload::from_shared(&req.payload) {
                     if p.session_seq > 0 {
                         let skey = (req.client.0, req.session.0);
                         let e = s.expected_seq.entry(skey).or_insert(1);
@@ -440,10 +450,20 @@ impl Server {
     fn send_callback(sv: &ServerRef, sim: &mut Sim, client: HostId, env: Envelope) {
         let (net, sched) = {
             let s = sv.borrow();
-            (s.net.clone(), s.routes.get(&client.0).and_then(|r| r.sched.clone()))
+            (
+                s.net.clone(),
+                s.routes.get(&client.0).and_then(|r| r.sched.clone()),
+            )
         };
         if let Some(sched) = sched {
-            HostSched::enqueue_keyed(&sched, sim, &net, env, rover_wire::Priority::BACKGROUND, None);
+            HostSched::enqueue_keyed(
+                &sched,
+                sim,
+                &net,
+                env,
+                rover_wire::Priority::BACKGROUND,
+                None,
+            );
         }
     }
 
@@ -474,12 +494,15 @@ impl Server {
 
             RoverOp::Import => match self.store.get(&urn) {
                 Some(obj) => {
-                    self.importers.entry(urn.clone()).or_default().insert(req.client.0);
+                    self.importers
+                        .entry(urn.clone())
+                        .or_default()
+                        .insert(req.client.0);
                     (
-                    QrpcReply {
-                        req_id: req.req_id,
-                        status: OpStatus::Ok,
-                        version: obj.version,
+                        QrpcReply {
+                            req_id: req.req_id,
+                            status: OpStatus::Ok,
+                            version: obj.version,
                             payload: obj.to_bytes(),
                         },
                         0,
@@ -489,7 +512,7 @@ impl Server {
             },
 
             RoverOp::Invoke { .. } => {
-                let payload = match InvokePayload::from_bytes(&req.payload) {
+                let payload = match InvokePayload::from_shared(&req.payload) {
                     Ok(p) => p,
                     Err(_) => return (fail(OpStatus::Rejected), 0),
                 };
@@ -520,7 +543,7 @@ impl Server {
             }
 
             RoverOp::Export { .. } => {
-                let payload = match ExportPayload::from_bytes(&req.payload) {
+                let payload = match ExportPayload::from_shared(&req.payload) {
                     Ok(p) => p,
                     Err(_) => return (fail(OpStatus::Rejected), 0),
                 };
@@ -535,7 +558,10 @@ impl Server {
                         .get(&current.type_name)
                         .map(|b| b.as_ref())
                         .unwrap_or(&RejectResolver);
-                    (resolver.resolve(current, req.base_version, &payload), OpStatus::Resolved)
+                    (
+                        resolver.resolve(current, req.base_version, &payload),
+                        OpStatus::Resolved,
+                    )
                 } else {
                     (Resolution::Reexecute, OpStatus::Ok)
                 };

@@ -37,10 +37,20 @@ pub struct Guarantees {
 
 impl Guarantees {
     /// No guarantees: the weakest (and cheapest) session.
-    pub const NONE: Guarantees = Guarantees { ryw: false, mr: false, mw: false, wfr: false };
+    pub const NONE: Guarantees = Guarantees {
+        ryw: false,
+        mr: false,
+        mw: false,
+        wfr: false,
+    };
 
     /// All four guarantees.
-    pub const ALL: Guarantees = Guarantees { ryw: true, mr: true, mw: true, wfr: true };
+    pub const ALL: Guarantees = Guarantees {
+        ryw: true,
+        mr: true,
+        mw: true,
+        wfr: true,
+    };
 
     /// Returns whether exports need per-session ordering at the server.
     pub fn ordered_writes(&self) -> bool {
@@ -178,7 +188,15 @@ mod tests {
     fn ordered_writes_flag() {
         assert!(Guarantees::ALL.ordered_writes());
         assert!(!Guarantees::NONE.ordered_writes());
-        assert!(Guarantees { mw: true, ..Guarantees::NONE }.ordered_writes());
-        assert!(Guarantees { wfr: true, ..Guarantees::NONE }.ordered_writes());
+        assert!(Guarantees {
+            mw: true,
+            ..Guarantees::NONE
+        }
+        .ordered_writes());
+        assert!(Guarantees {
+            wfr: true,
+            ..Guarantees::NONE
+        }
+        .ordered_writes());
     }
 }

@@ -38,11 +38,16 @@ impl Urn {
             return Err(RoverError::BadUrn(format!("empty authority in \"{s}\"")));
         }
         let ok = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '/' | '~');
-        if !auth.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')) {
+        if !auth
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
             return Err(RoverError::BadUrn(format!("invalid authority in \"{s}\"")));
         }
         if !path.chars().all(ok) {
-            return Err(RoverError::BadUrn(format!("invalid path character in \"{s}\"")));
+            return Err(RoverError::BadUrn(format!(
+                "invalid path character in \"{s}\""
+            )));
         }
         Ok(Urn(Rc::from(s)))
     }

@@ -17,9 +17,12 @@ const CLIENT2: HostId = HostId(3);
 const SERVER: HostId = HostId(2);
 
 fn counter(path: &str) -> RoverObject {
-    RoverObject::new(Urn::parse(&format!("urn:rover:t/{path}")).unwrap(), "counter")
-        .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
-        .with_field("n", "0")
+    RoverObject::new(
+        Urn::parse(&format!("urn:rover:t/{path}")).unwrap(),
+        "counter",
+    )
+    .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+    .with_field("n", "0")
 }
 
 fn urn(path: &str) -> Urn {
@@ -34,7 +37,9 @@ fn lossy_channel_recovers_via_strike_retransmission() {
     net.set_loss(link, 0.20); // a noisy wireless channel
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     server.borrow_mut().put_object(counter("c"));
 
     let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
@@ -48,13 +53,24 @@ fn lossy_channel_recovers_via_strike_retransmission() {
 
     let mut handles = Vec::new();
     for _ in 0..10 {
-        let h = Client::export(&client, &mut sim, &urn("c"), session, "add", &["1"], Priority::NORMAL)
-            .unwrap();
+        let h = Client::export(
+            &client,
+            &mut sim,
+            &urn("c"),
+            session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .unwrap();
         handles.push(h);
         sim.run_for(SimDuration::from_secs(2));
     }
     sim.run_until(sim.now() + SimDuration::from_secs(3600));
-    assert!(handles.iter().all(|h| h.committed.is_ready()), "all exports completed");
+    assert!(
+        handles.iter().all(|h| h.committed.is_ready()),
+        "all exports completed"
+    );
     assert_eq!(
         server.borrow().get_object(&urn("c")).unwrap().field("n"),
         Some("10"),
@@ -62,7 +78,10 @@ fn lossy_channel_recovers_via_strike_retransmission() {
         sim.stats.counter("net.random_losses"),
         sim.stats.counter("client.retransmits"),
     );
-    assert!(sim.stats.counter("net.random_losses") > 0, "the channel actually lost messages");
+    assert!(
+        sim.stats.counter("net.random_losses") > 0,
+        "the channel actually lost messages"
+    );
 }
 
 #[test]
@@ -72,7 +91,9 @@ fn crash_recovery_reissues_queued_qrpcs() {
     let link = net.add_link(LinkSpec::CSLIP_14_4, CLIENT, SERVER);
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     server.borrow_mut().put_object(counter("c"));
 
     let cfg = ClientConfig::thinkpad(CLIENT, SERVER);
@@ -85,8 +106,16 @@ fn crash_recovery_reissues_queued_qrpcs() {
     // Disconnect and queue five updates; the log holds them durably.
     net.set_up(&mut sim, link, false);
     for _ in 0..5 {
-        Client::export(&client, &mut sim, &urn("c"), session, "add", &["1"], Priority::NORMAL)
-            .unwrap();
+        Client::export(
+            &client,
+            &mut sim,
+            &urn("c"),
+            session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .unwrap();
         sim.run_for(SimDuration::from_secs(1));
     }
     assert_eq!(Client::log_len(&client), 5);
@@ -103,7 +132,10 @@ fn crash_recovery_reissues_queued_qrpcs() {
     net.set_up(&mut sim, link, true);
     sim.run_until(sim.now() + SimDuration::from_secs(600));
     assert_eq!(Client::outstanding_count(&client), 0);
-    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("5"));
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("5")
+    );
 }
 
 #[test]
@@ -116,7 +148,9 @@ fn crash_recovery_is_exactly_once_even_if_ops_already_committed() {
     let link = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     server.borrow_mut().put_object(counter("c"));
 
     let cfg = ClientConfig::thinkpad(CLIENT, SERVER);
@@ -129,11 +163,22 @@ fn crash_recovery_is_exactly_once_even_if_ops_already_committed() {
     // Issue three exports and let them *reach the server* but crash
     // before the replies are consumed.
     for _ in 0..3 {
-        Client::export(&client, &mut sim, &urn("c"), session, "add", &["1"], Priority::NORMAL)
-            .unwrap();
+        Client::export(
+            &client,
+            &mut sim,
+            &urn("c"),
+            session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .unwrap();
     }
     sim.run_for(SimDuration::from_millis(80)); // requests land, replies in flight
-    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("3"));
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("3")
+    );
     let store = Client::crash(&client);
     drop(client);
 
@@ -141,7 +186,10 @@ fn crash_recovery_is_exactly_once_even_if_ops_already_committed() {
     sim.run_until(sim.now() + SimDuration::from_secs(60));
     assert_eq!(Client::outstanding_count(&client), 0);
     // Still exactly 3 — dedup replayed, never re-executed.
-    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("3"));
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("3")
+    );
     assert!(sim.stats.counter("server.dedup_replay") >= 1);
 }
 
@@ -157,11 +205,23 @@ fn server_callbacks_invalidate_stale_caches() {
         let server = Server::new(&net, scfg);
         server.borrow_mut().add_route(CLIENT, l1);
         server.borrow_mut().add_route(CLIENT2, l2);
-        server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+        server
+            .borrow_mut()
+            .register_resolver("counter", Box::new(ReexecuteResolver));
         server.borrow_mut().put_object(counter("c"));
 
-        let writer = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
-        let reader = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+        let writer = Client::new(
+            &mut sim,
+            &net,
+            ClientConfig::thinkpad(CLIENT, SERVER),
+            vec![l1],
+        );
+        let reader = Client::new(
+            &mut sim,
+            &net,
+            ClientConfig::thinkpad(CLIENT2, SERVER),
+            vec![l2],
+        );
         let ws = Client::create_session(&writer, Guarantees::ALL, true);
         let rs = Client::create_session(&reader, Guarantees::NONE, false);
 
@@ -181,8 +241,16 @@ fn server_callbacks_invalidate_stale_caches() {
         }
 
         // The writer commits a new version.
-        let h = Client::export(&writer, &mut sim, &urn("c"), ws, "add", &["7"], Priority::NORMAL)
-            .unwrap();
+        let h = Client::export(
+            &writer,
+            &mut sim,
+            &urn("c"),
+            ws,
+            "add",
+            &["7"],
+            Priority::NORMAL,
+        )
+        .unwrap();
         sim.run();
         assert_eq!(h.committed.poll().unwrap().status, OpStatus::Ok);
 
@@ -198,11 +266,17 @@ fn server_callbacks_invalidate_stale_caches() {
     };
 
     let (fresh_with, events_with) = run(true);
-    assert!(fresh_with, "callbacks force a refetch of the committed version");
+    assert!(
+        fresh_with,
+        "callbacks force a refetch of the committed version"
+    );
     assert_eq!(events_with, 1, "the reader's UI was notified");
 
     let (fresh_without, events_without) = run(false);
-    assert!(!fresh_without, "without callbacks the stale copy is served (the paper's window)");
+    assert!(
+        !fresh_without,
+        "without callbacks the stale copy is served (the paper's window)"
+    );
     assert_eq!(events_without, 0);
 }
 
@@ -217,11 +291,23 @@ fn disconnected_reader_serves_stale_copy_despite_invalidation() {
     let server = Server::new(&net, scfg);
     server.borrow_mut().add_route(CLIENT, l1);
     server.borrow_mut().add_route(CLIENT2, l2);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     server.borrow_mut().put_object(counter("c"));
 
-    let writer = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
-    let reader = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let writer = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![l1],
+    );
+    let reader = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT2, SERVER),
+        vec![l2],
+    );
     let ws = Client::create_session(&writer, Guarantees::ALL, true);
     let rs = Client::create_session(&reader, Guarantees::NONE, false);
     for (c, s) in [(&writer, ws), (&reader, rs)] {
@@ -231,8 +317,16 @@ fn disconnected_reader_serves_stale_copy_despite_invalidation() {
     }
 
     // Writer commits; reader receives the callback, *then* disconnects.
-    let h = Client::export(&writer, &mut sim, &urn("c"), ws, "add", &["7"], Priority::NORMAL)
-        .unwrap();
+    let h = Client::export(
+        &writer,
+        &mut sim,
+        &urn("c"),
+        ws,
+        "add",
+        &["7"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run();
     assert!(h.committed.is_ready());
     net.set_up(&mut sim, l2, false);
@@ -242,7 +336,11 @@ fn disconnected_reader_serves_stale_copy_despite_invalidation() {
     sim.run_for(SimDuration::from_secs(2));
     let o = p.poll().expect("served while disconnected");
     assert!(o.from_cache);
-    assert_eq!(o.object.unwrap().field("n"), Some("0"), "knowingly stale copy");
+    assert_eq!(
+        o.object.unwrap().field("n"),
+        Some("0"),
+        "knowingly stale copy"
+    );
 }
 
 #[test]
@@ -276,11 +374,22 @@ fn authentication_gates_all_operations() {
     assert_eq!(p.poll().unwrap().status, OpStatus::Ok);
 
     // Authenticated exports execute; unauthenticated would not have.
-    let h = Client::export(&good, &mut sim, &urn("c"), gs, "add", &["2"], Priority::NORMAL)
-        .unwrap();
+    let h = Client::export(
+        &good,
+        &mut sim,
+        &urn("c"),
+        gs,
+        "add",
+        &["2"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run();
     assert_eq!(h.committed.poll().unwrap().status, OpStatus::Ok);
-    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("2"));
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("2")
+    );
 }
 
 #[test]
@@ -290,18 +399,37 @@ fn server_store_checkpoint_and_restart() {
     let link = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
-    server.borrow_mut().put_object(counter("a").with_field("n", "3"));
-    server.borrow_mut().put_object(counter("b").with_field("n", "9"));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .put_object(counter("a").with_field("n", "3"));
+    server
+        .borrow_mut()
+        .put_object(counter("b").with_field("n", "9"));
 
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![link]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![link],
+    );
     let session = Client::create_session(&client, Guarantees::ALL, true);
     let p = Client::import(&client, &mut sim, &urn("a"), session, Priority::FOREGROUND).unwrap();
     sim.run();
     assert!(p.is_ready());
     // Commit one export so versions advance past 1.
-    let h = Client::export(&client, &mut sim, &urn("a"), session, "add", &["4"], Priority::NORMAL)
-        .unwrap();
+    let h = Client::export(
+        &client,
+        &mut sim,
+        &urn("a"),
+        session,
+        "add",
+        &["4"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run();
     assert!(h.committed.is_ready());
 
@@ -310,25 +438,41 @@ fn server_store_checkpoint_and_restart() {
     drop(server);
     let server2 = Server::new(&net, ServerConfig::workstation(SERVER));
     server2.borrow_mut().add_route(CLIENT, link);
-    server2.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server2
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     assert_eq!(server2.borrow_mut().import_store(&snapshot).unwrap(), 2);
 
     {
         let sv = server2.borrow();
         assert_eq!(sv.get_object(&urn("a")).unwrap().field("n"), Some("7"));
         assert_eq!(sv.get_object(&urn("b")).unwrap().field("n"), Some("9"));
-        assert!(sv.get_object(&urn("a")).unwrap().version.0 >= 2, "versions preserved");
+        assert!(
+            sv.get_object(&urn("a")).unwrap().version.0 >= 2,
+            "versions preserved"
+        );
     }
 
     // The client keeps working against the restarted server, and its
     // cached base version still lines up (no spurious conflict) — and
     // the restored write-ordering floor admits the next ordered export.
-    let h = Client::export(&client, &mut sim, &urn("a"), session, "add", &["1"], Priority::NORMAL)
-        .unwrap();
+    let h = Client::export(
+        &client,
+        &mut sim,
+        &urn("a"),
+        session,
+        "add",
+        &["1"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run_until(sim.now() + SimDuration::from_secs(1000));
     assert!(h.committed.is_ready(), "commit never arrived");
     assert_eq!(h.committed.poll().unwrap().status, OpStatus::Ok);
-    assert_eq!(server2.borrow().get_object(&urn("a")).unwrap().field("n"), Some("8"));
+    assert_eq!(
+        server2.borrow().get_object(&urn("a")).unwrap().field("n"),
+        Some("8")
+    );
 }
 
 #[test]
@@ -340,7 +484,12 @@ fn trace_records_protocol_events() {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
     server.borrow_mut().put_object(counter("c"));
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![link]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![link],
+    );
     let session = Client::create_session(&client, Guarantees::ALL, true);
 
     let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
@@ -366,11 +515,23 @@ fn polling_refreshes_stale_caches_and_stops_on_drop() {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, l1);
     server.borrow_mut().add_route(CLIENT2, l2);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     server.borrow_mut().put_object(counter("c"));
 
-    let writer = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
-    let reader = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let writer = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![l1],
+    );
+    let reader = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT2, SERVER),
+        vec![l2],
+    );
     let ws = Client::create_session(&writer, Guarantees::ALL, true);
     let rs = Client::create_session(&reader, Guarantees::NONE, false);
     for (c, s) in [(&writer, ws), (&reader, rs)] {
@@ -384,8 +545,16 @@ fn polling_refreshes_stale_caches_and_stops_on_drop() {
 
     // The writer commits; within one poll period the reader's cache
     // catches up without any explicit read.
-    let h = Client::export(&writer, &mut sim, &urn("c"), ws, "add", &["5"], Priority::NORMAL)
-        .unwrap();
+    let h = Client::export(
+        &writer,
+        &mut sim,
+        &urn("c"),
+        ws,
+        "add",
+        &["5"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run_for(SimDuration::from_secs(12));
     assert!(h.committed.is_ready());
     let cached = Client::cached_object(&reader, &urn("c"), false).unwrap();
@@ -418,7 +587,9 @@ fn multiple_home_servers_routed_by_authority() {
 
     let mail_sv = Server::new(&net, ServerConfig::workstation(mail_host));
     mail_sv.borrow_mut().add_route(CLIENT, l_mail);
-    mail_sv.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    mail_sv
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     mail_sv.borrow_mut().put_object(
         RoverObject::new(Urn::parse("urn:rover:mail/box").unwrap(), "counter")
             .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
@@ -427,7 +598,9 @@ fn multiple_home_servers_routed_by_authority() {
 
     let cal_sv = Server::new(&net, ServerConfig::workstation(cal_host));
     cal_sv.borrow_mut().add_route(CLIENT, l_cal);
-    cal_sv.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    cal_sv
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     cal_sv.borrow_mut().put_object(
         RoverObject::new(Urn::parse("urn:rover:cal/team").unwrap(), "counter")
             .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
@@ -441,8 +614,22 @@ fn multiple_home_servers_routed_by_authority() {
     let session = Client::create_session(&client, Guarantees::ALL, true);
 
     // Both imports resolve, each from its own server over its own link.
-    let pm = Client::import(&client, &mut sim, &Urn::parse("urn:rover:mail/box").unwrap(), session, Priority::FOREGROUND).unwrap();
-    let pc = Client::import(&client, &mut sim, &Urn::parse("urn:rover:cal/team").unwrap(), session, Priority::FOREGROUND).unwrap();
+    let pm = Client::import(
+        &client,
+        &mut sim,
+        &Urn::parse("urn:rover:mail/box").unwrap(),
+        session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
+    let pc = Client::import(
+        &client,
+        &mut sim,
+        &Urn::parse("urn:rover:cal/team").unwrap(),
+        session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     sim.run();
     assert_eq!(pm.poll().unwrap().object.unwrap().field("n"), Some("0"));
     assert_eq!(pc.poll().unwrap().object.unwrap().field("n"), Some("100"));
@@ -450,16 +637,42 @@ fn multiple_home_servers_routed_by_authority() {
     assert!(pm.resolved_at().unwrap() < pc.resolved_at().unwrap());
 
     // Exports land at the right servers.
-    let hm = Client::export(&client, &mut sim, &Urn::parse("urn:rover:mail/box").unwrap(), session, "add", &["1"], Priority::NORMAL).unwrap();
-    let hc = Client::export(&client, &mut sim, &Urn::parse("urn:rover:cal/team").unwrap(), session, "add", &["2"], Priority::NORMAL).unwrap();
+    let hm = Client::export(
+        &client,
+        &mut sim,
+        &Urn::parse("urn:rover:mail/box").unwrap(),
+        session,
+        "add",
+        &["1"],
+        Priority::NORMAL,
+    )
+    .unwrap();
+    let hc = Client::export(
+        &client,
+        &mut sim,
+        &Urn::parse("urn:rover:cal/team").unwrap(),
+        session,
+        "add",
+        &["2"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run();
     assert!(hm.committed.is_ready() && hc.committed.is_ready());
     assert_eq!(
-        mail_sv.borrow().get_object(&Urn::parse("urn:rover:mail/box").unwrap()).unwrap().field("n"),
+        mail_sv
+            .borrow()
+            .get_object(&Urn::parse("urn:rover:mail/box").unwrap())
+            .unwrap()
+            .field("n"),
         Some("1")
     );
     assert_eq!(
-        cal_sv.borrow().get_object(&Urn::parse("urn:rover:cal/team").unwrap()).unwrap().field("n"),
+        cal_sv
+            .borrow()
+            .get_object(&Urn::parse("urn:rover:cal/team").unwrap())
+            .unwrap()
+            .field("n"),
         Some("102")
     );
 }
@@ -476,9 +689,10 @@ fn partial_connectivity_to_one_of_two_servers() {
     let l_mail = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, mail_host);
     let l_cal = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, cal_host);
 
-    for (host, link, path, n0) in
-        [(mail_host, l_mail, "mail/box", "0"), (cal_host, l_cal, "cal/team", "100")]
-    {
+    for (host, link, path, n0) in [
+        (mail_host, l_mail, "mail/box", "0"),
+        (cal_host, l_cal, "cal/team", "100"),
+    ] {
         let sv = Server::new(&net, ServerConfig::workstation(host));
         sv.borrow_mut().add_route(CLIENT, link);
         sv.borrow_mut().put_object(
@@ -497,14 +711,31 @@ fn partial_connectivity_to_one_of_two_servers() {
     let session = Client::create_session(&client, Guarantees::ALL, true);
 
     net.set_up(&mut sim, l_cal, false);
-    let pm = Client::import(&client, &mut sim, &Urn::parse("urn:rover:mail/box").unwrap(), session, Priority::FOREGROUND).unwrap();
-    let pc = Client::import(&client, &mut sim, &Urn::parse("urn:rover:cal/team").unwrap(), session, Priority::FOREGROUND).unwrap();
+    let pm = Client::import(
+        &client,
+        &mut sim,
+        &Urn::parse("urn:rover:mail/box").unwrap(),
+        session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
+    let pc = Client::import(
+        &client,
+        &mut sim,
+        &Urn::parse("urn:rover:cal/team").unwrap(),
+        session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     sim.run_for(SimDuration::from_secs(60));
     assert!(pm.is_ready(), "reachable server answered");
     assert!(!pc.is_ready(), "unreachable server's QRPC still queued");
 
     net.set_up(&mut sim, l_cal, true);
     sim.run_until(sim.now() + SimDuration::from_secs(120));
-    assert!(pc.is_ready(), "queued QRPC drained once its server was reachable");
+    assert!(
+        pc.is_ready(),
+        "queued QRPC drained once its server was reachable"
+    );
     assert_eq!(pc.poll().unwrap().object.unwrap().field("n"), Some("100"));
 }

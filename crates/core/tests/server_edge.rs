@@ -25,10 +25,22 @@ fn rig() -> Rig {
     let link = net.add_link(LinkSpec::ETHERNET_10M, CLIENT, SERVER);
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![link]);
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![link],
+    );
     let session = Client::create_session(&client, Guarantees::ALL, true);
-    Rig { sim, server, client, session }
+    Rig {
+        sim,
+        server,
+        client,
+        session,
+    }
 }
 
 fn urn(p: &str) -> Urn {
@@ -36,19 +48,35 @@ fn urn(p: &str) -> Urn {
 }
 
 fn obj(p: &str, code: &str) -> RoverObject {
-    RoverObject::new(urn(p), "counter").with_code(code).with_field("n", "0")
+    RoverObject::new(urn(p), "counter")
+        .with_code(code)
+        .with_field("n", "0")
 }
 
 #[test]
 fn export_of_unknown_method_reports_no_such_method() {
     let mut r = rig();
     r.server.borrow_mut().put_object(obj("c", "proc ok {} {}"));
-    let p = Client::import(&r.client, &mut r.sim, &urn("c"), r.session, Priority::NORMAL).unwrap();
+    let p = Client::import(
+        &r.client,
+        &mut r.sim,
+        &urn("c"),
+        r.session,
+        Priority::NORMAL,
+    )
+    .unwrap();
     r.sim.run();
     assert!(p.is_ready());
     // The local apply fails first — the API rejects before queueing.
-    match Client::export(&r.client, &mut r.sim, &urn("c"), r.session, "missing", &[], Priority::NORMAL)
-    {
+    match Client::export(
+        &r.client,
+        &mut r.sim,
+        &urn("c"),
+        r.session,
+        "missing",
+        &[],
+        Priority::NORMAL,
+    ) {
         Err(rover_core::RoverError::NoSuchMethod(_)) => {}
         Err(e) => panic!("unexpected error {e}"),
         Ok(_) => panic!("export of missing method must fail locally"),
@@ -60,9 +88,17 @@ fn export_of_unknown_method_reports_no_such_method() {
 #[test]
 fn remote_invoke_of_unknown_method_is_a_server_status() {
     let mut r = rig();
-    r.server.borrow_mut().put_object(obj("c", "proc ok {} {return fine}"));
+    r.server
+        .borrow_mut()
+        .put_object(obj("c", "proc ok {} {return fine}"));
     let p = Client::invoke_remote(
-        &r.client, &mut r.sim, &urn("c"), r.session, "missing", &[], Priority::NORMAL,
+        &r.client,
+        &mut r.sim,
+        &urn("c"),
+        r.session,
+        "missing",
+        &[],
+        Priority::NORMAL,
     )
     .unwrap();
     r.sim.run();
@@ -72,23 +108,42 @@ fn remote_invoke_of_unknown_method_is_a_server_status() {
 #[test]
 fn server_side_script_error_is_exec_error() {
     let mut r = rig();
-    r.server.borrow_mut().put_object(obj("c", "proc boom {} {error kapow}"));
+    r.server
+        .borrow_mut()
+        .put_object(obj("c", "proc boom {} {error kapow}"));
     let p = Client::invoke_remote(
-        &r.client, &mut r.sim, &urn("c"), r.session, "boom", &[], Priority::NORMAL,
+        &r.client,
+        &mut r.sim,
+        &urn("c"),
+        r.session,
+        "boom",
+        &[],
+        Priority::NORMAL,
     )
     .unwrap();
     r.sim.run();
     assert_eq!(p.poll().unwrap().status, OpStatus::ExecError);
     // The server object is unchanged (failed methods roll back).
-    assert_eq!(r.server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("0"));
+    assert_eq!(
+        r.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("0")
+    );
 }
 
 #[test]
 fn budget_exhaustion_at_server_is_contained() {
     let mut r = rig();
-    r.server.borrow_mut().put_object(obj("c", "proc spin {} {while {1} {}}"));
+    r.server
+        .borrow_mut()
+        .put_object(obj("c", "proc spin {} {while {1} {}}"));
     let p = Client::invoke_remote(
-        &r.client, &mut r.sim, &urn("c"), r.session, "spin", &[], Priority::NORMAL,
+        &r.client,
+        &mut r.sim,
+        &urn("c"),
+        r.session,
+        "spin",
+        &[],
+        Priority::NORMAL,
     )
     .unwrap();
     r.sim.run();
@@ -105,7 +160,13 @@ fn budget_exhaustion_at_server_is_contained() {
 fn invoke_on_missing_object() {
     let mut r = rig();
     let p = Client::invoke_remote(
-        &r.client, &mut r.sim, &urn("ghost"), r.session, "m", &[], Priority::NORMAL,
+        &r.client,
+        &mut r.sim,
+        &urn("ghost"),
+        r.session,
+        "m",
+        &[],
+        Priority::NORMAL,
     )
     .unwrap();
     r.sim.run();
@@ -123,23 +184,42 @@ fn dedup_capacity_pressure_still_behaves() {
     scfg.dedup_capacity = 4;
     let server = Server::new(&net, scfg);
     server.borrow_mut().add_route(CLIENT, link);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
-    server.borrow_mut().put_object(
-        obj("c", "proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}"),
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(obj(
+        "c",
+        "proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}",
+    ));
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![link],
     );
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![link]);
     let session = Client::create_session(&client, Guarantees::ALL, true);
     let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::NORMAL).unwrap();
     sim.run();
     assert!(p.is_ready());
     for _ in 0..20 {
-        let h = Client::export(&client, &mut sim, &urn("c"), session, "add", &["1"], Priority::NORMAL)
-            .unwrap();
+        let h = Client::export(
+            &client,
+            &mut sim,
+            &urn("c"),
+            session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .unwrap();
         sim.run();
         let st = h.committed.poll().unwrap().status;
         assert!(st == OpStatus::Ok || st == OpStatus::Resolved);
     }
-    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("20"));
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("20")
+    );
 }
 
 #[test]
@@ -148,16 +228,22 @@ fn export_rollback_preserves_tentative_consistency() {
     // succeeded locally against a stale base) must not corrupt the
     // server object.
     let mut r = rig();
-    r.server.borrow_mut().put_object(
-        RoverObject::new(urn("c"), "strict")
-            .with_code(
-                "proc claim {who} {
+    r.server
+        .borrow_mut()
+        .put_object(RoverObject::new(urn("c"), "strict").with_code(
+            "proc claim {who} {
                      if {[rover::has owner]} {error \"already claimed\"}
                      rover::set owner $who
                  }",
-            ),
-    );
-    let p = Client::import(&r.client, &mut r.sim, &urn("c"), r.session, Priority::NORMAL).unwrap();
+        ));
+    let p = Client::import(
+        &r.client,
+        &mut r.sim,
+        &urn("c"),
+        r.session,
+        Priority::NORMAL,
+    )
+    .unwrap();
     r.sim.run();
     assert!(p.is_ready());
 
@@ -172,11 +258,26 @@ fn export_rollback_preserves_tentative_consistency() {
 
     // Our claim succeeds locally (stale base) but conflicts at the
     // server; the "strict" type has no resolver → Conflict reflected.
-    let h = Client::export(&r.client, &mut r.sim, &urn("c"), r.session, "claim", &["alice"], Priority::NORMAL)
-        .unwrap();
+    let h = Client::export(
+        &r.client,
+        &mut r.sim,
+        &urn("c"),
+        r.session,
+        "claim",
+        &["alice"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     r.sim.run();
     assert_eq!(h.committed.poll().unwrap().status, OpStatus::Conflict);
-    assert_eq!(r.server.borrow().get_object(&urn("c")).unwrap().field("owner"), Some("eve"));
+    assert_eq!(
+        r.server
+            .borrow()
+            .get_object(&urn("c"))
+            .unwrap()
+            .field("owner"),
+        Some("eve")
+    );
     // The client's committed copy now shows the server's truth.
     let committed = Client::cached_object(&r.client, &urn("c"), false).unwrap();
     assert_eq!(committed.field("owner"), Some("eve"));

@@ -28,12 +28,15 @@ struct Bed {
 }
 
 fn counter_obj(path: &str) -> RoverObject {
-    RoverObject::new(Urn::parse(&format!("urn:rover:t/{path}")).unwrap(), "counter")
-        .with_code(
-            "proc get {} {rover::get n 0}
+    RoverObject::new(
+        Urn::parse(&format!("urn:rover:t/{path}")).unwrap(),
+        "counter",
+    )
+    .with_code(
+        "proc get {} {rover::get n 0}
              proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}",
-        )
-        .with_field("n", "0")
+    )
+    .with_field("n", "0")
 }
 
 fn urn(path: &str) -> Urn {
@@ -50,19 +53,36 @@ fn bed_with(spec: LinkSpec, cfg: ClientConfig) -> Bed {
     let link = net.add_link(spec, CLIENT, SERVER);
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, link);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     let client = Client::new(&mut sim, &net, cfg, vec![link]);
     let session = Client::create_session(&client, Guarantees::ALL, true);
-    Bed { sim, net, link, server, client, session }
+    Bed {
+        sim,
+        net,
+        link,
+        server,
+        client,
+        session,
+    }
 }
 
 #[test]
 fn import_miss_then_hit() {
     let mut b = bed(LinkSpec::WAVELAN_2M);
-    b.server.borrow_mut().put_object(counter_obj("c").with_field("n", "7"));
+    b.server
+        .borrow_mut()
+        .put_object(counter_obj("c").with_field("n", "7"));
 
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     let miss_latency = p.resolved_at().unwrap();
     let o = p.poll().unwrap();
@@ -71,8 +91,14 @@ fn import_miss_then_hit() {
     assert_eq!(o.object.unwrap().field("n"), Some("7"));
 
     let t0 = b.sim.now();
-    let p2 = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p2 = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     let hit_latency = p2.resolved_at().unwrap().since(t0);
     assert!(p2.poll().unwrap().from_cache);
@@ -85,8 +111,14 @@ fn import_miss_then_hit() {
 #[test]
 fn import_of_missing_object_reports_status() {
     let mut b = bed(LinkSpec::ETHERNET_10M);
-    let p = Client::import(&b.client, &mut b.sim, &urn("ghost"), b.session, Priority::NORMAL)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("ghost"),
+        b.session,
+        Priority::NORMAL,
+    )
+    .unwrap();
     b.sim.run();
     assert_eq!(p.poll().unwrap().status, OpStatus::NoSuchObject);
 }
@@ -97,8 +129,14 @@ fn disconnected_import_queues_until_reconnect() {
     b.server.borrow_mut().put_object(counter_obj("c"));
     b.net.set_up(&mut b.sim, b.link, false);
 
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run_for(SimDuration::from_secs(300));
     assert!(!p.is_ready());
     assert_eq!(Client::outstanding_count(&b.client), 1);
@@ -117,8 +155,14 @@ fn export_applies_tentatively_then_commits() {
     let mut b = bed(LinkSpec::CSLIP_14_4);
     b.server.borrow_mut().put_object(counter_obj("c"));
     // Import first (exports need a cached copy).
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
@@ -128,7 +172,13 @@ fn export_applies_tentatively_then_commits() {
 
     let t0 = b.sim.now();
     let h = Client::export(
-        &b.client, &mut b.sim, &urn("c"), b.session, "add", &["5"], Priority::NORMAL,
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        "add",
+        &["5"],
+        Priority::NORMAL,
     )
     .unwrap();
     b.sim.run();
@@ -137,26 +187,44 @@ fn export_applies_tentatively_then_commits() {
     let tentative_ms = h.tentative.resolved_at().unwrap().since(t0).as_millis();
     let commit_ms = h.committed.resolved_at().unwrap().since(t0).as_millis();
     assert!(tentative_ms < 50, "tentative took {tentative_ms}ms");
-    assert!(commit_ms > tentative_ms * 2, "commit {commit_ms}ms vs tentative {tentative_ms}ms");
+    assert!(
+        commit_ms > tentative_ms * 2,
+        "commit {commit_ms}ms vs tentative {tentative_ms}ms"
+    );
     assert!(h.tentative.poll().unwrap().tentative);
     assert_eq!(h.committed.poll().unwrap().status, OpStatus::Ok);
 
     // Server state reflects the operation.
-    assert_eq!(b.server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("5"));
+    assert_eq!(
+        b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("5")
+    );
     // Events: tentative apply then commit.
     let evs = events.borrow();
-    assert!(evs.iter().any(|e| matches!(e, ClientEvent::TentativeApplied { .. })));
     assert!(evs
         .iter()
-        .any(|e| matches!(e, ClientEvent::Committed { status: OpStatus::Ok, .. })));
+        .any(|e| matches!(e, ClientEvent::TentativeApplied { .. })));
+    assert!(evs.iter().any(|e| matches!(
+        e,
+        ClientEvent::Committed {
+            status: OpStatus::Ok,
+            ..
+        }
+    )));
 }
 
 #[test]
 fn disconnected_exports_drain_in_order_on_reconnect() {
     let mut b = bed(LinkSpec::WAVELAN_2M);
     b.server.borrow_mut().put_object(counter_obj("c"));
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
@@ -164,7 +232,12 @@ fn disconnected_exports_drain_in_order_on_reconnect() {
     let mut handles = Vec::new();
     for k in 1..=10 {
         let h = Client::export(
-            &b.client, &mut b.sim, &urn("c"), b.session, "add", &[&k.to_string()],
+            &b.client,
+            &mut b.sim,
+            &urn("c"),
+            b.session,
+            "add",
+            &[&k.to_string()],
             Priority::NORMAL,
         )
         .unwrap();
@@ -181,7 +254,10 @@ fn disconnected_exports_drain_in_order_on_reconnect() {
     b.net.set_up(&mut b.sim, b.link, true);
     b.sim.run();
     assert!(handles.iter().all(|h| h.committed.is_ready()));
-    assert_eq!(b.server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("55"));
+    assert_eq!(
+        b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("55")
+    );
     // Committed copy caught up; tentative cleared.
     let committed = Client::cached_object(&b.client, &urn("c"), false).unwrap();
     assert_eq!(committed.field("n"), Some("55"));
@@ -199,11 +275,23 @@ fn conflicting_exports_reexecute_with_type_resolver() {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, l1);
     server.borrow_mut().add_route(CLIENT2, l2);
-    server.borrow_mut().register_resolver("counter", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
     server.borrow_mut().put_object(counter_obj("c"));
 
-    let c1 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
-    let c2 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let c1 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![l1],
+    );
+    let c2 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT2, SERVER),
+        vec![l2],
+    );
     let s1 = Client::create_session(&c1, Guarantees::ALL, true);
     let s2 = Client::create_session(&c2, Guarantees::ALL, true);
 
@@ -214,10 +302,26 @@ fn conflicting_exports_reexecute_with_type_resolver() {
     }
 
     // Both export from base version 1.
-    let h1 =
-        Client::export(&c1, &mut sim, &urn("c"), s1, "add", &["10"], Priority::NORMAL).unwrap();
-    let h2 =
-        Client::export(&c2, &mut sim, &urn("c"), s2, "add", &["32"], Priority::NORMAL).unwrap();
+    let h1 = Client::export(
+        &c1,
+        &mut sim,
+        &urn("c"),
+        s1,
+        "add",
+        &["10"],
+        Priority::NORMAL,
+    )
+    .unwrap();
+    let h2 = Client::export(
+        &c2,
+        &mut sim,
+        &urn("c"),
+        s2,
+        "add",
+        &["32"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run();
 
     let st1 = h1.committed.poll().unwrap().status;
@@ -227,7 +331,10 @@ fn conflicting_exports_reexecute_with_type_resolver() {
         (st1, st2),
         (OpStatus::Ok, OpStatus::Resolved) | (OpStatus::Resolved, OpStatus::Ok)
     ));
-    assert_eq!(server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("42"));
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("42")
+    );
 }
 
 #[test]
@@ -239,11 +346,23 @@ fn unresolvable_conflict_is_reflected_to_user() {
     let server = Server::new(&net, ServerConfig::workstation(SERVER));
     server.borrow_mut().add_route(CLIENT, l1);
     server.borrow_mut().add_route(CLIENT2, l2);
-    server.borrow_mut().register_resolver("counter", Box::new(RejectResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(RejectResolver));
     server.borrow_mut().put_object(counter_obj("c"));
 
-    let c1 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT, SERVER), vec![l1]);
-    let c2 = Client::new(&mut sim, &net, ClientConfig::thinkpad(CLIENT2, SERVER), vec![l2]);
+    let c1 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT, SERVER),
+        vec![l1],
+    );
+    let c2 = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(CLIENT2, SERVER),
+        vec![l2],
+    );
     let s1 = Client::create_session(&c1, Guarantees::NONE, true);
     let s2 = Client::create_session(&c2, Guarantees::NONE, true);
     for (c, s) in [(&c1, s1), (&c2, s2)] {
@@ -260,18 +379,46 @@ fn unresolvable_conflict_is_reflected_to_user() {
         }
     });
 
-    let h1 =
-        Client::export(&c1, &mut sim, &urn("c"), s1, "add", &["10"], Priority::NORMAL).unwrap();
-    let h2 =
-        Client::export(&c2, &mut sim, &urn("c"), s2, "add", &["32"], Priority::NORMAL).unwrap();
+    let h1 = Client::export(
+        &c1,
+        &mut sim,
+        &urn("c"),
+        s1,
+        "add",
+        &["10"],
+        Priority::NORMAL,
+    )
+    .unwrap();
+    let h2 = Client::export(
+        &c2,
+        &mut sim,
+        &urn("c"),
+        s2,
+        "add",
+        &["32"],
+        Priority::NORMAL,
+    )
+    .unwrap();
     sim.run();
 
-    let statuses = [h1.committed.poll().unwrap().status, h2.committed.poll().unwrap().status];
+    let statuses = [
+        h1.committed.poll().unwrap().status,
+        h2.committed.poll().unwrap().status,
+    ];
     assert!(statuses.contains(&OpStatus::Ok));
     assert!(statuses.contains(&OpStatus::Conflict));
-    assert_eq!(*conflicts.borrow() + sim.stats.counter("client.conflicts") as i32 - 1, 1);
+    assert_eq!(
+        *conflicts.borrow() + sim.stats.counter("client.conflicts") as i32 - 1,
+        1
+    );
     // Only one add landed.
-    let n = server.borrow().get_object(&urn("c")).unwrap().field("n").unwrap().to_owned();
+    let n = server
+        .borrow()
+        .get_object(&urn("c"))
+        .unwrap()
+        .field("n")
+        .unwrap()
+        .to_owned();
     assert!(n == "10" || n == "32");
 }
 
@@ -279,7 +426,9 @@ fn unresolvable_conflict_is_reflected_to_user() {
 fn script_resolver_merges_calendar_style() {
     // The object's own `resolve` proc accepts non-overlapping slots.
     let mut b = bed(LinkSpec::ETHERNET_10M);
-    b.server.borrow_mut().register_resolver("cal", Box::new(ScriptResolver::default()));
+    b.server
+        .borrow_mut()
+        .register_resolver("cal", Box::new(ScriptResolver::default()));
     let obj = RoverObject::new(urn("cal"), "cal").with_code(
         "proc book {slot who} {
             if {[rover::has slot$slot]} {error taken}
@@ -295,8 +444,14 @@ fn script_resolver_merges_calendar_style() {
     );
     b.server.borrow_mut().put_object(obj);
 
-    let p = Client::import(&b.client, &mut b.sim, &urn("cal"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("cal"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
@@ -312,7 +467,12 @@ fn script_resolver_merges_calendar_style() {
     // Our export (slot 3) is based on the stale version → conflict →
     // script resolver accepts because slot 3 is free.
     let h = Client::export(
-        &b.client, &mut b.sim, &urn("cal"), b.session, "book", &["3", "alice"],
+        &b.client,
+        &mut b.sim,
+        &urn("cal"),
+        b.session,
+        "book",
+        &["3", "alice"],
         Priority::NORMAL,
     )
     .unwrap();
@@ -333,13 +493,25 @@ fn at_most_once_across_reply_loss_and_retransmission() {
     cfg.rto = SimDuration::from_secs(30);
     let mut b = bed_with(LinkSpec::CSLIP_14_4, cfg);
     b.server.borrow_mut().put_object(counter_obj("c"));
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
     let h = Client::export(
-        &b.client, &mut b.sim, &urn("c"), b.session, "add", &["1"], Priority::NORMAL,
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        "add",
+        &["1"],
+        Priority::NORMAL,
     )
     .unwrap();
     // The request takes >130 ms to cross the modem; give it 3 s so the
@@ -352,7 +524,10 @@ fn at_most_once_across_reply_loss_and_retransmission() {
     b.sim.run();
 
     assert!(h.committed.is_ready());
-    assert_eq!(b.server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("1"));
+    assert_eq!(
+        b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("1")
+    );
 }
 
 #[test]
@@ -361,8 +536,14 @@ fn exactly_once_effect_under_flaky_connectivity() {
     cfg.rto = SimDuration::from_secs(20);
     let mut b = bed_with(LinkSpec::CSLIP_14_4, cfg);
     b.server.borrow_mut().put_object(counter_obj("c"));
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
@@ -377,14 +558,23 @@ fn exactly_once_effect_under_flaky_connectivity() {
     let mut handles = Vec::new();
     for _ in 0..20 {
         let h = Client::export(
-            &b.client, &mut b.sim, &urn("c"), b.session, "add", &["1"], Priority::NORMAL,
+            &b.client,
+            &mut b.sim,
+            &urn("c"),
+            b.session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
         )
         .unwrap();
         handles.push(h);
         b.sim.run_for(SimDuration::from_secs(2));
     }
     b.sim.run();
-    assert!(handles.iter().all(|h| h.committed.is_ready()), "all exports eventually commit");
+    assert!(
+        handles.iter().all(|h| h.committed.is_ready()),
+        "all exports eventually commit"
+    );
     assert_eq!(
         b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
         Some("20"),
@@ -397,21 +587,39 @@ fn exactly_once_effect_under_flaky_connectivity() {
 fn ryw_session_sees_its_own_pending_writes() {
     let mut b = bed(LinkSpec::CSLIP_2_4);
     b.server.borrow_mut().put_object(counter_obj("c"));
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
     b.net.set_up(&mut b.sim, b.link, false);
     let _h = Client::export(
-        &b.client, &mut b.sim, &urn("c"), b.session, "add", &["9"], Priority::NORMAL,
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        "add",
+        &["9"],
+        Priority::NORMAL,
     )
     .unwrap();
     b.sim.run_for(SimDuration::from_secs(5));
 
     // Import while the export is pending: RYW serves the tentative copy.
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run_for(SimDuration::from_secs(5));
     let o = p.poll().expect("served from cache while disconnected");
     assert!(o.tentative);
@@ -431,8 +639,14 @@ fn foreground_overtakes_queued_bulk_traffic() {
     // Queue six bulk prefetches, then one foreground import.
     let bulk_urns: Vec<Urn> = (0..6).map(|i| urn(&format!("bulk{i}"))).collect();
     Client::prefetch(&b.client, &mut b.sim, &bulk_urns, b.session);
-    let fg = Client::import(&b.client, &mut b.sim, &urn("hot"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let fg = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("hot"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     let bulk_done: Vec<_> = bulk_urns
         .iter()
         .map(|u| Client::import(&b.client, &mut b.sim, u, b.session, Priority::BACKGROUND).unwrap())
@@ -440,56 +654,116 @@ fn foreground_overtakes_queued_bulk_traffic() {
     b.sim.run();
 
     let fg_t = fg.resolved_at().unwrap();
-    let later_bulk = bulk_done.iter().filter(|p| p.resolved_at().unwrap() > fg_t).count();
-    assert!(later_bulk >= 4, "foreground import finished after most bulk traffic");
+    let later_bulk = bulk_done
+        .iter()
+        .filter(|p| p.resolved_at().unwrap() > fg_t)
+        .count();
+    assert!(
+        later_bulk >= 4,
+        "foreground import finished after most bulk traffic"
+    );
 }
 
 #[test]
 fn group_commit_defers_flushes() {
     let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
-    cfg.log_policy = LogPolicy::GroupCommit { n: 4, timeout: SimDuration::from_secs(30) };
+    cfg.log_policy = LogPolicy::GroupCommit {
+        n: 4,
+        timeout: SimDuration::from_secs(30),
+    };
     let mut b = bed_with(LinkSpec::ETHERNET_10M, cfg);
     b.server.borrow_mut().put_object(counter_obj("c"));
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
     // The import itself consumed one (timeout-driven) group flush.
-    let baseline = b.sim.stats.series("client.flush_ms").map(|s| s.len()).unwrap_or(0);
+    let baseline = b
+        .sim
+        .stats
+        .series("client.flush_ms")
+        .map(|s| s.len())
+        .unwrap_or(0);
 
     // Three quick exports: parked, no new flush yet.
     for _ in 0..3 {
         let _ = Client::export(
-            &b.client, &mut b.sim, &urn("c"), b.session, "add", &["1"], Priority::NORMAL,
+            &b.client,
+            &mut b.sim,
+            &urn("c"),
+            b.session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
         )
         .unwrap();
     }
-    assert_eq!(b.sim.stats.series("client.flush_ms").map(|s| s.len()).unwrap_or(0), baseline);
+    assert_eq!(
+        b.sim
+            .stats
+            .series("client.flush_ms")
+            .map(|s| s.len())
+            .unwrap_or(0),
+        baseline
+    );
 
     // Fourth export fills the group: exactly one flush covers all four.
     let _ = Client::export(
-        &b.client, &mut b.sim, &urn("c"), b.session, "add", &["1"], Priority::NORMAL,
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        "add",
+        &["1"],
+        Priority::NORMAL,
     )
     .unwrap();
     b.sim.run();
-    assert_eq!(b.sim.stats.series("client.flush_ms").unwrap().len(), baseline + 1);
-    assert_eq!(b.server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("4"));
+    assert_eq!(
+        b.sim.stats.series("client.flush_ms").unwrap().len(),
+        baseline + 1
+    );
+    assert_eq!(
+        b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("4")
+    );
 }
 
 #[test]
 fn group_commit_timeout_releases_stragglers() {
     let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
-    cfg.log_policy = LogPolicy::GroupCommit { n: 100, timeout: SimDuration::from_secs(10) };
+    cfg.log_policy = LogPolicy::GroupCommit {
+        n: 100,
+        timeout: SimDuration::from_secs(10),
+    };
     let mut b = bed_with(LinkSpec::ETHERNET_10M, cfg);
     b.server.borrow_mut().put_object(counter_obj("c"));
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
     let h = Client::export(
-        &b.client, &mut b.sim, &urn("c"), b.session, "add", &["1"], Priority::NORMAL,
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        "add",
+        &["1"],
+        Priority::NORMAL,
     )
     .unwrap();
     b.sim.run_for(SimDuration::from_secs(5));
@@ -503,11 +777,19 @@ fn smtp_fallback_carries_replies_across_disconnection() {
     let mut b = bed(LinkSpec::WAVELAN_2M);
     let relay = SmtpRelay::new(b.net.clone(), b.link, SimDuration::from_secs(30));
     b.server.borrow_mut().add_smtp_route(CLIENT, relay);
-    b.server.borrow_mut().put_object(counter_obj("c").with_field("pad", &"y".repeat(50_000)));
+    b.server
+        .borrow_mut()
+        .put_object(counter_obj("c").with_field("pad", &"y".repeat(50_000)));
 
     // Import a large object; sever the link while the reply transmits.
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run_for(SimDuration::from_millis(120));
     b.net.set_up(&mut b.sim, b.link, false);
     b.sim.run_for(SimDuration::from_secs(90));
@@ -556,7 +838,11 @@ fn cache_eviction_emits_events_and_preserves_dirty() {
     });
     for i in 0..5 {
         let p = Client::import(
-            &b.client, &mut b.sim, &urn(&format!("o{i}")), b.session, Priority::NORMAL,
+            &b.client,
+            &mut b.sim,
+            &urn(&format!("o{i}")),
+            b.session,
+            Priority::NORMAL,
         )
         .unwrap();
         b.sim.run();
@@ -584,8 +870,14 @@ fn invoke_local_vs_remote_and_mutation_guard() {
         .with_field("item1", "10")
         .with_field("item2", "32");
     b.server.borrow_mut().put_object(obj);
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
@@ -599,7 +891,13 @@ fn invoke_local_vs_remote_and_mutation_guard() {
     // Remote invocation over the modem: same answer, much slower.
     let t1 = b.sim.now();
     let rp = Client::invoke_remote(
-        &b.client, &mut b.sim, &urn("c"), b.session, "summarize", &[], Priority::FOREGROUND,
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        "summarize",
+        &[],
+        Priority::FOREGROUND,
     )
     .unwrap();
     b.sim.run();
@@ -621,15 +919,29 @@ fn invoke_local_vs_remote_and_mutation_guard() {
 fn scheduler_reports_drain_for_e9() {
     let mut b = bed(LinkSpec::CSLIP_14_4);
     b.server.borrow_mut().put_object(counter_obj("c"));
-    let p = Client::import(&b.client, &mut b.sim, &urn("c"), b.session, Priority::FOREGROUND)
-        .unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
 
     b.net.set_up(&mut b.sim, b.link, false);
     for _ in 0..25 {
-        Client::export(&b.client, &mut b.sim, &urn("c"), b.session, "add", &["1"], Priority::BULK)
-            .unwrap();
+        Client::export(
+            &b.client,
+            &mut b.sim,
+            &urn("c"),
+            b.session,
+            "add",
+            &["1"],
+            Priority::BULK,
+        )
+        .unwrap();
         b.sim.run_for(SimDuration::from_millis(200));
     }
     assert_eq!(Client::outstanding_count(&b.client), 25);
@@ -638,7 +950,10 @@ fn scheduler_reports_drain_for_e9() {
     b.sim.run();
     let drain = b.sim.now().since(reconnect_at);
     assert_eq!(Client::outstanding_count(&b.client), 0);
-    assert_eq!(b.server.borrow().get_object(&urn("c")).unwrap().field("n"), Some("25"));
+    assert_eq!(
+        b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("25")
+    );
     // Draining 25 QRPCs over a 14.4K modem takes many seconds (setup +
     // serialized transfers) but not forever.
     assert!(drain > SimDuration::from_secs(5), "drain was {drain}");
@@ -660,7 +975,13 @@ fn load_imports_and_runs_method() {
 
     // Miss path: load fetches the object, then runs the method.
     let p = Client::load(
-        &b.client, &mut b.sim, &urn("calc"), b.session, "stats", &[], Priority::FOREGROUND,
+        &b.client,
+        &mut b.sim,
+        &urn("calc"),
+        b.session,
+        "stats",
+        &[],
+        Priority::FOREGROUND,
     )
     .unwrap();
     b.sim.run();
@@ -671,7 +992,13 @@ fn load_imports_and_runs_method() {
     // Hit path: immediate.
     let t0 = b.sim.now();
     let p2 = Client::load(
-        &b.client, &mut b.sim, &urn("calc"), b.session, "get", &[], Priority::FOREGROUND,
+        &b.client,
+        &mut b.sim,
+        &urn("calc"),
+        b.session,
+        "get",
+        &[],
+        Priority::FOREGROUND,
     )
     .unwrap();
     b.sim.run();
@@ -680,7 +1007,13 @@ fn load_imports_and_runs_method() {
 
     // Missing object propagates the import failure.
     let p3 = Client::load(
-        &b.client, &mut b.sim, &urn("ghost"), b.session, "get", &[], Priority::FOREGROUND,
+        &b.client,
+        &mut b.sim,
+        &urn("ghost"),
+        b.session,
+        "get",
+        &[],
+        Priority::FOREGROUND,
     )
     .unwrap();
     b.sim.run();
@@ -688,7 +1021,13 @@ fn load_imports_and_runs_method() {
 
     // Missing method surfaces as an exec error.
     let p4 = Client::load(
-        &b.client, &mut b.sim, &urn("calc"), b.session, "no_such_method", &[], Priority::FOREGROUND,
+        &b.client,
+        &mut b.sim,
+        &urn("calc"),
+        b.session,
+        "no_such_method",
+        &[],
+        Priority::FOREGROUND,
     )
     .unwrap();
     b.sim.run();
@@ -709,8 +1048,14 @@ fn import_escalation_outrans_background_prefetch() {
     let urns: Vec<Urn> = (0..4).map(|i| urn(&format!("page{i}"))).collect();
     Client::prefetch(&b.client, &mut b.sim, &urns, b.session);
     // Click the *last* one (deepest in the background queue).
-    let fg = Client::import(&b.client, &mut b.sim, &urns[3], b.session, Priority::FOREGROUND)
-        .unwrap();
+    let fg = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urns[3],
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     b.sim.run();
     assert!(b.sim.stats.counter("client.imports_escalated") >= 1);
     // The foreground copy beat at least the other two queued prefetches.
@@ -728,16 +1073,21 @@ fn adaptive_placement_picks_sensibly() {
 
     // A large record store where the filter result is tiny.
     let mut b = bed(LinkSpec::CSLIP_14_4);
-    let mut big = counter_obj("big").with_code(
-        "proc probe {} {return tiny}",
-    );
+    let mut big = counter_obj("big").with_code("proc probe {} {return tiny}");
     big.fields.insert("blob".into(), "B".repeat(80_000));
     b.server.borrow_mut().put_object(big);
-    b.server.borrow_mut().put_object(counter_obj("small").with_field("n", "1"));
+    b.server
+        .borrow_mut()
+        .put_object(counter_obj("small").with_field("n", "1"));
 
     // Uncached + huge object + tiny result → ship the function.
     let (p, placement) = Client::invoke_adaptive(
-        &b.client, &mut b.sim, &urn("big"), b.session, "probe", &[],
+        &b.client,
+        &mut b.sim,
+        &urn("big"),
+        b.session,
+        "probe",
+        &[],
         PlacementHints {
             result_bytes: 16,
             object_bytes: Some(80_000),
@@ -750,11 +1100,19 @@ fn adaptive_placement_picks_sensibly() {
     assert_eq!(placement, Placement::Remote);
     b.sim.run();
     assert_eq!(p.poll().unwrap().value.as_str(), "tiny");
-    assert!(!Client::is_cached(&b.client, &urn("big")), "remote invoke does not cache");
+    assert!(
+        !Client::is_cached(&b.client, &urn("big")),
+        "remote invoke does not cache"
+    );
 
     // Uncached + small object + reuse expected → import then run.
     let (p, placement) = Client::invoke_adaptive(
-        &b.client, &mut b.sim, &urn("small"), b.session, "get", &[],
+        &b.client,
+        &mut b.sim,
+        &urn("small"),
+        b.session,
+        "get",
+        &[],
         PlacementHints {
             result_bytes: 16,
             object_bytes: Some(200),
@@ -771,7 +1129,12 @@ fn adaptive_placement_picks_sensibly() {
 
     // Cached → local, regardless of hints.
     let (p, placement) = Client::invoke_adaptive(
-        &b.client, &mut b.sim, &urn("small"), b.session, "get", &[],
+        &b.client,
+        &mut b.sim,
+        &urn("small"),
+        b.session,
+        "get",
+        &[],
         PlacementHints::default(),
         Priority::FOREGROUND,
     )
@@ -796,8 +1159,8 @@ fn prefetch_collection_hoards_members() {
         .borrow_mut()
         .put_object(collection_object(urn("briefcase"), &members));
 
-    let p = Client::prefetch_collection(&b.client, &mut b.sim, &urn("briefcase"), b.session)
-        .unwrap();
+    let p =
+        Client::prefetch_collection(&b.client, &mut b.sim, &urn("briefcase"), b.session).unwrap();
     b.sim.run();
     assert!(p.is_ready());
     // Everything is now readable offline.
@@ -825,7 +1188,14 @@ fn hoard_pins_survive_cache_pressure() {
             .put_object(counter_obj(&format!("o{i}")).with_field("pad", &"z".repeat(8_000)));
     }
     // Import o0 and hoard it.
-    let p = Client::import(&b.client, &mut b.sim, &urn("o0"), b.session, Priority::NORMAL).unwrap();
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("o0"),
+        b.session,
+        Priority::NORMAL,
+    )
+    .unwrap();
     b.sim.run();
     assert!(p.is_ready());
     assert!(Client::set_hoarded(&b.client, &urn("o0"), true));
@@ -833,13 +1203,20 @@ fn hoard_pins_survive_cache_pressure() {
     // Blow through the capacity with five more imports.
     for i in 1..6 {
         let p = Client::import(
-            &b.client, &mut b.sim, &urn(&format!("o{i}")), b.session, Priority::NORMAL,
+            &b.client,
+            &mut b.sim,
+            &urn(&format!("o{i}")),
+            b.session,
+            Priority::NORMAL,
         )
         .unwrap();
         b.sim.run();
         assert!(p.is_ready());
     }
-    assert!(Client::is_cached(&b.client, &urn("o0")), "hoarded object survived");
+    assert!(
+        Client::is_cached(&b.client, &urn("o0")),
+        "hoarded object survived"
+    );
     let (objs, _) = Client::cache_usage(&b.client);
     assert!(objs < 6, "others were evicted");
 

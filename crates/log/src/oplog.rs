@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rover_wire::{compress, crc32, decompress};
+use rover_wire::{compress, crc32, decompress, Bytes};
 
 use crate::store::StableStore;
 
@@ -100,8 +100,10 @@ pub struct LogRecord {
     pub seq: u64,
     /// Record class.
     pub kind: RecordKind,
-    /// Application payload (marshalled QRPC, usually).
-    pub payload: Vec<u8>,
+    /// Application payload (marshalled QRPC, usually). Held as
+    /// refcounted [`Bytes`]: appending a queued QRPC shares the wire
+    /// buffer instead of copying it.
+    pub payload: Bytes,
 }
 
 /// When appended records are forced to stable storage.
@@ -151,11 +153,13 @@ impl<S: StableStore> OpLog<S> {
 
     /// Opens a log with an explicit flush policy and compression flag.
     pub fn open_with(mut store: S, policy: FlushPolicy, compress: bool) -> Result<Self, LogError> {
-        let bytes = store.read_all()?;
+        // One refcounted image of the device: replayed payloads are
+        // zero-copy views into it (unless compressed).
+        let bytes = Bytes::from(store.read_all()?);
         let mut records = BTreeMap::new();
         let mut next_seq = 1;
         let mut pos = 0usize;
-        while let Some((rec, used)) = parse_frame(&bytes[pos..]) {
+        while let Some((rec, used)) = parse_frame(&bytes, pos) {
             next_seq = next_seq.max(rec.seq + 1);
             records.insert(rec.seq, rec);
             pos += used;
@@ -176,10 +180,14 @@ impl<S: StableStore> OpLog<S> {
     /// Under [`FlushPolicy::PerOperation`] the record is durable when
     /// this returns; under group commit it becomes durable when the group
     /// fills (or on an explicit [`OpLog::flush`]).
-    pub fn append(&mut self, kind: RecordKind, payload: Vec<u8>) -> Result<u64, LogError> {
+    pub fn append(&mut self, kind: RecordKind, payload: impl Into<Bytes>) -> Result<u64, LogError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let rec = LogRecord { seq, kind, payload };
+        let rec = LogRecord {
+            seq,
+            kind,
+            payload: payload.into(),
+        };
         let frame = encode_frame(&rec, self.compress);
         self.buffered += frame.len();
         self.store.append(&frame)?;
@@ -200,7 +208,10 @@ impl<S: StableStore> OpLog<S> {
     /// Forces buffered records to stable storage.
     pub fn flush(&mut self) -> Result<FlushReceipt, LogError> {
         let bytes = self.store.sync()?;
-        let receipt = FlushReceipt { bytes, synced: bytes > 0 };
+        let receipt = FlushReceipt {
+            bytes,
+            synced: bytes > 0,
+        };
         self.buffered = 0;
         self.appended_since_sync = 0;
         Ok(receipt)
@@ -264,10 +275,11 @@ impl<S: StableStore> OpLog<S> {
 }
 
 fn encode_frame(rec: &LogRecord, compress_payload: bool) -> Vec<u8> {
+    // `rec.payload.clone()` is a refcount bump, not a copy.
     let (flags, payload) = if compress_payload {
         let z = compress(&rec.payload);
         if z.len() < rec.payload.len() {
-            (FLAG_COMPRESSED, z)
+            (FLAG_COMPRESSED, Bytes::from(z))
         } else {
             (0, rec.payload.clone())
         }
@@ -285,9 +297,11 @@ fn encode_frame(rec: &LogRecord, compress_payload: bool) -> Vec<u8> {
     out
 }
 
-/// Parses one frame from `buf`; `None` on truncation or corruption
-/// (recovery stops there).
-fn parse_frame(buf: &[u8]) -> Option<(LogRecord, usize)> {
+/// Parses one frame from `src` starting at `pos`; `None` on truncation
+/// or corruption (recovery stops there). Uncompressed payloads are
+/// returned as zero-copy views of `src`.
+fn parse_frame(src: &Bytes, pos: usize) -> Option<(LogRecord, usize)> {
+    let buf = &src[pos..];
     if buf.len() < HEADER_LEN {
         return None;
     }
@@ -307,9 +321,9 @@ fn parse_frame(buf: &[u8]) -> Option<(LogRecord, usize)> {
         return None;
     }
     let payload = if flags & FLAG_COMPRESSED != 0 {
-        decompress(payload).ok()?
+        Bytes::from(decompress(payload).ok()?)
     } else {
-        payload.to_vec()
+        src.slice(pos + HEADER_LEN..pos + HEADER_LEN + len)
     };
     Some((LogRecord { seq, kind, payload }, HEADER_LEN + len))
 }
@@ -323,7 +337,9 @@ mod tests {
     fn append_and_replay() {
         let mut log = OpLog::open(MemStore::new()).unwrap();
         let s1 = log.append(RecordKind::Request, b"one".to_vec()).unwrap();
-        let s2 = log.append(RecordKind::TentativeOp, b"two".to_vec()).unwrap();
+        let s2 = log
+            .append(RecordKind::TentativeOp, b"two".to_vec())
+            .unwrap();
         assert_eq!((s1, s2), (1, 2));
 
         let store = log.into_store();
@@ -345,8 +361,7 @@ mod tests {
 
     #[test]
     fn manual_policy_loses_unflushed_on_crash() {
-        let mut log =
-            OpLog::open_with(MemStore::new(), FlushPolicy::Manual, false).unwrap();
+        let mut log = OpLog::open_with(MemStore::new(), FlushPolicy::Manual, false).unwrap();
         log.append(RecordKind::Request, b"a".to_vec()).unwrap();
         log.flush().unwrap();
         log.append(RecordKind::Request, b"b".to_vec()).unwrap();
@@ -372,8 +387,10 @@ mod tests {
     #[test]
     fn torn_tail_is_discarded_on_recovery() {
         let mut log = OpLog::open(MemStore::new()).unwrap();
-        log.append(RecordKind::Request, b"good record".to_vec()).unwrap();
-        log.append(RecordKind::Request, b"torn record".to_vec()).unwrap();
+        log.append(RecordKind::Request, b"good record".to_vec())
+            .unwrap();
+        log.append(RecordKind::Request, b"torn record".to_vec())
+            .unwrap();
         let durable = log.device_len();
         // Tear the last frame in half.
         let store = log.into_store().crash(Some(durable as usize - 5));
@@ -467,7 +484,8 @@ mod tests {
     #[test]
     fn flush_receipt_reports_bytes() {
         let mut log = OpLog::open_with(MemStore::new(), FlushPolicy::Manual, false).unwrap();
-        log.append(RecordKind::Request, b"payload".to_vec()).unwrap();
+        log.append(RecordKind::Request, b"payload".to_vec())
+            .unwrap();
         let r = log.flush().unwrap();
         assert!(r.synced);
         assert_eq!(r.bytes, HEADER_LEN + 7);

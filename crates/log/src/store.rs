@@ -55,7 +55,10 @@ impl MemStore {
         if let Some(n) = torn_len {
             self.durable.truncate(n);
         }
-        MemStore { durable: self.durable, staged: Vec::new() }
+        MemStore {
+            durable: self.durable,
+            staged: Vec::new(),
+        }
     }
 
     /// Returns the number of staged (unsynced) bytes.
@@ -113,7 +116,11 @@ impl FileStore {
             .open(path)
             .map_err(LogError::io)?;
         let durable_len = file.metadata().map_err(LogError::io)?.len();
-        Ok(FileStore { file: Mutex::new(file), staged: Vec::new(), durable_len })
+        Ok(FileStore {
+            file: Mutex::new(file),
+            staged: Vec::new(),
+            durable_len,
+        })
     }
 }
 
@@ -127,7 +134,8 @@ impl StableStore for FileStore {
         let n = self.staged.len();
         if n > 0 {
             let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(self.durable_len)).map_err(LogError::io)?;
+            f.seek(SeekFrom::Start(self.durable_len))
+                .map_err(LogError::io)?;
             f.write_all(&self.staged).map_err(LogError::io)?;
             f.sync_data().map_err(LogError::io)?;
             self.durable_len += n as u64;

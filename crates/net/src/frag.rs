@@ -68,7 +68,11 @@ impl Reassembler {
     /// the oldest partial is evicted beyond that (its message is lost
     /// and must be retransmitted).
     pub fn new(cap: usize) -> Reassembler {
-        Reassembler { partials: HashMap::new(), order: VecDeque::new(), cap: cap.max(1) }
+        Reassembler {
+            partials: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
     }
 
     /// Feeds one received envelope; returns a completed message when
@@ -77,7 +81,10 @@ impl Reassembler {
         if env.kind != MsgKind::Fragment {
             return Some(env);
         }
-        let frag = Fragment::from_bytes(&env.body).ok()?;
+        // Shared decode: `frag.chunk` is a view of `env.body`, which is
+        // itself a view of the received wire buffer — no copy until the
+        // final reassembly rebuild.
+        let frag = Fragment::from_shared(&env.body).ok()?;
         let kind = MsgKind::from_byte(frag.orig_kind)?;
         if frag.total == 0 || frag.idx >= frag.total {
             return None;
@@ -101,7 +108,15 @@ impl Reassembler {
         if p.count == p.total {
             let p = self.partials.remove(&key).expect("present");
             self.order.retain(|k| *k != key);
-            let mut body = Vec::new();
+            // Single exactly-sized rebuild: the chunks are views of
+            // their fragment buffers, so this is the first (and only)
+            // copy of the payload on the receive path.
+            let total_len: usize = p
+                .chunks
+                .iter()
+                .map(|c| c.as_ref().expect("all chunks present").len())
+                .sum();
+            let mut body = Vec::with_capacity(total_len);
             for c in p.chunks {
                 body.extend_from_slice(&c.expect("all chunks present"));
             }

@@ -24,15 +24,15 @@
 mod frag;
 mod sched;
 mod smtp;
-mod stream;
 mod spec;
+mod stream;
 mod topo;
 
 pub use frag::{register_reassembling_host, split_envelope, wrap_reassembly, Reassembler};
 pub use sched::{HostSched, SchedMode, SchedRef, DEFAULT_MTU};
 pub use smtp::{SmtpRelay, SmtpRelayRef};
-pub use stream::{Stream, StreamRef};
 pub use spec::{LinkId, LinkSpec};
+pub use stream::{Stream, StreamRef};
 pub use topo::{DeliveryTicket, Net, NetError};
 
 pub use rover_wire::{Envelope, HostId, MsgKind, Priority};

@@ -35,7 +35,13 @@ impl SmtpRelay {
     /// Creates a relay delivering over `link`, polling its spool every
     /// `poll`.
     pub fn new(net: Net, link: LinkId, poll: SimDuration) -> SmtpRelayRef {
-        Rc::new(RefCell::new(SmtpRelay { net, link, poll, spool: Vec::new(), running: false }))
+        Rc::new(RefCell::new(SmtpRelay {
+            net,
+            link,
+            poll,
+            spool: Vec::new(),
+            running: false,
+        }))
     }
 
     /// Submits an envelope to the mail system. Always succeeds — that is

@@ -41,7 +41,11 @@ impl Wire for Frame {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
-        Ok(Frame { ack: dec.get_bool()?, seq: dec.get_u64()?, payload: Bytes::from(dec.get_bytes()?) })
+        Ok(Frame {
+            ack: dec.get_bool()?,
+            seq: dec.get_u64()?,
+            payload: dec.get_bytes_shared()?,
+        })
     }
 }
 
@@ -157,7 +161,11 @@ impl Stream {
             let Some((seq, payload)) = s.unacked.front().cloned() else {
                 return;
             };
-            let frame = Frame { ack: false, seq, payload };
+            let frame = Frame {
+                ack: false,
+                seq,
+                payload,
+            };
             let env = Envelope {
                 kind: MsgKind::Ack,
                 src: s.local,
@@ -200,7 +208,7 @@ impl Stream {
         if env.kind != MsgKind::Ack {
             return;
         }
-        let Ok(frame) = Frame::from_bytes(&env.body) else {
+        let Ok(frame) = Frame::from_shared(&env.body) else {
             sim.stats.incr("stream.bad_frames");
             return;
         };
@@ -249,11 +257,20 @@ impl Stream {
         // Acknowledge the highest in-order sequence (cumulative ack).
         let (net, link, env) = {
             let s = stream.borrow();
-            let ack = Frame { ack: true, seq: ack_seq, payload: Bytes::new() };
+            let ack = Frame {
+                ack: true,
+                seq: ack_seq,
+                payload: Bytes::new(),
+            };
             (
                 s.net.clone(),
                 s.link,
-                Envelope { kind: MsgKind::Ack, src: s.local, dst: s.peer, body: ack.to_bytes() },
+                Envelope {
+                    kind: MsgKind::Ack,
+                    src: s.local,
+                    dst: s.peer,
+                    body: ack.to_bytes(),
+                },
             )
         };
         let _ = net.send(sim, link, env);
@@ -292,7 +309,9 @@ mod tests {
     fn collect() -> (Inbox, impl FnMut(&mut Sim, Bytes)) {
         let inbox = Rc::new(RefCell::new(Vec::new()));
         let sink = inbox.clone();
-        (inbox, move |_sim: &mut Sim, b: Bytes| sink.borrow_mut().push(b.to_vec()))
+        (inbox, move |_sim: &mut Sim, b: Bytes| {
+            sink.borrow_mut().push(b.to_vec())
+        })
     }
 
     #[test]
@@ -300,8 +319,14 @@ mod tests {
         let (mut sim, net, link) = rig(0.0);
         let (inbox, deliver_b) = collect();
         let (sa, _sb) = Stream::pair(
-            &mut sim, &net, link, HostId(1), HostId(2),
-            SimDuration::from_secs(2), |_, _| {}, deliver_b,
+            &mut sim,
+            &net,
+            link,
+            HostId(1),
+            HostId(2),
+            SimDuration::from_secs(2),
+            |_, _| {},
+            deliver_b,
         );
         for i in 0..10u8 {
             Stream::send(&sa, &mut sim, Bytes::from(vec![i; 100]));
@@ -320,15 +345,26 @@ mod tests {
         let (mut sim, net, link) = rig(0.35);
         let (inbox, deliver_b) = collect();
         let (sa, _sb) = Stream::pair(
-            &mut sim, &net, link, HostId(1), HostId(2),
-            SimDuration::from_millis(500), |_, _| {}, deliver_b,
+            &mut sim,
+            &net,
+            link,
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(500),
+            |_, _| {},
+            deliver_b,
         );
         for i in 0..20u8 {
             Stream::send(&sa, &mut sim, Bytes::from(vec![i]));
         }
         sim.run_until(rover_sim::SimTime::from_secs(600));
         let got = inbox.borrow();
-        assert_eq!(got.len(), 20, "after {} retransmits", sim.stats.counter("stream.retransmits"));
+        assert_eq!(
+            got.len(),
+            20,
+            "after {} retransmits",
+            sim.stats.counter("stream.retransmits")
+        );
         for (i, m) in got.iter().enumerate() {
             assert_eq!(m[0], i as u8, "order preserved");
         }
@@ -342,8 +378,14 @@ mod tests {
         let (mut sim, net, link) = rig(0.25);
         let (inbox, deliver_b) = collect();
         let (sa, _sb) = Stream::pair(
-            &mut sim, &net, link, HostId(1), HostId(2),
-            SimDuration::from_millis(300), |_, _| {}, deliver_b,
+            &mut sim,
+            &net,
+            link,
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(300),
+            |_, _| {},
+            deliver_b,
         );
         for i in 0..15u8 {
             Stream::send(&sa, &mut sim, Bytes::from(vec![i]));
@@ -358,8 +400,14 @@ mod tests {
         let (inbox_a, deliver_a) = collect();
         let (inbox_b, deliver_b) = collect();
         let (sa, sb) = Stream::pair(
-            &mut sim, &net, link, HostId(1), HostId(2),
-            SimDuration::from_millis(400), deliver_a, deliver_b,
+            &mut sim,
+            &net,
+            link,
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(400),
+            deliver_a,
+            deliver_b,
         );
         for i in 0..8u8 {
             Stream::send(&sa, &mut sim, Bytes::from(vec![i]));
@@ -376,10 +424,22 @@ mod tests {
         // An echo server implemented in the delivery callback.
         let (mut sim, net, link) = rig(0.0);
         let (inbox_a, deliver_a) = collect();
-        let sa = Stream::new(&net, link, HostId(1), HostId(2), SimDuration::from_secs(1), deliver_a);
+        let sa = Stream::new(
+            &net,
+            link,
+            HostId(1),
+            HostId(2),
+            SimDuration::from_secs(1),
+            deliver_a,
+        );
         Stream::register(&sa, &net);
         let sb: StreamRef = Stream::new(
-            &net, link, HostId(2), HostId(1), SimDuration::from_secs(1), |_, _| {},
+            &net,
+            link,
+            HostId(2),
+            HostId(1),
+            SimDuration::from_secs(1),
+            |_, _| {},
         );
         {
             // Rewire B's callback to echo through B itself.

@@ -147,7 +147,10 @@ impl Net {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn set_loss(&self, link: LinkId, p: f64) {
-        assert!((0.0..1.0).contains(&p), "loss probability out of range: {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability out of range: {p}"
+        );
         self.0.borrow_mut().links[link.0].loss_prob = p;
     }
 
@@ -157,7 +160,10 @@ impl Net {
     where
         F: FnMut(&mut Sim, &Net, Envelope) + 'static,
     {
-        self.0.borrow_mut().handlers.insert(host.0, Rc::new(RefCell::new(handler)));
+        self.0
+            .borrow_mut()
+            .handlers
+            .insert(host.0, Rc::new(RefCell::new(handler)));
     }
 
     /// Subscribes to up/down transitions of `link`.
@@ -195,7 +201,9 @@ impl Net {
 
     /// Returns the first currently-up link joining `a` and `b`.
     pub fn up_link_between(&self, a: HostId, b: HostId) -> Option<LinkId> {
-        self.links_between(a, b).into_iter().find(|&l| self.is_up(l))
+        self.links_between(a, b)
+            .into_iter()
+            .find(|&l| self.is_up(l))
     }
 
     /// Returns the far endpoint of `link` as seen from `host`, if
@@ -218,7 +226,12 @@ impl Net {
     /// direction and behind connection setup. If the link goes down
     /// before `deliver_at`, the message is silently lost (higher layers
     /// retransmit — that is QRPC's job).
-    pub fn send(&self, sim: &mut Sim, link: LinkId, env: Envelope) -> Result<DeliveryTicket, NetError> {
+    pub fn send(
+        &self,
+        sim: &mut Sim,
+        link: LinkId,
+        env: Envelope,
+    ) -> Result<DeliveryTicket, NetError> {
         self.send_with_tx_done(sim, link, env, None)
     }
 
@@ -254,7 +267,11 @@ impl Net {
             let tx = l.spec.tx_time(env.wire_size());
             let done = tx_start + tx;
             l.busy_until[dir] = done;
-            DeliveryTicket { tx_start, tx_done: done, deliver_at: done + l.spec.latency }
+            DeliveryTicket {
+                tx_start,
+                tx_done: done,
+                deliver_at: done + l.spec.latency,
+            }
         };
 
         sim.stats.incr("net.sent_msgs");
@@ -333,7 +350,10 @@ impl Net {
                 return;
             }
             l.up = up;
-            sim.trace("net", format!("link {} {}", link.0, if up { "up" } else { "down" }));
+            sim.trace(
+                "net",
+                format!("link {} {}", link.0, if up { "up" } else { "down" }),
+            );
             if up {
                 l.ready_at = sim.now() + l.spec.setup;
                 l.busy_until = [l.ready_at; 2];
@@ -400,7 +420,8 @@ mod tests {
         let inbox = Rc::new(RefCell::new(Vec::new()));
         let sink = inbox.clone();
         net.register_host(HostId(2), move |sim: &mut Sim, _net: &Net, e: Envelope| {
-            sink.borrow_mut().push((sim.now().as_micros(), e.body.len()));
+            sink.borrow_mut()
+                .push((sim.now().as_micros(), e.body.len()));
         });
         // Consume the otherwise-unused sim warning.
         let _ = &mut sim;
@@ -414,8 +435,7 @@ mod tests {
         let size = e.wire_size();
         let t = net.send(&mut sim, link, e).unwrap();
         sim.run();
-        let expect =
-            LinkSpec::ETHERNET_10M.tx_time(size) + LinkSpec::ETHERNET_10M.latency;
+        let expect = LinkSpec::ETHERNET_10M.tx_time(size) + LinkSpec::ETHERNET_10M.latency;
         assert_eq!(t.deliver_at.as_micros(), expect.as_micros());
         assert_eq!(inbox.borrow().len(), 1);
         assert_eq!(inbox.borrow()[0].0, expect.as_micros());

@@ -15,7 +15,12 @@ fn env(src: u32, dst: u32, n: usize, tag: u8) -> Envelope {
     if n > 0 {
         body[0] = tag;
     }
-    Envelope { kind: MsgKind::Request, src: HostId(src), dst: HostId(dst), body: Bytes::from(body) }
+    Envelope {
+        kind: MsgKind::Request,
+        src: HostId(src),
+        dst: HostId(dst),
+        body: Bytes::from(body),
+    }
 }
 
 #[test]
@@ -49,13 +54,23 @@ fn mtu_override_disables_fragmentation() {
     let inbox = Rc::new(RefCell::new(0));
     let sink = inbox.clone();
     net.register_host(HostId(2), move |_s, _n, e| {
-        assert_eq!(e.kind, MsgKind::Request, "no fragments when MTU is unbounded");
+        assert_eq!(
+            e.kind,
+            MsgKind::Request,
+            "no fragments when MTU is unbounded"
+        );
         *sink.borrow_mut() += 1;
     });
     let sched = HostSched::new(HostId(1), SchedMode::Priority);
     HostSched::attach_link(&sched, &net, link);
     HostSched::set_mtu(&sched, usize::MAX);
-    HostSched::enqueue(&sched, &mut sim, &net, env(1, 2, 100_000, 1), Priority::NORMAL);
+    HostSched::enqueue(
+        &sched,
+        &mut sim,
+        &net,
+        env(1, 2, 100_000, 1),
+        Priority::NORMAL,
+    );
     sim.run();
     assert_eq!(*inbox.borrow(), 1);
     assert_eq!(sim.stats.counter("sched.fragments"), 0);
@@ -79,7 +94,13 @@ fn priority_preempts_between_fragments() {
     HostSched::enqueue(&sched, &mut sim, &net, env(1, 2, 30_000, 1), Priority::BULK);
     // Let a few fragments go out, then a foreground message arrives.
     sim.run_for(SimDuration::from_secs(3));
-    HostSched::enqueue(&sched, &mut sim, &net, env(1, 2, 64, 9), Priority::FOREGROUND);
+    HostSched::enqueue(
+        &sched,
+        &mut sim,
+        &net,
+        env(1, 2, 64, 9),
+        Priority::FOREGROUND,
+    );
     sim.run();
 
     let got = arrivals.borrow();
@@ -142,13 +163,23 @@ fn smtp_relay_survives_rapid_connectivity_churn() {
     let relay = SmtpRelay::new(net.clone(), link, SimDuration::from_secs(20));
 
     // Flap the link every 15 s while submitting 10 messages.
-    net.schedule_pattern(&mut sim, link, SimDuration::from_secs(15), SimDuration::from_secs(15), 20);
+    net.schedule_pattern(
+        &mut sim,
+        link,
+        SimDuration::from_secs(15),
+        SimDuration::from_secs(15),
+        20,
+    );
     for i in 0..10 {
         SmtpRelay::submit(&relay, &mut sim, env(1, 2, 200, i));
         sim.run_for(SimDuration::from_secs(9));
     }
     sim.run_until(SimTime::from_secs(1200));
-    assert_eq!(*delivered.borrow(), 10, "spool eventually forwards everything");
+    assert_eq!(
+        *delivered.borrow(),
+        10,
+        "spool eventually forwards everything"
+    );
     assert_eq!(SmtpRelay::spooled(&relay), 0);
 }
 
@@ -163,7 +194,13 @@ fn link_down_mid_fragment_stream_loses_only_in_flight() {
     let sched = HostSched::new(HostId(1), SchedMode::Priority);
     HostSched::attach_link(&sched, &net, link);
 
-    HostSched::enqueue(&sched, &mut sim, &net, env(1, 2, 20_000, 1), Priority::NORMAL);
+    HostSched::enqueue(
+        &sched,
+        &mut sim,
+        &net,
+        env(1, 2, 20_000, 1),
+        Priority::NORMAL,
+    );
     sim.run_for(SimDuration::from_secs(4)); // a few fragments through
     net.set_up(&mut sim, link, false);
     sim.run_for(SimDuration::from_secs(5));
@@ -212,7 +249,8 @@ fn rover_over_http_over_reliable_stream() {
                 match parsed {
                     Ok((req, used)) => {
                         buf.borrow_mut().drain(..used);
-                        sink.borrow_mut().push(http_request_to_envelope(&req).unwrap());
+                        sink.borrow_mut()
+                            .push(http_request_to_envelope(&req).unwrap());
                     }
                     Err(_) => break,
                 }
@@ -238,5 +276,9 @@ fn rover_over_http_over_reliable_stream() {
         Stream::send(&sa, &mut sim, Bytes::from(envelope_http_bytes(&env)));
     }
     sim.run_until(SimTime::from_secs(600));
-    assert_eq!(*received.borrow(), sent, "all envelopes recovered, in order, despite loss");
+    assert_eq!(
+        *received.borrow(),
+        sent,
+        "all envelopes recovered, in order, despite loss"
+    );
 }

@@ -55,7 +55,8 @@ fn index_of(v: &Value, len: usize) -> Result<usize, Exc> {
         let back: i64 = if rest.is_empty() {
             0
         } else {
-            rest.parse::<i64>().map_err(|_| Exc::err(format!("bad index \"{s}\"")))?
+            rest.parse::<i64>()
+                .map_err(|_| Exc::err(format!("bad index \"{s}\"")))?
         };
         let i = len as i64 - 1 + back;
         return Ok(i.max(0) as usize);
@@ -70,10 +71,15 @@ fn llength(args: &[Value]) -> Result<Value, Exc> {
 }
 
 fn lappend(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
-    let name = args.first().ok_or_else(|| Exc::err("wrong # args: lappend varName ?value ...?"))?;
+    let name = args
+        .first()
+        .ok_or_else(|| Exc::err("wrong # args: lappend varName ?value ...?"))?;
     let (n, i) = Interp::split_varname(&name.as_str());
     let mut items = if interp.var_exists(&n, i.as_deref()) {
-        interp.var_get(&n, i.as_deref())?.as_list().map_err(Exc::Err)?
+        interp
+            .var_get(&n, i.as_deref())?
+            .as_list()
+            .map_err(Exc::Err)?
     } else {
         Vec::new()
     };
@@ -97,7 +103,9 @@ fn lrange(args: &[Value]) -> Result<Value, Exc> {
 
 fn linsert(args: &[Value]) -> Result<Value, Exc> {
     if args.len() < 2 {
-        return Err(Exc::err("wrong # args: should be \"linsert list index element ...\""));
+        return Err(Exc::err(
+            "wrong # args: should be \"linsert list index element ...\"",
+        ));
     }
     let mut items = args[0].as_list().map_err(Exc::Err)?;
     let idx = index_of(&args[1], items.len() + 1)?.min(items.len());
@@ -121,7 +129,9 @@ fn lsearch(args: &[Value]) -> Result<Value, Exc> {
 
 fn lreplace(args: &[Value]) -> Result<Value, Exc> {
     if args.len() < 3 {
-        return Err(Exc::err("wrong # args: should be \"lreplace list first last ?element ...?\""));
+        return Err(Exc::err(
+            "wrong # args: should be \"lreplace list first last ?element ...?\"",
+        ));
     }
     let items = args[0].as_list().map_err(Exc::Err)?;
     let first = index_of(&args[1], items.len())?;
@@ -137,7 +147,9 @@ fn lreplace(args: &[Value]) -> Result<Value, Exc> {
 
 fn lassign(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
     if args.len() < 2 {
-        return Err(Exc::err("wrong # args: should be \"lassign list varName ?varName ...?\""));
+        return Err(Exc::err(
+            "wrong # args: should be \"lassign list varName ?varName ...?\"",
+        ));
     }
     let items = args[0].as_list().map_err(Exc::Err)?;
     for (i, name) in args[1..].iter().enumerate() {
@@ -200,19 +212,36 @@ fn concat(args: &[Value]) -> Result<Value, Exc> {
 }
 
 fn join(args: &[Value]) -> Result<Value, Exc> {
-    let list = args.first().ok_or_else(|| Exc::err("wrong # args: join list ?sep?"))?;
-    let sep = args.get(1).map(|v| v.as_str()).unwrap_or_else(|| " ".into());
+    let list = args
+        .first()
+        .ok_or_else(|| Exc::err("wrong # args: join list ?sep?"))?;
+    let sep = args
+        .get(1)
+        .map(|v| v.as_str())
+        .unwrap_or_else(|| " ".into());
     let items = list.as_list().map_err(Exc::Err)?;
     Ok(Value::from(
-        items.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(&sep),
+        items
+            .iter()
+            .map(|v| v.as_str())
+            .collect::<Vec<_>>()
+            .join(&sep),
     ))
 }
 
 fn split(args: &[Value]) -> Result<Value, Exc> {
-    let s = args.first().ok_or_else(|| Exc::err("wrong # args: split string ?chars?"))?.as_str();
-    let seps = args.get(1).map(|v| v.as_str()).unwrap_or_else(|| " \t\n".into());
+    let s = args
+        .first()
+        .ok_or_else(|| Exc::err("wrong # args: split string ?chars?"))?
+        .as_str();
+    let seps = args
+        .get(1)
+        .map(|v| v.as_str())
+        .unwrap_or_else(|| " \t\n".into());
     if seps.is_empty() {
-        return Ok(Value::list(s.chars().map(|c| Value::from(c.to_string())).collect()));
+        return Ok(Value::list(
+            s.chars().map(|c| Value::from(c.to_string())).collect(),
+        ));
     }
     let sepset: Vec<char> = seps.chars().collect();
     let mut out = Vec::new();
@@ -229,7 +258,9 @@ fn split(args: &[Value]) -> Result<Value, Exc> {
 }
 
 fn string_cmd(args: &[Value]) -> Result<Value, Exc> {
-    let sub = args.first().ok_or_else(|| Exc::err("wrong # args: string subcommand ..."))?;
+    let sub = args
+        .first()
+        .ok_or_else(|| Exc::err("wrong # args: string subcommand ..."))?;
     match sub.as_str().as_str() {
         "length" => {
             arity(&args[1..], 1, "string length string")?;
@@ -240,7 +271,10 @@ fn string_cmd(args: &[Value]) -> Result<Value, Exc> {
             let s = args[1].as_str();
             let chars: Vec<char> = s.chars().collect();
             let i = index_of(&args[2], chars.len())?;
-            Ok(chars.get(i).map(|c| Value::from(c.to_string())).unwrap_or_else(Value::empty))
+            Ok(chars
+                .get(i)
+                .map(|c| Value::from(c.to_string()))
+                .unwrap_or_else(Value::empty))
         }
         "range" => {
             arity(&args[1..], 3, "string range string first last")?;
@@ -260,7 +294,10 @@ fn string_cmd(args: &[Value]) -> Result<Value, Exc> {
         "trimright" => Ok(Value::from(req(args, 1)?.as_str().trim_end().to_owned())),
         "match" => {
             arity(&args[1..], 2, "string match pattern string")?;
-            Ok(Value::bool(glob_match(&args[1].as_str(), &args[2].as_str())))
+            Ok(Value::bool(glob_match(
+                &args[1].as_str(),
+                &args[2].as_str(),
+            )))
         }
         "compare" => {
             arity(&args[1..], 2, "string compare string1 string2")?;
@@ -355,7 +392,9 @@ fn req(args: &[Value], i: usize) -> Result<&Value, Exc> {
 /// Minimal `format`: `%s %d %x %f %%` with optional `-`, width and
 /// `.precision` (for `%f`).
 fn format_cmd(args: &[Value]) -> Result<Value, Exc> {
-    let fmt = args.first().ok_or_else(|| Exc::err("wrong # args: format formatString ?arg ...?"))?;
+    let fmt = args
+        .first()
+        .ok_or_else(|| Exc::err("wrong # args: format formatString ?arg ...?"))?;
     let fmt = fmt.as_str();
     let mut out = String::new();
     let mut argi = 1usize;
@@ -388,7 +427,9 @@ fn format_cmd(args: &[Value]) -> Result<Value, Exc> {
             }
             prec = Some(p.parse().unwrap_or(0));
         }
-        let conv = chars.next().ok_or_else(|| Exc::err("format string ended mid-conversion"))?;
+        let conv = chars
+            .next()
+            .ok_or_else(|| Exc::err("format string ended mid-conversion"))?;
         let arg = args
             .get(argi)
             .ok_or_else(|| Exc::err("not enough arguments for format string"))?;
@@ -418,7 +459,9 @@ fn format_cmd(args: &[Value]) -> Result<Value, Exc> {
 }
 
 fn array_cmd(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
-    let sub = args.first().ok_or_else(|| Exc::err("wrong # args: array subcommand ..."))?;
+    let sub = args
+        .first()
+        .ok_or_else(|| Exc::err("wrong # args: array subcommand ..."))?;
     let name = args
         .get(1)
         .ok_or_else(|| Exc::err("wrong # args: array subcommand arrayName"))?
@@ -443,7 +486,9 @@ fn array_cmd(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
     };
     match sub.as_str().as_str() {
         "exists" => Ok(Value::bool(lookup(interp).is_some())),
-        "size" => Ok(Value::Int(lookup(interp).map(|p| p.len()).unwrap_or(0) as i64)),
+        "size" => Ok(Value::Int(
+            lookup(interp).map(|p| p.len()).unwrap_or(0) as i64
+        )),
         "names" => Ok(Value::list(
             lookup(interp)
                 .unwrap_or_default()

@@ -18,12 +18,18 @@ pub struct ScriptError {
 impl ScriptError {
     /// Creates an ordinary script error.
     pub fn new(message: impl Into<String>) -> Self {
-        ScriptError { message: message.into(), budget_exhausted: false }
+        ScriptError {
+            message: message.into(),
+            budget_exhausted: false,
+        }
     }
 
     /// Creates the budget-exhausted error.
     pub fn budget() -> Self {
-        ScriptError { message: "execution budget exhausted".into(), budget_exhausted: true }
+        ScriptError {
+            message: "execution budget exhausted".into(),
+            budget_exhausted: true,
+        }
     }
 }
 

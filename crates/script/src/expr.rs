@@ -29,7 +29,9 @@ pub(crate) fn eval_expr(
     let mut p = P { toks, i: 0 };
     let v = p.ternary()?;
     if p.i != p.toks.len() {
-        return Err(Exc::err(format!("extra tokens after expression in \"{src}\"")));
+        return Err(Exc::err(format!(
+            "extra tokens after expression in \"{src}\""
+        )));
     }
     Ok(v)
 }
@@ -99,9 +101,7 @@ fn tokenize(interp: &mut Interp, host: &mut dyn HostEnv, src: &str) -> Result<Ve
             '$' => {
                 i += 1;
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == '_' || b[i] == ':')
-                {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_' || b[i] == ':') {
                     i += 1;
                 }
                 if i == start {
@@ -226,8 +226,8 @@ fn lex_number(b: &[char]) -> Result<(Value, usize), Exc> {
             i += 1;
         }
         let s: String = b[2..i].iter().collect();
-        let v = i64::from_str_radix(&s, 16)
-            .map_err(|_| Exc::err(format!("bad hex literal 0x{s}")))?;
+        let v =
+            i64::from_str_radix(&s, 16).map_err(|_| Exc::err(format!("bad hex literal 0x{s}")))?;
         return Ok((Value::Int(v), i));
     }
     let mut i = 0;
@@ -257,10 +257,14 @@ fn lex_number(b: &[char]) -> Result<(Value, usize), Exc> {
     }
     let s: String = b[..i].iter().collect();
     if is_float {
-        let v = s.parse::<f64>().map_err(|_| Exc::err(format!("bad number \"{s}\"")))?;
+        let v = s
+            .parse::<f64>()
+            .map_err(|_| Exc::err(format!("bad number \"{s}\"")))?;
         Ok((Value::Double(v), i))
     } else {
-        let v = s.parse::<i64>().map_err(|_| Exc::err(format!("bad number \"{s}\"")))?;
+        let v = s
+            .parse::<i64>()
+            .map_err(|_| Exc::err(format!("bad number \"{s}\"")))?;
         Ok((Value::Int(v), i))
     }
 }
@@ -331,7 +335,11 @@ impl P {
             let a = self.ternary()?;
             self.expect(":")?;
             let b = self.ternary()?;
-            return Ok(if cond.as_bool().map_err(Exc::Err)? { a } else { b });
+            return Ok(if cond.as_bool().map_err(Exc::Err)? {
+                a
+            } else {
+                b
+            });
         }
         Ok(cond)
     }
@@ -340,9 +348,7 @@ impl P {
         let mut v = self.and()?;
         while self.eat("||") {
             let rhs = self.and()?;
-            v = Value::bool(
-                v.as_bool().map_err(Exc::Err)? || rhs.as_bool().map_err(Exc::Err)?,
-            );
+            v = Value::bool(v.as_bool().map_err(Exc::Err)? || rhs.as_bool().map_err(Exc::Err)?);
         }
         Ok(v)
     }
@@ -351,9 +357,7 @@ impl P {
         let mut v = self.bitor()?;
         while self.eat("&&") {
             let rhs = self.bitor()?;
-            v = Value::bool(
-                v.as_bool().map_err(Exc::Err)? && rhs.as_bool().map_err(Exc::Err)?,
-            );
+            v = Value::bool(v.as_bool().map_err(Exc::Err)? && rhs.as_bool().map_err(Exc::Err)?);
         }
         Ok(v)
     }
@@ -440,7 +444,11 @@ impl P {
             if !(0..64).contains(&b) {
                 return Err(Exc::err("shift amount out of range"));
             }
-            v = Value::Int(if op == "<<" { a.wrapping_shl(b as u32) } else { a >> b });
+            v = Value::Int(if op == "<<" {
+                a.wrapping_shl(b as u32)
+            } else {
+                a >> b
+            });
         }
     }
 

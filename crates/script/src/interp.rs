@@ -26,7 +26,10 @@ pub struct Budget {
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { max_steps: 1_000_000, max_depth: 64 }
+        Budget {
+            max_steps: 1_000_000,
+            max_depth: 64,
+        }
     }
 }
 
@@ -196,7 +199,9 @@ impl Interp {
         self.depth += 1;
         if self.depth > self.budget.max_depth {
             self.depth -= 1;
-            return Err(Exc::err("too many nested evaluations (possible infinite recursion)"));
+            return Err(Exc::err(
+                "too many nested evaluations (possible infinite recursion)",
+            ));
         }
         Ok(())
     }
@@ -263,12 +268,12 @@ impl Interp {
                 .get(i)
                 .cloned()
                 .ok_or_else(|| Exc::err(format!("can't read \"{name}({i})\": no such element"))),
-            (Some(Slot::Array(_)), None) => {
-                Err(Exc::err(format!("can't read \"{name}\": variable is array")))
-            }
-            (Some(Slot::Scalar(_)), Some(_)) => {
-                Err(Exc::err(format!("can't read \"{name}\": variable isn't array")))
-            }
+            (Some(Slot::Array(_)), None) => Err(Exc::err(format!(
+                "can't read \"{name}\": variable is array"
+            ))),
+            (Some(Slot::Scalar(_)), Some(_)) => Err(Exc::err(format!(
+                "can't read \"{name}\": variable isn't array"
+            ))),
             (None, _) => Err(Exc::err(format!("can't read \"{name}\": no such variable"))),
         }
     }
@@ -288,16 +293,17 @@ impl Interp {
                 }
             },
             Some(i) => {
-                let slot =
-                    map.entry(name.to_owned()).or_insert_with(|| Slot::Array(HashMap::new()));
+                let slot = map
+                    .entry(name.to_owned())
+                    .or_insert_with(|| Slot::Array(HashMap::new()));
                 match slot {
                     Slot::Array(a) => {
                         a.insert(i.to_owned(), v);
                         Ok(())
                     }
-                    Slot::Scalar(_) => {
-                        Err(Exc::err(format!("can't set \"{name}({i})\": variable isn't array")))
-                    }
+                    Slot::Scalar(_) => Err(Exc::err(format!(
+                        "can't set \"{name}({i})\": variable isn't array"
+                    ))),
                 }
             }
         }
@@ -308,16 +314,17 @@ impl Interp {
         let name = name.as_str();
         let map = self.scope_map(scope);
         match idx {
-            None => {
-                map.remove(name)
-                    .map(|_| ())
-                    .ok_or_else(|| Exc::err(format!("can't unset \"{name}\": no such variable")))
-            }
+            None => map
+                .remove(name)
+                .map(|_| ())
+                .ok_or_else(|| Exc::err(format!("can't unset \"{name}\": no such variable"))),
             Some(i) => match map.get_mut(name) {
                 Some(Slot::Array(a)) => a.remove(i).map(|_| ()).ok_or_else(|| {
                     Exc::err(format!("can't unset \"{name}({i})\": no such element"))
                 }),
-                _ => Err(Exc::err(format!("can't unset \"{name}({i})\": no such array"))),
+                _ => Err(Exc::err(format!(
+                    "can't unset \"{name}({i})\": no such array"
+                ))),
             },
         }
     }
@@ -437,7 +444,9 @@ impl Interp {
         for (pi, (pname, default)) in proc.params.iter().enumerate() {
             if pname == "args" && pi == proc.params.len() - 1 {
                 let rest: Vec<Value> = args[ai.min(args.len())..].to_vec();
-                frame.vars.insert("args".into(), Slot::Scalar(Value::list(rest)));
+                frame
+                    .vars
+                    .insert("args".into(), Slot::Scalar(Value::list(rest)));
                 ai = args.len();
                 break;
             }
@@ -464,7 +473,9 @@ impl Interp {
             }
         }
         if ai < args.len() {
-            return Err(Exc::err(format!("wrong # args: too many arguments to \"{name}\"")));
+            return Err(Exc::err(format!(
+                "wrong # args: too many arguments to \"{name}\""
+            )));
         }
 
         self.enter()?;
@@ -492,9 +503,9 @@ impl Interp {
             "incr" => self.cmd_incr(args),
             "append" => self.cmd_append(args),
             "proc" => self.cmd_proc(args),
-            "return" => {
-                Err(Exc::Return(args.first().cloned().unwrap_or_else(Value::empty)))
-            }
+            "return" => Err(Exc::Return(
+                args.first().cloned().unwrap_or_else(Value::empty),
+            )),
             "break" => Err(Exc::Break),
             "continue" => Err(Exc::Continue),
             "error" => Err(Exc::err(
@@ -505,13 +516,19 @@ impl Interp {
             "for" => self.cmd_for(host, args),
             "foreach" => self.cmd_foreach(host, args),
             "expr" => {
-                let src =
-                    args.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(" ");
+                let src = args
+                    .iter()
+                    .map(|v| v.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 expr::eval_expr(self, host, &src)
             }
             "eval" => {
-                let src =
-                    args.iter().map(|v| v.as_str()).collect::<Vec<_>>().join(" ");
+                let src = args
+                    .iter()
+                    .map(|v| v.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 self.enter().and_then(|_| {
                     let r = self.eval_script(host, &src);
                     self.leave();
@@ -556,7 +573,9 @@ impl Interp {
                 self.var_set(&n, i.as_deref(), value.clone())?;
                 Ok(value.clone())
             }
-            _ => Err(Exc::err("wrong # args: should be \"set varName ?newValue?\"")),
+            _ => Err(Exc::err(
+                "wrong # args: should be \"set varName ?newValue?\"",
+            )),
         }
     }
 
@@ -572,7 +591,11 @@ impl Interp {
         let (name, by) = match args {
             [n] => (n, 1),
             [n, d] => (n, d.as_int().map_err(Exc::Err)?),
-            _ => return Err(Exc::err("wrong # args: should be \"incr varName ?increment?\"")),
+            _ => {
+                return Err(Exc::err(
+                    "wrong # args: should be \"incr varName ?increment?\"",
+                ))
+            }
         };
         let (n, i) = Self::split_varname(&name.as_str());
         let cur = if self.var_exists(&n, i.as_deref()) {
@@ -586,7 +609,9 @@ impl Interp {
     }
 
     fn cmd_append(&mut self, args: &[Value]) -> Result<Value, Exc> {
-        let name = args.first().ok_or_else(|| Exc::err("wrong # args: append"))?;
+        let name = args
+            .first()
+            .ok_or_else(|| Exc::err("wrong # args: append"))?;
         let (n, i) = Self::split_varname(&name.as_str());
         let mut cur = if self.var_exists(&n, i.as_deref()) {
             self.var_get(&n, i.as_deref())?.as_str()
@@ -603,7 +628,9 @@ impl Interp {
 
     fn cmd_proc(&mut self, args: &[Value]) -> Result<Value, Exc> {
         let [name, params, body] = args else {
-            return Err(Exc::err("wrong # args: should be \"proc name params body\""));
+            return Err(Exc::err(
+                "wrong # args: should be \"proc name params body\"",
+            ));
         };
         let mut parsed = Vec::new();
         for p in params.as_list().map_err(Exc::Err)? {
@@ -614,8 +641,13 @@ impl Interp {
                 _ => parsed.push((spec[0].as_str(), Some(spec[1].clone()))),
             }
         }
-        self.procs
-            .insert(name.as_str(), Proc { params: parsed, body: Rc::from(body.as_str().as_str()) });
+        self.procs.insert(
+            name.as_str(),
+            Proc {
+                params: parsed,
+                body: Rc::from(body.as_str().as_str()),
+            },
+        );
         Ok(Value::empty())
     }
 
@@ -662,7 +694,10 @@ impl Interp {
         let (cond, body) = (cond.as_str(), body.as_str());
         loop {
             self.charge(1)?;
-            if !expr::eval_expr(self, host, &cond)?.as_bool().map_err(Exc::Err)? {
+            if !expr::eval_expr(self, host, &cond)?
+                .as_bool()
+                .map_err(Exc::Err)?
+            {
                 break;
             }
             match self.eval_script(host, &body) {
@@ -677,13 +712,18 @@ impl Interp {
 
     fn cmd_for(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
         let [init, cond, next, body] = args else {
-            return Err(Exc::err("wrong # args: should be \"for start test next command\""));
+            return Err(Exc::err(
+                "wrong # args: should be \"for start test next command\"",
+            ));
         };
         self.eval_script(host, &init.as_str())?;
         let (cond, next, body) = (cond.as_str(), next.as_str(), body.as_str());
         loop {
             self.charge(1)?;
-            if !expr::eval_expr(self, host, &cond)?.as_bool().map_err(Exc::Err)? {
+            if !expr::eval_expr(self, host, &cond)?
+                .as_bool()
+                .map_err(Exc::Err)?
+            {
                 break;
             }
             match self.eval_script(host, &body) {
@@ -699,10 +739,16 @@ impl Interp {
 
     fn cmd_foreach(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
         let [vars, list, body] = args else {
-            return Err(Exc::err("wrong # args: should be \"foreach varList list body\""));
+            return Err(Exc::err(
+                "wrong # args: should be \"foreach varList list body\"",
+            ));
         };
-        let names: Vec<String> =
-            vars.as_list().map_err(Exc::Err)?.iter().map(|v| v.as_str()).collect();
+        let names: Vec<String> = vars
+            .as_list()
+            .map_err(Exc::Err)?
+            .iter()
+            .map(|v| v.as_str())
+            .collect();
         if names.is_empty() {
             return Err(Exc::err("foreach: empty variable list"));
         }
@@ -727,7 +773,9 @@ impl Interp {
     }
 
     fn cmd_catch(&mut self, host: &mut dyn HostEnv, args: &[Value]) -> Result<Value, Exc> {
-        let body = args.first().ok_or_else(|| Exc::err("wrong # args: catch"))?;
+        let body = args
+            .first()
+            .ok_or_else(|| Exc::err("wrong # args: catch"))?;
         let result = self.eval_script(host, &body.as_str());
         let (code, val) = match result {
             Ok(v) => (0, v),
@@ -753,7 +801,11 @@ impl Interp {
         let (newline, text) = match args {
             [v] => (true, v.as_str()),
             [flag, v] if flag.as_str() == "-nonewline" => (false, v.as_str()),
-            _ => return Err(Exc::err("wrong # args: should be \"puts ?-nonewline? string\"")),
+            _ => {
+                return Err(Exc::err(
+                    "wrong # args: should be \"puts ?-nonewline? string\"",
+                ))
+            }
         };
         self.output.push_str(&text);
         if newline {
@@ -792,12 +844,9 @@ impl Interp {
             } else if args.len() % 2 == 1 {
                 // A leading numeric level only makes sense when the
                 // remaining arguments pair up.
-                spec.parse::<usize>().ok().map(|lv| {
-                    self.frames
-                        .len()
-                        .checked_sub(1 + lv)
-                        .unwrap_or(usize::MAX)
-                })
+                spec.parse::<usize>()
+                    .ok()
+                    .map(|lv| self.frames.len().checked_sub(1 + lv).unwrap_or(usize::MAX))
             } else {
                 None
             };
@@ -807,7 +856,9 @@ impl Interp {
             }
         }
         if rest.is_empty() || !rest.len().is_multiple_of(2) {
-            return Err(Exc::err("wrong # args: should be \"upvar ?level? otherVar localVar ...\""));
+            return Err(Exc::err(
+                "wrong # args: should be \"upvar ?level? otherVar localVar ...\"",
+            ));
         }
         if target != usize::MAX && target >= self.frames.len() {
             return Err(Exc::err("upvar: bad level"));
@@ -841,7 +892,10 @@ impl Interp {
                 _ => break,
             }
         }
-        let value = args.get(i).ok_or_else(|| Exc::err("wrong # args: switch"))?.as_str();
+        let value = args
+            .get(i)
+            .ok_or_else(|| Exc::err("wrong # args: switch"))?
+            .as_str();
         let clauses = args
             .get(i + 1)
             .ok_or_else(|| Exc::err("wrong # args: switch"))?
@@ -854,7 +908,11 @@ impl Interp {
         while k < clauses.len() {
             let pat = clauses[k].as_str();
             let matched = pat == "default"
-                || if glob { builtins::glob_match(&pat, &value) } else { pat == value };
+                || if glob {
+                    builtins::glob_match(&pat, &value)
+                } else {
+                    pat == value
+                };
             if matched {
                 let mut body = clauses[k + 1].as_str();
                 // `-` falls through to the next body.
@@ -871,14 +929,19 @@ impl Interp {
     }
 
     fn cmd_info(&mut self, args: &[Value]) -> Result<Value, Exc> {
-        let sub = args.first().ok_or_else(|| Exc::err("wrong # args: info"))?.as_str();
+        let sub = args
+            .first()
+            .ok_or_else(|| Exc::err("wrong # args: info"))?
+            .as_str();
         match sub.as_str() {
             "exists" => {
                 let spec = args.get(1).ok_or_else(|| Exc::err("info exists varName"))?;
                 let (n, i) = Self::split_varname(&spec.as_str());
                 Ok(Value::bool(self.var_exists(&n, i.as_deref())))
             }
-            "procs" => Ok(Value::list(self.proc_names().into_iter().map(Value::from).collect())),
+            "procs" => Ok(Value::list(
+                self.proc_names().into_iter().map(Value::from).collect(),
+            )),
             "level" => Ok(Value::Int(self.frames.len() as i64)),
             other => Err(Exc::err(format!("unknown info subcommand \"{other}\""))),
         }

@@ -56,7 +56,9 @@ mod tests {
     }
 
     fn ev_err(src: &str) -> ScriptError {
-        Interp::new().eval(&mut NoHost, src).expect_err("expected error")
+        Interp::new()
+            .eval(&mut NoHost, src)
+            .expect_err("expected error")
     }
 
     // ------------------------------------------------------------------
@@ -83,7 +85,10 @@ mod tests {
 
     #[test]
     fn string_interpolation() {
-        assert_eq!(ev(r#"set n world; set g "hello $n!""#), Value::str("hello world!"));
+        assert_eq!(
+            ev(r#"set n world; set g "hello $n!""#),
+            Value::str("hello world!")
+        );
     }
 
     #[test]
@@ -93,7 +98,10 @@ mod tests {
 
     #[test]
     fn arrays() {
-        assert_eq!(ev("set a(x) 1; set a(y) 2; expr {$a(x) + $a(y)}"), Value::Int(3));
+        assert_eq!(
+            ev("set a(x) 1; set a(y) 2; expr {$a(x) + $a(y)}"),
+            Value::Int(3)
+        );
         assert_eq!(ev("set a(k) v; array size a"), Value::Int(1));
         assert_eq!(ev("array set m {one 1 two 2}; set m(two)"), Value::Int(2));
         assert_eq!(ev("set a(x) 1; array names a"), Value::str("x"));
@@ -103,7 +111,9 @@ mod tests {
     #[test]
     fn array_scalar_confusion_errors() {
         assert!(ev_err("set a(x) 1; set a").message.contains("is array"));
-        assert!(ev_err("set a 1; set a(x) 2").message.contains("isn't array"));
+        assert!(ev_err("set a 1; set a(x) 2")
+            .message
+            .contains("isn't array"));
     }
 
     // ------------------------------------------------------------------
@@ -111,7 +121,10 @@ mod tests {
 
     #[test]
     fn if_elseif_else() {
-        assert_eq!(ev("set x 5; if {$x > 3} {set r big} else {set r small}"), Value::str("big"));
+        assert_eq!(
+            ev("set x 5; if {$x > 3} {set r big} else {set r small}"),
+            Value::str("big")
+        );
         assert_eq!(
             ev("set x 2; if {$x > 3} {set r a} elseif {$x > 1} {set r b} else {set r c}"),
             Value::str("b")
@@ -144,7 +157,10 @@ mod tests {
 
     #[test]
     fn foreach_single_and_multi_var() {
-        assert_eq!(ev("set s 0; foreach x {1 2 3} {incr s $x}; set s"), Value::Int(6));
+        assert_eq!(
+            ev("set s 0; foreach x {1 2 3} {incr s $x}; set s"),
+            Value::Int(6)
+        );
         assert_eq!(
             ev("set out {}; foreach {k v} {a 1 b 2} {lappend out $k=$v}; join $out ,"),
             Value::str("a=1,b=2")
@@ -153,8 +169,14 @@ mod tests {
 
     #[test]
     fn switch_exact_glob_and_default() {
-        assert_eq!(ev("switch b {a {set r 1} b {set r 2} default {set r 3}}"), Value::Int(2));
-        assert_eq!(ev("switch zzz {a {set r 1} default {set r 3}}"), Value::Int(3));
+        assert_eq!(
+            ev("switch b {a {set r 1} b {set r 2} default {set r 3}}"),
+            Value::Int(2)
+        );
+        assert_eq!(
+            ev("switch zzz {a {set r 1} default {set r 3}}"),
+            Value::Int(3)
+        );
         assert_eq!(
             ev("switch -glob mail.inbox {mail.* {set r mail} default {set r other}}"),
             Value::str("mail")
@@ -163,7 +185,10 @@ mod tests {
 
     #[test]
     fn switch_fallthrough() {
-        assert_eq!(ev("switch a {a - b {set r ab} c {set r c}}"), Value::str("ab"));
+        assert_eq!(
+            ev("switch a {a - b {set r ab} c {set r c}}"),
+            Value::str("ab")
+        );
     }
 
     // ------------------------------------------------------------------
@@ -171,20 +196,36 @@ mod tests {
 
     #[test]
     fn proc_definition_and_call() {
-        assert_eq!(ev("proc double {x} {expr {$x * 2}}; double 21"), Value::Int(42));
+        assert_eq!(
+            ev("proc double {x} {expr {$x * 2}}; double 21"),
+            Value::Int(42)
+        );
     }
 
     #[test]
     fn proc_defaults_and_args() {
-        assert_eq!(ev("proc greet {{who world}} {return hello-$who}; greet"), Value::str("hello-world"));
-        assert_eq!(ev("proc greet {{who world}} {return hello-$who}; greet rover"), Value::str("hello-rover"));
-        assert_eq!(ev("proc count {args} {llength $args}; count a b c"), Value::Int(3));
+        assert_eq!(
+            ev("proc greet {{who world}} {return hello-$who}; greet"),
+            Value::str("hello-world")
+        );
+        assert_eq!(
+            ev("proc greet {{who world}} {return hello-$who}; greet rover"),
+            Value::str("hello-rover")
+        );
+        assert_eq!(
+            ev("proc count {args} {llength $args}; count a b c"),
+            Value::Int(3)
+        );
     }
 
     #[test]
     fn proc_wrong_arity_errors() {
-        assert!(ev_err("proc f {a b} {set a}; f 1").message.contains("wrong # args"));
-        assert!(ev_err("proc f {a} {set a}; f 1 2").message.contains("wrong # args"));
+        assert!(ev_err("proc f {a b} {set a}; f 1")
+            .message
+            .contains("wrong # args"));
+        assert!(ev_err("proc f {a} {set a}; f 1 2")
+            .message
+            .contains("wrong # args"));
     }
 
     #[test]
@@ -295,12 +336,18 @@ mod tests {
         assert_eq!(ev("lsearch {a b} zz"), Value::Int(-1));
         assert_eq!(ev("lsort {c a b}"), Value::str("a b c"));
         assert_eq!(ev("lsort -integer {10 2 33}"), Value::str("2 10 33"));
-        assert_eq!(ev("lsort -integer -decreasing {10 2 33}"), Value::str("33 10 2"));
+        assert_eq!(
+            ev("lsort -integer -decreasing {10 2 33}"),
+            Value::str("33 10 2")
+        );
         assert_eq!(ev("lreverse {1 2 3}"), Value::str("3 2 1"));
         assert_eq!(ev("concat {a b} {c} {d e}"), Value::str("a b c d e"));
         assert_eq!(ev("join {a b c} -"), Value::str("a-b-c"));
         assert_eq!(ev("split a,b,,c ,"), Value::str("a b {} c"));
-        assert_eq!(ev("set l {}; lappend l x; lappend l y z; set l"), Value::str("x y z"));
+        assert_eq!(
+            ev("set l {}; lappend l x; lappend l y z; set l"),
+            Value::str("x y z")
+        );
     }
 
     #[test]
@@ -330,7 +377,10 @@ mod tests {
     fn lassign_binds_and_returns_rest() {
         assert_eq!(ev("lassign {1 2 3 4} a b; list $a $b"), Value::str("1 2"));
         assert_eq!(ev("lassign {1 2 3 4} a b"), Value::str("3 4"));
-        assert_eq!(ev("lassign {1} a b c; list $a $b $c"), Value::str("1 {} {}"));
+        assert_eq!(
+            ev("lassign {1} a b c; list $a $b $c"),
+            Value::str("1 {} {}")
+        );
     }
 
     #[test]
@@ -388,16 +438,26 @@ mod tests {
 
     #[test]
     fn step_budget_stops_infinite_loop() {
-        let mut i = Interp::with_budget(Budget { max_steps: 10_000, max_depth: 64 });
-        let e = i.eval(&mut NoHost, "while {1} {}").expect_err("must exhaust");
+        let mut i = Interp::with_budget(Budget {
+            max_steps: 10_000,
+            max_depth: 64,
+        });
+        let e = i
+            .eval(&mut NoHost, "while {1} {}")
+            .expect_err("must exhaust");
         assert!(e.budget_exhausted);
         assert!(i.steps_used() >= 10_000);
     }
 
     #[test]
     fn budget_errors_are_not_catchable() {
-        let mut i = Interp::with_budget(Budget { max_steps: 10_000, max_depth: 64 });
-        let e = i.eval(&mut NoHost, "catch {while {1} {}} msg; set msg").expect_err("uncatchable");
+        let mut i = Interp::with_budget(Budget {
+            max_steps: 10_000,
+            max_depth: 64,
+        });
+        let e = i
+            .eval(&mut NoHost, "catch {while {1} {}} msg; set msg")
+            .expect_err("uncatchable");
         assert!(e.budget_exhausted);
     }
 
@@ -461,8 +521,12 @@ mod tests {
     fn procs_shadow_host_but_not_builtins() {
         let mut host = Adder { calls: 0 };
         let mut i = Interp::new();
-        i.eval(&mut host, "proc host::add {a b} {return proc-won}").unwrap();
-        assert_eq!(i.eval(&mut host, "host::add 1 2").unwrap(), Value::str("proc-won"));
+        i.eval(&mut host, "proc host::add {a b} {return proc-won}")
+            .unwrap();
+        assert_eq!(
+            i.eval(&mut host, "host::add 1 2").unwrap(),
+            Value::str("proc-won")
+        );
         assert_eq!(host.calls, 0);
     }
 
@@ -472,7 +536,8 @@ mod tests {
     #[test]
     fn puts_accumulates_output() {
         let mut i = Interp::new();
-        i.eval(&mut NoHost, "puts hello; puts -nonewline wor; puts ld").unwrap();
+        i.eval(&mut NoHost, "puts hello; puts -nonewline wor; puts ld")
+            .unwrap();
         assert_eq!(i.take_output(), "hello\nworld\n");
         assert_eq!(i.take_output(), "");
     }
@@ -483,7 +548,10 @@ mod tests {
         assert_eq!(ev("info exists nope"), Value::Int(0));
         assert_eq!(ev("set a(k) 1; info exists a(k)"), Value::Int(1));
         assert_eq!(ev("set a(k) 1; info exists a(j)"), Value::Int(0));
-        assert_eq!(ev("proc f {} {}; proc g {} {}; info procs"), Value::str("f g"));
+        assert_eq!(
+            ev("proc f {} {}; proc g {} {}; info procs"),
+            Value::str("f g")
+        );
     }
 
     #[test]
@@ -495,14 +563,20 @@ mod tests {
     fn set_global_roundtrip_api() {
         let mut i = Interp::new();
         i.set_global("seed", Value::Int(99));
-        assert_eq!(i.eval(&mut NoHost, "expr {$seed + 1}").unwrap(), Value::Int(100));
+        assert_eq!(
+            i.eval(&mut NoHost, "expr {$seed + 1}").unwrap(),
+            Value::Int(100)
+        );
         assert_eq!(i.get_global("seed"), Some(Value::Int(99)));
         assert_eq!(i.get_global("missing"), None);
     }
 
     #[test]
     fn comments_and_semicolons() {
-        assert_eq!(ev("# a comment\nset x 1; # not a comment here, an arg-less statement?\nset x"), Value::Int(1));
+        assert_eq!(
+            ev("# a comment\nset x 1; # not a comment here, an arg-less statement?\nset x"),
+            Value::Int(1)
+        );
     }
 
     #[test]

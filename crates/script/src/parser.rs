@@ -53,7 +53,10 @@ struct P<'a> {
 }
 
 pub(crate) fn parse_script(src: &str) -> Result<Script, ScriptError> {
-    let mut p = P { s: src.as_bytes(), i: 0 };
+    let mut p = P {
+        s: src.as_bytes(),
+        i: 0,
+    };
     let mut commands = Vec::new();
     loop {
         p.skip_command_separators();
@@ -167,8 +170,7 @@ impl<'a> P<'a> {
     }
 
     fn parse_bare(&mut self) -> Result<Word, ScriptError> {
-        let frags =
-            self.parse_frags(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r' | b';'))?;
+        let frags = self.parse_frags(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r' | b';'))?;
         Ok(Word::Subst(frags))
     }
 
@@ -430,7 +432,10 @@ mod tests {
         let s = script(r#"puts "hello $name""#);
         assert_eq!(
             s.commands[0].words[1],
-            Word::Subst(vec![Frag::Lit("hello ".into()), Frag::Var("name".into(), None)])
+            Word::Subst(vec![
+                Frag::Lit("hello ".into()),
+                Frag::Var("name".into(), None)
+            ])
         );
     }
 

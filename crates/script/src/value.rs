@@ -97,7 +97,9 @@ impl Value {
             "0" | "false" | "no" | "off" => Ok(false),
             _ => match self.as_double() {
                 Ok(d) => Ok(d != 0.0),
-                Err(_) => Err(ScriptError::new(format!("expected boolean but got \"{s}\""))),
+                Err(_) => Err(ScriptError::new(format!(
+                    "expected boolean but got \"{s}\""
+                ))),
             },
         }
     }
@@ -200,8 +202,7 @@ pub fn format_list(items: &[Value]) -> String {
             out.push('}');
         } else {
             for c in s.chars() {
-                if c.is_whitespace()
-                    || matches!(c, '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';')
+                if c.is_whitespace() || matches!(c, '{' | '}' | '[' | ']' | '$' | '"' | '\\' | ';')
                 {
                     out.push('\\');
                 }
@@ -320,7 +321,13 @@ mod tests {
 
     #[test]
     fn bool_coercions() {
-        for (s, b) in [("1", true), ("true", true), ("Yes", true), ("0", false), ("off", false)] {
+        for (s, b) in [
+            ("1", true),
+            ("true", true),
+            ("Yes", true),
+            ("0", false),
+            ("off", false),
+        ] {
             assert_eq!(Value::str(s).as_bool().unwrap(), b, "{s}");
         }
         assert!(Value::str("maybe").as_bool().is_err());

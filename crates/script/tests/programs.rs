@@ -4,7 +4,9 @@
 use rover_script::{Budget, Interp, NoHost, Value};
 
 fn ev(src: &str) -> Value {
-    Interp::new().eval(&mut NoHost, src).expect("program evaluates")
+    Interp::new()
+        .eval(&mut NoHost, src)
+        .expect("program evaluates")
 }
 
 #[test]
@@ -85,7 +87,9 @@ fn bank_account_state_machine() {
     assert_eq!(i.eval(&mut NoHost, "set balance").unwrap(), Value::Int(30));
     // catch-based client code recovers.
     assert_eq!(
-        i.eval(&mut NoHost, "if {[catch {withdraw 1000} msg]} {set msg}").unwrap().as_str(),
+        i.eval(&mut NoHost, "if {[catch {withdraw 1000} msg]} {set msg}")
+            .unwrap()
+            .as_str(),
         "insufficient funds"
     );
 }
@@ -113,7 +117,10 @@ fn matrix_transpose_via_nested_lists() {
 
 #[test]
 fn ackermann_small_with_recursion_budget() {
-    let mut i = Interp::with_budget(Budget { max_steps: 500_000, max_depth: 64 });
+    let mut i = Interp::with_budget(Budget {
+        max_steps: 500_000,
+        max_depth: 64,
+    });
     let v = i
         .eval(
             &mut NoHost,

@@ -1,8 +1,23 @@
 //! The event loop: a cancellable, deterministic priority queue of
 //! closures over virtual time.
+//!
+//! # Performance architecture
+//!
+//! Scheduled closures live in a **generation-stamped slab**: the heap
+//! orders lightweight `(time, seq, slot, gen)` records only, and
+//! cancellation is O(1) — drop the slot's closure, bump its
+//! generation, and recycle the slot. The stale heap record is skipped
+//! on pop by a single integer comparison (no hashing, no tombstone
+//! set that grows with cancel volume). Events scheduled for the
+//! *current* instant — the dominant pattern in QRPC callback chains —
+//! bypass the heap entirely through a FIFO micro-queue, which is
+//! correct because any such event necessarily has a later sequence
+//! number than every heap entry due at the same instant (the heap
+//! entry was scheduled before virtual time reached this instant; the
+//! micro-queue entry after).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,15 +28,29 @@ use crate::trace::Trace;
 
 /// Handle identifying a scheduled event, used for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 type EventFn = Box<dyn FnOnce(&mut Sim)>;
 
+/// A slab slot owning one scheduled closure.
+///
+/// `gen` increments whenever the slot's event fires or is cancelled,
+/// so queue records and [`EventId`]s carrying an old generation are
+/// recognisably stale in O(1).
+struct Slot {
+    gen: u32,
+    f: Option<EventFn>,
+}
+
+/// A heap record: ordering data only; the closure stays in the slab.
 struct Scheduled {
     at: SimTime,
     seq: u64,
-    id: EventId,
-    f: EventFn,
+    slot: u32,
+    gen: u32,
 }
 
 impl PartialEq for Scheduled {
@@ -49,7 +78,8 @@ impl Ord for Scheduled {
     }
 }
 
-/// The simulation: virtual clock, event heap, seeded RNG and statistics.
+/// The simulation: virtual clock, event queues, seeded RNG and
+/// statistics.
 ///
 /// Events are `FnOnce(&mut Sim)` closures; they typically capture
 /// `Rc<RefCell<…>>` handles to the simulated components they mutate, and
@@ -58,9 +88,20 @@ impl Ord for Scheduled {
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    next_id: u64,
     heap: BinaryHeap<Scheduled>,
-    cancelled: HashSet<EventId>,
+    /// Same-instant FIFO: events scheduled for `at == now` skip the heap.
+    now_queue: VecDeque<Scheduled>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live (scheduled, not yet fired or cancelled) events.
+    live: usize,
+    /// Cancelled records still sitting in a queue awaiting lazy skip.
+    dead: usize,
+    // Loop telemetry (plain fields: the hot path must not touch maps).
+    scheduled_total: u64,
+    fired_total: u64,
+    cancelled_total: u64,
+    fast_path_total: u64,
     rng: StdRng,
     /// Run-wide counters and sample sets, keyed by name.
     pub stats: Stats,
@@ -74,9 +115,16 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            next_id: 0,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            now_queue: VecDeque::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            dead: 0,
+            scheduled_total: 0,
+            fired_total: 0,
+            cancelled_total: 0,
+            fast_path_total: 0,
             rng: StdRng::seed_from_u64(seed),
             stats: Stats::new(),
             trace: Trace::default(),
@@ -97,12 +145,65 @@ impl Sim {
 
     /// Returns the number of pending (non-cancelled) events.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
+    }
+
+    /// Returns the number of records in the time-ordered heap
+    /// (excluding the same-instant micro-queue, including
+    /// not-yet-skipped cancelled records).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns the number of cancelled records still occupying queue
+    /// space until their lazy skip — the quantity the old
+    /// tombstone-set design paid a hash lookup per pop to track.
+    pub fn cancelled_live(&self) -> usize {
+        self.dead
+    }
+
+    /// Returns cumulative loop telemetry:
+    /// `(scheduled, fired, cancelled, same-instant fast-path hits)`.
+    pub fn loop_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.scheduled_total,
+            self.fired_total,
+            self.cancelled_total,
+            self.fast_path_total,
+        )
+    }
+
+    /// Snapshots the loop telemetry into [`Sim::stats`] under `sim.*`
+    /// keys (called automatically when `run`/`run_until` return).
+    pub fn record_loop_stats(&mut self) {
+        self.stats.set("sim.events_scheduled", self.scheduled_total);
+        self.stats.set("sim.events_fired", self.fired_total);
+        self.stats.set("sim.events_cancelled", self.cancelled_total);
+        self.stats.set("sim.fast_path_hits", self.fast_path_total);
+        self.stats.set("sim.heap_len", self.heap.len() as u64);
+        self.stats.set("sim.cancelled_live", self.dead as u64);
     }
 
     /// Returns the deterministic random-number generator.
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// Allocates a slab slot for `f`, reusing a free one if possible.
+    fn alloc_slot(&mut self, f: EventFn) -> (u32, u32) {
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.f.is_none(), "free slot holds a closure");
+                s.f = Some(f);
+                (slot, s.gen)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab exhausted");
+                self.slots.push(Slot { gen: 0, f: Some(f) });
+                (slot, 0)
+            }
+        }
     }
 
     /// Schedules `f` to run at absolute time `at`.
@@ -115,16 +216,26 @@ impl Sim {
         F: FnOnce(&mut Sim) + 'static,
     {
         assert!(at >= self.now, "cannot schedule into the past");
-        let id = EventId(self.next_id);
-        self.next_id += 1;
+        let (slot, gen) = self.alloc_slot(Box::new(f));
         self.seq += 1;
-        self.heap.push(Scheduled {
+        self.live += 1;
+        self.scheduled_total += 1;
+        let rec = Scheduled {
             at,
             seq: self.seq,
-            id,
-            f: Box::new(f),
-        });
-        id
+            slot,
+            gen,
+        };
+        if at == self.now {
+            // Same-instant fast path: FIFO order *is* (time, seq)
+            // order here, because every heap record due at `now` was
+            // scheduled earlier (smaller seq) — see module docs.
+            self.fast_path_total += 1;
+            self.now_queue.push_back(rec);
+        } else {
+            self.heap.push(rec);
+        }
+        EventId { slot, gen }
     }
 
     /// Schedules `f` to run after `delay` elapses.
@@ -135,37 +246,96 @@ impl Sim {
         self.schedule_at(self.now + delay, f)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1).
     ///
     /// Cancelling an event that already fired (or was already cancelled)
     /// is a harmless no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+        let Some(s) = self.slots.get_mut(id.slot as usize) else {
+            return;
+        };
+        if s.gen != id.gen {
+            return; // Already fired, cancelled, or slot reused.
+        }
+        s.f = None;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        self.dead += 1;
+        self.cancelled_total += 1;
+    }
+
+    /// Takes the closure for a queue record, if it is still current.
+    ///
+    /// A live take retires the slot (generation bump + free-list push);
+    /// a stale record decrements the lazy-skip debt instead.
+    fn take_if_live(&mut self, rec: &Scheduled) -> Option<EventFn> {
+        let s = &mut self.slots[rec.slot as usize];
+        if s.gen != rec.gen {
+            self.dead -= 1;
+            return None;
+        }
+        let f = s.f.take().expect("live slot has a closure");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(rec.slot);
+        self.live -= 1;
+        self.fired_total += 1;
+        Some(f)
     }
 
     /// Runs the earliest pending event; returns `false` when none remain.
     pub fn step(&mut self) -> bool {
-        while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&ev.id) {
+        loop {
+            // Heap records already due (at == now) precede every
+            // micro-queue entry: they were scheduled before virtual
+            // time reached this instant.
+            if self.heap.peek().is_some_and(|ev| ev.at == self.now) {
+                let rec = self.heap.pop().expect("peeked");
+                if let Some(f) = self.take_if_live(&rec) {
+                    f(self);
+                    return true;
+                }
                 continue;
             }
-            debug_assert!(ev.at >= self.now);
-            self.now = ev.at;
-            (ev.f)(self);
-            return true;
+            if let Some(rec) = self.now_queue.pop_front() {
+                if let Some(f) = self.take_if_live(&rec) {
+                    f(self);
+                    return true;
+                }
+                continue;
+            }
+            match self.heap.pop() {
+                Some(rec) => {
+                    if let Some(f) = self.take_if_live(&rec) {
+                        debug_assert!(rec.at >= self.now);
+                        self.now = rec.at;
+                        f(self);
+                        return true;
+                    }
+                }
+                None => return false,
+            }
         }
-        false
     }
 
     /// Runs events until the queue drains.
     pub fn run(&mut self) {
         while self.step() {}
+        self.record_loop_stats();
     }
 
     /// Runs events with timestamps `<= deadline`, then advances the clock
     /// to `deadline` (even if the queue drained earlier).
     pub fn run_until(&mut self, deadline: SimTime) {
         loop {
+            // Micro-queue entries are due at (or before) `now`, which
+            // is never past the deadline here.
+            if !self.now_queue.is_empty() {
+                if !self.step() {
+                    break;
+                }
+                continue;
+            }
             match self.heap.peek() {
                 Some(ev) if ev.at <= deadline => {
                     if !self.step() {
@@ -178,6 +348,7 @@ impl Sim {
         if self.now < deadline {
             self.now = deadline;
         }
+        self.record_loop_stats();
     }
 
     /// Runs events for `d` of virtual time from now.
@@ -305,5 +476,115 @@ mod tests {
         let mut c = Sim::new(8);
         let zs: Vec<u32> = (0..8).map(|_| c.rng().gen()).collect();
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn cancel_is_o1_and_observable() {
+        let mut sim = Sim::new(1);
+        let ids: Vec<EventId> = (0..100)
+            .map(|i| sim.schedule_at(SimTime::from_micros(i + 1), |_| {}))
+            .collect();
+        assert_eq!(sim.pending(), 100);
+        assert_eq!(sim.heap_len(), 100);
+        for id in ids.iter().take(60) {
+            sim.cancel(*id);
+        }
+        // Cancel dropped the closures immediately; the records await
+        // their lazy skip in the heap.
+        assert_eq!(sim.pending(), 40);
+        assert_eq!(sim.cancelled_live(), 60);
+        assert_eq!(sim.heap_len(), 100);
+        sim.run();
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.cancelled_live(), 0);
+        assert_eq!(sim.heap_len(), 0);
+        let (sched, fired, cancelled, _) = sim.loop_counters();
+        assert_eq!((sched, fired, cancelled), (100, 40, 60));
+    }
+
+    #[test]
+    fn slots_are_reused_and_stale_ids_stay_dead() {
+        let mut sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        let a = sim.schedule_after(SimDuration::from_micros(5), move |_| {
+            *h.borrow_mut() += 10;
+        });
+        sim.cancel(a);
+        // The freed slot is reused with a bumped generation…
+        let h = hits.clone();
+        let b = sim.schedule_after(SimDuration::from_micros(6), move |_| {
+            *h.borrow_mut() += 1;
+        });
+        // …so the stale handle cannot cancel the new occupant.
+        sim.cancel(a);
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn double_cancel_and_cancel_of_reused_slot_are_safe() {
+        let mut sim = Sim::new(1);
+        let id = sim.schedule_after(SimDuration::from_micros(1), |_| {});
+        sim.cancel(id);
+        sim.cancel(id);
+        assert_eq!(sim.pending(), 0);
+        sim.run();
+        assert_eq!(sim.cancelled_live(), 0);
+    }
+
+    #[test]
+    fn same_instant_fast_path_interleaves_with_heap_deterministically() {
+        // Heap records due at an instant fire before micro-queue
+        // entries created *at* that instant, in global seq order.
+        let mut sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let t = SimTime::from_micros(10);
+        for tag in ["h0", "h1"] {
+            let order = order.clone();
+            sim.schedule_at(t, move |sim| {
+                // Fires at t: schedules same-instant work (fast path).
+                let order2 = order.clone();
+                sim.schedule_after(SimDuration::ZERO, move |_| {
+                    order2.borrow_mut().push(format!("{tag}-now"));
+                });
+                order.borrow_mut().push(tag.to_string());
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["h0", "h1", "h0-now", "h1-now"]);
+        let (.., fast) = sim.loop_counters();
+        assert_eq!(fast, 2);
+    }
+
+    #[test]
+    fn fast_path_events_can_chain() {
+        let mut sim = Sim::new(1);
+        let depth = Rc::new(RefCell::new(0));
+        let d = depth.clone();
+        fn chain(sim: &mut Sim, d: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            sim.schedule_after(SimDuration::ZERO, move |sim| {
+                *d.borrow_mut() += 1;
+                chain(sim, d.clone(), left - 1);
+            });
+        }
+        chain(&mut sim, d, 50);
+        sim.run();
+        assert_eq!(*depth.borrow(), 50);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn loop_stats_are_published_to_stats() {
+        let mut sim = Sim::new(1);
+        sim.schedule_after(SimDuration::from_micros(1), |_| {});
+        sim.run();
+        assert_eq!(sim.stats.counter("sim.events_scheduled"), 1);
+        assert_eq!(sim.stats.counter("sim.events_fired"), 1);
+        assert_eq!(sim.stats.counter("sim.heap_len"), 0);
     }
 }

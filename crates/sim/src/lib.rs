@@ -27,5 +27,5 @@ mod trace;
 pub use cpu::CpuModel;
 pub use event::{EventId, Sim};
 pub use stats::{Counter, Samples, Stats};
-pub use trace::{Trace, TracePoint};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TracePoint};

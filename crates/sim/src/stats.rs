@@ -70,7 +70,11 @@ impl Samples {
 
     /// Returns the maximum sample, or 0.0 if empty.
     pub fn max(&self) -> f64 {
-        let m = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let m = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         if m.is_finite() {
             m
         } else {
@@ -147,6 +151,14 @@ impl Stats {
     /// Increments the named counter by one.
     pub fn incr(&mut self, key: &str) {
         self.add(key, 1);
+    }
+
+    /// Sets the named counter to `v`, overwriting any previous value.
+    ///
+    /// Used for gauge-style snapshots (e.g. the event loop publishing
+    /// `sim.heap_len`), where repeated publication must not accumulate.
+    pub fn set(&mut self, key: &str, v: u64) {
+        self.counters.insert(key.to_owned(), v);
     }
 
     /// Returns the value of a counter (zero if never touched).

@@ -216,7 +216,10 @@ mod tests {
     fn time_arithmetic_roundtrips() {
         let t = SimTime::from_millis(3) + SimDuration::from_micros(250);
         assert_eq!(t.as_micros(), 3_250);
-        assert_eq!(t.since(SimTime::from_millis(3)), SimDuration::from_micros(250));
+        assert_eq!(
+            t.since(SimTime::from_millis(3)),
+            SimDuration::from_micros(250)
+        );
     }
 
     #[test]

@@ -60,7 +60,12 @@ impl Default for Trace {
 impl Trace {
     /// Creates a disabled trace retaining up to `capacity` points.
     pub fn new(capacity: usize) -> Trace {
-        Trace { ring: VecDeque::new(), capacity: capacity.max(1), enabled: false, dropped: 0 }
+        Trace {
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            enabled: false,
+            dropped: 0,
+        }
     }
 
     /// Enables or disables recording (the ring is kept either way).
@@ -82,7 +87,11 @@ impl Trace {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(TracePoint { at, tag, detail: detail.into() });
+        self.ring.push_back(TracePoint {
+            at,
+            tag,
+            detail: detail.into(),
+        });
     }
 
     /// Returns the retained points, oldest first.

@@ -110,8 +110,12 @@ impl HttpRequest {
     pub fn parse(buf: &[u8]) -> Result<(HttpRequest, usize), HttpError> {
         let (start, headers, body_at) = parse_head(buf)?;
         let mut parts = start.split_whitespace();
-        let method = parts.next().ok_or_else(|| HttpError::Malformed("empty start".into()))?;
-        let path = parts.next().ok_or_else(|| HttpError::Malformed("no path".into()))?;
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty start".into()))?;
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("no path".into()))?;
         let version = parts.next().unwrap_or("HTTP/1.0");
         if !version.starts_with("HTTP/1.") {
             return Err(HttpError::Malformed(format!("bad version {version}")));
@@ -181,7 +185,12 @@ impl HttpResponse {
             return Err(HttpError::Incomplete);
         }
         Ok((
-            HttpResponse { status, reason, headers, body: buf[body_at..body_at + len].to_vec() },
+            HttpResponse {
+                status,
+                reason,
+                headers,
+                body: buf[body_at..body_at + len].to_vec(),
+            },
             body_at + len,
         ))
     }
@@ -230,16 +239,22 @@ fn body_len(headers: &[(String, String)], optional: bool) -> Result<usize, HttpE
 /// and routing carried in `X-Rover-*` headers.
 pub fn envelope_to_http_request(env: &Envelope) -> HttpRequest {
     let mut req = HttpRequest::new("POST", "/rover", env.to_bytes().to_vec());
-    req.headers.push(("X-Rover-Kind".into(), (env.kind.to_byte()).to_string()));
-    req.headers.push(("X-Rover-Src".into(), env.src.0.to_string()));
-    req.headers.push(("X-Rover-Dst".into(), env.dst.0.to_string()));
+    req.headers
+        .push(("X-Rover-Kind".into(), (env.kind.to_byte()).to_string()));
+    req.headers
+        .push(("X-Rover-Src".into(), env.src.0.to_string()));
+    req.headers
+        .push(("X-Rover-Dst".into(), env.dst.0.to_string()));
     req
 }
 
 /// Extracts the envelope from a Rover-over-HTTP request.
 pub fn http_request_to_envelope(req: &HttpRequest) -> Result<Envelope, HttpError> {
     if req.method != "POST" || !req.path.starts_with("/rover") {
-        return Err(HttpError::Malformed(format!("not a rover request: {} {}", req.method, req.path)));
+        return Err(HttpError::Malformed(format!(
+            "not a rover request: {} {}",
+            req.method, req.path
+        )));
     }
     Envelope::from_bytes(&req.body)
         .map_err(|e| HttpError::Malformed(format!("bad envelope body: {e}")))
@@ -248,7 +263,8 @@ pub fn http_request_to_envelope(req: &HttpRequest) -> Result<Envelope, HttpError
 /// Wraps a reply envelope as the HTTP response.
 pub fn envelope_to_http_response(env: &Envelope) -> HttpResponse {
     let mut resp = HttpResponse::new(200, "OK", env.to_bytes().to_vec());
-    resp.headers.push(("X-Rover-Kind".into(), (env.kind.to_byte()).to_string()));
+    resp.headers
+        .push(("X-Rover-Kind".into(), (env.kind.to_byte()).to_string()));
     resp
 }
 
@@ -340,7 +356,10 @@ mod tests {
     fn incomplete_and_malformed_are_distinguished() {
         let full = HttpRequest::new("POST", "/rover", b"0123456789".to_vec()).to_bytes();
         // Head incomplete.
-        assert_eq!(HttpRequest::parse(&full[..10]).unwrap_err(), HttpError::Incomplete);
+        assert_eq!(
+            HttpRequest::parse(&full[..10]).unwrap_err(),
+            HttpError::Incomplete
+        );
         // Head complete, body short.
         let head_end = full.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
         assert_eq!(

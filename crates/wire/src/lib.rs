@@ -36,11 +36,11 @@ mod marshal;
 mod message;
 
 pub use bytes::Bytes;
+pub use checksum::crc32;
 pub use http::{
     envelope_http_bytes, envelope_to_http_request, envelope_to_http_response,
     http_request_to_envelope, http_response_to_envelope, HttpError, HttpRequest, HttpResponse,
 };
-pub use checksum::crc32;
 pub use lzss::{compress, decompress, LzssError};
 pub use marshal::{Decoder, Encoder, Wire, WireError, MAX_FIELD_LEN};
 pub use message::{

@@ -191,7 +191,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
                 let dist = (word >> 4) as usize + 1;
                 let len = (word & 0xF) as usize + MIN_MATCH;
                 if dist > out.len() {
-                    return Err(LzssError::BadReference { at: out.len(), distance: dist });
+                    return Err(LzssError::BadReference {
+                        at: out.len(),
+                        distance: dist,
+                    });
                 }
                 let start = out.len() - dist;
                 for k in 0..len {
@@ -203,7 +206,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
     }
 
     if out.len() != expected {
-        return Err(LzssError::LengthMismatch { expected, got: out.len() });
+        return Err(LzssError::LengthMismatch {
+            expected,
+            got: out.len(),
+        });
     }
     Ok(out)
 }
@@ -234,7 +240,12 @@ mod tests {
     fn repetitive_data_compresses() {
         let data = b"the mail header the mail header the mail header".repeat(40);
         let z = compress(&data);
-        assert!(z.len() < data.len() / 2, "{} !< {}", z.len(), data.len() / 2);
+        assert!(
+            z.len() < data.len() / 2,
+            "{} !< {}",
+            z.len(),
+            data.len() / 2
+        );
         roundtrip(&data);
     }
 

@@ -34,7 +34,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated { needed, remaining } => {
-                write!(f, "truncated buffer: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "truncated buffer: needed {needed} bytes, {remaining} remain"
+                )
             }
             WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
@@ -64,7 +67,9 @@ impl Encoder {
 
     /// Creates an encoder with pre-reserved capacity.
     pub fn with_capacity(n: usize) -> Self {
-        Encoder { buf: Vec::with_capacity(n) }
+        Encoder {
+            buf: Vec::with_capacity(n),
+        }
     }
 
     /// Returns the number of bytes written so far.
@@ -167,16 +172,36 @@ impl Encoder {
 }
 
 /// Reads fields from a marshalled buffer in wire order.
+///
+/// A decoder created with [`Decoder::from_shared`] remembers the
+/// refcounted source buffer, so [`Decoder::get_bytes_shared`] can hand
+/// out zero-copy views into it instead of allocating.
 #[derive(Debug)]
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    src: Option<&'a Bytes>,
 }
 
 impl<'a> Decoder<'a> {
     /// Creates a decoder over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Decoder { buf, pos: 0 }
+        Decoder {
+            buf,
+            pos: 0,
+            src: None,
+        }
+    }
+
+    /// Creates a decoder over a refcounted buffer; byte-string fields
+    /// read via [`Decoder::get_bytes_shared`] become cheap slices of
+    /// `src` rather than fresh allocations.
+    pub fn from_shared(src: &'a Bytes) -> Self {
+        Decoder {
+            buf: src,
+            pos: 0,
+            src: Some(src),
+        }
     }
 
     /// Returns the number of unread bytes.
@@ -195,7 +220,10 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::Truncated { needed: n, remaining: self.remaining() });
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -241,19 +269,44 @@ impl<'a> Decoder<'a> {
         }
     }
 
-    /// Reads a length-prefixed byte string.
-    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    /// Reads a length-prefixed byte string without allocating: the
+    /// returned slice borrows from the decoder's input buffer.
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8], WireError> {
         let n = self.get_u32()? as usize;
         if n > MAX_FIELD_LEN {
             return Err(WireError::TooLarge(n));
         }
-        Ok(self.take(n)?.to_vec())
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed byte string into an owned vector.
+    ///
+    /// Prefer [`Decoder::bytes_ref`] (borrowed) or
+    /// [`Decoder::get_bytes_shared`] (refcounted) on hot paths; this
+    /// always copies.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        Ok(self.bytes_ref()?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte string as [`Bytes`].
+    ///
+    /// Zero-copy when the decoder was built with
+    /// [`Decoder::from_shared`] (the result is a view of the source
+    /// buffer); otherwise falls back to one copy.
+    pub fn get_bytes_shared(&mut self) -> Result<Bytes, WireError> {
+        let raw = self.bytes_ref()?;
+        Ok(match self.src {
+            Some(src) => src.slice_ref(raw),
+            None => Bytes::copy_from_slice(raw),
+        })
     }
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, WireError> {
-        let raw = self.get_bytes()?;
-        String::from_utf8(raw).map_err(|_| WireError::BadUtf8)
+        let raw = self.bytes_ref()?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadUtf8)
     }
 
     /// Reads an optional field written by [`Encoder::put_opt`].
@@ -307,6 +360,16 @@ pub trait Wire: Sized {
         dec.expect_end()?;
         Ok(v)
     }
+
+    /// Convenience: unmarshals from a refcounted buffer, requiring full
+    /// consumption. Byte-string fields decoded with
+    /// [`Decoder::get_bytes_shared`] become zero-copy views of `buf`.
+    fn from_shared(buf: &Bytes) -> Result<Self, WireError> {
+        let mut dec = Decoder::from_shared(buf);
+        let v = Self::decode(&mut dec)?;
+        dec.expect_end()?;
+        Ok(v)
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +410,44 @@ mod tests {
     }
 
     #[test]
+    fn bytes_ref_borrows_without_allocating() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"abc");
+        e.put_bytes(b"defg");
+        let b = e.finish();
+        let mut d = Decoder::new(&b);
+        let first = d.bytes_ref().unwrap();
+        assert_eq!(first, b"abc");
+        // The slice borrows the input buffer directly.
+        assert!(std::ptr::eq(first.as_ptr(), b[4..].as_ptr()));
+        assert_eq!(d.bytes_ref().unwrap(), b"defg");
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn get_bytes_shared_is_a_view_of_the_source() {
+        let mut e = Encoder::new();
+        e.put_u32(7);
+        e.put_bytes(&[9u8; 100]);
+        let b = e.finish();
+        let mut d = Decoder::from_shared(&b);
+        assert_eq!(d.get_u32().unwrap(), 7);
+        let payload = d.get_bytes_shared().unwrap();
+        assert_eq!(&payload[..], &[9u8; 100][..]);
+        // Zero-copy: the view aliases the source allocation.
+        assert!(std::ptr::eq(payload.as_ptr(), b[8..].as_ptr()));
+    }
+
+    #[test]
+    fn get_bytes_shared_copies_without_a_shared_source() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"xy");
+        let v = e.into_vec();
+        let mut d = Decoder::new(&v);
+        assert_eq!(d.get_bytes_shared().unwrap(), Bytes::from_static(b"xy"));
+    }
+
+    #[test]
     fn options_roundtrip() {
         let mut e = Encoder::new();
         e.put_opt(Some(&7u64), |e, v| e.put_u64(*v));
@@ -375,7 +476,10 @@ mod tests {
         let mut d = Decoder::new(&b[..4]);
         assert!(matches!(
             d.get_u64(),
-            Err(WireError::Truncated { needed: 8, remaining: 4 })
+            Err(WireError::Truncated {
+                needed: 8,
+                remaining: 4
+            })
         ));
     }
 

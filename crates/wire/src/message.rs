@@ -148,8 +148,12 @@ impl Wire for RoverOp {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
         match dec.get_u8()? {
             0 => Ok(RoverOp::Import),
-            1 => Ok(RoverOp::Export { method: dec.get_str()? }),
-            2 => Ok(RoverOp::Invoke { method: dec.get_str()? }),
+            1 => Ok(RoverOp::Export {
+                method: dec.get_str()?,
+            }),
+            2 => Ok(RoverOp::Invoke {
+                method: dec.get_str()?,
+            }),
             3 => Ok(RoverOp::Ping),
             4 => Ok(RoverOp::Custom(dec.get_u16()?)),
             t => Err(WireError::BadTag(t)),
@@ -254,7 +258,7 @@ impl Wire for QrpcRequest {
             base_version: Version::decode(dec)?,
             priority: Priority::decode(dec)?,
             auth: dec.get_u64()?,
-            payload: Bytes::from(dec.get_bytes()?),
+            payload: dec.get_bytes_shared()?,
         })
     }
 }
@@ -286,7 +290,7 @@ impl Wire for QrpcReply {
             req_id: RequestId::decode(dec)?,
             status: OpStatus::decode(dec)?,
             version: Version::decode(dec)?,
-            payload: Bytes::from(dec.get_bytes()?),
+            payload: dec.get_bytes_shared()?,
         })
     }
 }
@@ -344,7 +348,7 @@ impl Wire for Fragment {
             msg_id: dec.get_u64()?,
             idx: dec.get_u32()?,
             total: dec.get_u32()?,
-            chunk: Bytes::from(dec.get_bytes()?),
+            chunk: dec.get_bytes_shared()?,
         })
     }
 }
@@ -390,12 +394,22 @@ pub struct Envelope {
 impl Envelope {
     /// Wraps a request for transport.
     pub fn request(src: HostId, dst: HostId, req: &QrpcRequest) -> Self {
-        Envelope { kind: MsgKind::Request, src, dst, body: req.to_bytes() }
+        Envelope {
+            kind: MsgKind::Request,
+            src,
+            dst,
+            body: req.to_bytes(),
+        }
     }
 
     /// Wraps a reply for transport.
     pub fn reply(src: HostId, dst: HostId, rep: &QrpcReply) -> Self {
-        Envelope { kind: MsgKind::Reply, src, dst, body: rep.to_bytes() }
+        Envelope {
+            kind: MsgKind::Reply,
+            src,
+            dst,
+            body: rep.to_bytes(),
+        }
     }
 
     /// Returns the total wire size of this envelope in bytes, including
@@ -421,12 +435,17 @@ impl Wire for Envelope {
         let kind = MsgKind::from_byte(tag).ok_or(WireError::BadTag(tag))?;
         let src = HostId::decode(dec)?;
         let dst = HostId::decode(dec)?;
-        let body = dec.get_bytes()?;
+        let body = dec.get_bytes_shared()?;
         let sum = dec.get_u32()?;
         if sum != crate::crc32(&body) {
             return Err(WireError::BadTag(0xCC));
         }
-        Ok(Envelope { kind, src, dst, body: Bytes::from(body) })
+        Ok(Envelope {
+            kind,
+            src,
+            dst,
+            body,
+        })
     }
 }
 
@@ -439,7 +458,9 @@ mod tests {
             req_id: RequestId(42),
             client: HostId(3),
             session: SessionId(7),
-            op: RoverOp::Export { method: "append".into() },
+            op: RoverOp::Export {
+                method: "append".into(),
+            },
             urn: "urn:rover:mail/inbox/12".into(),
             base_version: Version(9),
             priority: Priority::INTERACTIVE,
@@ -459,7 +480,9 @@ mod tests {
         for op in [
             RoverOp::Import,
             RoverOp::Export { method: "m".into() },
-            RoverOp::Invoke { method: "filter".into() },
+            RoverOp::Invoke {
+                method: "filter".into(),
+            },
             RoverOp::Ping,
             RoverOp::Custom(777),
         ] {
@@ -502,6 +525,25 @@ mod tests {
         assert_eq!(back, env);
         let req = QrpcRequest::from_bytes(&back.body).unwrap();
         assert_eq!(req, sample_request());
+    }
+
+    #[test]
+    fn shared_decode_is_zero_copy_end_to_end() {
+        let env = Envelope::request(HostId(1), HostId(2), &sample_request());
+        let bytes = env.to_bytes();
+        let back = Envelope::from_shared(&bytes).unwrap();
+        assert_eq!(back, env);
+        // kind(1) + src(4) + dst(4) + len(4) = 13 bytes of framing: the
+        // body must alias the wire buffer, not be a fresh allocation.
+        assert!(std::ptr::eq(back.body.as_ptr(), bytes[13..].as_ptr()));
+        // Second hop: the request payload aliases the envelope body.
+        let req = QrpcRequest::from_shared(&back.body).unwrap();
+        assert_eq!(req, sample_request());
+        let tail = back.body.len() - req.payload.len();
+        assert!(std::ptr::eq(
+            req.payload.as_ptr(),
+            back.body[tail..].as_ptr()
+        ));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use rover_wire::{
-    compress, decompress, Bytes, Decoder, Encoder, Envelope, Fragment, HostId, MsgKind,
-    OpStatus, Priority, QrpcReply, QrpcRequest, RequestId, RoverOp, SessionId, Version, Wire,
+    compress, decompress, Bytes, Decoder, Encoder, Envelope, Fragment, HostId, MsgKind, OpStatus,
+    Priority, QrpcReply, QrpcRequest, RequestId, RoverOp, SessionId, Version, Wire,
 };
 
 fn arb_op() -> impl Strategy<Value = RoverOp> {
@@ -181,7 +181,12 @@ fn rover_net_like_split(env: Envelope, mtu: usize) -> Vec<Envelope> {
                 total,
                 chunk: env.body.slice(start..end),
             };
-            Envelope { kind: MsgKind::Fragment, src: env.src, dst: env.dst, body: frag.to_bytes() }
+            Envelope {
+                kind: MsgKind::Fragment,
+                src: env.src,
+                dst: env.dst,
+                body: frag.to_bytes(),
+            }
         })
         .collect()
 }

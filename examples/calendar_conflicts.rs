@@ -6,8 +6,8 @@
 
 use rover::apps::calendar::{calendar_object, Calendar};
 use rover::{
-    Client, ClientConfig, ClientEvent, Guarantees, LinkSpec, Net, OpStatus, ScriptResolver,
-    Server, ServerConfig, Sim, SimDuration,
+    Client, ClientConfig, ClientEvent, Guarantees, LinkSpec, Net, OpStatus, ScriptResolver, Server,
+    ServerConfig, Sim, SimDuration,
 };
 use rover_wire::HostId;
 
@@ -21,11 +21,23 @@ fn main() {
     let server = Server::new(&net, ServerConfig::workstation(home));
     server.borrow_mut().add_route(alice_host, la);
     server.borrow_mut().add_route(bob_host, lb);
-    server.borrow_mut().register_resolver("calendar", Box::new(ScriptResolver::default()));
+    server
+        .borrow_mut()
+        .register_resolver("calendar", Box::new(ScriptResolver::default()));
     server.borrow_mut().put_object(calendar_object("team"));
 
-    let ca = Client::new(&mut sim, &net, ClientConfig::thinkpad(alice_host, home), vec![la]);
-    let cb = Client::new(&mut sim, &net, ClientConfig::thinkpad(bob_host, home), vec![lb]);
+    let ca = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(alice_host, home),
+        vec![la],
+    );
+    let cb = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(bob_host, home),
+        vec![lb],
+    );
     let alice = Calendar::new(&ca, "team", "alice", Guarantees::ALL);
     let bob = Calendar::new(&cb, "team", "bob", Guarantees::ALL);
 
@@ -52,9 +64,12 @@ fn main() {
     let b10 = bob.book(&mut sim, 10, "customer call").unwrap(); // same slot!
     let b16 = bob.book(&mut sim, 16, "gym").unwrap();
     sim.run_for(SimDuration::from_secs(10));
-    for (who, h, slot) in
-        [("alice", &a10, 10), ("alice", &a15, 15), ("bob", &b10, 10), ("bob", &b16, 16)]
-    {
+    for (who, h, slot) in [
+        ("alice", &a10, 10),
+        ("alice", &a15, 15),
+        ("bob", &b10, 10),
+        ("bob", &b16, 16),
+    ] {
         println!(
             "  {who}: slot {slot} tentative={} committed={}",
             h.tentative.is_ready(),

@@ -18,7 +18,9 @@ fn main() {
 
     let server = Server::new(&net, ServerConfig::workstation(home));
     server.borrow_mut().add_route(laptop, link);
-    server.borrow_mut().register_resolver("notes", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("notes", Box::new(ReexecuteResolver));
     let urn = Urn::parse("urn:rover:demo/journal").unwrap();
     server.borrow_mut().put_object(
         RoverObject::new(urn.clone(), "notes")
@@ -43,9 +45,21 @@ fn main() {
     // Offline: write three journal entries; they are tentative locally
     // and durable in the stable log.
     net.set_up(&mut sim, link, false);
-    for text in ["monday: wrote the design", "tuesday: debugged the modem", "wednesday: crashed"] {
-        Client::export(&client, &mut sim, &urn, session, "log_entry", &[text], Priority::NORMAL)
-            .unwrap();
+    for text in [
+        "monday: wrote the design",
+        "tuesday: debugged the modem",
+        "wednesday: crashed",
+    ] {
+        Client::export(
+            &client,
+            &mut sim,
+            &urn,
+            session,
+            "log_entry",
+            &[text],
+            Priority::NORMAL,
+        )
+        .unwrap();
         sim.run_for(SimDuration::from_secs(2));
     }
     println!(

@@ -11,7 +11,13 @@ use rover::{
 };
 use rover_wire::HostId;
 
-fn build_world() -> (Sim, rover::ServerRef, rover::ClientRef, rover::SessionId, Urn) {
+fn build_world() -> (
+    Sim,
+    rover::ServerRef,
+    rover::ClientRef,
+    rover::SessionId,
+    Urn,
+) {
     let mut sim = Sim::new(95);
     let net = Net::new();
     let (pda, home) = (HostId(1), HostId(2));
@@ -35,19 +41,34 @@ fn build_world() -> (Sim, rover::ServerRef, rover::ClientRef, rover::SessionId, 
     for i in 0..400 {
         dir.fields.insert(
             format!("person{i:03}"),
-            format!("{} {} x{:04} office-{}", NAMES[i % NAMES.len()], SURNAMES[i % SURNAMES.len()], 1000 + i, i % 40),
+            format!(
+                "{} {} x{:04} office-{}",
+                NAMES[i % NAMES.len()],
+                SURNAMES[i % SURNAMES.len()],
+                1000 + i,
+                i % 40
+            ),
         );
     }
     server.borrow_mut().put_object(dir);
 
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(pda, home), vec![link]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(pda, home),
+        vec![link],
+    );
     let session = Client::create_session(&client, Guarantees::ALL, true);
     let urn = Urn::parse("urn:rover:org/directory").unwrap();
     (sim, server, client, session, urn)
 }
 
-const NAMES: &[&str] = &["ada", "grace", "alan", "edsger", "barbara", "leslie", "tony", "john"];
-const SURNAMES: &[&str] = &["lovelace", "hopper", "turing", "dijkstra", "liskov", "lamport"];
+const NAMES: &[&str] = &[
+    "ada", "grace", "alan", "edsger", "barbara", "leslie", "tony", "john",
+];
+const SURNAMES: &[&str] = &[
+    "lovelace", "hopper", "turing", "dijkstra", "liskov", "lamport",
+];
 
 fn main() {
     println!("Find everyone named 'grace *' in a 400-entry directory, over CSLIP-14.4K.\n");
@@ -55,18 +76,36 @@ fn main() {
     // Strategy 1: ship the data (import + run locally = `load`).
     let (mut sim, _sv, client, session, urn) = build_world();
     let t0 = sim.now();
-    let q = Client::load(&client, &mut sim, &urn, session, "find", &["grace *"], Priority::FOREGROUND)
-        .unwrap();
+    let q = Client::load(
+        &client,
+        &mut sim,
+        &urn,
+        session,
+        "find",
+        &["grace *"],
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     sim.run();
     let data_time = q.resolved_at().unwrap().since(t0);
     let hits = q.poll().unwrap().value.as_list().unwrap().len();
-    println!("ship the data:     {hits:>3} matches in {data_time}  (whole directory crossed the modem)");
+    println!(
+        "ship the data:     {hits:>3} matches in {data_time}  (whole directory crossed the modem)"
+    );
 
     // Strategy 2: ship the function (server-side search).
     let (mut sim, _sv, client, session, urn) = build_world();
     let t0 = sim.now();
-    let q = Client::invoke_remote(&client, &mut sim, &urn, session, "find", &["grace *"], Priority::FOREGROUND)
-        .unwrap();
+    let q = Client::invoke_remote(
+        &client,
+        &mut sim,
+        &urn,
+        session,
+        "find",
+        &["grace *"],
+        Priority::FOREGROUND,
+    )
+    .unwrap();
     sim.run();
     let fn_time = q.resolved_at().unwrap().since(t0);
     let hits = q.poll().unwrap().value.as_list().unwrap().len();
@@ -76,7 +115,12 @@ fn main() {
     let (mut sim, _sv, client, session, urn) = build_world();
     let t0 = sim.now();
     let (q, placement) = Client::invoke_adaptive(
-        &client, &mut sim, &urn, session, "find", &["grace *"],
+        &client,
+        &mut sim,
+        &urn,
+        session,
+        "find",
+        &["grace *"],
         PlacementHints {
             result_bytes: 70 * 40,
             object_bytes: Some(400 * 48),

@@ -23,19 +23,34 @@ fn main() {
     let server = Server::new(&net, ServerConfig::workstation(home));
     server.borrow_mut().add_route(laptop, ether);
     for ty in ["mailfolder", "mailmsg", "spool"] {
-        server.borrow_mut().register_resolver(ty, Box::new(ScriptResolver::default()));
+        server
+            .borrow_mut()
+            .register_resolver(ty, Box::new(ScriptResolver::default()));
     }
-    let ids = MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 30, seed: 42 }
-        .populate(&server);
+    let ids = MailboxGen {
+        user: "alice".into(),
+        folder: "inbox".into(),
+        count: 30,
+        seed: 42,
+    }
+    .populate(&server);
 
-    let client =
-        Client::new(&mut sim, &net, ClientConfig::thinkpad(laptop, home), vec![ether, modem]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(laptop, home),
+        vec![ether, modem],
+    );
     let reader = MailReader::new(&client, "alice", Guarantees::ALL);
 
     // --- At the office: open the folder, prefetch everything. --------
     let p = reader.open_folder(&mut sim, "inbox").unwrap();
     let _ = Client::import(
-        &client, &mut sim, &reader.outbox_urn(), reader.session, Priority::NORMAL,
+        &client,
+        &mut sim,
+        &reader.outbox_urn(),
+        reader.session,
+        Priority::NORMAL,
     )
     .unwrap();
     sim.run_for(SimDuration::from_secs(1));
@@ -64,7 +79,12 @@ fn main() {
     // Compose replies: queued in the stable log.
     for i in 0..3 {
         let h = reader
-            .compose(&mut sim, &format!("reply{i}"), "re: rover", "composed on the train")
+            .compose(
+                &mut sim,
+                &format!("reply{i}"),
+                "re: rover",
+                "composed on the train",
+            )
             .unwrap();
         sim.run_for(SimDuration::from_secs(3));
         assert!(h.tentative.is_ready());
@@ -90,9 +110,15 @@ fn main() {
     );
     let sv = server.borrow();
     let outbox = sv.get_object(&reader.outbox_urn()).unwrap();
-    let sent = outbox.fields.keys().filter(|k| k.starts_with("msg")).count();
+    let sent = outbox
+        .fields
+        .keys()
+        .filter(|k| k.starts_with("msg"))
+        .count();
     let folder = sv.get_object(&reader.folder_urn("inbox")).unwrap();
-    let remaining = rover::script::parse_list(folder.field("ids").unwrap()).unwrap().len();
+    let remaining = rover::script::parse_list(folder.field("ids").unwrap())
+        .unwrap()
+        .len();
     println!("server state: {sent} messages in outbox, {remaining} left in inbox");
     assert_eq!(sent, 3);
     assert_eq!(remaining, 28);

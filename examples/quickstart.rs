@@ -4,8 +4,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use rover::{
-    Client, ClientConfig, Guarantees, LinkSpec, Net, Priority, ReexecuteResolver,
-    RoverObject, Server, ServerConfig, Sim, SimDuration, Urn,
+    Client, ClientConfig, Guarantees, LinkSpec, Net, Priority, ReexecuteResolver, RoverObject,
+    Server, ServerConfig, Sim, SimDuration, Urn,
 };
 use rover_wire::HostId;
 
@@ -21,7 +21,9 @@ fn main() {
     // re-execute resolver merges concurrent updates.
     let server = Server::new(&net, ServerConfig::workstation(home));
     server.borrow_mut().add_route(laptop, link);
-    server.borrow_mut().register_resolver("notes", Box::new(ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("notes", Box::new(ReexecuteResolver));
     let urn = Urn::parse("urn:rover:demo/notes").unwrap();
     server.borrow_mut().put_object(
         RoverObject::new(urn.clone(), "notes")
@@ -41,7 +43,12 @@ fn main() {
     );
 
     // The client: cache + stable log + network scheduler.
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(laptop, home), vec![link]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(laptop, home),
+        vec![link],
+    );
     let session = Client::create_session(&client, Guarantees::ALL, true);
     Client::on_event(&client, |sim, ev| {
         println!("[{:>9}] event: {ev:?}", format!("{}", sim.now()));
@@ -57,7 +64,13 @@ fn main() {
     net.set_up(&mut sim, link, false);
     for text in ["buy milk", "read rover paper", "fix the modem"] {
         let h = Client::export(
-            &client, &mut sim, &urn, session, "add_note", &[text], Priority::NORMAL,
+            &client,
+            &mut sim,
+            &urn,
+            session,
+            "add_note",
+            &[text],
+            Priority::NORMAL,
         )
         .unwrap();
         sim.run_for(SimDuration::from_secs(2));
@@ -78,8 +91,16 @@ fn main() {
     println!(
         "\nreconnected and drained: {} QRPCs outstanding, server count = {:?}",
         Client::outstanding_count(&client),
-        server.borrow().get_object(&urn).unwrap().field("count").unwrap()
+        server
+            .borrow()
+            .get_object(&urn)
+            .unwrap()
+            .field("count")
+            .unwrap()
     );
-    assert_eq!(server.borrow().get_object(&urn).unwrap().field("count"), Some("3"));
+    assert_eq!(
+        server.borrow().get_object(&urn).unwrap().field("count"),
+        Some("3")
+    );
     println!("\nquickstart complete at t = {}", sim.now());
 }

@@ -16,18 +16,34 @@ fn browse(mode: BrowseMode, prefetch: bool) -> (f64, f64, f64) {
     let link = net.add_link(LinkSpec::CSLIP_14_4, pda, gateway);
     let server = Server::new(&net, ServerConfig::workstation(gateway));
     server.borrow_mut().add_route(pda, link);
-    WebGen { pages: 60, seed: 1995 }.populate(&server);
+    WebGen {
+        pages: 60,
+        seed: 1995,
+    }
+    .populate(&server);
 
-    let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(pda, gateway), vec![link]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(pda, gateway),
+        vec![link],
+    );
     let proxy = Rc::new(BrowserProxy::new(&client, prefetch));
-    let stats = run_session(proxy, &mut sim, "p0", 15, SimDuration::from_secs(30), mode, 7);
+    let stats = run_session(
+        proxy,
+        &mut sim,
+        "p0",
+        15,
+        SimDuration::from_secs(30),
+        mode,
+        7,
+    );
     sim.run();
 
     let st = stats.borrow();
     let total = st.finished_at.expect("all pages arrived").as_secs_f64();
     let mean_stall = st.stalls_ms.iter().sum::<f64>() / st.stalls_ms.len() as f64 / 1000.0;
-    let max_stall =
-        st.stalls_ms.iter().copied().fold(0.0f64, f64::max) / 1000.0;
+    let max_stall = st.stalls_ms.iter().copied().fold(0.0f64, f64::max) / 1000.0;
     (total, mean_stall, max_stall)
 }
 

@@ -33,23 +33,40 @@ fn commuter_day_full_cycle() {
     server.borrow_mut().add_route(LAPTOP, ether);
     server.borrow_mut().add_route(LAPTOP, modem);
     for ty in ["mailfolder", "mailmsg", "spool", "calendar", "webpage"] {
-        server.borrow_mut().register_resolver(ty, Box::new(ScriptResolver::default()));
+        server
+            .borrow_mut()
+            .register_resolver(ty, Box::new(ScriptResolver::default()));
     }
-    let ids = MailboxGen { user: "alice".into(), folder: "inbox".into(), count: 12, seed: 3 }
-        .populate(&server);
+    let ids = MailboxGen {
+        user: "alice".into(),
+        folder: "inbox".into(),
+        count: 12,
+        seed: 3,
+    }
+    .populate(&server);
     server.borrow_mut().put_object(calendar_object("team"));
     WebGen { pages: 12, seed: 9 }.populate(&server);
 
-    let client =
-        Client::new(&mut sim, &net, ClientConfig::thinkpad(LAPTOP, HOME), vec![ether, modem]);
+    let client = Client::new(
+        &mut sim,
+        &net,
+        ClientConfig::thinkpad(LAPTOP, HOME),
+        vec![ether, modem],
+    );
     let reader = MailReader::new(&client, "alice", Guarantees::ALL);
     let cal = Calendar::new(&client, "team", "alice", Guarantees::ALL);
     let proxy = Rc::new(BrowserProxy::new(&client, true));
 
     // --- Office: hydrate everything over Ethernet. ---------------------
     let f = reader.open_folder(&mut sim, "inbox").unwrap();
-    let ob = Client::import(&client, &mut sim, &reader.outbox_urn(), reader.session, Priority::NORMAL)
-        .unwrap();
+    let ob = Client::import(
+        &client,
+        &mut sim,
+        &reader.outbox_urn(),
+        reader.session,
+        Priority::NORMAL,
+    )
+    .unwrap();
     let c = cal.open(&mut sim).unwrap();
     let w = proxy.request(&mut sim, "p0").unwrap();
     sim.run_for(SimDuration::from_secs(2));
@@ -64,7 +81,13 @@ fn commuter_day_full_cycle() {
     let committed_events = Rc::new(RefCell::new(0));
     let k = committed_events.clone();
     Client::on_event(&client, move |_s, e| {
-        if matches!(e, ClientEvent::Committed { status: OpStatus::Ok | OpStatus::Resolved, .. }) {
+        if matches!(
+            e,
+            ClientEvent::Committed {
+                status: OpStatus::Ok | OpStatus::Resolved,
+                ..
+            }
+        ) {
             *k.borrow_mut() += 1;
         }
     });
@@ -77,7 +100,9 @@ fn commuter_day_full_cycle() {
     // Book meetings, reply to mail, browse cached pages.
     let b1 = cal.book(&mut sim, 9, "standup").unwrap();
     let b2 = cal.book(&mut sim, 14, "retro").unwrap();
-    let r1 = reader.compose(&mut sim, "out1", "re: plans", "writing from the train").unwrap();
+    let r1 = reader
+        .compose(&mut sim, "out1", "re: plans", "writing from the train")
+        .unwrap();
     sim.run_for(SimDuration::from_secs(5));
     assert!(b1.tentative.is_ready() && b2.tentative.is_ready() && r1.tentative.is_ready());
     assert!(!b1.committed.is_ready());
@@ -100,9 +125,23 @@ fn commuter_day_full_cycle() {
     assert_eq!(*committed_events.borrow(), 3);
 
     let sv = server.borrow();
-    assert!(sv.get_object(&cal.urn()).unwrap().field("ev9").unwrap().contains("alice"));
-    assert!(sv.get_object(&cal.urn()).unwrap().field("ev14").unwrap().contains("alice"));
-    assert!(sv.get_object(&reader.outbox_urn()).unwrap().field("msgout1").is_some());
+    assert!(sv
+        .get_object(&cal.urn())
+        .unwrap()
+        .field("ev9")
+        .unwrap()
+        .contains("alice"));
+    assert!(sv
+        .get_object(&cal.urn())
+        .unwrap()
+        .field("ev14")
+        .unwrap()
+        .contains("alice"));
+    assert!(sv
+        .get_object(&reader.outbox_urn())
+        .unwrap()
+        .field("msgout1")
+        .is_some());
 }
 
 #[test]
@@ -171,7 +210,13 @@ fn split_phase_smtp_reply_completes_qrpc() {
     let session = Client::create_session(&client, Guarantees::ALL, true);
 
     let p = Client::invoke_remote(
-        &client, &mut sim, &urn, session, "digest", &[], Priority::FOREGROUND,
+        &client,
+        &mut sim,
+        &urn,
+        session,
+        "digest",
+        &[],
+        Priority::FOREGROUND,
     )
     .unwrap();
     // The request crosses in ~20 ms; the server then chews on the digest
@@ -181,7 +226,11 @@ fn split_phase_smtp_reply_completes_qrpc() {
     net.set_up(&mut sim, link, false);
     sim.run_for(SimDuration::from_secs(120));
     assert!(!p.is_ready());
-    assert_eq!(SmtpRelay::spooled(&relay), 1, "reply waits in the mail spool");
+    assert_eq!(
+        SmtpRelay::spooled(&relay),
+        1,
+        "reply waits in the mail spool"
+    );
 
     net.set_up(&mut sim, link, true);
     sim.run_for(SimDuration::from_secs(120));
@@ -194,7 +243,9 @@ fn three_clients_share_one_server() {
     let mut sim = Sim::new(66);
     let net = Net::new();
     let server = Server::new(&net, ServerConfig::workstation(HOME));
-    server.borrow_mut().register_resolver("counter", Box::new(rover::ReexecuteResolver));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(rover::ReexecuteResolver));
     let urn = Urn::parse("urn:rover:t/shared").unwrap();
     server.borrow_mut().put_object(
         rover::RoverObject::new(urn.clone(), "counter")
@@ -202,20 +253,36 @@ fn three_clients_share_one_server() {
             .with_field("n", "0"),
     );
 
-    let specs = [LinkSpec::ETHERNET_10M, LinkSpec::WAVELAN_2M, LinkSpec::CSLIP_14_4];
+    let specs = [
+        LinkSpec::ETHERNET_10M,
+        LinkSpec::WAVELAN_2M,
+        LinkSpec::CSLIP_14_4,
+    ];
     let mut handles = Vec::new();
     for (i, spec) in specs.iter().enumerate() {
         let host = HostId(10 + i as u32);
         let link = net.add_link(*spec, host, HOME);
         server.borrow_mut().add_route(host, link);
-        let client = Client::new(&mut sim, &net, ClientConfig::thinkpad(host, HOME), vec![link]);
+        let client = Client::new(
+            &mut sim,
+            &net,
+            ClientConfig::thinkpad(host, HOME),
+            vec![link],
+        );
         let session = Client::create_session(&client, Guarantees::ALL, true);
         let p = Client::import(&client, &mut sim, &urn, session, Priority::FOREGROUND).unwrap();
         sim.run();
         assert!(p.is_ready());
-        let h =
-            Client::export(&client, &mut sim, &urn, session, "add", &[&(i + 1).to_string()], Priority::NORMAL)
-                .unwrap();
+        let h = Client::export(
+            &client,
+            &mut sim,
+            &urn,
+            session,
+            "add",
+            &[&(i + 1).to_string()],
+            Priority::NORMAL,
+        )
+        .unwrap();
         handles.push(h);
     }
     sim.run();
@@ -224,7 +291,10 @@ fn three_clients_share_one_server() {
         assert!(st == OpStatus::Ok || st == OpStatus::Resolved, "{st:?}");
     }
     // 1 + 2 + 3 applied exactly once each.
-    assert_eq!(server.borrow().get_object(&urn).unwrap().field("n"), Some("6"));
+    assert_eq!(
+        server.borrow().get_object(&urn).unwrap().field("n"),
+        Some("6")
+    );
 }
 
 #[test]
@@ -241,6 +311,8 @@ fn facade_reexports_cover_public_api() {
         fn takes_wire(_: rover::wire::Encoder) {}
     }
     let mut interp = rover::script::Interp::new();
-    let v = interp.eval(&mut rover::script::NoHost, "expr {6 * 7}").unwrap();
+    let v = interp
+        .eval(&mut rover::script::NoHost, "expr {6 * 7}")
+        .unwrap();
     assert_eq!(v.as_int().unwrap(), 42);
 }

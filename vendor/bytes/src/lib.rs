@@ -1,0 +1,333 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the real crate's API that the Rover
+//! workspace uses: [`Bytes`], a cheaply cloneable, reference-counted,
+//! contiguous byte buffer supporting zero-copy [`Bytes::slice`] views.
+//! Cloning or slicing never copies the underlying storage — only an
+//! `Arc` refcount bump plus an offset/length adjustment.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// The backing storage of a [`Bytes`] handle.
+///
+/// `Static` avoids a refcount for `&'static [u8]` data (e.g. literals);
+/// `Shared` is an `Arc` over an owned vector.
+#[derive(Clone)]
+enum Storage {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+///
+/// Mirrors `bytes::Bytes`: `clone()` and [`Bytes::slice`] are O(1) and
+/// share the underlying allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    storage: Storage,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub const fn new() -> Bytes {
+        Bytes {
+            storage: Storage::Static(&[]),
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates a `Bytes` view over static data without allocating.
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            storage: Storage::Static(data),
+            offset: 0,
+            len: data.len(),
+        }
+    }
+
+    /// Copies `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Returns the number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn backing(&self) -> &[u8] {
+        match &self.storage {
+            Storage::Static(s) => s,
+            Storage::Shared(v) => v.as_slice(),
+        }
+    }
+
+    /// Returns a zero-copy sub-view of `self` over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice range inverted: {start} > {end}");
+        assert!(end <= self.len, "slice out of bounds: {end} > {}", self.len);
+        Bytes {
+            storage: self.storage.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Returns a zero-copy `Bytes` for `subset`, which must lie within
+    /// the memory this handle refers to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` is not contained in `self`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let whole = self.as_ref();
+        let whole_start = whole.as_ptr() as usize;
+        let sub_start = subset.as_ptr() as usize;
+        assert!(
+            sub_start >= whole_start && sub_start + subset.len() <= whole_start + whole.len(),
+            "slice_ref: subset is not within the Bytes buffer"
+        );
+        let start = sub_start - whole_start;
+        self.slice(start..start + subset.len())
+    }
+
+    /// Returns the bytes as a plain slice.
+    pub fn as_ref_slice(&self) -> &[u8] {
+        &self.backing()[self.offset..self.offset + self.len]
+    }
+
+    /// Copies the view into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            storage: Storage::Shared(Arc::new(v)),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(s: &'static [u8; N]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_ref_slice(), f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref_slice() == other.as_ref_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref_slice().cmp(other.as_ref_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref_slice() == other
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_ref_slice()
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref_slice()
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref_slice() == *other
+    }
+}
+impl PartialEq<Bytes> for &[u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other.as_ref_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_ref_slice() == other.as_slice()
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_ref_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+    }
+
+    #[test]
+    fn slice_ref_finds_offset() {
+        let b = Bytes::from(vec![9u8, 8, 7, 6]);
+        let sub = &b.as_ref_slice()[1..3];
+        let s = b.slice_ref(sub);
+        assert_eq!(&s[..], &[8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice_ref")]
+    fn slice_ref_rejects_foreign_memory() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let other = [1u8, 2, 3];
+        let _ = b.slice_ref(&other);
+    }
+
+    #[test]
+    fn equality_across_forms() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b, vec![1u8, 2, 3]);
+        assert_eq!(b, [1u8, 2, 3]);
+        assert_eq!(b, Bytes::from_static(&[1, 2, 3]));
+        assert!(b != Bytes::new());
+    }
+
+    #[test]
+    fn static_and_empty() {
+        let e = Bytes::new();
+        assert!(e.is_empty());
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.slice(1..3), Bytes::from_static(b"el"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset used by this workspace's benches:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Each
+//! benchmark is auto-calibrated to a target measurement time, then
+//! reported as mean ns/iter with min/max over a handful of batches —
+//! far simpler than real criterion (no outlier analysis, no HTML
+//! reports) but enough to compare hot paths release-to-release.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target cumulative measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Number of measured batches per benchmark.
+const BATCHES: usize = 10;
+
+/// The benchmark driver handed to each registered function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints one summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            result: None,
+            min_iters: 1,
+        };
+        // Calibration pass: find an iteration count that fills a batch.
+        f(&mut b);
+        let per_iter = b.result.map(|r| r.mean_ns()).unwrap_or(0.0);
+        let batch_iters = if per_iter > 0.0 {
+            ((TARGET.as_nanos() as f64 / BATCHES as f64 / per_iter).ceil() as u64).clamp(1, 1 << 24)
+        } else {
+            1
+        };
+
+        let mut means = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let mut b = Bencher {
+                result: None,
+                min_iters: batch_iters,
+            };
+            f(&mut b);
+            if let Some(r) = b.result {
+                means.push(r.mean_ns());
+            }
+        }
+        if means.is_empty() {
+            println!("{name:<44} (no measurement)");
+            return self;
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        self
+    }
+}
+
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+impl Measurement {
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.total.as_nanos() as f64 / self.iters as f64
+        }
+    }
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    result: Option<Measurement>,
+    min_iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it enough times to be meaningful.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.min_iters.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some(Measurement {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit, criterion-style.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.5), "12.50 ns");
+        assert!(fmt_ns(2_500.0).ends_with("µs"));
+        assert!(fmt_ns(2_500_000.0).ends_with("ms"));
+    }
+}

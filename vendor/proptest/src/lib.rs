@@ -1,0 +1,884 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API used by this workspace's
+//! property tests: the [`Strategy`] trait (`prop_map`, ranges, tuples,
+//! regex-string strategies, [`Just`], `any::<T>()`), the
+//! [`collection`] module (`vec`, `btree_map`), the [`prop_oneof!`]
+//! union macro, and the [`proptest!`] test-definition macro with both
+//! `x in strategy` and `x: Type` parameter forms.
+//!
+//! Each test runs a fixed number of deterministic cases (default 32,
+//! override with `PROPTEST_CASES`); the per-case RNG is seeded from a
+//! hash of the test name and the case index, so failures reproduce
+//! across runs and machines. There is no shrinking — a failing case
+//! panics with the normal assertion message under the standard test
+//! harness.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The per-case random source handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Returns a strategy applying `f` to each generated value.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes the strategy behind a trait object.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// An owned, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Strategy yielding a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strings matching a regex subset (`&str` is a strategy, as in
+    /// real proptest).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8
+    );
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9
+    );
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9,
+        K / 10
+    );
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9,
+        K / 10,
+        L / 11
+    );
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::{Rng, Standard};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Standard> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns a strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_map`.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Returns a strategy producing vectors of `element` with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicate keys overwrite, so the result may be smaller
+            // than the drawn size — same contract as real proptest.
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.gen_value(rng), self.value.gen_value(rng)))
+                .collect()
+        }
+    }
+
+    /// Returns a strategy producing `BTreeMap`s from `key`/`value`
+    /// strategies with a size drawn from `size`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod string {
+    //! Generation of strings matching a regex subset.
+    //!
+    //! Supported syntax (everything the workspace's property tests
+    //! use): literal characters, escapes (`\n`, `\t`, `\\`, `\"` and
+    //! other escaped punctuation), `\PC` (any printable character),
+    //! character classes with ranges, negation and Java-style `&&[^…]`
+    //! intersection, `(a|b|c)` alternation groups, and the quantifiers
+    //! `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` are capped at 8 repeats).
+
+    use crate::strategy::TestRng;
+    use rand::Rng;
+
+    #[derive(Clone, Debug)]
+    enum Node {
+        Literal(char),
+        Class(Vec<char>),
+        Group(Vec<Vec<Node>>),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        node: Node,
+        min: usize,
+        max: usize,
+    }
+
+    fn printable() -> Vec<char> {
+        (0x20u8..=0x7e).map(|b| b as char).collect()
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        src: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        fn new(src: &'a str) -> Parser<'a> {
+            Parser {
+                chars: src.chars().peekable(),
+                src,
+            }
+        }
+
+        fn fail(&self, what: &str) -> ! {
+            panic!("unsupported regex {:?}: {what}", self.src)
+        }
+
+        fn parse_alternatives(&mut self, in_group: bool) -> Vec<Vec<Node>> {
+            let mut alts = vec![Vec::new()];
+            loop {
+                match self.chars.peek().copied() {
+                    None => {
+                        if in_group {
+                            self.fail("unterminated group");
+                        }
+                        break;
+                    }
+                    Some(')') if in_group => break,
+                    Some('|') => {
+                        self.chars.next();
+                        alts.push(Vec::new());
+                    }
+                    Some(_) => {
+                        let node = self.parse_atom();
+                        alts.last_mut().unwrap().push(node);
+                    }
+                }
+            }
+            alts
+        }
+
+        fn parse_atom(&mut self) -> Node {
+            let c = self.chars.next().expect("atom");
+            match c {
+                '(' => {
+                    let alts = self.parse_alternatives(true);
+                    match self.chars.next() {
+                        Some(')') => {}
+                        _ => self.fail("unterminated group"),
+                    }
+                    Node::Group(alts)
+                }
+                '[' => Node::Class(self.parse_class_body()),
+                '\\' => self.parse_escape(),
+                '.' => Node::Class(printable()),
+                _ => Node::Literal(c),
+            }
+        }
+
+        fn parse_escape(&mut self) -> Node {
+            match self.chars.next() {
+                Some('n') => Node::Literal('\n'),
+                Some('t') => Node::Literal('\t'),
+                Some('r') => Node::Literal('\r'),
+                Some('P') | Some('p') => {
+                    // \PC / \pC etc.: approximate all non-control
+                    // (or category-C complement) as printable ASCII.
+                    self.chars.next();
+                    Node::Class(printable())
+                }
+                Some(c) => Node::Literal(c),
+                None => self.fail("dangling backslash"),
+            }
+        }
+
+        /// Parses the body of a `[...]` class, cursor just past `[`.
+        /// Consumes the closing `]`.
+        fn parse_class_body(&mut self) -> Vec<char> {
+            let negated = self.chars.peek() == Some(&'^') && {
+                self.chars.next();
+                true
+            };
+            let mut include: Vec<char> = Vec::new();
+            let mut intersect: Option<Vec<char>> = None;
+            loop {
+                let c = match self.chars.next() {
+                    Some(c) => c,
+                    None => self.fail("unterminated class"),
+                };
+                match c {
+                    ']' => break,
+                    '&' if self.chars.peek() == Some(&'&') => {
+                        self.chars.next();
+                        // Java-style intersection; operand is a nested
+                        // class, e.g. `[ -~&&[^,"]]`.
+                        match self.chars.next() {
+                            Some('[') => {
+                                let nested = self.parse_class_body();
+                                intersect = Some(match intersect {
+                                    None => nested,
+                                    Some(prev) => {
+                                        prev.into_iter().filter(|ch| nested.contains(ch)).collect()
+                                    }
+                                });
+                            }
+                            _ => self.fail("&& must be followed by a class"),
+                        }
+                    }
+                    '\\' => match self.parse_escape() {
+                        Node::Literal(l) => self.push_maybe_range(&mut include, l),
+                        Node::Class(cs) => include.extend(cs),
+                        Node::Group(_) => self.fail("group inside class"),
+                    },
+                    _ => self.push_maybe_range(&mut include, c),
+                }
+            }
+            let mut set: Vec<char> = if negated {
+                let mut base = printable();
+                base.push('\n');
+                base.retain(|ch| !include.contains(ch));
+                base
+            } else {
+                include
+            };
+            if let Some(allow) = intersect {
+                set.retain(|ch| allow.contains(ch));
+            }
+            set.sort_unstable();
+            set.dedup();
+            if set.is_empty() {
+                self.fail("empty character class");
+            }
+            set
+        }
+
+        /// Pushes `lo` or, if the next chars form `lo-hi`, the range.
+        fn push_maybe_range(&mut self, out: &mut Vec<char>, lo: char) {
+            if self.chars.peek() == Some(&'-') {
+                // `-` is a literal when it closes the class (`[a-]`).
+                let mut lookahead = self.chars.clone();
+                lookahead.next();
+                match lookahead.peek() {
+                    Some(&']') | None => out.push(lo),
+                    Some(&hi) => {
+                        self.chars.next();
+                        self.chars.next();
+                        if hi < lo {
+                            self.fail("inverted class range");
+                        }
+                        out.extend((lo..=hi).filter(|c| c.is_ascii() || *c == hi));
+                    }
+                }
+            } else {
+                out.push(lo);
+            }
+        }
+
+        /// Parses an optional quantifier following an atom.
+        fn parse_quantifier(&mut self) -> (usize, usize) {
+            match self.chars.peek() {
+                Some('{') => {
+                    self.chars.next();
+                    let mut min_s = String::new();
+                    let mut max_s = None;
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(',') => max_s = Some(String::new()),
+                            Some(d) if d.is_ascii_digit() => match &mut max_s {
+                                None => min_s.push(d),
+                                Some(s) => s.push(d),
+                            },
+                            _ => self.fail("bad quantifier"),
+                        }
+                    }
+                    let min: usize = min_s.parse().unwrap_or(0);
+                    let max = match max_s {
+                        None => min,
+                        Some(s) => s.parse().unwrap_or(min.max(8)),
+                    };
+                    (min, max)
+                }
+                Some('?') => {
+                    self.chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    self.chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        }
+    }
+
+    fn compile(src: &str) -> Vec<Vec<Piece>> {
+        // Re-parse with quantifiers attached: walk the token stream
+        // again, this time pairing each atom with its quantifier.
+        let mut p = Parser::new(src);
+        let mut alts: Vec<Vec<Piece>> = vec![Vec::new()];
+        loop {
+            match p.chars.peek().copied() {
+                None => break,
+                Some('|') => {
+                    p.chars.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    let node = p.parse_atom();
+                    let (min, max) = p.parse_quantifier();
+                    alts.last_mut().unwrap().push(Piece { node, min, max });
+                }
+            }
+        }
+        alts
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+            Node::Group(alts) => {
+                let alt = &alts[rng.gen_range(0..alts.len())];
+                for n in alt {
+                    gen_node(n, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let alts = compile(pattern);
+        let pieces = &alts[rng.gen_range(0..alts.len())];
+        let mut out = String::new();
+        for piece in pieces {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                gen_node(&piece.node, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case driver used by the [`proptest!`] macro.
+
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Default number of cases per property.
+    pub const DEFAULT_CASES: usize = 32;
+
+    /// Drives the cases of one property test.
+    pub struct Runner {
+        name_hash: u64,
+        cases: usize,
+    }
+
+    impl Runner {
+        /// Creates a runner for the named test, honouring
+        /// `PROPTEST_CASES`.
+        pub fn new(name: &str) -> Runner {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_CASES);
+            // FNV-1a over the test name: stable across runs/platforms.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Runner {
+                name_hash: h,
+                cases,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> usize {
+            self.cases
+        }
+
+        /// Deterministic RNG for one case.
+        pub fn rng_for(&self, case: usize) -> TestRng {
+            TestRng::seed_from_u64(
+                self.name_hash ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
+        }
+    }
+}
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn roundtrips(x in 0u32..100, s in "[a-z]{1,4}", flag: bool) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($( #[test] $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let __runner = $crate::test_runner::Runner::new(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__runner.cases() {
+                    let mut __rng = __runner.rng_for(__case);
+                    $crate::__proptest_bind!(__rng, $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: binds `proptest!` parameters from strategies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $x:ident in $s:expr) => {
+        let $x = $crate::strategy::Strategy::gen_value(&($s), &mut $rng);
+    };
+    ($rng:ident, $x:ident in $s:expr, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::gen_value(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $x:ident : $t:ty) => {
+        let $x: $t = $crate::strategy::Strategy::gen_value(&$crate::arbitrary::any::<$t>(), &mut $rng);
+    };
+    ($rng:ident, $x:ident : $t:ty, $($rest:tt)*) => {
+        let $x: $t = $crate::strategy::Strategy::gen_value(&$crate::arbitrary::any::<$t>(), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the rest of the test when the assumption fails.
+///
+/// Without shrinking there is nothing to abort, so a failed assumption
+/// ends the whole test as vacuously passing (API parity only — the
+/// workspace's tests do not use `prop_assume!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // Treat a failed assumption as a vacuously passing case.
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> crate::strategy::TestRng {
+        crate::strategy::TestRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn regex_classes_and_reps() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z_]{1,12}", &mut r);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c == '_' || c.is_ascii_lowercase()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_alternation_group() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = crate::string::generate("(GET|POST|PUT|HEAD)", &mut r);
+            assert!(
+                ["GET", "POST", "PUT", "HEAD"].contains(&s.as_str()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_intersection_excludes() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = crate::string::generate("[ -~&&[^,\"]]{0,30}", &mut r);
+            assert!(!s.contains(',') && !s.contains('"'), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_escapes_and_literals() {
+        let mut r = rng();
+        let s = crate::string::generate("urn:rover:[a-z]{1,8}/[a-z0-9/]{0,20}", &mut r);
+        assert!(s.starts_with("urn:rover:"), "{s:?}");
+        for _ in 0..100 {
+            let s = crate::string::generate("[ -~\\n]{0,200}", &mut r);
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
+        }
+        let s = crate::string::generate("\\PC{0,64}", &mut r);
+        assert!(s.len() <= 64);
+    }
+
+    #[test]
+    fn strategies_compose() {
+        let mut r = rng();
+        let strat = prop_oneof![
+            Just(0u32),
+            (1u32..10).prop_map(|x| x * 100),
+            any::<u32>().prop_map(|x| x | 1),
+        ];
+        for _ in 0..100 {
+            let _ = crate::strategy::Strategy::gen_value(&strat, &mut r);
+        }
+        let v = crate::strategy::Strategy::gen_value(
+            &crate::collection::vec((0u8..3, "[ab]{1}"), 2..5),
+            &mut r,
+        );
+        assert!((2..5).contains(&v.len()));
+        let m = crate::strategy::Strategy::gen_value(
+            &crate::collection::btree_map("[a-c]{1}", 0i64..5, 1..4),
+            &mut r,
+        );
+        assert!(m.len() <= 3);
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, s in "[a-z]{1,4}", flag: bool, n: u64) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=4).contains(&s.len()));
+            let _ = (flag, n);
+            prop_assert_eq!(x + 1, 1 + x, "commutativity for {}", x);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Unlike a casual shim, this reproduces rand 0.8's **exact value
+//! stream**: [`rngs::StdRng`] is ChaCha12 with rand_core's block-buffer
+//! semantics, `seed_from_u64` is rand_core's PCG32 seed expansion, and
+//! `gen_range`/`gen_bool` use rand 0.8's widening-multiply rejection
+//! sampling and 64-bit fixed-point Bernoulli respectively. Seeded
+//! simulations therefore produce byte-identical results to builds
+//! against the real crates — which the benchmark fidelity tests and
+//! end-to-end scenarios rely on.
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// An RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (rand_core's PCG32
+    /// expansion, bit-for-bit).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly at random by [`Rng::gen`] (rand's
+/// `Standard` distribution, same bit conventions).
+pub trait Standard: Sized {
+    /// Draws one uniformly random value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_from_u32!(u8, u16, u32, i8, i16, i32);
+standard_from_u64!(u64, i64, usize, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: high word first.
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+impl Standard for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 compares the most significant bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Multiply-based [0,1) with 53 bits of precision, as in rand.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! wmul_via {
+    ($x:expr, $y:expr, $narrow:ty, $wide:ty) => {{
+        let w = ($x as $wide) * ($y as $wide);
+        ((w >> <$narrow>::BITS) as $narrow, w as $narrow)
+    }};
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty) => {
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                // rand 0.8 UniformSampler::sample_single, bit-exact.
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $u_large;
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = Standard::sample_standard(rng);
+                    let (hi, lo) = wmul_via!(v, range, $u_large, $wide);
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                // rand 0.8 sample_single_inclusive, bit-exact.
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "gen_range: empty range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The range spans the whole type.
+                    return Standard::sample_standard(rng);
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = Standard::sample_standard(rng);
+                    let (hi, lo) = wmul_via!(v, range, $u_large, $wide);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, u64);
+uniform_int_impl!(u16, u16, u32, u64);
+uniform_int_impl!(u32, u32, u32, u64);
+uniform_int_impl!(u64, u64, u64, u128);
+uniform_int_impl!(usize, usize, u64, u128);
+uniform_int_impl!(i8, u8, u32, u64);
+uniform_int_impl!(i16, u16, u32, u64);
+uniform_int_impl!(i32, u32, u32, u64);
+uniform_int_impl!(i64, u64, u64, u128);
+uniform_int_impl!(isize, usize, u64, u128);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (rand 0.8 Bernoulli: 64-bit
+    /// fixed point; `p == 1.0` consumes no randomness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if !(0.0..1.0).contains(&p) {
+            assert!(p == 1.0, "gen_bool: p out of range: {p}");
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{RngCore, SeedableRng};
+
+    const BUF_WORDS: usize = 64; // rand_chacha buffers 4 ChaCha blocks
+    const ROUNDS: usize = 12; // StdRng in rand 0.8 is ChaCha12
+
+    /// rand 0.8's `StdRng`, bit-exact: ChaCha12 with a 64-bit counter,
+    /// buffered four blocks at a time with rand_core's `BlockRng`
+    /// word-consumption rules.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    fn chacha_block(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+        let mut state = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0, // stream id low (rand_chacha default)
+            0, // stream id high
+        ];
+        let mut w = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            state[i] = state[i].wrapping_add(w[i]);
+        }
+        out[..16].copy_from_slice(&state);
+    }
+
+    impl StdRng {
+        /// Refills the 4-block buffer and positions the cursor.
+        fn generate_and_set(&mut self, index: usize) {
+            for blk in 0..BUF_WORDS / 16 {
+                let (start, end) = (blk * 16, blk * 16 + 16);
+                chacha_block(
+                    &self.key,
+                    self.counter + blk as u64,
+                    &mut self.buf[start..end],
+                );
+            }
+            self.counter += (BUF_WORDS / 16) as u64;
+            self.index = index;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> StdRng {
+            // rand_core 0.6 seed_from_u64: PCG32 fills the 32-byte seed.
+            let mut pcg32 = || {
+                const MUL: u64 = 6_364_136_223_846_793_005;
+                const INC: u64 = 11_634_580_027_462_260_723;
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let s = state;
+                let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+                let rot = (s >> 59) as u32;
+                xorshifted.rotate_right(rot)
+            };
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(4) {
+                chunk.copy_from_slice(&pcg32().to_le_bytes());
+            }
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core BlockRng::next_u64, including both edge cases.
+            let read_u64 =
+                |buf: &[u32; BUF_WORDS], i: usize| (buf[i + 1] as u64) << 32 | buf[i] as u64;
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read_u64(&self.buf, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read_u64(&self.buf, 0)
+            } else {
+                let x = self.buf[BUF_WORDS - 1] as u64;
+                self.generate_and_set(1);
+                let y = self.buf[0] as u64;
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            // rand_core fill_via_u32_chunks: consume whole words,
+            // little-endian, partial final word allowed.
+            let mut filled = 0;
+            while filled < dest.len() {
+                let word = self.next_u32().to_le_bytes();
+                let n = (dest.len() - filled).min(4);
+                dest[filled..filled + n].copy_from_slice(&word[..n]);
+                filled += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn u32_u64_interleave_matches_block_rng() {
+        // Drawing a u32 then a u64 must follow BlockRng's index rules
+        // (u64 reads two consecutive words from an odd index).
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let w0 = a.next_u32();
+        let w12 = a.next_u64();
+        let x0 = b.next_u32();
+        let x1 = b.next_u32();
+        let x2 = b.next_u32();
+        assert_eq!(w0, x0);
+        assert_eq!(w12, (x2 as u64) << 32 | x1 as u64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let q = r.gen_range(3u8..=3);
+            assert_eq!(q, 3);
+            let u = r.gen_range(0usize..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
