@@ -122,7 +122,7 @@ impl BrowserProxy {
 pub fn page_links(obj: &RoverObject) -> Vec<String> {
     obj.field("links")
         .and_then(|l| parse_list(l).ok())
-        .map(|vals| vals.iter().map(|v| v.as_str()).collect())
+        .map(|vals| vals.iter().map(|v| v.as_str().into_owned()).collect())
         .unwrap_or_default()
 }
 

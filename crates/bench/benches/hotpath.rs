@@ -1,6 +1,8 @@
-//! Criterion microbenchmarks for this release's two hot paths: the
-//! generation-stamped event loop (vs the old tombstone-set design) and
-//! zero-copy fragmentation (vs the old copy-per-hop path).
+//! Criterion microbenchmarks for this release's hot paths: the
+//! generation-stamped event loop (vs the old tombstone-set design),
+//! zero-copy fragmentation (vs the old copy-per-hop path), and the RDO
+//! execution fast path (parse-once program cache plus the reusable
+//! per-object interpreter, each vs its parse/reload-per-call baseline).
 //!
 //! Each benchmark runs one "round" against a 10k-pending backlog:
 //! schedule 100 events, cancel three of every four, then pop the
@@ -13,7 +15,9 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use rover_core::{RoverObject, Urn};
 use rover_net::{split_envelope, Reassembler};
+use rover_script::{set_program_cache_enabled, Budget, Value};
 use rover_sim::{Sim, SimDuration, SimTime};
 use rover_wire::{Bytes, Envelope, Fragment, HostId, MsgKind, Wire};
 
@@ -232,5 +236,176 @@ fn bench_frag(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_loop, bench_frag);
+/// A mail-folder-flavoured RDO: one loop-heavy method (`spin`) plus
+/// enough supporting procs that a code reload does real work — the
+/// shape `run_method` sees from the application suite.
+///
+/// `spin`'s loop carries a corruption-repair branch that never fires —
+/// the error-handling text real folder code drags through every
+/// iteration. The fresh-parse baseline re-scans that whole body each
+/// time around the loop; the cached AST never touches it again.
+fn folder_object() -> RoverObject {
+    let repair: String = (0..64)
+        .map(|slot| {
+            format!(
+                "                set m{slot} [rover::get msg_{slot} {{}}]\n\
+                 if {{[llength $m{slot}] != 3}} {{ rover::del msg_{slot} }} else {{ lappend intact {slot} }}\n"
+            )
+        })
+        .collect();
+    let code = format!(
+        "proc spin {{n}} {{\n\
+             set s 0\n\
+             set i 0\n\
+             while {{$i < $n}} {{\n\
+                 incr s 3\n\
+                 incr i\n\
+                 if {{$s < 0}} {{\n\
+                     rover::set corrupt 1\n\
+                     set intact {{}}\n\
+{repair}\
+                     rover::set audit_ok [llength $intact]\n\
+                     error \"folder corrupt: counter $s at message $i\"\n\
+                 }}\n\
+             }}\n\
+             return $s\n\
+         }}\n\
+         proc ping {{}} {{ return pong }}\n\
+         proc add {{id from subject}} {{\n\
+             rover::set msg_$id [list $from $subject unread]\n\
+             rover::set count [expr {{[rover::get count 0] + 1}}]\n\
+         }}\n\
+         proc mark_read {{id}} {{\n\
+             set m [rover::get msg_$id {{}}]\n\
+             rover::set msg_$id [lreplace $m 2 2 read]\n\
+         }}\n\
+         proc summarize {{}} {{\n\
+             set n [rover::get count 0]\n\
+             return \"folder holds $n message(s)\"\n\
+         }}\n\
+         proc purge {{}} {{\n\
+             foreach k [rover::keys] {{\n\
+                 if {{[string match msg_* $k]}} {{ rover::del $k }}\n\
+             }}\n\
+             rover::set count 0\n\
+         }}\n\
+         proc resolve {{method args_list base}} {{\n\
+             if {{$method eq \"add\"}} {{ return accept }}\n\
+             return reject\n\
+         }}"
+    );
+    RoverObject::new(Urn::parse("urn:rover:bench/folder").unwrap(), "folder").with_code(&code)
+}
+
+/// One invocation of the 1k-iteration loop-heavy method.
+fn spin_round(obj: &mut RoverObject) -> i64 {
+    obj.run_method("spin", &[Value::Int(1_000)], Budget::default())
+        .expect("spin runs")
+        .result
+        .as_int()
+        .expect("spin returns a count")
+}
+
+/// One invocation of the cheap method (exercises load-vs-clone cost).
+fn ping_round(obj: &mut RoverObject) -> bool {
+    obj.run_method("ping", &[], Budget::default())
+        .expect("ping runs")
+        .result
+        .as_str()
+        == "pong"
+}
+
+fn bench_rdo(c: &mut Criterion) {
+    // Smoke mode (`-- --test`) still runs every arm and both gates,
+    // just with fewer headline iterations.
+    let quick = criterion::test_mode();
+
+    set_program_cache_enabled(true);
+    let mut obj = folder_object();
+    c.bench_function("rdo/spin_1k_cached_parse", |b| {
+        b.iter(|| assert_eq!(black_box(spin_round(&mut obj)), 3_000));
+    });
+
+    set_program_cache_enabled(false);
+    let mut obj = folder_object();
+    c.bench_function("rdo/spin_1k_fresh_parse_baseline", |b| {
+        b.iter(|| assert_eq!(black_box(spin_round(&mut obj)), 3_000));
+    });
+    set_program_cache_enabled(true);
+
+    let mut obj = folder_object();
+    c.bench_function("rdo/run_method_warm_interp", |b| {
+        b.iter(|| assert!(black_box(ping_round(&mut obj))));
+    });
+
+    let mut obj = folder_object();
+    c.bench_function("rdo/run_method_reload_baseline", |b| {
+        b.iter(|| {
+            obj.clear_method_cache();
+            assert!(black_box(ping_round(&mut obj)));
+        });
+    });
+
+    // Headline ratios, measured directly — these are the release gates:
+    // the loop-heavy method must hold >= 5x over re-parsing every
+    // entered script, and a warm object must hold >= 3x over reloading
+    // its code on every call.
+    let spin_iters: u64 = if quick { 5 } else { 20 };
+    let mut obj = folder_object();
+    spin_round(&mut obj); // warm the caches before timing
+    let t0 = Instant::now();
+    for _ in 0..spin_iters {
+        spin_round(&mut obj);
+    }
+    let cached_ns = t0.elapsed().as_nanos() as f64 / spin_iters as f64;
+
+    set_program_cache_enabled(false);
+    let mut obj = folder_object();
+    spin_round(&mut obj);
+    let t0 = Instant::now();
+    for _ in 0..spin_iters {
+        spin_round(&mut obj);
+    }
+    let fresh_ns = t0.elapsed().as_nanos() as f64 / spin_iters as f64;
+    set_program_cache_enabled(true);
+
+    let parse_speedup = fresh_ns / cached_ns;
+    println!(
+        "rdo/speedup_parse_cache                      {:>10.2}x  (cached {:.0} ns/call, fresh-parse {:.0} ns/call)",
+        parse_speedup, cached_ns, fresh_ns
+    );
+    assert!(
+        parse_speedup >= 5.0,
+        "program-cache gate: loop-heavy method only {parse_speedup:.2}x over fresh parse (need >= 5x)"
+    );
+
+    let ping_iters: u64 = if quick { 200 } else { 2_000 };
+    let mut obj = folder_object();
+    ping_round(&mut obj);
+    let t0 = Instant::now();
+    for _ in 0..ping_iters {
+        ping_round(&mut obj);
+    }
+    let warm_ns = t0.elapsed().as_nanos() as f64 / ping_iters as f64;
+
+    let mut obj = folder_object();
+    let t0 = Instant::now();
+    for _ in 0..ping_iters {
+        obj.clear_method_cache();
+        ping_round(&mut obj);
+    }
+    let reload_ns = t0.elapsed().as_nanos() as f64 / ping_iters as f64;
+
+    let interp_speedup = reload_ns / warm_ns;
+    println!(
+        "rdo/speedup_interp_cache                     {:>10.2}x  (warm {:.0} ns/call, reload {:.0} ns/call)",
+        interp_speedup, warm_ns, reload_ns
+    );
+    assert!(
+        interp_speedup >= 3.0,
+        "method-cache gate: warm run_method only {interp_speedup:.2}x over per-call reload (need >= 3x)"
+    );
+}
+
+criterion_group!(benches, bench_event_loop, bench_frag, bench_rdo);
 criterion_main!(benches);

@@ -9,7 +9,10 @@
 //! steps consumed so the caller can charge CPU time on whichever host
 //! ran it.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
 
 use rover_script::{Budget, HostEnv, Interp, ScriptError, Value};
 use rover_wire::{Decoder, Encoder, Version, Wire, WireError};
@@ -31,6 +34,50 @@ pub struct RoverObject {
     pub fields: BTreeMap<String, String>,
     /// Commit version at the home server (0 = never committed).
     pub version: Version,
+    /// Loaded-interpreter cache (see [`MethodCache`]); never on the
+    /// wire, never part of equality.
+    cache: MethodCache,
+}
+
+/// Cache of the interpreter produced by evaluating an object's `code`.
+///
+/// `run_method` used to rebuild a fresh interpreter and re-evaluate the
+/// whole code blob on every invocation; this keeps the loaded template
+/// and clones it per call instead. The cell is shared (`Rc`) rather
+/// than per-value because every invocation path — client
+/// `invoke_local`, client export, server `Invoke` — clones the object
+/// and runs the method on a scratch copy: sharing means warming any
+/// clone warms the stored original. A hit requires the entry's `code`
+/// and `budget` to match the object's current ones, so mutating `code`
+/// invalidates naturally. Cloning the template interpreter replays the
+/// load's step count and output buffer exactly, keeping step accounting
+/// byte-for-byte identical to a fresh load.
+#[derive(Clone, Default)]
+struct MethodCache(Rc<RefCell<Option<Rc<LoadedCode>>>>);
+
+struct LoadedCode {
+    code: String,
+    budget: Budget,
+    interp: Interp,
+}
+
+impl PartialEq for MethodCache {
+    // The cache is invisible to object identity: two objects differing
+    // only in cache warmth are equal.
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for MethodCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.0.borrow().is_some() {
+            "warm"
+        } else {
+            "cold"
+        };
+        write!(f, "MethodCache({state})")
+    }
 }
 
 impl RoverObject {
@@ -42,6 +89,7 @@ impl RoverObject {
             code: String::new(),
             fields: BTreeMap::new(),
             version: Version(0),
+            cache: MethodCache::default(),
         }
     }
 
@@ -49,6 +97,14 @@ impl RoverObject {
     pub fn with_code(mut self, code: &str) -> RoverObject {
         self.code = code.to_owned();
         self
+    }
+
+    /// Drops the cached loaded interpreter, forcing the next
+    /// [`RoverObject::run_method`] to re-evaluate `code` from scratch.
+    /// Benchmarks use this to measure the uncached path; correctness
+    /// never requires it (cache hits re-check `code` and budget).
+    pub fn clear_method_cache(&mut self) {
+        *self.cache.0.borrow_mut() = None;
     }
 
     /// Sets a data field (builder style).
@@ -98,22 +154,52 @@ impl RoverObject {
         args: &[Value],
         budget: Budget,
     ) -> Result<MethodRun, RoverError> {
-        let mut interp = Interp::with_budget(budget);
         let before = self.fields.clone();
-        let mut host = RdoHost {
-            urn: self.urn.clone(),
-            fields: &mut self.fields,
+        let cached: Option<Rc<LoadedCode>> = {
+            let cell = self.cache.0.borrow();
+            match &*cell {
+                Some(c) if c.code == self.code && c.budget == budget => Some(Rc::clone(c)),
+                _ => None,
+            }
         };
-
-        interp
-            .eval(&mut host, &self.code)
-            .map_err(|e| RoverError::Exec(format!("loading code for {}: {e}", host.urn)))?;
+        let mut interp = match cached {
+            // Cloning the template replays the load exactly: same steps
+            // consumed, same pending `puts` output.
+            Some(c) => c.interp.clone(),
+            None => {
+                let mut interp = Interp::with_budget(budget);
+                let mut host = RdoHost {
+                    urn: self.urn.clone(),
+                    fields: &mut self.fields,
+                    calls: 0,
+                };
+                interp
+                    .eval(&mut host, &self.code)
+                    .map_err(|e| RoverError::Exec(format!("loading code for {}: {e}", host.urn)))?;
+                // Cache only *pure* loads (no host calls): a load that
+                // read or wrote fields would bake those reads into the
+                // template and replay them stale on later invocations.
+                if host.calls == 0 {
+                    *self.cache.0.borrow_mut() = Some(Rc::new(LoadedCode {
+                        code: self.code.clone(),
+                        budget,
+                        interp: interp.clone(),
+                    }));
+                }
+                interp
+            }
+        };
         if !interp.has_proc(method) {
             // Restore: a missing method must not leave partial effects
             // from code loading (code should only define procs anyway).
-            *host.fields = before;
+            self.fields = before;
             return Err(RoverError::NoSuchMethod(method.to_owned()));
         }
+        let mut host = RdoHost {
+            urn: self.urn.clone(),
+            fields: &mut self.fields,
+            calls: 0,
+        };
 
         // Build the invocation as a proper list so arguments with spaces
         // survive quoting.
@@ -180,6 +266,9 @@ pub struct MethodRun {
 struct RdoHost<'a> {
     urn: Urn,
     fields: &'a mut BTreeMap<String, String>,
+    /// Handled `rover::*` invocations; `run_method` caches a loaded
+    /// interpreter only when the load made none (a pure load).
+    calls: u64,
 }
 
 impl HostEnv for RdoHost<'_> {
@@ -191,31 +280,32 @@ impl HostEnv for RdoHost<'_> {
     ) -> Option<Result<Value, ScriptError>> {
         let r = match name {
             "rover::get" => match args {
-                [k] => match self.fields.get(&k.as_str()) {
+                [k] => match self.fields.get(&*k.as_str()) {
                     Some(v) => Ok(Value::str(v)),
                     None => Err(ScriptError::new(format!("no such field \"{k}\""))),
                 },
                 [k, default] => Ok(self
                     .fields
-                    .get(&k.as_str())
+                    .get(&*k.as_str())
                     .map(Value::str)
                     .unwrap_or_else(|| default.clone())),
                 _ => Err(ScriptError::new("usage: rover::get key ?default?")),
             },
             "rover::set" => match args {
                 [k, v] => {
-                    self.fields.insert(k.as_str(), v.as_str());
+                    self.fields
+                        .insert(k.as_str().into_owned(), v.as_str().into_owned());
                     Ok(v.clone())
                 }
                 _ => Err(ScriptError::new("usage: rover::set key value")),
             },
             "rover::has" => match args {
-                [k] => Ok(Value::bool(self.fields.contains_key(&k.as_str()))),
+                [k] => Ok(Value::bool(self.fields.contains_key(&*k.as_str()))),
                 _ => Err(ScriptError::new("usage: rover::has key")),
             },
             "rover::del" => match args {
                 [k] => {
-                    self.fields.remove(&k.as_str());
+                    self.fields.remove(&*k.as_str());
                     Ok(Value::empty())
                 }
                 _ => Err(ScriptError::new("usage: rover::del key")),
@@ -233,6 +323,7 @@ impl HostEnv for RdoHost<'_> {
             "rover::urn" => Ok(Value::str(self.urn.as_str())),
             _ => return None,
         };
+        self.calls += 1;
         Some(r)
     }
 }
@@ -279,6 +370,7 @@ impl Wire for RoverObject {
             code,
             fields: pairs.into_iter().collect(),
             version,
+            cache: MethodCache::default(),
         })
     }
 }
@@ -370,6 +462,78 @@ mod tests {
         );
         let run = obj.run_method("probe", &[], Budget::default()).unwrap();
         assert_eq!(run.result.as_str(), "1 0 {a ab} urn:rover:t/h");
+    }
+
+    #[test]
+    fn mutating_code_invalidates_cached_interp() {
+        let mut obj = counter();
+        let r1 = obj.run_method("get", &[], Budget::default()).unwrap();
+        assert_eq!(r1.result, Value::Int(10));
+        // Mutate the code blob in place: the warm cache entry must not
+        // serve the old proc table.
+        obj.code = "proc get {} {return new-code}".to_owned();
+        let r2 = obj.run_method("get", &[], Budget::default()).unwrap();
+        assert_eq!(r2.result.as_str(), "new-code");
+        // A changed budget also misses (budgets are part of identity).
+        let r3 = obj
+            .run_method(
+                "get",
+                &[],
+                Budget {
+                    max_steps: 9_000,
+                    max_depth: 8,
+                },
+            )
+            .unwrap();
+        assert_eq!(r3.result.as_str(), "new-code");
+    }
+
+    #[test]
+    fn cached_and_fresh_loads_agree_on_steps_and_results() {
+        let mut warm = counter();
+        let mut cold = counter();
+        let w1 = warm
+            .run_method("add", &[Value::Int(1)], Budget::default())
+            .unwrap();
+        let w2 = warm
+            .run_method("add", &[Value::Int(1)], Budget::default())
+            .unwrap(); // cache hit
+        cold.run_method("add", &[Value::Int(1)], Budget::default())
+            .unwrap();
+        cold.clear_method_cache();
+        let c2 = cold
+            .run_method("add", &[Value::Int(1)], Budget::default())
+            .unwrap(); // forced fresh load
+        assert_eq!(w1.steps, w2.steps);
+        assert_eq!(w2.steps, c2.steps);
+        assert_eq!(w2.result, c2.result);
+        assert_eq!(warm.field("n"), cold.field("n"));
+    }
+
+    #[test]
+    fn clones_share_cache_warmth() {
+        let mut obj = counter();
+        let mut scratch = obj.clone();
+        scratch.run_method("get", &[], Budget::default()).unwrap();
+        // Warming the scratch clone warmed the original's cell.
+        assert!(obj.cache.0.borrow().is_some());
+        let run = obj.run_method("get", &[], Budget::default()).unwrap();
+        assert_eq!(run.result, Value::Int(10));
+    }
+
+    #[test]
+    fn impure_loads_are_not_cached() {
+        // Top-level code that *reads* a field must re-run per invoke:
+        // caching it would replay a stale read.
+        let mut obj = RoverObject::new(Urn::parse("urn:rover:t/impure").unwrap(), "t")
+            .with_code("proc snap {} {global loaded; return $loaded}\nset x [rover::get n 0]\nglobal loaded\nset loaded [rover::get n 0]")
+            .with_field("n", "1");
+        let r1 = obj.run_method("snap", &[], Budget::default()).unwrap();
+        assert_eq!(r1.result.as_str(), "1");
+        assert!(obj.cache.0.borrow().is_none());
+        obj.fields.insert("n".into(), "2".into());
+        let r2 = obj.run_method("snap", &[], Budget::default()).unwrap();
+        assert_eq!(r2.result.as_str(), "2");
     }
 
     #[test]

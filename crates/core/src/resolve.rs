@@ -102,7 +102,7 @@ impl Resolver for ScriptResolver {
             Value::Int(base_version.0 as i64),
         ];
         match scratch.run_method("resolve", &args, self.budget) {
-            Ok(run) => match run.result.as_str().as_str() {
+            Ok(run) => match run.result.as_str().as_ref() {
                 "accept" => Resolution::Reexecute,
                 "merged" => Resolution::Merged(scratch),
                 _ => Resolution::Reject,

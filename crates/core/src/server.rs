@@ -353,9 +353,12 @@ impl Server {
 
     fn process(sv: &ServerRef, sim: &mut Sim, req: QrpcRequest) {
         let client = req.client;
+        // Parse the request URN exactly once; execution and the
+        // callback fan-out below both use this parse.
+        let parsed = Urn::parse(&req.urn).ok();
         let (reply, steps) = {
             let mut s = sv.borrow_mut();
-            s.execute(&req)
+            s.execute(&req, parsed.as_ref())
         };
 
         // Record dedup + ordering bookkeeping.
@@ -402,8 +405,8 @@ impl Server {
         let committed = matches!(req.op, RoverOp::Export { .. })
             && matches!(reply_status, OpStatus::Ok | OpStatus::Resolved);
         if committed && sv.borrow().cfg.callbacks {
-            if let Ok(urn) = Urn::parse(&req.urn) {
-                Server::notify_importers(sv, sim, &urn, reply_version, client);
+            if let Some(urn) = &parsed {
+                Server::notify_importers(sv, sim, urn, reply_version, client);
             }
         }
     }
@@ -468,17 +471,17 @@ impl Server {
     }
 
     /// Pure state transition: executes `req` against the store and
-    /// returns the reply plus interpreter steps consumed.
-    fn execute(&mut self, req: &QrpcRequest) -> (QrpcReply, u64) {
+    /// returns the reply plus interpreter steps consumed. `urn` is the
+    /// caller's already-parsed `req.urn` (`None` = unparsable).
+    fn execute(&mut self, req: &QrpcRequest, urn: Option<&Urn>) -> (QrpcReply, u64) {
         let fail = |status: OpStatus| QrpcReply {
             req_id: req.req_id,
             status,
             version: Version(0),
             payload: Bytes::new(),
         };
-        let urn = match Urn::parse(&req.urn) {
-            Ok(u) => u,
-            Err(_) => return (fail(OpStatus::Rejected), 0),
+        let Some(urn) = urn else {
+            return (fail(OpStatus::Rejected), 0);
         };
 
         match &req.op {
@@ -492,7 +495,7 @@ impl Server {
                 0,
             ),
 
-            RoverOp::Import => match self.store.get(&urn) {
+            RoverOp::Import => match self.store.get(urn) {
                 Some(obj) => {
                     self.importers
                         .entry(urn.clone())
@@ -516,7 +519,7 @@ impl Server {
                     Ok(p) => p,
                     Err(_) => return (fail(OpStatus::Rejected), 0),
                 };
-                let Some(obj) = self.store.get(&urn) else {
+                let Some(obj) = self.store.get(urn) else {
                     return (fail(OpStatus::NoSuchObject), 0);
                 };
                 // Invocations are read-only: run on a scratch copy.
@@ -547,7 +550,7 @@ impl Server {
                     Ok(p) => p,
                     Err(_) => return (fail(OpStatus::Rejected), 0),
                 };
-                let Some(current) = self.store.get(&urn) else {
+                let Some(current) = self.store.get(urn) else {
                     return (fail(OpStatus::NoSuchObject), 0);
                 };
 
@@ -570,7 +573,7 @@ impl Server {
                     Resolution::Reject => {
                         // Reflect the conflict with the current state so
                         // the user can reconcile.
-                        let obj = self.store.get(&urn).expect("checked");
+                        let obj = self.store.get(urn).expect("checked");
                         (
                             QrpcReply {
                                 req_id: req.req_id,
@@ -582,7 +585,7 @@ impl Server {
                         )
                     }
                     Resolution::Merged(mut merged) => {
-                        let v = Version(self.store.get(&urn).expect("checked").version.0 + 1);
+                        let v = Version(self.store.get(urn).expect("checked").version.0 + 1);
                         merged.version = v;
                         let bytes = merged.to_bytes();
                         self.store.insert(urn.clone(), merged);
@@ -597,7 +600,7 @@ impl Server {
                         )
                     }
                     Resolution::Reexecute => {
-                        let obj = self.store.get_mut(&urn).expect("checked");
+                        let obj = self.store.get_mut(urn).expect("checked");
                         let args: Vec<rover_script::Value> =
                             payload.args.iter().map(rover_script::Value::str).collect();
                         match obj.run_method(&payload.method, &args, self.cfg.budget) {

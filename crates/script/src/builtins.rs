@@ -74,18 +74,16 @@ fn lappend(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
     let name = args
         .first()
         .ok_or_else(|| Exc::err("wrong # args: lappend varName ?value ...?"))?;
-    let (n, i) = Interp::split_varname(&name.as_str());
-    let mut items = if interp.var_exists(&n, i.as_deref()) {
-        interp
-            .var_get(&n, i.as_deref())?
-            .as_list()
-            .map_err(Exc::Err)?
+    let spec = name.as_str();
+    let (n, i) = Interp::split_varname(&spec);
+    let mut items = if interp.var_exists(n, i) {
+        interp.var_get(n, i)?.as_list().map_err(Exc::Err)?
     } else {
         Vec::new()
     };
     items.extend(args[1..].iter().cloned());
     let v = Value::list(items);
-    interp.var_set(&n, i.as_deref(), v.clone())?;
+    interp.var_set(n, i, v.clone())?;
     Ok(v)
 }
 
@@ -154,8 +152,9 @@ fn lassign(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
     let items = args[0].as_list().map_err(Exc::Err)?;
     for (i, name) in args[1..].iter().enumerate() {
         let v = items.get(i).cloned().unwrap_or_else(Value::empty);
-        let (n, idx) = Interp::split_varname(&name.as_str());
-        interp.var_set(&n, idx.as_deref(), v)?;
+        let spec = name.as_str();
+        let (n, idx) = Interp::split_varname(&spec);
+        interp.var_set(n, idx, v)?;
     }
     let rest = if items.len() > args.len() - 1 {
         items[args.len() - 1..].to_vec()
@@ -171,7 +170,7 @@ fn lsort(args: &[Value]) -> Result<Value, Exc> {
     let mut decreasing = false;
     let mut list = None;
     for a in args {
-        match a.as_str().as_str() {
+        match a.as_str().as_ref() {
             "-integer" => integer = true,
             "-decreasing" => decreasing = true,
             "-increasing" => decreasing = false,
@@ -188,7 +187,7 @@ fn lsort(args: &[Value]) -> Result<Value, Exc> {
         keyed.sort_by_key(|(k, _)| *k);
         items = keyed.into_iter().map(|(_, v)| v).collect();
     } else {
-        items.sort_by_key(|a| a.as_str());
+        items.sort_by(|a, b| a.as_str().cmp(&b.as_str()));
     }
     if decreasing {
         items.reverse();
@@ -261,7 +260,7 @@ fn string_cmd(args: &[Value]) -> Result<Value, Exc> {
     let sub = args
         .first()
         .ok_or_else(|| Exc::err("wrong # args: string subcommand ..."))?;
-    match sub.as_str().as_str() {
+    match sub.as_str().as_ref() {
         "length" => {
             arity(&args[1..], 1, "string length string")?;
             Ok(Value::Int(args[1].as_str().chars().count() as i64))
@@ -310,7 +309,7 @@ fn string_cmd(args: &[Value]) -> Result<Value, Exc> {
         "first" => {
             arity(&args[1..], 2, "string first needle haystack")?;
             let hay = args[2].as_str();
-            Ok(Value::Int(match hay.find(&args[1].as_str()) {
+            Ok(Value::Int(match hay.find(&*args[1].as_str()) {
                 Some(byte) => hay[..byte].chars().count() as i64,
                 None => -1,
             }))
@@ -318,7 +317,7 @@ fn string_cmd(args: &[Value]) -> Result<Value, Exc> {
         "last" => {
             arity(&args[1..], 2, "string last needle haystack")?;
             let hay = args[2].as_str();
-            Ok(Value::Int(match hay.rfind(&args[1].as_str()) {
+            Ok(Value::Int(match hay.rfind(&*args[1].as_str()) {
                 Some(byte) => hay[..byte].chars().count() as i64,
                 None => -1,
             }))
@@ -358,7 +357,7 @@ fn string_cmd(args: &[Value]) -> Result<Value, Exc> {
             }
             let pairs: Vec<(String, String)> = mapping
                 .chunks(2)
-                .map(|kv| (kv[0].as_str(), kv[1].as_str()))
+                .map(|kv| (kv[0].as_str().into_owned(), kv[1].as_str().into_owned()))
                 .collect();
             let src = args[2].as_str();
             let chars: Vec<char> = src.chars().collect();
@@ -435,7 +434,7 @@ fn format_cmd(args: &[Value]) -> Result<Value, Exc> {
             .ok_or_else(|| Exc::err("not enough arguments for format string"))?;
         argi += 1;
         let rendered = match conv {
-            's' => arg.as_str(),
+            's' => arg.as_str().into_owned(),
             'd' => arg.as_int().map_err(Exc::Err)?.to_string(),
             'x' => format!("{:x}", arg.as_int().map_err(Exc::Err)?),
             'f' => {
@@ -462,19 +461,20 @@ fn array_cmd(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
     let sub = args
         .first()
         .ok_or_else(|| Exc::err("wrong # args: array subcommand ..."))?;
-    let name = args
+    let name_cow = args
         .get(1)
         .ok_or_else(|| Exc::err("wrong # args: array subcommand arrayName"))?
         .as_str();
+    let name: &str = &name_cow;
     let lookup = |interp: &Interp| -> Option<Vec<(String, Value)>> {
         let map = if interp.frames.is_empty()
-            || interp.frames.last().expect("frame").globals.contains(&name)
+            || interp.frames.last().expect("frame").globals.contains(name)
         {
             &interp.globals
         } else {
             &interp.frames.last().expect("frame").vars
         };
-        match map.get(&name) {
+        match map.get(name) {
             Some(Slot::Array(a)) => {
                 let mut pairs: Vec<(String, Value)> =
                     a.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
@@ -484,7 +484,7 @@ fn array_cmd(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
             _ => None,
         }
     };
-    match sub.as_str().as_str() {
+    match sub.as_str().as_ref() {
         "exists" => Ok(Value::bool(lookup(interp).is_some())),
         "size" => Ok(Value::Int(
             lookup(interp).map(|p| p.len()).unwrap_or(0) as i64
@@ -514,12 +514,12 @@ fn array_cmd(interp: &mut Interp, args: &[Value]) -> Result<Value, Exc> {
                 return Err(Exc::err("list must have an even number of elements"));
             }
             for kv in pairs.chunks(2) {
-                interp.var_set(&name, Some(&kv[0].as_str()), kv[1].clone())?;
+                interp.var_set(name, Some(&kv[0].as_str()), kv[1].clone())?;
             }
             Ok(Value::empty())
         }
         "unset" => {
-            interp.var_unset(&name, None).ok();
+            interp.var_unset(name, None).ok();
             Ok(Value::empty())
         }
         other => Err(Exc::err(format!("unknown array subcommand \"{other}\""))),

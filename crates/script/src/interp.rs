@@ -1,12 +1,14 @@
 //! The interpreter: variables, frames, procs, control flow, dispatch.
 
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::builtins;
 use crate::error::{Exc, ScriptError};
 use crate::expr;
-use crate::parser::{parse_script, Command, Frag, Word};
+use crate::parser::{parse_script_cached, Command, Frag, Script, Word};
 use crate::value::Value;
 
 /// Execution limits enforced on RDO code.
@@ -65,6 +67,7 @@ pub(crate) enum Slot {
     Array(HashMap<String, Value>),
 }
 
+#[derive(Clone)]
 pub(crate) struct Frame {
     pub vars: HashMap<String, Slot>,
     /// Names declared `global` in this frame.
@@ -74,10 +77,13 @@ pub(crate) struct Frame {
     pub upvars: HashMap<String, (usize, String)>,
 }
 
-#[derive(Clone)]
 pub(crate) struct Proc {
     pub params: Vec<(String, Option<Value>)>,
     pub body: Rc<str>,
+    /// Parsed body, filled on first call and shared by every clone of
+    /// the interpreter holding this proc (so a cached template
+    /// interpreter parses each proc body at most once, ever).
+    pub body_prog: RefCell<Option<Rc<Script>>>,
 }
 
 /// A Tcl-subset interpreter executing RDO methods.
@@ -93,10 +99,14 @@ pub(crate) struct Proc {
 ///     .unwrap();
 /// assert_eq!(v.as_int().unwrap(), 10);
 /// ```
+#[derive(Clone)]
 pub struct Interp {
     pub(crate) globals: HashMap<String, Slot>,
     pub(crate) frames: Vec<Frame>,
-    pub(crate) procs: HashMap<String, Proc>,
+    /// Shared copy-on-write: cloning an interpreter (the method-cache
+    /// fast path) clones one `Rc`; defining a proc in a clone copies
+    /// the table first via `Rc::make_mut`.
+    pub(crate) procs: Rc<HashMap<String, Rc<Proc>>>,
     budget: Budget,
     steps: u64,
     depth: usize,
@@ -120,7 +130,7 @@ impl Interp {
         Interp {
             globals: HashMap::new(),
             frames: Vec::new(),
-            procs: HashMap::new(),
+            procs: Rc::new(HashMap::new()),
             budget,
             steps: 0,
             depth: 0,
@@ -215,31 +225,34 @@ impl Interp {
 
     /// Resolves which scope a variable name denotes in the current
     /// frame, following `global` declarations and `upvar` aliases.
-    /// Returns (frame index or usize::MAX for globals, target name).
-    fn resolve_scope(&self, name: &str) -> (usize, String) {
+    /// Returns (frame index or usize::MAX for globals, renamed target)
+    /// where `None` means the caller's name already denotes the target —
+    /// the overwhelmingly common case, which must not allocate.
+    fn resolve_scope(&self, name: &str) -> (usize, Option<String>) {
         const GLOBAL: usize = usize::MAX;
         let mut idx = match self.frames.len() {
-            0 => return (GLOBAL, name.to_owned()),
+            0 => return (GLOBAL, None),
             n => n - 1,
         };
-        let mut name = name.to_owned();
+        let mut renamed: Option<String> = None;
         for _ in 0..16 {
             if idx == GLOBAL {
-                return (GLOBAL, name);
+                return (GLOBAL, renamed);
             }
             let f = &self.frames[idx];
-            if f.globals.contains(&name) {
-                return (GLOBAL, name);
+            let cur = renamed.as_deref().unwrap_or(name);
+            if f.globals.contains(cur) {
+                return (GLOBAL, renamed);
             }
-            match f.upvars.get(&name) {
+            match f.upvars.get(cur) {
                 Some((target, other)) => {
-                    name = other.clone();
                     idx = *target;
+                    renamed = Some(other.clone());
                 }
-                None => return (idx, name),
+                None => return (idx, renamed),
             }
         }
-        (idx, name)
+        (idx, renamed)
     }
 
     fn scope_map(&mut self, idx: usize) -> &mut HashMap<String, Slot> {
@@ -259,8 +272,8 @@ impl Interp {
     }
 
     pub(crate) fn var_get(&mut self, name: &str, idx: Option<&str>) -> Result<Value, Exc> {
-        let (scope, name) = self.resolve_scope(name);
-        let name = name.as_str();
+        let (scope, renamed) = self.resolve_scope(name);
+        let name = renamed.as_deref().unwrap_or(name);
         let map = self.scope_map_ref(scope);
         match (map.get(name), idx) {
             (Some(Slot::Scalar(v)), None) => Ok(v.clone()),
@@ -279,15 +292,21 @@ impl Interp {
     }
 
     pub(crate) fn var_set(&mut self, name: &str, idx: Option<&str>, v: Value) -> Result<(), Exc> {
-        let (scope, name) = self.resolve_scope(name);
-        let name = name.as_str();
+        let (scope, renamed) = self.resolve_scope(name);
+        let name = renamed.as_deref().unwrap_or(name);
         let map = self.scope_map(scope);
         match idx {
-            None => match map.get(name) {
+            // Overwrite in place when the slot exists so repeated `set`s
+            // of the same variable never re-allocate the key.
+            None => match map.get_mut(name) {
                 Some(Slot::Array(_)) => {
                     Err(Exc::err(format!("can't set \"{name}\": variable is array")))
                 }
-                _ => {
+                Some(slot) => {
+                    *slot = Slot::Scalar(v);
+                    Ok(())
+                }
+                None => {
                     map.insert(name.to_owned(), Slot::Scalar(v));
                     Ok(())
                 }
@@ -310,8 +329,8 @@ impl Interp {
     }
 
     pub(crate) fn var_unset(&mut self, name: &str, idx: Option<&str>) -> Result<(), Exc> {
-        let (scope, name) = self.resolve_scope(name);
-        let name = name.as_str();
+        let (scope, renamed) = self.resolve_scope(name);
+        let name = renamed.as_deref().unwrap_or(name);
         let map = self.scope_map(scope);
         match idx {
             None => map
@@ -330,8 +349,8 @@ impl Interp {
     }
 
     pub(crate) fn var_exists(&mut self, name: &str, idx: Option<&str>) -> bool {
-        let (scope, name) = self.resolve_scope(name);
-        let name = name.as_str();
+        let (scope, renamed) = self.resolve_scope(name);
+        let name = renamed.as_deref().unwrap_or(name);
         let map = self.scope_map_ref(scope);
         match (map.get(name), idx) {
             (Some(Slot::Scalar(_)), None) => true,
@@ -345,12 +364,39 @@ impl Interp {
     // Evaluation.
 
     pub(crate) fn eval_script(&mut self, host: &mut dyn HostEnv, src: &str) -> Result<Value, Exc> {
-        let script = parse_script(src).map_err(Exc::Err)?;
+        let script = parse_script_cached(src).map_err(Exc::Err)?;
+        self.eval_program(host, &script)
+    }
+
+    /// Evaluates an already-parsed program. Parsing charges no steps, so
+    /// running a cached AST is step-for-step identical to re-parsing.
+    pub(crate) fn eval_program(
+        &mut self,
+        host: &mut dyn HostEnv,
+        script: &Script,
+    ) -> Result<Value, Exc> {
         let mut last = Value::empty();
         for cmd in &script.commands {
             last = self.eval_command(host, cmd)?;
         }
         Ok(last)
+    }
+
+    /// Parses `src` through the program cache, memoizing the result in
+    /// `slot` so loop iterations after the first skip even the cache
+    /// lookup. Lazy on purpose: a loop body that never runs must not
+    /// raise its parse error.
+    fn memo_prog(slot: &mut Option<Rc<Script>>, src: &str) -> Result<Rc<Script>, Exc> {
+        match slot {
+            Some(p) => Ok(Rc::clone(p)),
+            None => {
+                let p = parse_script_cached(src).map_err(Exc::Err)?;
+                if crate::parser::program_cache_enabled() {
+                    *slot = Some(Rc::clone(&p));
+                }
+                Ok(p)
+            }
+        }
     }
 
     fn eval_command(&mut self, host: &mut dyn HostEnv, cmd: &Command) -> Result<Value, Exc> {
@@ -368,7 +414,7 @@ impl Interp {
 
     pub(crate) fn subst_word(&mut self, host: &mut dyn HostEnv, w: &Word) -> Result<Value, Exc> {
         match w {
-            Word::Braced(s) => Ok(Value::str(s)),
+            Word::Braced(s) => Ok(Value::Str(Rc::clone(s))),
             Word::Subst(frags) => self.subst_frags(host, frags),
         }
     }
@@ -392,10 +438,11 @@ impl Interp {
 
     fn subst_frag(&mut self, host: &mut dyn HostEnv, f: &Frag) -> Result<Value, Exc> {
         match f {
-            Frag::Lit(s) => Ok(Value::str(s)),
+            Frag::Lit(s) => Ok(Value::Str(Rc::clone(s))),
             Frag::Var(name, None) => self.var_get(name, None),
             Frag::Var(name, Some(idx_frags)) => {
-                let idx = self.subst_frags(host, idx_frags)?.as_str();
+                let idxv = self.subst_frags(host, idx_frags)?;
+                let idx = idxv.as_str();
                 self.var_get(name, Some(&idx))
             }
             Frag::Cmd(src) => {
@@ -480,7 +527,14 @@ impl Interp {
 
         self.enter()?;
         self.frames.push(frame);
-        let r = self.eval_script(host, &proc.body);
+        // Parse (or fetch) the body only after the depth check and frame
+        // push, exactly where the seed's eval_script parsed it, so the
+        // relative order of depth vs. parse errors is unchanged. Failed
+        // parses are not cached.
+        let r = match Self::proc_body(&proc) {
+            Ok(prog) => self.eval_program(host, &prog),
+            Err(e) => Err(e),
+        };
         self.frames.pop();
         self.leave();
         match r {
@@ -488,6 +542,22 @@ impl Interp {
             Err(Exc::Return(v)) => Ok(v),
             Err(e) => Err(e),
         }
+    }
+
+    /// Returns the proc's parsed body, parsing and memoizing on first
+    /// call. The memo lives in the `Proc` (behind `Rc`), so every clone
+    /// of an interpreter — including cached template interpreters —
+    /// shares one parse.
+    fn proc_body(proc: &Proc) -> Result<Rc<Script>, Exc> {
+        if !crate::parser::program_cache_enabled() {
+            return parse_script_cached(&proc.body).map_err(Exc::Err);
+        }
+        if let Some(p) = proc.body_prog.borrow().as_ref() {
+            return Ok(Rc::clone(p));
+        }
+        let p = parse_script_cached(&proc.body).map_err(Exc::Err)?;
+        *proc.body_prog.borrow_mut() = Some(Rc::clone(&p));
+        Ok(p)
     }
 
     /// Attempts builtin dispatch; `None` means "no such builtin".
@@ -509,26 +579,38 @@ impl Interp {
             "break" => Err(Exc::Break),
             "continue" => Err(Exc::Continue),
             "error" => Err(Exc::err(
-                args.first().map(|v| v.as_str()).unwrap_or_default(),
+                args.first()
+                    .map(|v| v.as_str().into_owned())
+                    .unwrap_or_default(),
             )),
             "if" => self.cmd_if(host, args),
             "while" => self.cmd_while(host, args),
             "for" => self.cmd_for(host, args),
             "foreach" => self.cmd_foreach(host, args),
             "expr" => {
-                let src = args
-                    .iter()
-                    .map(|v| v.as_str())
-                    .collect::<Vec<_>>()
-                    .join(" ");
+                // Single-argument form (the common `expr {...}`) borrows
+                // the argument's string directly instead of joining.
+                let src = match args {
+                    [one] => one.as_str(),
+                    _ => Cow::Owned(
+                        args.iter()
+                            .map(|v| v.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    ),
+                };
                 expr::eval_expr(self, host, &src)
             }
             "eval" => {
-                let src = args
-                    .iter()
-                    .map(|v| v.as_str())
-                    .collect::<Vec<_>>()
-                    .join(" ");
+                let src = match args {
+                    [one] => one.as_str(),
+                    _ => Cow::Owned(
+                        args.iter()
+                            .map(|v| v.as_str())
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    ),
+                };
                 self.enter().and_then(|_| {
                     let r = self.eval_script(host, &src);
                     self.leave();
@@ -549,28 +631,27 @@ impl Interp {
     // ------------------------------------------------------------------
     // Core commands.
 
-    /// Splits `name` or `name(index)`.
-    pub(crate) fn split_varname(spec: &str) -> (String, Option<String>) {
+    /// Splits `name` or `name(index)`, borrowing from the input.
+    pub(crate) fn split_varname(spec: &str) -> (&str, Option<&str>) {
         if let Some(open) = spec.find('(') {
             if spec.ends_with(')') {
-                return (
-                    spec[..open].to_owned(),
-                    Some(spec[open + 1..spec.len() - 1].to_owned()),
-                );
+                return (&spec[..open], Some(&spec[open + 1..spec.len() - 1]));
             }
         }
-        (spec.to_owned(), None)
+        (spec, None)
     }
 
     fn cmd_set(&mut self, args: &[Value]) -> Result<Value, Exc> {
         match args {
             [name] => {
-                let (n, i) = Self::split_varname(&name.as_str());
-                self.var_get(&n, i.as_deref())
+                let spec = name.as_str();
+                let (n, i) = Self::split_varname(&spec);
+                self.var_get(n, i)
             }
             [name, value] => {
-                let (n, i) = Self::split_varname(&name.as_str());
-                self.var_set(&n, i.as_deref(), value.clone())?;
+                let spec = name.as_str();
+                let (n, i) = Self::split_varname(&spec);
+                self.var_set(n, i, value.clone())?;
                 Ok(value.clone())
             }
             _ => Err(Exc::err(
@@ -581,8 +662,9 @@ impl Interp {
 
     fn cmd_unset(&mut self, args: &[Value]) -> Result<Value, Exc> {
         for a in args {
-            let (n, i) = Self::split_varname(&a.as_str());
-            self.var_unset(&n, i.as_deref())?;
+            let spec = a.as_str();
+            let (n, i) = Self::split_varname(&spec);
+            self.var_unset(n, i)?;
         }
         Ok(Value::empty())
     }
@@ -597,14 +679,15 @@ impl Interp {
                 ))
             }
         };
-        let (n, i) = Self::split_varname(&name.as_str());
-        let cur = if self.var_exists(&n, i.as_deref()) {
-            self.var_get(&n, i.as_deref())?.as_int().map_err(Exc::Err)?
+        let spec = name.as_str();
+        let (n, i) = Self::split_varname(&spec);
+        let cur = if self.var_exists(n, i) {
+            self.var_get(n, i)?.as_int().map_err(Exc::Err)?
         } else {
             0
         };
         let v = Value::Int(cur + by);
-        self.var_set(&n, i.as_deref(), v.clone())?;
+        self.var_set(n, i, v.clone())?;
         Ok(v)
     }
 
@@ -612,9 +695,10 @@ impl Interp {
         let name = args
             .first()
             .ok_or_else(|| Exc::err("wrong # args: append"))?;
-        let (n, i) = Self::split_varname(&name.as_str());
-        let mut cur = if self.var_exists(&n, i.as_deref()) {
-            self.var_get(&n, i.as_deref())?.as_str()
+        let spec = name.as_str();
+        let (n, i) = Self::split_varname(&spec);
+        let mut cur = if self.var_exists(n, i) {
+            self.var_get(n, i)?.as_str().into_owned()
         } else {
             String::new()
         };
@@ -622,7 +706,7 @@ impl Interp {
             cur.push_str(&a.as_str());
         }
         let v = Value::from(cur);
-        self.var_set(&n, i.as_deref(), v.clone())?;
+        self.var_set(n, i, v.clone())?;
         Ok(v)
     }
 
@@ -637,16 +721,17 @@ impl Interp {
             let spec = p.as_list().map_err(Exc::Err)?;
             match spec.len() {
                 0 => return Err(Exc::err("bad parameter specification")),
-                1 => parsed.push((spec[0].as_str(), None)),
-                _ => parsed.push((spec[0].as_str(), Some(spec[1].clone()))),
+                1 => parsed.push((spec[0].as_str().into_owned(), None)),
+                _ => parsed.push((spec[0].as_str().into_owned(), Some(spec[1].clone()))),
             }
         }
-        self.procs.insert(
-            name.as_str(),
-            Proc {
+        Rc::make_mut(&mut self.procs).insert(
+            name.as_str().into_owned(),
+            Rc::new(Proc {
                 params: parsed,
-                body: Rc::from(body.as_str().as_str()),
-            },
+                body: body.as_rc_str(),
+                body_prog: RefCell::new(None),
+            }),
         );
         Ok(Value::empty())
     }
@@ -692,6 +777,7 @@ impl Interp {
             return Err(Exc::err("wrong # args: should be \"while test command\""));
         };
         let (cond, body) = (cond.as_str(), body.as_str());
+        let mut body_prog: Option<Rc<Script>> = None;
         loop {
             self.charge(1)?;
             if !expr::eval_expr(self, host, &cond)?
@@ -700,7 +786,8 @@ impl Interp {
             {
                 break;
             }
-            match self.eval_script(host, &body) {
+            let prog = Self::memo_prog(&mut body_prog, &body)?;
+            match self.eval_program(host, &prog) {
                 Ok(_) => {}
                 Err(Exc::Break) => break,
                 Err(Exc::Continue) => continue,
@@ -718,6 +805,8 @@ impl Interp {
         };
         self.eval_script(host, &init.as_str())?;
         let (cond, next, body) = (cond.as_str(), next.as_str(), body.as_str());
+        let mut next_prog: Option<Rc<Script>> = None;
+        let mut body_prog: Option<Rc<Script>> = None;
         loop {
             self.charge(1)?;
             if !expr::eval_expr(self, host, &cond)?
@@ -726,13 +815,15 @@ impl Interp {
             {
                 break;
             }
-            match self.eval_script(host, &body) {
+            let prog = Self::memo_prog(&mut body_prog, &body)?;
+            match self.eval_program(host, &prog) {
                 Ok(_) => {}
                 Err(Exc::Break) => break,
                 Err(Exc::Continue) => {}
                 Err(e) => return Err(e),
             }
-            self.eval_script(host, &next)?;
+            let nprog = Self::memo_prog(&mut next_prog, &next)?;
+            self.eval_program(host, &nprog)?;
         }
         Ok(Value::empty())
     }
@@ -747,13 +838,14 @@ impl Interp {
             .as_list()
             .map_err(Exc::Err)?
             .iter()
-            .map(|v| v.as_str())
+            .map(|v| v.as_str().into_owned())
             .collect();
         if names.is_empty() {
             return Err(Exc::err("foreach: empty variable list"));
         }
         let items = list.as_list().map_err(Exc::Err)?;
         let body = body.as_str();
+        let mut body_prog: Option<Rc<Script>> = None;
         let mut i = 0;
         while i < items.len() {
             self.charge(1)?;
@@ -762,7 +854,8 @@ impl Interp {
                 self.var_set(n, None, v)?;
             }
             i += names.len();
-            match self.eval_script(host, &body) {
+            let prog = Self::memo_prog(&mut body_prog, &body)?;
+            match self.eval_program(host, &prog) {
                 Ok(_) => {}
                 Err(Exc::Break) => break,
                 Err(Exc::Continue) => continue,
@@ -791,8 +884,9 @@ impl Interp {
             }
         };
         if let Some(var) = args.get(1) {
-            let (n, i) = Self::split_varname(&var.as_str());
-            self.var_set(&n, i.as_deref(), val)?;
+            let spec = var.as_str();
+            let (n, i) = Self::split_varname(&spec);
+            self.var_set(n, i, val)?;
         }
         Ok(Value::Int(code))
     }
@@ -817,7 +911,7 @@ impl Interp {
     fn cmd_global(&mut self, args: &[Value]) -> Result<Value, Exc> {
         if let Some(f) = self.frames.last_mut() {
             for a in args {
-                f.globals.insert(a.as_str());
+                f.globals.insert(a.as_str().into_owned());
             }
         }
         Ok(Value::empty())
@@ -864,8 +958,8 @@ impl Interp {
             return Err(Exc::err("upvar: bad level"));
         }
         for pair in rest.chunks(2) {
-            let other = pair[0].as_str();
-            let local = pair[1].as_str();
+            let other = pair[0].as_str().into_owned();
+            let local = pair[1].as_str().into_owned();
             let f = self.frames.last_mut().expect("checked non-empty");
             f.upvars.insert(local, (target, other));
         }
@@ -877,7 +971,7 @@ impl Interp {
         let mut i = 0;
         let mut glob = false;
         while let Some(a) = args.get(i) {
-            match a.as_str().as_str() {
+            match a.as_str().as_ref() {
                 "-glob" => {
                     glob = true;
                     i += 1;
@@ -933,11 +1027,12 @@ impl Interp {
             .first()
             .ok_or_else(|| Exc::err("wrong # args: info"))?
             .as_str();
-        match sub.as_str() {
+        match sub.as_ref() {
             "exists" => {
                 let spec = args.get(1).ok_or_else(|| Exc::err("info exists varName"))?;
-                let (n, i) = Self::split_varname(&spec.as_str());
-                Ok(Value::bool(self.var_exists(&n, i.as_deref())))
+                let spec = spec.as_str();
+                let (n, i) = Self::split_varname(&spec);
+                Ok(Value::bool(self.var_exists(n, i)))
             }
             "procs" => Ok(Value::list(
                 self.proc_names().into_iter().map(Value::from).collect(),

@@ -45,6 +45,7 @@ mod value;
 
 pub use error::ScriptError;
 pub use interp::{Budget, HostEnv, Interp, NoHost};
+pub use parser::{program_cache_stats, set_program_cache_enabled};
 pub use value::{format_list, parse_list, Value};
 
 #[cfg(test)]

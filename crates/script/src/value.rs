@@ -1,10 +1,16 @@
 //! Script values with Tcl semantics: every value has a canonical string
 //! form, and lists/numbers are recovered from strings on demand.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::rc::Rc;
 
 use crate::error::ScriptError;
+
+thread_local! {
+    /// One shared empty string so [`Value::empty`] never allocates.
+    static EMPTY: Rc<str> = Rc::from("");
+}
 
 /// A script value.
 ///
@@ -27,7 +33,7 @@ pub enum Value {
 impl Value {
     /// The empty string.
     pub fn empty() -> Value {
-        Value::Str(Rc::from(""))
+        Value::Str(EMPTY.with(Rc::clone))
     }
 
     /// Creates a string value.
@@ -41,12 +47,25 @@ impl Value {
     }
 
     /// Returns the canonical string form.
-    pub fn as_str(&self) -> String {
+    ///
+    /// String values lend out their backing storage (`Cow::Borrowed`);
+    /// only numbers and lists render a fresh `String`. Callers that need
+    /// ownership use [`Cow::into_owned`].
+    pub fn as_str(&self) -> Cow<'_, str> {
         match self {
-            Value::Int(i) => i.to_string(),
-            Value::Double(d) => format_double(*d),
-            Value::Str(s) => s.to_string(),
-            Value::List(items) => format_list(items),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Double(d) => Cow::Owned(format_double(*d)),
+            Value::Str(s) => Cow::Borrowed(&**s),
+            Value::List(items) => Cow::Owned(format_list(items)),
+        }
+    }
+
+    /// Returns the canonical string form as a shared `Rc<str>`, reusing
+    /// the allocation when the value is already a string.
+    pub fn as_rc_str(&self) -> Rc<str> {
+        match self {
+            Value::Str(s) => Rc::clone(s),
+            other => Rc::from(&*other.as_str()),
         }
     }
 

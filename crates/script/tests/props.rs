@@ -4,7 +4,20 @@
 
 use proptest::prelude::*;
 
-use rover_script::{format_list, parse_list, Budget, Interp, NoHost, Value};
+use rover_script::{
+    format_list, parse_list, set_program_cache_enabled, Budget, Interp, NoHost, ScriptError, Value,
+};
+
+/// Runs a script in a fresh interpreter, reducing the outcome to
+/// comparable data: result-or-error string plus the exact step count.
+fn outcome(src: &str) -> (Result<String, ScriptError>, u64) {
+    let mut i = Interp::with_budget(Budget {
+        max_steps: 20_000,
+        max_depth: 16,
+    });
+    let r = i.eval(&mut NoHost, src).map(|v| v.as_str().into_owned());
+    (r, i.steps_used())
+}
 
 proptest! {
     #[test]
@@ -16,7 +29,7 @@ proptest! {
         let vals: Vec<Value> = items.iter().map(Value::str).collect();
         let s = format_list(&vals);
         let back = parse_list(&s).unwrap();
-        let got: Vec<String> = back.iter().map(|v| v.as_str()).collect();
+        let got: Vec<String> = back.iter().map(|v| v.as_str().into_owned()).collect();
         prop_assert_eq!(got, items);
     }
 
@@ -32,7 +45,7 @@ proptest! {
         let back = parse_list(&s).unwrap();
         prop_assert_eq!(back.len(), items.len());
         let inner_back = back[0].as_list().unwrap();
-        let got: Vec<String> = inner_back.iter().map(|v| v.as_str()).collect();
+        let got: Vec<String> = inner_back.iter().map(|v| v.as_str().into_owned()).collect();
         prop_assert_eq!(got, inner);
     }
 
@@ -110,6 +123,49 @@ proptest! {
         let vb = b.eval(&mut NoHost, &src).unwrap();
         prop_assert_eq!(va.as_str(), vb.as_str());
         prop_assert_eq!(a.steps_used(), b.steps_used());
+    }
+
+    #[test]
+    fn cached_parse_matches_fresh_parse(src in "[ -~\\n]{0,200}") {
+        // The program cache is wall-clock only: over arbitrary byte
+        // soup, a cache-off interpreter and two cache-on interpreters
+        // (the second hitting warm entries) must agree on the result,
+        // the error, and the exact step count.
+        set_program_cache_enabled(false);
+        let fresh = outcome(&src);
+        set_program_cache_enabled(true);
+        let cold = outcome(&src);
+        let warm = outcome(&src);
+        prop_assert_eq!(&fresh, &cold);
+        prop_assert_eq!(&fresh, &warm);
+    }
+
+    #[test]
+    fn cached_loops_match_fresh_loops(
+        n in 0u32..40,
+        inc in 1i64..5,
+        calls in 1u32..6,
+    ) {
+        // Structured hot-path scripts: loops re-entering their bodies
+        // and procs called repeatedly — the cases the cache accelerates.
+        let src = format!(
+            "proc step {{d}} {{global s; incr s $d}}\n\
+             set s 0\n\
+             for {{set i 0}} {{$i < {n}}} {{incr i}} {{step {inc}}}\n\
+             set j 0\n\
+             while {{$j < {calls}}} {{incr j; step {inc}}}\n\
+             foreach k {{1 2 3}} {{step $k}}\n\
+             set s"
+        );
+        set_program_cache_enabled(false);
+        let fresh = outcome(&src);
+        set_program_cache_enabled(true);
+        let cold = outcome(&src);
+        let warm = outcome(&src);
+        prop_assert_eq!(&fresh, &cold);
+        prop_assert_eq!(&fresh, &warm);
+        let expect = i64::from(n) * inc + i64::from(calls) * inc + 6;
+        prop_assert_eq!(fresh.0.unwrap(), expect.to_string());
     }
 
     #[test]

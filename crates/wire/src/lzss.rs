@@ -19,6 +19,12 @@ use std::fmt;
 const WINDOW: usize = 4096;
 const MIN_MATCH: usize = 3;
 const MAX_MATCH: usize = 18;
+/// Longest hash-chain walk per position. Degenerate inputs (one byte
+/// repeated, short-period patterns) put every position in one chain;
+/// without a cap the match search would scan the whole window per byte
+/// — quadratic in practice. 64 probes keeps compression quality while
+/// bounding the walk.
+const MAX_CHAIN: usize = 64;
 
 /// Errors produced while decompressing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,7 +106,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             let h = hash(&input[i..]);
             let mut cand = head[h];
             let mut probes = 0;
-            while cand != usize::MAX && i - cand <= WINDOW && probes < 64 {
+            while cand != usize::MAX && i - cand <= WINDOW && probes < MAX_CHAIN {
                 let max = MAX_MATCH.min(input.len() - i);
                 let mut l = 0;
                 while l < max && input[cand + l] == input[i + l] {
@@ -279,6 +285,28 @@ mod tests {
             data.extend_from_slice(format!("rec{:05} ", i % 997).as_bytes());
         }
         roundtrip(&data);
+    }
+
+    #[test]
+    fn worst_case_chain_inputs_roundtrip() {
+        // Inputs engineered to funnel every position into one hash
+        // chain: a single repeated byte, and short-period repetitions
+        // whose 3-byte prefixes all collide. With MAX_CHAIN these
+        // compress in bounded time and still round-trip exactly.
+        let single = vec![0xAAu8; 200_000];
+        let z = compress(&single);
+        assert!(z.len() < single.len() / 4);
+        assert_eq!(decompress(&z).expect("single-byte run"), single);
+
+        let period2: Vec<u8> = (0..200_000).map(|i| b"xy"[i % 2]).collect();
+        let z = compress(&period2);
+        assert!(z.len() < period2.len() / 4);
+        assert_eq!(decompress(&z).expect("period-2 run"), period2);
+
+        // Period just above MAX_MATCH defeats long matches but still
+        // collides chains heavily.
+        let period19: Vec<u8> = (0..100_000).map(|i| (i % 19) as u8).collect();
+        roundtrip(&period19);
     }
 
     #[test]

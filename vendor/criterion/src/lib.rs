@@ -17,10 +17,26 @@ const TARGET: Duration = Duration::from_millis(300);
 /// Number of measured batches per benchmark.
 const BATCHES: usize = 10;
 
+/// True when the bench binary was invoked with `--test` (as in
+/// `cargo bench -- --test`): each benchmark runs once to prove it
+/// still executes, with no timed batches. Mirrors real criterion's
+/// smoke mode so CI can gate on bench health without paying for
+/// measurement.
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// The benchmark driver handed to each registered function.
-#[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: test_mode(),
+        }
+    }
 }
 
 impl Criterion {
@@ -29,6 +45,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if self.test_mode {
+            let mut b = Bencher {
+                result: None,
+                min_iters: 1,
+            };
+            f(&mut b);
+            println!("Testing {name}: ok");
+            return self;
+        }
         let mut b = Bencher {
             result: None,
             min_iters: 1,
@@ -154,6 +179,18 @@ mod tests {
             })
         });
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
     }
 
     #[test]
