@@ -26,6 +26,7 @@ fn sample_request(n: usize) -> QrpcRequest {
         base_version: Version(9),
         priority: Priority::NORMAL,
         auth: 7,
+        acked_below: 3,
         payload: Bytes::from(vec![0x5A; n]),
     }
 }

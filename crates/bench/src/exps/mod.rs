@@ -5,6 +5,7 @@ pub mod apps;
 pub mod drain;
 pub mod micro;
 pub mod migration;
+pub mod soak;
 pub mod tables;
 
 /// All experiment ids, in report order.

@@ -1,0 +1,348 @@
+//! Chaos-plane convergence soak: N clients hammer one shared object
+//! over flapping, lossy, corrupting, duplicating links, and the run is
+//! driven to quiescence and checked against the exactly-once
+//! invariants.
+//!
+//! Every source of adversity is seeded (`FaultSpec`'s private per-link
+//! RNG), so a soak is byte-reproducible: the same seed yields the same
+//! fault schedule, the same retransmissions, and the same final state —
+//! which the CI smoke run and `tests/soak.rs` assert.
+//!
+//! Invariants checked per seed:
+//!
+//! - **zero lost committed ops**: the server counter equals the number
+//!   of exports issued (every `add 1` applied exactly once);
+//! - **zero duplicate executions**: `server.dedup_miss_reexec == 0`
+//!   (no request re-executed because its dedup entry was evicted);
+//! - **no corrupted frame delivered**: every corruption injected on the
+//!   wire was caught by the checksum (`net.corrupt_rejected >=
+//!   net.faults_injected.corrupt`; a corrupted *and* duplicated message
+//!   is rejected once per copy);
+//! - **quiescence**: no outstanding QRPCs and empty client logs after
+//!   convergence;
+//! - **every promise decided**: each export's committed promise
+//!   resolved `Ok`/`Resolved` (budgetless clients never give up).
+
+use rover_core::{
+    Client, ClientConfig, ClientRef, Guarantees, ReexecuteResolver, RoverObject, Server,
+    ServerConfig, Urn,
+};
+use rover_net::{FaultSpec, FlapSpec, LinkSpec, Net};
+use rover_sim::{Sim, SimDuration};
+use rover_wire::{HostId, OpStatus, Priority, SessionId};
+
+use crate::report::Report;
+use crate::table::Table;
+
+/// Parameters of one soak run.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Master seed: drives the simulator RNG and every link's fault RNG.
+    pub seed: u64,
+    /// Number of mobile clients sharing the object.
+    pub clients: usize,
+    /// Exports issued per client.
+    pub ops_per_client: usize,
+}
+
+impl SoakConfig {
+    /// The full-size soak: 5 clients × 100 ops = 500 ops per seed.
+    pub fn full(seed: u64) -> SoakConfig {
+        SoakConfig {
+            seed,
+            clients: 5,
+            ops_per_client: 100,
+        }
+    }
+
+    /// The CI smoke size: 3 clients × 20 ops = 60 ops per seed.
+    pub fn smoke(seed: u64) -> SoakConfig {
+        SoakConfig {
+            seed,
+            clients: 3,
+            ops_per_client: 20,
+        }
+    }
+}
+
+/// Measured result of one converged soak run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoakOutcome {
+    /// Seed the run used.
+    pub seed: u64,
+    /// Total exports issued (clients × ops_per_client).
+    pub ops: u64,
+    /// Final value of the shared server counter.
+    pub final_n: u64,
+    /// Exports whose committed promise resolved `Ok`/`Resolved`.
+    pub committed: u64,
+    /// `server.dedup_miss_reexec` — must be zero.
+    pub reexecs: u64,
+    /// Faults injected on the wire (drop + corrupt + dup + jitter).
+    pub faults: u64,
+    /// Corrupted frames rejected by the receive-path checksum.
+    pub corrupt_rejected: u64,
+    /// Corruptions injected at the sender side.
+    pub corrupt_injected: u64,
+    /// Client retransmissions across the run.
+    pub retransmits: u64,
+    /// Virtual time to convergence, in milliseconds.
+    pub converged_ms: u64,
+    /// Order-insensitive fingerprint of final state + stats; equal
+    /// digests mean byte-identical runs.
+    pub digest: u64,
+}
+
+const SERVER: HostId = HostId(1);
+
+fn client_host(i: usize) -> HostId {
+    HostId(10 + i as u32)
+}
+
+/// Runs one seeded soak to convergence; `Err` describes the first
+/// violated invariant.
+pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
+    let mut sim = Sim::new(cfg.seed);
+    let net = Net::new();
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    let urn = Urn::parse("urn:rover:soak/counter").expect("valid urn");
+    server.borrow_mut().put_object(
+        RoverObject::new(urn.clone(), "counter")
+            .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+            .with_field("n", "0"),
+    );
+
+    let mut clients: Vec<(ClientRef, SessionId)> = Vec::new();
+    let mut links = Vec::new();
+    for i in 0..cfg.clients {
+        let host = client_host(i);
+        let link = net.add_link(LinkSpec::WAVELAN_2M, host, SERVER);
+        server.borrow_mut().add_route(host, link);
+        let mut ccfg = ClientConfig::thinkpad(host, SERVER);
+        // Soak-friendly retransmission curve: probe fast, back off to a
+        // cap well inside the run, never give up.
+        ccfg.rto = SimDuration::from_secs(10);
+        ccfg.rto_backoff = 2.0;
+        ccfg.rto_max = SimDuration::from_secs(160);
+        let client = Client::new(&mut sim, &net, ccfg, vec![link]);
+        let session = Client::create_session(&client, Guarantees::ALL, true);
+        clients.push((client, session));
+        links.push(link);
+    }
+
+    // Warm every cache over a clean channel, then unleash the chaos.
+    for (client, session) in &clients {
+        let p = Client::import(client, &mut sim, &urn, *session, Priority::FOREGROUND)
+            .map_err(|e| format!("seed {}: import failed: {e:?}", cfg.seed))?;
+        sim.run();
+        if p.poll().map(|o| o.status) != Some(OpStatus::Ok) {
+            return Err(format!(
+                "seed {}: warm-up import did not resolve Ok",
+                cfg.seed
+            ));
+        }
+    }
+    for (i, &link) in links.iter().enumerate() {
+        net.install_faults(
+            &mut sim,
+            link,
+            FaultSpec {
+                drop_prob: 0.05,
+                corrupt_prob: 0.01,
+                dup_prob: 0.02,
+                reorder_jitter: SimDuration::from_millis(40),
+                flap: Some(FlapSpec {
+                    up_for: SimDuration::from_secs(45),
+                    down_for: SimDuration::from_secs(8),
+                    cycles: 40,
+                }),
+                ..FaultSpec::seeded(cfg.seed.wrapping_mul(1000).wrapping_add(i as u64))
+            },
+        );
+    }
+
+    // Issue exports round-robin with think time, chaos running the
+    // whole while.
+    let t0 = sim.now();
+    let mut handles = Vec::new();
+    for _round in 0..cfg.ops_per_client {
+        for (client, session) in &clients {
+            let h = Client::export(
+                client,
+                &mut sim,
+                &urn,
+                *session,
+                "add",
+                &["1"],
+                Priority::NORMAL,
+            )
+            .map_err(|e| format!("seed {}: export failed: {e:?}", cfg.seed))?;
+            handles.push(h);
+            sim.run_for(SimDuration::from_millis(400));
+        }
+    }
+
+    // Drive to quiescence: every queued QRPC decided. `sim.run()` also
+    // plays out the tail of each flap schedule.
+    let deadline = sim.now() + SimDuration::from_secs(48 * 3600);
+    while clients
+        .iter()
+        .any(|(c, _)| Client::outstanding_count(c) > 0)
+    {
+        if !sim.step() || sim.now() > deadline {
+            return Err(format!(
+                "seed {}: did not converge (t = {}, outstanding = {:?})",
+                cfg.seed,
+                sim.now(),
+                clients
+                    .iter()
+                    .map(|(c, _)| Client::outstanding_count(c))
+                    .collect::<Vec<_>>()
+            ));
+        }
+    }
+    let converged_ms = sim.now().since(t0).as_millis_f64() as u64;
+    sim.run(); // Drain remaining flap/background events.
+
+    let ops = (cfg.clients * cfg.ops_per_client) as u64;
+    let final_n: u64 = server
+        .borrow()
+        .get_object(&urn)
+        .and_then(|o| o.field("n").and_then(|v| v.parse().ok()))
+        .unwrap_or(0);
+    let committed = handles
+        .iter()
+        .filter(|h| {
+            matches!(
+                h.committed.poll().map(|o| o.status),
+                Some(OpStatus::Ok) | Some(OpStatus::Resolved)
+            )
+        })
+        .count() as u64;
+    let reexecs = sim.stats.counter("server.dedup_miss_reexec");
+    let corrupt_injected = sim.stats.counter("net.faults_injected.corrupt");
+    let corrupt_rejected = sim.stats.counter("net.corrupt_rejected");
+    let faults = corrupt_injected
+        + sim.stats.counter("net.faults_injected.drop")
+        + sim.stats.counter("net.faults_injected.dup")
+        + sim.stats.counter("net.faults_injected.jitter");
+    let retransmits = sim.stats.counter("client.retransmits");
+
+    // Convergence invariants.
+    if final_n != ops {
+        return Err(format!(
+            "seed {}: lost or duplicated ops: server n = {final_n}, issued = {ops}",
+            cfg.seed
+        ));
+    }
+    if committed != ops {
+        return Err(format!(
+            "seed {}: {committed}/{ops} exports resolved Ok/Resolved",
+            cfg.seed
+        ));
+    }
+    if reexecs != 0 {
+        return Err(format!(
+            "seed {}: {reexecs} dedup-miss re-executions (at-most-once violated)",
+            cfg.seed
+        ));
+    }
+    // Every injected corruption is caught at least once; a corrupted
+    // message that was *also* duplicated is rejected twice (both copies
+    // carry the flipped bit), so rejections can exceed injections.
+    if corrupt_rejected < corrupt_injected {
+        return Err(format!(
+            "seed {}: {corrupt_injected} corruptions injected but only {corrupt_rejected} rejected",
+            cfg.seed
+        ));
+    }
+    for (client, _) in &clients {
+        if Client::log_len(client) != 0 {
+            return Err(format!(
+                "seed {}: client log not empty after convergence",
+                cfg.seed
+            ));
+        }
+    }
+
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        cfg.seed,
+        ops,
+        final_n,
+        committed,
+        reexecs,
+        faults,
+        corrupt_rejected,
+        retransmits,
+        converged_ms,
+    ] {
+        digest ^= v;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    Ok(SoakOutcome {
+        seed: cfg.seed,
+        ops,
+        final_n,
+        committed,
+        reexecs,
+        faults,
+        corrupt_rejected,
+        corrupt_injected,
+        retransmits,
+        converged_ms,
+        digest,
+    })
+}
+
+/// Runs a range of seeds and renders the per-seed table; `Err` on the
+/// first invariant violation.
+pub fn run_seeds(
+    seeds: impl IntoIterator<Item = u64>,
+    smoke: bool,
+) -> Result<(Report, Vec<SoakOutcome>), String> {
+    let mut r = Report::new("soak");
+    let title = if smoke {
+        "Soak — chaos convergence (smoke: 3 clients × 20 ops per seed)"
+    } else {
+        "Soak — chaos convergence (5 clients × 100 ops per seed)"
+    };
+    let mut t = Table::new(
+        title,
+        &[
+            "seed", "ops", "final n", "faults", "crc rej", "rexmit", "reexec", "converge",
+        ],
+    )
+    .note("Flapping link, 5% drop, 1% corruption, 2% duplication, 40 ms jitter.");
+    let mut outs = Vec::new();
+    for seed in seeds {
+        let cfg = if smoke {
+            SoakConfig::smoke(seed)
+        } else {
+            SoakConfig::full(seed)
+        };
+        let o = run_seed(cfg)?;
+        t.row(vec![
+            o.seed.to_string(),
+            o.ops.to_string(),
+            o.final_n.to_string(),
+            o.faults.to_string(),
+            o.corrupt_rejected.to_string(),
+            o.retransmits.to_string(),
+            o.reexecs.to_string(),
+            format!("{:.1} s", o.converged_ms as f64 / 1000.0),
+        ]);
+        r.metric(
+            format!("soak.seed{}.converge_ms", o.seed),
+            o.converged_ms as f64,
+        );
+        r.metric(format!("soak.seed{}.faults", o.seed), o.faults as f64);
+        outs.push(o);
+    }
+    r.table(&t);
+    Ok((r, outs))
+}

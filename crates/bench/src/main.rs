@@ -22,6 +22,10 @@ use rover_bench::{exps, harness};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("soak") {
+        run_soak(&args[1..]);
+        return;
+    }
     let mut jobs: Option<usize> = None;
     let mut json_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -97,8 +101,61 @@ fn main() {
     }
 }
 
+/// `rover-bench soak [--seed A..B | --seed N] [--smoke]`: seeded chaos
+/// convergence soak; exits non-zero on the first violated invariant.
+fn run_soak(args: &[String]) {
+    let mut seeds: Vec<u64> = (1..=10).collect();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                seeds = parse_seeds(v).unwrap_or_else(|| {
+                    usage("--seed takes a number or an inclusive range like 1..4")
+                });
+            }
+            "--smoke" => smoke = true,
+            _ => usage(&format!("unknown soak flag {a}")),
+        }
+    }
+    eprintln!(
+        "soak: {} seed(s), {} size…",
+        seeds.len(),
+        if smoke { "smoke" } else { "full" }
+    );
+    match exps::soak::run_seeds(seeds, smoke) {
+        Ok((report, outs)) => {
+            print!("{}", report.text());
+            println!(
+                "soak: {} seed(s) converged, all invariants held",
+                outs.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("soak FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `N` or the inclusive range `A..B`.
+fn parse_seeds(v: &str) -> Option<Vec<u64>> {
+    if let Some((a, b)) = v.split_once("..") {
+        let (a, b): (u64, u64) = (a.parse().ok()?, b.parse().ok()?);
+        if a > b {
+            return None;
+        }
+        Some((a..=b).collect())
+    } else {
+        Some(vec![v.parse().ok()?])
+    }
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("rover-bench: {msg}");
-    eprintln!("usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]");
+    eprintln!(
+        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke]"
+    );
     std::process::exit(2);
 }

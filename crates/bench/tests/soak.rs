@@ -1,0 +1,28 @@
+//! Chaos-soak smoke tests: convergence invariants hold and runs are
+//! reproducible per seed. (CI runs the bigger sweep via
+//! `rover-bench soak --seed 1..4 --smoke`.)
+
+use rover_bench::exps::soak::{run_seed, SoakConfig};
+
+#[test]
+fn smoke_soak_converges_with_invariants() {
+    for seed in [1, 2] {
+        let o = run_seed(SoakConfig::smoke(seed)).expect("invariants hold");
+        assert_eq!(o.final_n, o.ops);
+        assert_eq!(o.committed, o.ops);
+        assert_eq!(o.reexecs, 0);
+        assert!(o.corrupt_rejected >= o.corrupt_injected);
+        // The chaos plane actually did something.
+        assert!(o.faults > 0, "no faults injected");
+        assert!(o.retransmits > 0, "no retransmissions exercised");
+    }
+}
+
+#[test]
+fn soak_is_reproducible_per_seed() {
+    let a = run_seed(SoakConfig::smoke(7)).expect("run a");
+    let b = run_seed(SoakConfig::smoke(7)).expect("run b");
+    assert_eq!(a, b, "same seed must reproduce byte-identical outcomes");
+    let c = run_seed(SoakConfig::smoke(8)).expect("run c");
+    assert_ne!(a.digest, c.digest, "different seeds should differ");
+}

@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
+use rand::Rng;
 use rover_log::{FlushPolicy, MemStore, OpLog, RecordKind};
 use rover_net::{HostSched, LinkId, Net, SchedRef};
 use rover_script::Value;
@@ -108,6 +109,10 @@ struct Outstanding {
     /// while connected — after two, assume random channel loss and
     /// retransmit even without a disconnection epoch.
     strikes: u8,
+    /// Current (backed-off) probe interval for this request. Starts at
+    /// `cfg.rto`, multiplied by `cfg.rto_backoff` after each
+    /// retransmission, capped at `cfg.rto_max`.
+    rto_cur: rover_sim::SimDuration,
 }
 
 type Listener = Rc<RefCell<dyn FnMut(&mut Sim, &ClientEvent)>>;
@@ -186,6 +191,7 @@ impl Client {
         {
             let mut c = client.borrow_mut();
             let epoch = c.link_epoch;
+            let rto = c.cfg.rto;
             for (log_seq, request) in &recovered {
                 c.next_req = c.next_req.max(request.req_id.0 + 1);
                 let class = match &request.op {
@@ -209,6 +215,7 @@ impl Client {
                         direct: false,
                         rto_armed: false,
                         strikes: 0,
+                        rto_cur: rto,
                     },
                 );
             }
@@ -851,6 +858,7 @@ impl Client {
         {
             let mut c = cl.borrow_mut();
             let epoch = c.link_epoch;
+            let rto = c.cfg.rto;
             c.outstanding.insert(
                 request.req_id.0,
                 Outstanding {
@@ -865,6 +873,7 @@ impl Client {
                     direct: true,
                     rto_armed: false,
                     strikes: 0,
+                    rto_cur: rto,
                 },
             );
         }
@@ -1003,6 +1012,18 @@ impl Client {
         done.since(now)
     }
 
+    /// Lowest request id not yet answered: every id strictly below it
+    /// had its reply fully processed here, so the server may safely
+    /// forget their dedup entries (piggybacked as
+    /// `QrpcRequest::acked_below`).
+    fn ack_floor(&self) -> u64 {
+        self.outstanding
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(self.next_req)
+    }
+
     fn build_request(
         &mut self,
         op: RoverOp,
@@ -1014,6 +1035,7 @@ impl Client {
     ) -> QrpcRequest {
         let req_id = RequestId(self.next_req);
         self.next_req += 1;
+        let acked_below = self.ack_floor().min(req_id.0);
         QrpcRequest {
             req_id,
             client: self.cfg.host,
@@ -1023,6 +1045,7 @@ impl Client {
             base_version: Version(base_version),
             priority,
             auth: self.cfg.auth_token,
+            acked_below,
             payload,
         }
     }
@@ -1087,6 +1110,7 @@ impl Client {
             };
 
             let epoch = c.link_epoch;
+            let rto = c.cfg.rto;
             c.outstanding.insert(
                 req_id.0,
                 Outstanding {
@@ -1101,6 +1125,7 @@ impl Client {
                     direct: false,
                     rto_armed: false,
                     strikes: 0,
+                    rto_cur: rto,
                 },
             );
             if let Some(u) = &urn {
@@ -1156,12 +1181,17 @@ impl Client {
                 .outstanding
                 .get(&req)
                 .map(|o| c.server_for(&o.request.urn));
+            let floor = c.ack_floor().min(req);
             match (c.outstanding.get_mut(&req), dst) {
                 (Some(o), Some(dst)) => {
                     o.enqueue_epoch = epoch;
                     if !first {
                         o.retries += 1;
                     }
+                    // Piggyback the freshest acknowledgement floor on
+                    // every copy of the request that hits the wire, so
+                    // the server's dedup eviction keeps pace.
+                    o.request.acked_below = floor;
                     let env = Envelope::request(host, dst, &o.request);
                     Some((env, o.request.priority, sched, net))
                 }
@@ -1194,16 +1224,37 @@ impl Client {
     /// reconnection. (This also lets `Sim::run` drain while requests
     /// wait out a disconnection.)
     fn arm_rto(cl: &ClientRef, sim: &mut Sim, req: u64) {
-        {
+        let interval = {
             let mut c = cl.borrow_mut();
-            match c.outstanding.get_mut(&req) {
-                Some(o) if !o.rto_armed && !o.direct => o.rto_armed = true,
+            let cur = match c.outstanding.get_mut(&req) {
+                Some(o) if !o.rto_armed && !o.direct => {
+                    o.rto_armed = true;
+                    o.rto_cur
+                }
                 _ => return,
+            };
+            let jitter = c.cfg.rto_jitter;
+            drop(c);
+            if jitter > 0.0 {
+                // Jitter decorrelates probe storms when many requests
+                // were issued together. The draw is skipped entirely at
+                // jitter 0.0 so default runs stay byte-deterministic.
+                let u: f64 = sim.rng().gen();
+                rover_sim::SimDuration::from_micros(
+                    (cur.as_micros() as f64 * (1.0 + jitter * u)) as u64,
+                )
+            } else {
+                cur
             }
-        }
-        let rto = cl.borrow().cfg.rto;
+        };
         let cl2 = cl.clone();
-        sim.schedule_after(rto, move |sim| {
+        sim.schedule_after(interval, move |sim| {
+            enum Probe {
+                Park,
+                Rearm,
+                Retransmit,
+                GiveUp,
+            }
             let action = {
                 let mut c = cl2.borrow_mut();
                 let connected = {
@@ -1215,39 +1266,147 @@ impl Client {
                     HostSched::has_key(&sched, req)
                 };
                 let epoch = c.link_epoch;
+                let backoff = c.cfg.rto_backoff;
+                let rto_max = c.cfg.rto_max;
+                let budget = c.cfg.retry_budget;
                 match c.outstanding.get_mut(&req) {
-                    None => None, // Completed; stop probing.
+                    None => Probe::Park, // Completed; stop probing.
                     Some(o) => {
                         o.rto_armed = false;
                         if !connected {
-                            None // Park; restarted on reconnection.
+                            Probe::Park // Restarted on reconnection.
                         } else if queued {
                             o.strikes = 0;
-                            Some(false)
-                        } else if o.enqueue_epoch < epoch {
-                            Some(true)
+                            Probe::Rearm
                         } else {
-                            // Connected, transmitted, unanswered: after
-                            // two probes assume random loss.
-                            o.strikes += 1;
-                            let retransmit = o.strikes >= 2;
-                            if retransmit {
-                                o.strikes = 0;
+                            let suspected = if o.enqueue_epoch < epoch {
+                                true
+                            } else {
+                                // Connected, transmitted, unanswered:
+                                // after two probes assume random loss.
+                                o.strikes += 1;
+                                if o.strikes >= 2 {
+                                    o.strikes = 0;
+                                    true
+                                } else {
+                                    false
+                                }
+                            };
+                            if !suspected {
+                                Probe::Rearm
+                            } else if budget.is_some_and(|b| o.retries >= b) {
+                                Probe::GiveUp
+                            } else {
+                                // Exponential backoff: each
+                                // retransmission widens the probe
+                                // interval up to the cap.
+                                let grown = rover_sim::SimDuration::from_micros(
+                                    (o.rto_cur.as_micros() as f64 * backoff) as u64,
+                                );
+                                o.rto_cur = grown.min(rto_max);
+                                Probe::Retransmit
                             }
-                            Some(retransmit)
                         }
                     }
                 }
             };
             match action {
-                None => {}
-                Some(true) => {
+                Probe::Park => {}
+                Probe::Rearm => Client::arm_rto(&cl2, sim, req),
+                Probe::Retransmit => {
                     Client::enqueue_request(&cl2, sim, req, false);
                     Client::arm_rto(&cl2, sim, req);
                 }
-                Some(false) => Client::arm_rto(&cl2, sim, req),
+                Probe::GiveUp => Client::give_up(&cl2, sim, req),
             }
         });
+    }
+
+    /// Retry budget exhausted: abandon a queued QRPC gracefully. The
+    /// request is retired from the stable log (so a crash-recovery does
+    /// not resurrect it), cache pins and tentative bookkeeping are
+    /// unwound exactly as on completion, and the promise resolves with
+    /// a locally synthesized [`OpStatus::Unreachable`] outcome.
+    fn give_up(cl: &ClientRef, sim: &mut Sim, req: u64) {
+        let mut events: Vec<ClientEvent> = Vec::new();
+        let done = {
+            let mut c = cl.borrow_mut();
+            let Some(o) = c.outstanding.remove(&req) else {
+                return; // Raced with a late reply.
+            };
+            c.retire_log_record(req, o.log_seq);
+            if let Some(u) = &o.urn {
+                c.cache.pin(u, -1);
+                if o.class == OpClass::Import && c.inflight_imports.get(u) == Some(&req) {
+                    c.inflight_imports.remove(u);
+                }
+            }
+            if o.class == OpClass::Export {
+                let urn = o.urn.clone().expect("exports carry a urn");
+                if let Some(sess) = c.sessions.get_mut(&o.request.session.0) {
+                    sess.note_write_done(&urn, Version(0));
+                }
+                if let Some(n) = c.dirty_ops.get_mut(&urn) {
+                    *n -= 1;
+                    if *n == 0 {
+                        c.dirty_ops.remove(&urn);
+                        c.cache.clear_tentative(&urn);
+                    }
+                }
+            }
+            events.push(ClientEvent::Unreachable {
+                req: RequestId(req),
+                urn: o.urn.clone(),
+            });
+            let outcome = Outcome {
+                status: OpStatus::Unreachable,
+                value: Value::empty(),
+                version: Version(0),
+                tentative: false,
+                from_cache: false,
+                object: None,
+            };
+            sim.stats.incr("client.retry_exhausted");
+            sim.trace("qrpc", format!("give up req={req}: retry budget exhausted"));
+            (o.promise, outcome)
+        };
+        for ev in events {
+            Client::emit(cl, sim, ev);
+        }
+        let (promise, outcome) = done;
+        promise.resolve(sim, outcome);
+    }
+
+    /// Drops a decided (or abandoned) request's record from the stable
+    /// log, leaving a completion marker so a post-crash recovery does
+    /// not re-issue it; compacts periodically.
+    fn retire_log_record(&mut self, req: u64, log_seq: u64) {
+        if log_seq == 0 {
+            return;
+        }
+        let _ = self.log.remove(log_seq);
+        // Completion marker: keeps a post-crash recovery from
+        // re-issuing this request while its bytes still sit on the
+        // device. Not flushed — it rides with later traffic.
+        let _ = self
+            .log
+            .append(RecordKind::Completion, req.to_be_bytes().to_vec());
+        self.removals_since_compact += 1;
+        if self.removals_since_compact >= 64 {
+            // Compaction drops dead request bytes, which also obsoletes
+            // every completion marker.
+            let stale: Vec<u64> = self
+                .log
+                .records()
+                .filter(|r| r.kind == RecordKind::Completion)
+                .map(|r| r.seq)
+                .collect();
+            for seq in stale {
+                let _ = self.log.remove(seq);
+            }
+            let _ = self.log.compact();
+            self.removals_since_compact = 0;
+        }
     }
 
     /// Connectivity transition: bump the loss epoch on down; re-enqueue
@@ -1337,32 +1496,7 @@ impl Client {
                 sim.stats.incr("client.duplicate_replies");
                 return;
             };
-            if o.log_seq > 0 {
-                let _ = c.log.remove(o.log_seq);
-                // Completion marker: keeps a post-crash recovery from
-                // re-issuing this request while its bytes still sit on
-                // the device. Not flushed — it rides with later traffic.
-                let _ = c.log.append(
-                    RecordKind::Completion,
-                    reply.req_id.0.to_be_bytes().to_vec(),
-                );
-                c.removals_since_compact += 1;
-                if c.removals_since_compact >= 64 {
-                    // Compaction drops dead request bytes, which also
-                    // obsoletes every completion marker.
-                    let stale: Vec<u64> = c
-                        .log
-                        .records()
-                        .filter(|r| r.kind == RecordKind::Completion)
-                        .map(|r| r.seq)
-                        .collect();
-                    for seq in stale {
-                        let _ = c.log.remove(seq);
-                    }
-                    let _ = c.log.compact();
-                    c.removals_since_compact = 0;
-                }
-            }
+            c.retire_log_record(reply.req_id.0, o.log_seq);
             if let Some(u) = &o.urn {
                 c.cache.pin(u, -1);
                 if o.class == OpClass::Import && c.inflight_imports.get(u) == Some(&reply.req_id.0)

@@ -91,8 +91,23 @@ pub struct ClientConfig {
     pub cache_capacity: usize,
     /// Network-scheduler queue discipline.
     pub sched_mode: SchedMode,
-    /// Retransmission probe interval for outstanding QRPCs.
+    /// Retransmission probe interval for outstanding QRPCs (the
+    /// *initial* interval; see `rto_backoff`).
     pub rto: SimDuration,
+    /// Multiplier applied to a request's probe interval after each
+    /// retransmission (exponential backoff; `1.0` = fixed interval).
+    pub rto_backoff: f64,
+    /// Upper bound the backed-off probe interval never exceeds.
+    pub rto_max: SimDuration,
+    /// Random jitter fraction added to each probe interval: the actual
+    /// delay is `interval * (1 + jitter * u)` with `u` uniform in
+    /// `[0, 1)`. `0.0` draws no randomness at all (fully deterministic
+    /// probe timing, the default).
+    pub rto_jitter: f64,
+    /// Maximum retransmissions per queued QRPC before the client gives
+    /// up and resolves the promise with [`rover_wire::OpStatus::Unreachable`].
+    /// `None` retries forever (the paper's behaviour).
+    pub retry_budget: Option<u32>,
     /// Execution budget for RDO methods run on this client.
     pub budget: Budget,
     /// Authentication token presented with every QRPC (0 = anonymous).
@@ -117,6 +132,10 @@ impl ClientConfig {
             cache_capacity: 16 << 20,
             sched_mode: SchedMode::Priority,
             rto: SimDuration::from_secs(120),
+            rto_backoff: 2.0,
+            rto_max: SimDuration::from_secs(1200),
+            rto_jitter: 0.0,
+            retry_budget: None,
             budget: Budget::default(),
             auth_token: 0,
             mtu: rover_net::DEFAULT_MTU,

@@ -66,6 +66,15 @@ pub enum ClientEvent {
         /// The retransmitted request.
         req: RequestId,
     },
+    /// A queued QRPC exhausted its retransmission budget; the client
+    /// gave up and resolved its promise with
+    /// [`OpStatus::Unreachable`].
+    Unreachable {
+        /// The abandoned request.
+        req: RequestId,
+        /// Object it targeted, if any.
+        urn: Option<Urn>,
+    },
     /// A server callback reported a newer committed version of a cached
     /// object; the local copy is stale.
     Invalidated {

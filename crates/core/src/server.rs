@@ -52,6 +52,15 @@ pub struct Server {
     /// At-most-once replay cache, FIFO-bounded.
     dedup: HashMap<(u32, u64), QrpcReply>,
     dedup_order: VecDeque<(u32, u64)>,
+    /// Per-client acknowledgement floor, piggybacked on requests
+    /// (`QrpcRequest::acked_below`): every request id strictly below it
+    /// had its reply processed at the client, so its dedup entry can
+    /// never be needed again and is safe to evict.
+    ack_floor: HashMap<u32, u64>,
+    /// Request ids this server has executed, per client, pruned below
+    /// the acknowledgement floor. Detects the unsafe case where a
+    /// request re-executes because its dedup entry was evicted early.
+    executed: HashMap<u32, std::collections::BTreeSet<u64>>,
     /// Per (client, session): next admissible ordered-write sequence.
     expected_seq: HashMap<(u32, u64), u64>,
     /// Ordered writes held for a predecessor.
@@ -76,6 +85,8 @@ impl Server {
             resolvers: HashMap::new(),
             dedup: HashMap::new(),
             dedup_order: VecDeque::new(),
+            ack_floor: HashMap::new(),
+            executed: HashMap::new(),
             expected_seq: HashMap::new(),
             held: HashMap::new(),
             cpu_free_at: rover_sim::SimTime::ZERO,
@@ -274,12 +285,43 @@ impl Server {
             return;
         }
 
+        // Advance this client's acknowledgement floor (piggybacked on
+        // every request) and prune executed-id state below it.
+        let floor = {
+            let mut s = sv.borrow_mut();
+            let floor = s.ack_floor.entry(req.client.0).or_insert(0);
+            if req.acked_below > *floor {
+                *floor = req.acked_below;
+            }
+            let floor = *floor;
+            if let Some(ex) = s.executed.get_mut(&req.client.0) {
+                *ex = ex.split_off(&floor);
+            }
+            floor
+        };
+
         // At-most-once: a replayed request gets its original reply.
         let key = (req.client.0, req.req_id.0);
         let cached = sv.borrow().dedup.get(&key).cloned();
         if let Some(reply) = cached {
             sim.stats.incr("server.dedup_replay");
             sim.trace("server", format!("dedup replay req={}", req.req_id.0));
+            Server::send_reply(sv, sim, req.client, reply, req.priority);
+            return;
+        }
+
+        // A request from below the floor is a duplicate whose reply the
+        // client already processed (e.g. a network-duplicated copy
+        // straggling in after the acknowledgement). Its dedup entry may
+        // legitimately be gone; never execute it again — answer with
+        // the current committed state.
+        if req.req_id.0 < floor {
+            sim.stats.incr("server.below_floor_duplicate");
+            sim.trace(
+                "server",
+                format!("below-floor duplicate req={} floor={}", req.req_id.0, floor),
+            );
+            let reply = Server::state_reply(sv, &req);
             Server::send_reply(sv, sim, req.client, reply, req.priority);
             return;
         }
@@ -309,26 +351,7 @@ impl Server {
                 // A stale duplicate whose dedup entry was evicted: never
                 // re-execute; answer with the current committed state.
                 sim.stats.incr("server.stale_duplicate");
-                let reply = {
-                    let s = sv.borrow();
-                    let obj = Urn::parse(&req.urn)
-                        .ok()
-                        .and_then(|u| s.store.get(&u).cloned());
-                    match obj {
-                        Some(o) => QrpcReply {
-                            req_id: req.req_id,
-                            status: OpStatus::Ok,
-                            version: o.version,
-                            payload: o.to_bytes(),
-                        },
-                        None => QrpcReply {
-                            req_id: req.req_id,
-                            status: OpStatus::NoSuchObject,
-                            version: Version(0),
-                            payload: Bytes::new(),
-                        },
-                    }
-                };
+                let reply = Server::state_reply(sv, &req);
                 Server::send_reply(sv, sim, req.client, reply, req.priority);
                 return;
             }
@@ -351,6 +374,29 @@ impl Server {
         }
     }
 
+    /// Reply reflecting the current committed state of the request's
+    /// object, for duplicates that must never re-execute.
+    fn state_reply(sv: &ServerRef, req: &QrpcRequest) -> QrpcReply {
+        let s = sv.borrow();
+        let obj = Urn::parse(&req.urn)
+            .ok()
+            .and_then(|u| s.store.get(&u).cloned());
+        match obj {
+            Some(o) => QrpcReply {
+                req_id: req.req_id,
+                status: OpStatus::Ok,
+                version: o.version,
+                payload: o.to_bytes(),
+            },
+            None => QrpcReply {
+                req_id: req.req_id,
+                status: OpStatus::NoSuchObject,
+                version: Version(0),
+                payload: Bytes::new(),
+            },
+        }
+    }
+
     fn process(sv: &ServerRef, sim: &mut Sim, req: QrpcRequest) {
         let client = req.client;
         // Parse the request URN exactly once; execution and the
@@ -358,6 +404,21 @@ impl Server {
         let parsed = Urn::parse(&req.urn).ok();
         let (reply, steps) = {
             let mut s = sv.borrow_mut();
+            // A second execution of the same request id means its dedup
+            // entry was evicted while the client could still retransmit
+            // — the at-most-once hazard the acknowledgement floor
+            // exists to prevent. Counted and traced, never silent.
+            let seen = s
+                .executed
+                .get(&req.client.0)
+                .is_some_and(|ex| ex.contains(&req.req_id.0));
+            if seen {
+                sim.stats.incr("server.dedup_miss_reexec");
+                sim.trace(
+                    "server",
+                    format!("dedup entry evicted; re-executing req={}", req.req_id.0),
+                );
+            }
             s.execute(&req, parsed.as_ref())
         };
 
@@ -374,11 +435,32 @@ impl Server {
                 }
             }
             let key = (req.client.0, req.req_id.0);
+            s.executed
+                .entry(req.client.0)
+                .or_default()
+                .insert(req.req_id.0);
             if s.dedup.insert(key, reply.clone()).is_none() {
                 s.dedup_order.push_back(key);
-                if s.dedup_order.len() > s.cfg.dedup_capacity {
-                    if let Some(old) = s.dedup_order.pop_front() {
-                        s.dedup.remove(&old);
+                // Evict only entries the owning client has acknowledged
+                // (id below its floor): an entry at or above the floor
+                // may still be needed to absorb a retransmission, so
+                // its eviction is deferred — the cache grows past
+                // capacity and retries on the next insert.
+                while s.dedup_order.len() > s.cfg.dedup_capacity {
+                    let evictable = s
+                        .dedup_order
+                        .iter()
+                        .position(|k| k.1 < s.ack_floor.get(&k.0).copied().unwrap_or(0));
+                    match evictable {
+                        Some(i) => {
+                            if let Some(old) = s.dedup_order.remove(i) {
+                                s.dedup.remove(&old);
+                            }
+                        }
+                        None => {
+                            sim.stats.incr("server.dedup_evict_deferred");
+                            break;
+                        }
                     }
                 }
             }

@@ -1,0 +1,244 @@
+//! Chaos-plane integration tests: retransmission backoff with a retry
+//! budget, graceful give-up, and at-most-once execution under seeded
+//! link faults with dedup-eviction pressure.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rover_core::{
+    Client, ClientConfig, ClientEvent, Guarantees, OpStatus, Priority, ReexecuteResolver,
+    RoverObject, Server, ServerConfig, Urn,
+};
+use rover_net::{FaultSpec, LinkSpec, Net};
+use rover_sim::{Sim, SimDuration};
+use rover_wire::HostId;
+
+const CLIENT: HostId = HostId(1);
+const SERVER: HostId = HostId(2);
+
+fn counter(path: &str) -> RoverObject {
+    RoverObject::new(
+        Urn::parse(&format!("urn:rover:t/{path}")).unwrap(),
+        "counter",
+    )
+    .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+    .with_field("n", "0")
+}
+
+fn urn(path: &str) -> Urn {
+    Urn::parse(&format!("urn:rover:t/{path}")).unwrap()
+}
+
+#[test]
+fn retry_budget_exhaustion_resolves_unreachable() {
+    let mut sim = Sim::new(7);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, SERVER);
+    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    server.borrow_mut().add_route(CLIENT, link);
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("c"));
+
+    let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    cfg.rto = SimDuration::from_secs(5);
+    cfg.rto_max = SimDuration::from_secs(40);
+    cfg.retry_budget = Some(2);
+    let client = Client::new(&mut sim, &net, cfg, vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+
+    // Warm the cache over a healthy link, then black-hole it.
+    let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert_eq!(p.poll().unwrap().status, OpStatus::Ok);
+    net.install_faults(
+        &mut sim,
+        link,
+        FaultSpec {
+            drop_prob: 1.0,
+            ..FaultSpec::seeded(7)
+        },
+    );
+
+    let gave_up: Rc<RefCell<Vec<ClientEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let sink = gave_up.clone();
+    Client::on_event(&client, move |_sim, ev| {
+        if matches!(ev, ClientEvent::Unreachable { .. }) {
+            sink.borrow_mut().push(ev.clone());
+        }
+    });
+
+    let h = Client::export(
+        &client,
+        &mut sim,
+        &urn("c"),
+        session,
+        "add",
+        &["1"],
+        Priority::NORMAL,
+    )
+    .unwrap();
+    sim.run();
+
+    // The client gave up gracefully instead of probing forever (which
+    // would keep `sim.run` alive indefinitely).
+    let outcome = h.committed.poll().expect("resolved after give-up");
+    assert_eq!(outcome.status, OpStatus::Unreachable);
+    assert_eq!(sim.stats.counter("client.retry_exhausted"), 1);
+    assert_eq!(sim.stats.counter("client.retransmits"), 2, "budget honored");
+    assert_eq!(gave_up.borrow().len(), 1, "Unreachable event emitted");
+    assert_eq!(Client::outstanding_count(&client), 0);
+    assert_eq!(
+        Client::log_len(&client),
+        0,
+        "abandoned request retired from the stable log"
+    );
+    // The server never executed it.
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("0")
+    );
+}
+
+#[test]
+fn rto_backoff_spaces_probes_exponentially() {
+    // With a black-holed link, retransmissions happen every 2 probes;
+    // backoff doubles the probe interval per retransmission, so a
+    // larger budget takes disproportionately longer to exhaust than a
+    // fixed-interval chain would.
+    let run = |backoff: f64| {
+        let mut sim = Sim::new(7);
+        let net = Net::new();
+        let link = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, SERVER);
+        let server = Server::new(&net, ServerConfig::workstation(SERVER));
+        server.borrow_mut().add_route(CLIENT, link);
+        server.borrow_mut().put_object(counter("c"));
+        let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+        cfg.rto = SimDuration::from_secs(5);
+        cfg.rto_backoff = backoff;
+        cfg.rto_max = SimDuration::from_secs(3600);
+        cfg.retry_budget = Some(3);
+        let client = Client::new(&mut sim, &net, cfg, vec![link]);
+        let session = Client::create_session(&client, Guarantees::ALL, true);
+        let p =
+            Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
+        sim.run();
+        assert_eq!(p.poll().unwrap().status, OpStatus::Ok);
+        net.install_faults(
+            &mut sim,
+            link,
+            FaultSpec {
+                drop_prob: 1.0,
+                ..FaultSpec::seeded(9)
+            },
+        );
+        let t0 = sim.now();
+        let h = Client::export(
+            &client,
+            &mut sim,
+            &urn("c"),
+            session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .unwrap();
+        sim.run();
+        assert_eq!(h.committed.poll().unwrap().status, OpStatus::Unreachable);
+        sim.now().since(t0)
+    };
+    let fixed = run(1.0);
+    let backed_off = run(2.0);
+    assert!(
+        backed_off > fixed,
+        "exponential backoff must stretch the probe chain: {backed_off:?} vs {fixed:?}"
+    );
+}
+
+#[test]
+fn exactly_once_under_chaos_with_dedup_pressure() {
+    // Seeded drop + corruption + duplication, a dedup cache far smaller
+    // than the number of in-flight requests, and retransmissions: the
+    // acknowledgement floor must keep eviction safe, so no request ever
+    // re-executes and no committed op is lost.
+    let mut sim = Sim::new(1995);
+    let net = Net::new();
+    let link = net.add_link(LinkSpec::WAVELAN_2M, CLIENT, SERVER);
+    let mut scfg = ServerConfig::workstation(SERVER);
+    scfg.dedup_capacity = 2;
+    let server = Server::new(&net, scfg);
+    server.borrow_mut().add_route(CLIENT, link);
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter("c"));
+
+    let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    cfg.rto = SimDuration::from_secs(5);
+    cfg.rto_max = SimDuration::from_secs(80);
+    let client = Client::new(&mut sim, &net, cfg, vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+
+    let p = Client::import(&client, &mut sim, &urn("c"), session, Priority::FOREGROUND).unwrap();
+    sim.run();
+    assert_eq!(p.poll().unwrap().status, OpStatus::Ok);
+
+    net.install_faults(
+        &mut sim,
+        link,
+        FaultSpec {
+            drop_prob: 0.25,
+            corrupt_prob: 0.05,
+            dup_prob: 0.15,
+            reorder_jitter: SimDuration::from_millis(30),
+            ..FaultSpec::seeded(4242)
+        },
+    );
+
+    let mut handles = Vec::new();
+    for _ in 0..30 {
+        let h = Client::export(
+            &client,
+            &mut sim,
+            &urn("c"),
+            session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .unwrap();
+        handles.push(h);
+        sim.run_for(SimDuration::from_millis(800));
+    }
+    sim.run();
+
+    assert!(
+        handles.iter().all(|h| h.committed.is_ready()),
+        "all exports decided"
+    );
+    assert_eq!(
+        server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("30"),
+        "exactly-once: {} faults, {} retransmits, {} dup replies",
+        sim.stats.counter("net.faults_injected.drop")
+            + sim.stats.counter("net.faults_injected.corrupt")
+            + sim.stats.counter("net.faults_injected.dup"),
+        sim.stats.counter("client.retransmits"),
+        sim.stats.counter("client.duplicate_replies"),
+    );
+    assert_eq!(
+        sim.stats.counter("server.dedup_miss_reexec"),
+        0,
+        "no evicted-entry re-execution"
+    );
+    assert!(
+        sim.stats.counter("net.corrupt_rejected")
+            >= sim.stats.counter("net.faults_injected.corrupt"),
+        "every corrupted frame rejected by checksum"
+    );
+    assert!(
+        sim.stats.counter("client.retransmits") > 0,
+        "chaos actually forced retransmissions"
+    );
+}

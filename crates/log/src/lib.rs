@@ -12,7 +12,9 @@
 //!
 //! The log itself is storage-agnostic: [`StableStore`] abstracts the
 //! device (an in-memory store with crash simulation for tests and the
-//! simulator, and a real file-backed store). Time is *not* charged here —
+//! simulator, and a real file-backed store). [`FaultStore`] wraps any
+//! device with scripted fault injection — short writes, failed syncs,
+//! ENOSPC — so recovery is tested against arbitrary crash points. Time is *not* charged here —
 //! the toolkit core maps the [`FlushReceipt`] onto virtual time using its
 //! stable-storage cost model, keeping this crate free of simulator
 //! dependencies.
@@ -29,8 +31,10 @@
 //! log.remove(seq).unwrap();
 //! ```
 
+mod fault;
 mod oplog;
 mod store;
 
+pub use fault::{FaultKind, FaultStore, ScriptedFault};
 pub use oplog::{FlushPolicy, FlushReceipt, LogError, LogRecord, OpLog, RecordKind};
 pub use store::{FileStore, MemStore, StableStore};

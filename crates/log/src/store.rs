@@ -2,7 +2,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 
@@ -101,6 +101,7 @@ impl StableStore for MemStore {
 #[derive(Debug)]
 pub struct FileStore {
     file: Mutex<File>,
+    path: PathBuf,
     staged: Vec<u8>,
     durable_len: u64,
 }
@@ -118,6 +119,7 @@ impl FileStore {
         let durable_len = file.metadata().map_err(LogError::io)?.len();
         Ok(FileStore {
             file: Mutex::new(file),
+            path: path.to_path_buf(),
             staged: Vec::new(),
             durable_len,
         })
@@ -158,10 +160,35 @@ impl StableStore for FileStore {
 
     fn reset(&mut self, bytes: &[u8]) -> Result<(), LogError> {
         let mut f = self.file.lock();
-        f.set_len(0).map_err(LogError::io)?;
-        f.seek(SeekFrom::Start(0)).map_err(LogError::io)?;
-        f.write_all(bytes).map_err(LogError::io)?;
-        f.sync_data().map_err(LogError::io)?;
+        // Atomic replacement: build the new image in a sibling temp file,
+        // force it to disk, rename it over the log, then fsync the
+        // directory so the rename itself is durable. A crash at any
+        // point leaves either the complete old image or the complete new
+        // one — never a truncated or half-written log.
+        let tmp = self.path.with_extension("compact-tmp");
+        let mut t = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(LogError::io)?;
+        t.write_all(bytes).map_err(LogError::io)?;
+        t.sync_data().map_err(LogError::io)?;
+        std::fs::rename(&tmp, &self.path).map_err(LogError::io)?;
+        #[cfg(unix)]
+        {
+            let dir = match self.path.parent() {
+                Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+                _ => PathBuf::from("."),
+            };
+            File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(LogError::io)?;
+        }
+        // The temp handle now refers to the renamed inode: it *is* the
+        // log file.
+        *f = t;
         self.durable_len = bytes.len() as u64;
         self.staged.clear();
         Ok(())
@@ -275,6 +302,83 @@ mod oplog_file_tests {
         let log = OpLog::open(store).unwrap();
         assert_eq!(log.len(), 4);
         assert_eq!(log.records().next().unwrap().seq, seqs[4]);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filestore_torn_tail_recovery_discards_only_torn_frame() {
+        let dir = std::env::temp_dir().join(format!("rover-torn-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let master = dir.join("master.log");
+
+        // Build a known-good log: frame i carries a payload of 10 + i
+        // bytes, so frame boundaries are easy to recompute.
+        let frame_len = |i: usize| 20 + 10 + i; // HEADER_LEN + payload
+        {
+            let store = FileStore::open(&master).unwrap();
+            let mut log = OpLog::open(store).unwrap();
+            for i in 0..6usize {
+                log.append(RecordKind::Request, vec![i as u8; 10 + i])
+                    .unwrap();
+            }
+        }
+        let total: usize = (0..6).map(frame_len).sum();
+        assert_eq!(std::fs::metadata(&master).unwrap().len() as usize, total);
+
+        // Truncate the on-disk file at arbitrary byte offsets (a crash
+        // can tear anywhere: mid-header, mid-payload, on a boundary) and
+        // assert recovery keeps exactly the frames that are fully on
+        // disk, discarding only the torn tail.
+        let scratch = dir.join("scratch.log");
+        for cut in (0..=total).step_by(7).chain([total - 1, total]) {
+            std::fs::copy(&master, &scratch).unwrap();
+            let f = OpenOptions::new().write(true).open(&scratch).unwrap();
+            f.set_len(cut as u64).unwrap();
+            f.sync_data().unwrap();
+            drop(f);
+
+            let mut intact = 0usize;
+            let mut end = 0usize;
+            while intact < 6 && end + frame_len(intact) <= cut {
+                end += frame_len(intact);
+                intact += 1;
+            }
+
+            let store = FileStore::open(&scratch).unwrap();
+            let log = OpLog::open(store).unwrap();
+            assert_eq!(log.len(), intact, "cut at byte {cut}");
+            for (i, rec) in log.records().enumerate() {
+                assert_eq!(rec.payload.len(), 10 + i, "cut at byte {cut}");
+                assert_eq!(rec.payload[0], i as u8, "cut at byte {cut}");
+            }
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filestore_reset_replaces_atomically_and_stays_usable() {
+        let dir = std::env::temp_dir().join(format!("rover-reset-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.log");
+
+        let mut s = FileStore::open(&path).unwrap();
+        s.append(b"abcdefgh").unwrap();
+        s.sync().unwrap();
+        s.reset(b"new image").unwrap();
+        // No temp file left behind, and the on-disk file holds exactly
+        // the new image.
+        assert!(!path.with_extension("compact-tmp").exists());
+        assert_eq!(std::fs::read(&path).unwrap(), b"new image");
+
+        // The store keeps working through the replaced inode.
+        s.append(b"+tail").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.read_all().unwrap(), b"new image+tail");
+        drop(s);
+        let mut s = FileStore::open(&path).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"new image+tail");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use rover_log::{FlushPolicy, MemStore, OpLog, RecordKind};
+use rover_log::{FaultKind, FaultStore, FlushPolicy, MemStore, OpLog, RecordKind};
 
 proptest! {
     #[test]
@@ -83,6 +83,86 @@ proptest! {
         let recovered = OpLog::open(store).unwrap();
         let got: Vec<u64> = recovered.records().map(|r| r.seq).collect();
         prop_assert_eq!(got, kept);
+    }
+
+    // Chaos-plane stable-storage invariant: across any sequence of
+    // appends, flushes, removals, and compactions over a `FaultStore`
+    // with scripted short writes / failed syncs / ENOSPC, a crash never
+    // loses a record that a successful `sync` (or compaction) had
+    // reported durable — unless the application itself removed it.
+    #[test]
+    fn compaction_through_faultstore_keeps_reported_durable_records(
+        ops in proptest::collection::vec((0u8..4, any::<u16>()), 1..50),
+        faults in proptest::collection::vec((0u32..4000, 0u8..3), 0..8),
+    ) {
+        let mut store = FaultStore::new(MemStore::new());
+        let mut script: Vec<(u64, FaultKind)> = faults
+            .iter()
+            .map(|&(at, k)| {
+                (at as u64, match k {
+                    0 => FaultKind::ShortWrite,
+                    1 => FaultKind::FailSync,
+                    _ => FaultKind::Enospc,
+                })
+            })
+            .collect();
+        script.sort_by_key(|f| f.0);
+        for (at, kind) in script {
+            store.push_fault(at, kind);
+        }
+
+        let mut log = OpLog::open_with(store, FlushPolicy::Manual, false).unwrap();
+        let mut appended: Vec<u64> = Vec::new();
+        let mut payload_of = std::collections::BTreeMap::new();
+        let mut removed = std::collections::BTreeSet::new();
+        let mut durable = std::collections::BTreeSet::new();
+        for &(op, arg) in &ops {
+            match op {
+                0 => {
+                    let payload = vec![(arg % 251) as u8; (arg % 200) as usize];
+                    let seq = log.append(RecordKind::Request, payload.clone()).unwrap();
+                    payload_of.insert(seq, payload);
+                    appended.push(seq);
+                }
+                1 => {
+                    // A successful flush reports everything appended so
+                    // far durable (including remnants a previous faulted
+                    // sync left behind).
+                    if log.flush().is_ok() {
+                        durable.extend(appended.iter().copied());
+                    }
+                }
+                2 => {
+                    if !appended.is_empty() {
+                        let seq = appended[arg as usize % appended.len()];
+                        if removed.insert(seq) {
+                            log.remove(seq).unwrap();
+                        }
+                    }
+                }
+                _ => {
+                    // Compaction rewrites the device with exactly the
+                    // live records; on success they are durable, on an
+                    // injected failure the old image must survive.
+                    if log.compact().is_ok() {
+                        durable.extend(
+                            appended.iter().filter(|s| !removed.contains(s)).copied(),
+                        );
+                    }
+                }
+            }
+        }
+
+        let inner = log.into_store().into_inner().crash(None);
+        let recovered = OpLog::open(inner).unwrap();
+        let got: std::collections::BTreeMap<u64, Vec<u8>> = recovered
+            .records()
+            .map(|r| (r.seq, r.payload.to_vec()))
+            .collect();
+        for seq in durable.difference(&removed) {
+            prop_assert!(got.contains_key(seq), "lost reported-durable record {}", seq);
+            prop_assert_eq!(&got[seq], &payload_of[seq], "record {} corrupted", seq);
+        }
     }
 
     #[test]

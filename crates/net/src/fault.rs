@@ -1,0 +1,111 @@
+//! Deterministic per-link fault injection: the network half of the
+//! chaos plane.
+//!
+//! A [`FaultSpec`] installed on a link (via [`crate::Net::install_faults`])
+//! subjects every message crossing it to scripted adversity — random
+//! drops, payload corruption, duplication, reorder jitter, and a
+//! connectivity flap schedule. All randomness comes from a dedicated
+//! `StdRng` seeded from [`FaultSpec::seed`] and owned by the link, so:
+//!
+//! - runs are **byte-reproducible**: the same seed yields the same fault
+//!   schedule, message for message;
+//! - installing faults never perturbs the simulator's global RNG stream,
+//!   so experiments that don't opt in are unaffected.
+//!
+//! Corruption flips a real payload bit, which forces the receive path to
+//! validate the frame checksum: the delivery path recomputes the CRC the
+//! sender stamped at transmission time and rejects mismatches
+//! (`net.corrupt_rejected`), so a corrupted frame is *never* handed to a
+//! host. Flaps drive [`crate::Net::set_up`], feeding the same link-watcher
+//! machinery (and hence the client's `link_epoch` logic) as
+//! administrative disconnection.
+
+use rover_sim::SimDuration;
+
+/// A scripted connectivity flap schedule: `cycles` repetitions of
+/// up-for/down-for, starting with a transition to *down* after `up_for`
+/// from installation time. The schedule is finite so simulations still
+/// run to quiescence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlapSpec {
+    /// How long the link stays up in each cycle.
+    pub up_for: SimDuration,
+    /// How long the link stays down in each cycle.
+    pub down_for: SimDuration,
+    /// Number of up/down cycles; the link ends the schedule up.
+    pub cycles: usize,
+}
+
+/// Per-link fault-injection parameters.
+///
+/// All probabilities are per-message and independent; a message can be
+/// both corrupted and duplicated (the duplicate carries the same
+/// corruption). Ranges are validated by
+/// [`crate::Net::install_faults`].
+///
+/// # Examples
+///
+/// ```
+/// use rover_net::{FaultSpec, FlapSpec};
+/// use rover_sim::SimDuration;
+///
+/// let spec = FaultSpec {
+///     drop_prob: 0.05,
+///     corrupt_prob: 0.01,
+///     reorder_jitter: SimDuration::from_millis(20),
+///     flap: Some(FlapSpec {
+///         up_for: SimDuration::from_secs(30),
+///         down_for: SimDuration::from_secs(5),
+///         cycles: 10,
+///     }),
+///     ..FaultSpec::seeded(42)
+/// };
+/// assert_eq!(spec.seed, 42);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the link's private fault RNG.
+    pub seed: u64,
+    /// Probability a message is silently dropped in transit.
+    pub drop_prob: f64,
+    /// Probability a payload bit is flipped in transit (the frame then
+    /// fails its checksum at the receiver and is rejected).
+    pub corrupt_prob: f64,
+    /// Probability the link delivers a message twice.
+    pub dup_prob: f64,
+    /// Maximum extra delivery delay, drawn uniformly per message; lets
+    /// later messages overtake earlier ones.
+    pub reorder_jitter: SimDuration,
+    /// Optional connectivity flap schedule.
+    pub flap: Option<FlapSpec>,
+}
+
+impl FaultSpec {
+    /// A spec with the given seed and no faults enabled; fill in the
+    /// fields you want with struct-update syntax.
+    pub fn seeded(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_jitter: SimDuration::ZERO,
+            flap: None,
+        }
+    }
+
+    /// Validates probability ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability lies outside `[0.0, 1.0]`.
+    pub(crate) fn validate(&self) {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("dup_prob", self.dup_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} out of range: {p}");
+        }
+    }
+}

@@ -13,6 +13,11 @@
 //!   transmission-time serialization (`size · 8 / bandwidth`), per-link
 //!   contention, and scripted connectivity: a link that goes down loses
 //!   in-flight messages, exactly like an unplugged WaveLAN card.
+//! - [`FaultSpec`] is the deterministic chaos plane: per-link fault
+//!   injection (drop / corrupt / duplicate / reorder jitter / flap
+//!   schedules) driven by a seeded RNG private to each link, with
+//!   receive-side CRC validation so corrupted frames are rejected, never
+//!   delivered.
 //! - [`HostSched`] is Rover's *network scheduler*: per-priority output
 //!   queues drained one message at a time onto the best available
 //!   interface ("several queues for different priorities … chooses a
@@ -21,6 +26,7 @@
 //!   spool with polling delay, letting QRPC replies reach a client that
 //!   was disconnected when the reply was generated.
 
+mod fault;
 mod frag;
 mod sched;
 mod smtp;
@@ -28,6 +34,7 @@ mod spec;
 mod stream;
 mod topo;
 
+pub use fault::{FaultSpec, FlapSpec};
 pub use frag::{register_reassembling_host, split_envelope, wrap_reassembly, Reassembler};
 pub use sched::{HostSched, SchedMode, SchedRef, DEFAULT_MTU};
 pub use smtp::{SmtpRelay, SmtpRelayRef};

@@ -5,9 +5,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
-use rover_sim::{EventId, Sim, SimTime};
-use rover_wire::{Envelope, HostId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rover_sim::{EventId, Sim, SimDuration, SimTime};
+use rover_wire::{Bytes, Envelope, HostId};
 
+use crate::fault::FaultSpec;
 use crate::spec::{LinkId, LinkSpec};
 
 /// Errors from network operations.
@@ -73,6 +76,68 @@ struct LinkState {
     /// Random per-message loss probability (noisy wireless / serial
     /// channels); retransmission above recovers losses.
     loss_prob: f64,
+    /// Chaos-plane fault injection; `None` on healthy links.
+    faults: Option<FaultState>,
+}
+
+/// Installed fault spec plus the link's private RNG. A dedicated RNG
+/// keeps fault schedules byte-reproducible per seed and leaves the
+/// simulator's global stream untouched for experiments that don't opt in.
+struct FaultState {
+    spec: FaultSpec,
+    rng: StdRng,
+}
+
+/// One message's worth of fault decisions, drawn in a fixed order so the
+/// schedule depends only on the seed and the message sequence.
+struct FaultDraw {
+    drop: bool,
+    corrupt: bool,
+    dup: bool,
+    /// Extra delivery delay in microseconds (reordering).
+    jitter_us: u64,
+    /// Lag of the duplicate copy behind the original, in microseconds.
+    dup_lag_us: u64,
+    /// Raw position used to pick the flipped byte (mod body length).
+    flip_pos: u32,
+    /// Bit mask XORed into the chosen byte.
+    flip_mask: u8,
+}
+
+impl FaultState {
+    fn draw(&mut self) -> FaultDraw {
+        let s = &self.spec;
+        let drop = s.drop_prob > 0.0 && self.rng.gen_bool(s.drop_prob);
+        let corrupt = s.corrupt_prob > 0.0 && self.rng.gen_bool(s.corrupt_prob);
+        let dup = s.dup_prob > 0.0 && self.rng.gen_bool(s.dup_prob);
+        let max_jitter = s.reorder_jitter.as_micros();
+        let jitter_us = if max_jitter > 0 {
+            self.rng.gen_range(0..=max_jitter)
+        } else {
+            0
+        };
+        // A duplicate trails the original by at least 1 us (two distinct
+        // deliveries), by up to the reorder window when one is set.
+        let dup_lag_us = if dup {
+            1 + self.rng.gen_range(0..=max_jitter.max(999))
+        } else {
+            0
+        };
+        let (flip_pos, flip_mask) = if corrupt {
+            (self.rng.gen::<u32>(), 1u8 << self.rng.gen_range(0..8u32))
+        } else {
+            (0, 0)
+        };
+        FaultDraw {
+            drop,
+            corrupt,
+            dup,
+            jitter_us,
+            dup_lag_us,
+            flip_pos,
+            flip_mask,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -137,8 +202,48 @@ impl Net {
             in_flight: Vec::new(),
             watchers: Vec::new(),
             loss_prob: 0.0,
+            faults: None,
         });
         LinkId(n.links.len() - 1)
+    }
+
+    /// Installs a chaos-plane [`FaultSpec`] on `link`, replacing any
+    /// previous one. The link gets a private RNG seeded from
+    /// `spec.seed`, so fault schedules are reproducible per seed and the
+    /// simulator's global RNG stream is untouched. If the spec carries a
+    /// flap schedule it is scheduled immediately (via
+    /// [`Net::schedule_pattern`]), driving the same watcher machinery as
+    /// administrative disconnection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability lies outside `[0.0, 1.0]` or the link does
+    /// not exist.
+    pub fn install_faults(&self, sim: &mut Sim, link: LinkId, spec: FaultSpec) {
+        spec.validate();
+        {
+            let mut n = self.0.borrow_mut();
+            let l = n
+                .links
+                .get_mut(link.0)
+                .expect("install_faults: unknown link");
+            l.faults = Some(FaultState {
+                rng: StdRng::seed_from_u64(spec.seed),
+                spec,
+            });
+        }
+        sim.trace("net", format!("link {}: faults installed", link.0));
+        if let Some(flap) = spec.flap {
+            self.schedule_pattern(sim, link, flap.up_for, flap.down_for, flap.cycles);
+        }
+    }
+
+    /// Removes any installed fault spec from `link`; already-scheduled
+    /// flap transitions still fire.
+    pub fn clear_faults(&self, link: LinkId) {
+        if let Some(l) = self.0.borrow_mut().links.get_mut(link.0) {
+            l.faults = None;
+        }
     }
 
     /// Sets the link's random per-message loss probability.
@@ -280,37 +385,112 @@ impl Net {
         // Random channel loss: the message occupies the link but never
         // arrives (a corrupted frame fails its checksum and is dropped).
         let loss = self.0.borrow().links[link.0].loss_prob;
-        if loss > 0.0 {
-            use rand::Rng;
-            if sim.rng().gen_bool(loss) {
-                sim.stats.incr("net.random_losses");
+        if loss > 0.0 && sim.rng().gen_bool(loss) {
+            sim.stats.incr("net.random_losses");
+            if let Some(cb) = tx_done {
+                sim.schedule_at(ticket.tx_done, cb);
+            }
+            return Ok(ticket);
+        }
+
+        // Chaos plane: per-link scripted faults, drawn from the link's
+        // private seeded RNG.
+        let draw = {
+            let mut n = self.0.borrow_mut();
+            n.links[link.0].faults.as_mut().map(FaultState::draw)
+        };
+        let mut env = env;
+        let mut deliver_at = ticket.deliver_at;
+        let mut checksum = None;
+        let mut dup_at = None;
+        if let Some(d) = draw {
+            if d.drop {
+                sim.stats.incr("net.faults_injected.drop");
+                sim.trace("net", format!("link {}: fault dropped message", link.0));
                 if let Some(cb) = tx_done {
                     sim.schedule_at(ticket.tx_done, cb);
                 }
-                return Ok(ticket);
+                return Ok(DeliveryTicket {
+                    deliver_at,
+                    ..ticket
+                });
+            }
+            // The CRC the sender stamped into the frame, computed before
+            // any in-transit corruption: the receive path must recompute
+            // and compare to catch flipped bits.
+            checksum = Some(rover_wire::crc32(&env.body));
+            if d.corrupt {
+                sim.stats.incr("net.faults_injected.corrupt");
+                if env.body.is_empty() {
+                    // Nothing to flip in the payload: corrupt the frame
+                    // header instead, which the checksum also covers.
+                    checksum = checksum.map(|c| c ^ 0xA5A5_A5A5);
+                } else {
+                    let mut v = env.body.to_vec();
+                    let pos = d.flip_pos as usize % v.len();
+                    v[pos] ^= d.flip_mask;
+                    env.body = Bytes::from(v);
+                }
+            }
+            if d.jitter_us > 0 {
+                sim.stats.incr("net.faults_injected.jitter");
+                deliver_at += SimDuration::from_micros(d.jitter_us);
+            }
+            if d.dup {
+                sim.stats.incr("net.faults_injected.dup");
+                dup_at = Some(deliver_at + SimDuration::from_micros(d.dup_lag_us));
             }
         }
 
-        // Schedule the delivery; record its id so a link drop can lose it.
-        // The closure learns its own id through `slot` so it can retire
-        // itself from the in-flight set when it fires.
+        if let Some(at) = dup_at {
+            self.schedule_delivery(sim, link, at, env.clone(), checksum);
+        }
+        self.schedule_delivery(sim, link, deliver_at, env, checksum);
+
+        if let Some(cb) = tx_done {
+            sim.schedule_at(ticket.tx_done, cb);
+        }
+        Ok(DeliveryTicket {
+            deliver_at,
+            ..ticket
+        })
+    }
+
+    /// Schedules one delivery; records its id so a link drop can lose it.
+    /// The closure learns its own id through `slot` so it can retire
+    /// itself from the in-flight set when it fires. When `checksum` is
+    /// set (fault-injected links), the frame CRC is validated on receipt
+    /// and mismatching frames are rejected, never delivered.
+    fn schedule_delivery(
+        &self,
+        sim: &mut Sim,
+        link: LinkId,
+        at: SimTime,
+        env: Envelope,
+        checksum: Option<u32>,
+    ) {
         let net = self.clone();
         let dst = env.dst;
         let slot = Rc::new(std::cell::Cell::new(None));
         let my_id = slot.clone();
-        let ev = sim.schedule_at(ticket.deliver_at, move |sim| {
+        let ev = sim.schedule_at(at, move |sim| {
             if let Some(id) = my_id.get() {
                 net.retire_in_flight(link, id);
+            }
+            if let Some(sum) = checksum {
+                if rover_wire::crc32(&env.body) != sum {
+                    sim.stats.incr("net.corrupt_rejected");
+                    sim.trace(
+                        "net",
+                        format!("link {}: frame failed checksum, rejected", link.0),
+                    );
+                    return;
+                }
             }
             net.deliver(sim, dst, env);
         });
         slot.set(Some(ev));
         self.0.borrow_mut().links[link.0].in_flight.push(ev);
-
-        if let Some(cb) = tx_done {
-            sim.schedule_at(ticket.tx_done, cb);
-        }
-        Ok(ticket)
     }
 
     fn retire_in_flight(&self, link: LinkId, id: EventId) {
@@ -560,6 +740,174 @@ mod tests {
         sim.run();
         assert_eq!(*transitions.borrow(), 6);
         assert!(net.is_up(link));
+    }
+
+    #[test]
+    fn fault_drop_always_loses_messages() {
+        let (mut sim, net, link, inbox) = wired(LinkSpec::ETHERNET_10M);
+        net.install_faults(
+            &mut sim,
+            link,
+            crate::FaultSpec {
+                drop_prob: 1.0,
+                ..crate::FaultSpec::seeded(7)
+            },
+        );
+        for _ in 0..5 {
+            net.send(&mut sim, link, env(1, 2, 100)).unwrap();
+        }
+        sim.run();
+        assert!(inbox.borrow().is_empty());
+        assert_eq!(sim.stats.counter("net.faults_injected.drop"), 5);
+        assert_eq!(sim.stats.counter("net.delivered"), 0);
+    }
+
+    #[test]
+    fn corrupted_frames_fail_checksum_and_never_deliver() {
+        let (mut sim, net, link, inbox) = wired(LinkSpec::ETHERNET_10M);
+        net.install_faults(
+            &mut sim,
+            link,
+            crate::FaultSpec {
+                corrupt_prob: 1.0,
+                ..crate::FaultSpec::seeded(7)
+            },
+        );
+        for n in [0usize, 1, 64, 1000] {
+            net.send(&mut sim, link, env(1, 2, n)).unwrap();
+        }
+        sim.run();
+        assert!(inbox.borrow().is_empty());
+        assert_eq!(sim.stats.counter("net.faults_injected.corrupt"), 4);
+        assert_eq!(sim.stats.counter("net.corrupt_rejected"), 4);
+        assert_eq!(sim.stats.counter("net.delivered"), 0);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_clean_frames_pass_checksum() {
+        let (mut sim, net, link, inbox) = wired(LinkSpec::ETHERNET_10M);
+        net.install_faults(
+            &mut sim,
+            link,
+            crate::FaultSpec {
+                dup_prob: 1.0,
+                ..crate::FaultSpec::seeded(7)
+            },
+        );
+        net.send(&mut sim, link, env(1, 2, 100)).unwrap();
+        sim.run();
+        assert_eq!(inbox.borrow().len(), 2);
+        assert_eq!(sim.stats.counter("net.faults_injected.dup"), 1);
+        assert_eq!(sim.stats.counter("net.corrupt_rejected"), 0);
+    }
+
+    #[test]
+    fn reorder_jitter_can_invert_delivery_order() {
+        let (mut sim, net, link, inbox) = wired(LinkSpec::ETHERNET_10M);
+        net.install_faults(
+            &mut sim,
+            link,
+            crate::FaultSpec {
+                reorder_jitter: SimDuration::from_millis(50),
+                ..crate::FaultSpec::seeded(3)
+            },
+        );
+        // Distinguish messages by size; with a 50 ms window over a fast
+        // link some pair inverts for this seed.
+        for n in 1..=8usize {
+            net.send(&mut sim, link, env(1, 2, n)).unwrap();
+        }
+        sim.run();
+        let sizes: Vec<usize> = inbox.borrow().iter().map(|&(_, n)| n).collect();
+        assert_eq!(sizes.len(), 8);
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_ne!(sizes, sorted, "jitter produced no reordering: {sizes:?}");
+        assert!(sim.stats.counter("net.faults_injected.jitter") > 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible_per_seed() {
+        let run = |seed: u64| -> (Vec<(u64, usize)>, u64, u64, u64) {
+            let (mut sim, net, link, inbox) = wired(LinkSpec::WAVELAN_2M);
+            net.install_faults(
+                &mut sim,
+                link,
+                crate::FaultSpec {
+                    drop_prob: 0.2,
+                    corrupt_prob: 0.2,
+                    dup_prob: 0.2,
+                    reorder_jitter: SimDuration::from_millis(5),
+                    ..crate::FaultSpec::seeded(seed)
+                },
+            );
+            for i in 0..40usize {
+                net.send(&mut sim, link, env(1, 2, 10 + i)).unwrap();
+            }
+            sim.run();
+            let log = inbox.borrow().clone();
+            (
+                log,
+                sim.stats.counter("net.faults_injected.drop"),
+                sim.stats.counter("net.faults_injected.corrupt"),
+                sim.stats.counter("net.faults_injected.dup"),
+            )
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed must replay identically");
+        let c = run(12);
+        assert_ne!(a.0, c.0, "different seeds should differ");
+    }
+
+    #[test]
+    fn faults_do_not_perturb_global_rng_stream() {
+        let drain = |with_faults: bool| -> Vec<u64> {
+            let (mut sim, net, link, _inbox) = wired(LinkSpec::ETHERNET_10M);
+            if with_faults {
+                net.install_faults(
+                    &mut sim,
+                    link,
+                    crate::FaultSpec {
+                        drop_prob: 0.5,
+                        corrupt_prob: 0.5,
+                        ..crate::FaultSpec::seeded(99)
+                    },
+                );
+            }
+            for _ in 0..10 {
+                net.send(&mut sim, link, env(1, 2, 64)).unwrap();
+            }
+            sim.run();
+            (0..8).map(|_| sim.rng().gen::<u64>()).collect()
+        };
+        assert_eq!(drain(false), drain(true));
+    }
+
+    #[test]
+    fn flap_schedule_toggles_connectivity_and_loses_in_flight() {
+        let (mut sim, net, link, _inbox) = wired(LinkSpec::CSLIP_2_4);
+        let transitions = Rc::new(RefCell::new(0));
+        let t = transitions.clone();
+        net.watch_link(link, move |_, _, _, _| *t.borrow_mut() += 1);
+        net.install_faults(
+            &mut sim,
+            link,
+            crate::FaultSpec {
+                flap: Some(crate::FlapSpec {
+                    up_for: SimDuration::from_secs(1),
+                    down_for: SimDuration::from_secs(2),
+                    cycles: 3,
+                }),
+                ..crate::FaultSpec::seeded(1)
+            },
+        );
+        // ~33 s of transmission: every flap catches it in flight.
+        net.send(&mut sim, link, env(1, 2, 10_000)).unwrap();
+        sim.run();
+        assert_eq!(*transitions.borrow(), 6);
+        assert!(net.is_up(link));
+        assert_eq!(sim.stats.counter("net.lost_msgs"), 1);
     }
 
     #[test]

@@ -269,6 +269,7 @@ fn rover_over_http_over_reliable_stream() {
             base_version: Version(0),
             priority: P::NORMAL,
             auth: 0,
+            acked_below: 0,
             payload: Bytes::new(),
         };
         let env = Envelope::request(HostId(1), HostId(2), &q);

@@ -300,6 +300,7 @@ mod tests {
             base_version: Version(0),
             priority: Priority::FOREGROUND,
             auth: 0,
+            acked_below: 0,
             payload: Bytes::new(),
         };
         Envelope::request(HostId(1), HostId(2), &req)

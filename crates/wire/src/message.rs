@@ -180,6 +180,11 @@ pub enum OpStatus {
     ExecError,
     /// The request was malformed or unauthorized.
     Rejected,
+    /// The client gave up on the operation after exhausting its
+    /// retransmission budget: the home server stayed unreachable. Never
+    /// produced by a server — the client's QRPC engine synthesizes it
+    /// locally as the graceful end of the retry chain.
+    Unreachable,
 }
 
 impl Wire for OpStatus {
@@ -192,6 +197,7 @@ impl Wire for OpStatus {
             OpStatus::NoSuchMethod => 4,
             OpStatus::ExecError => 5,
             OpStatus::Rejected => 6,
+            OpStatus::Unreachable => 7,
         });
     }
 
@@ -204,6 +210,7 @@ impl Wire for OpStatus {
             4 => OpStatus::NoSuchMethod,
             5 => OpStatus::ExecError,
             6 => OpStatus::Rejected,
+            7 => OpStatus::Unreachable,
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -231,6 +238,12 @@ pub struct QrpcRequest {
     /// The paper's Rover server is "a secure setuid application that
     /// authenticates requests from client applications".
     pub auth: u64,
+    /// Piggybacked acknowledgement floor: every request id strictly
+    /// below this had its reply processed by the client. The server may
+    /// safely evict dedup-cache entries below the floor — they can no
+    /// longer be retransmitted — and must answer (never re-execute) any
+    /// request arriving from below it.
+    pub acked_below: u64,
     /// Operation arguments / update payload.
     pub payload: Bytes,
 }
@@ -245,6 +258,7 @@ impl Wire for QrpcRequest {
         self.base_version.encode(enc);
         self.priority.encode(enc);
         enc.put_u64(self.auth);
+        enc.put_u64(self.acked_below);
         enc.put_bytes(&self.payload);
     }
 
@@ -258,6 +272,7 @@ impl Wire for QrpcRequest {
             base_version: Version::decode(dec)?,
             priority: Priority::decode(dec)?,
             auth: dec.get_u64()?,
+            acked_below: dec.get_u64()?,
             payload: dec.get_bytes_shared()?,
         })
     }
@@ -465,6 +480,7 @@ mod tests {
             base_version: Version(9),
             priority: Priority::INTERACTIVE,
             auth: 0xfeed,
+            acked_below: 41,
             payload: Bytes::from_static(b"body bytes"),
         }
     }
@@ -500,6 +516,7 @@ mod tests {
             OpStatus::NoSuchMethod,
             OpStatus::ExecError,
             OpStatus::Rejected,
+            OpStatus::Unreachable,
         ] {
             assert_eq!(OpStatus::from_bytes(&s.to_bytes()).unwrap(), s);
         }

@@ -29,19 +29,23 @@ fn arb_request() -> impl Strategy<Value = QrpcRequest> {
         any::<u64>(),
         0u8..8,
         any::<u64>(),
+        any::<u64>(),
         proptest::collection::vec(any::<u8>(), 0..2048),
     )
-        .prop_map(|(r, c, s, op, urn, v, p, auth, payload)| QrpcRequest {
-            req_id: RequestId(r),
-            client: HostId(c),
-            session: SessionId(s),
-            op,
-            urn,
-            base_version: Version(v),
-            priority: Priority(p),
-            auth,
-            payload: Bytes::from(payload),
-        })
+        .prop_map(
+            |(r, c, s, op, urn, v, p, auth, acked_below, payload)| QrpcRequest {
+                req_id: RequestId(r),
+                client: HostId(c),
+                session: SessionId(s),
+                op,
+                urn,
+                base_version: Version(v),
+                priority: Priority(p),
+                auth,
+                acked_below,
+                payload: Bytes::from(payload),
+            },
+        )
 }
 
 proptest! {
