@@ -22,11 +22,23 @@
 //!   convergence;
 //! - **every promise decided**: each export's committed promise
 //!   resolved `Ok`/`Resolved` (budgetless clients never give up).
+//!
+//! With `server_crashes > 0` the server runs with a write-ahead commit
+//! log attached and is power-failed at evenly spaced round boundaries
+//! mid-traffic, rebooting from checkpoint + log replay after a fixed
+//! outage. Two durability invariants join the list:
+//!
+//! - **every replied commit survives recovery**: any export whose
+//!   promise resolved is still in the server's executed set after the
+//!   final restart (`Server::executed_contains`);
+//! - **recovery actually replayed**: `server.recovered_commits > 0`
+//!   across the run (the crashes were not no-ops).
 
 use rover_core::{
     Client, ClientConfig, ClientRef, Guarantees, ReexecuteResolver, RoverObject, Server,
     ServerConfig, Urn,
 };
+use rover_log::MemStore;
 use rover_net::{FaultSpec, FlapSpec, LinkSpec, Net};
 use rover_sim::{Sim, SimDuration};
 use rover_wire::{HostId, OpStatus, Priority, SessionId};
@@ -43,6 +55,9 @@ pub struct SoakConfig {
     pub clients: usize,
     /// Exports issued per client.
     pub ops_per_client: usize,
+    /// Server crash/restart cycles scheduled mid-traffic (0 = the
+    /// server never fails and no write-ahead log is attached).
+    pub server_crashes: usize,
 }
 
 impl SoakConfig {
@@ -52,6 +67,7 @@ impl SoakConfig {
             seed,
             clients: 5,
             ops_per_client: 100,
+            server_crashes: 0,
         }
     }
 
@@ -61,7 +77,14 @@ impl SoakConfig {
             seed,
             clients: 3,
             ops_per_client: 20,
+            server_crashes: 0,
         }
+    }
+
+    /// Adds `n` scheduled server crash/restart cycles.
+    pub fn with_server_crashes(mut self, n: usize) -> SoakConfig {
+        self.server_crashes = n;
+        self
     }
 }
 
@@ -88,6 +111,19 @@ pub struct SoakOutcome {
     pub retransmits: u64,
     /// Virtual time to convergence, in milliseconds.
     pub converged_ms: u64,
+    /// Server crash/restart cycles that actually fired.
+    pub server_crashes: u64,
+    /// Commit records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Checkpoints written (attach + periodic).
+    pub checkpoints: u64,
+    /// Commit records replayed across all recoveries.
+    pub recovered_commits: u64,
+    /// Torn tail bytes discarded across all recoveries.
+    pub recovery_truncated_tail: u64,
+    /// Mean recovery scan time across restarts, in microseconds
+    /// (virtual time; 0 when the server never crashed).
+    pub recovery_us_mean: u64,
     /// Order-insensitive fingerprint of final state + stats; equal
     /// digests mean byte-identical runs.
     pub digest: u64,
@@ -114,6 +150,12 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
             .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
             .with_field("n", "0"),
     );
+    if cfg.server_crashes > 0 {
+        // Durable mode: the initial checkpoint snapshots the counter
+        // object, and every commit hits the log before its reply.
+        Server::attach_wal(&server, &mut sim, Box::new(MemStore::new()))
+            .map_err(|e| format!("seed {}: attach_wal failed: {e:?}", cfg.seed))?;
+    }
 
     let mut clients: Vec<(ClientRef, SessionId)> = Vec::new();
     let mut links = Vec::new();
@@ -164,12 +206,28 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         );
     }
 
+    // Power failures at evenly spaced round boundaries: crash now, come
+    // back from the write-ahead device after a fixed outage (shorter
+    // than the clients' backed-off retransmission probes, so retries
+    // land on the recovered incarnation).
+    let crash_rounds: std::collections::BTreeSet<usize> = (1..=cfg.server_crashes)
+        .map(|k| ((k * cfg.ops_per_client) / (cfg.server_crashes + 1)).max(1))
+        .collect();
+    let outage = SimDuration::from_secs(12);
+
     // Issue exports round-robin with think time, chaos running the
     // whole while.
     let t0 = sim.now();
     let mut handles = Vec::new();
-    for _round in 0..cfg.ops_per_client {
-        for (client, session) in &clients {
+    for round in 0..cfg.ops_per_client {
+        if crash_rounds.contains(&round) {
+            Server::crash_now(&server, &mut sim);
+            let sv = server.clone();
+            sim.schedule_after(outage, move |sim| {
+                Server::crash_restart(&sv, sim).expect("soak crash_restart");
+            });
+        }
+        for (host, (client, session)) in clients.iter().enumerate() {
             let h = Client::export(
                 client,
                 &mut sim,
@@ -180,7 +238,7 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
                 Priority::NORMAL,
             )
             .map_err(|e| format!("seed {}: export failed: {e:?}", cfg.seed))?;
-            handles.push(h);
+            handles.push((client_host(host), h));
             sim.run_for(SimDuration::from_millis(400));
         }
     }
@@ -215,7 +273,7 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         .unwrap_or(0);
     let committed = handles
         .iter()
-        .filter(|h| {
+        .filter(|(_, h)| {
             matches!(
                 h.committed.poll().map(|o| o.status),
                 Some(OpStatus::Ok) | Some(OpStatus::Resolved)
@@ -223,6 +281,15 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         })
         .count() as u64;
     let reexecs = sim.stats.counter("server.dedup_miss_reexec");
+    let crashes = sim.stats.counter("server.crashes");
+    let wal_appends = sim.stats.counter("server.wal_appends");
+    let checkpoints = sim.stats.counter("server.checkpoints");
+    let recovered_commits = sim.stats.counter("server.recovered_commits");
+    let recovery_truncated_tail = sim.stats.counter("server.recovery_truncated_tail");
+    let recovery_us_mean = sim
+        .stats
+        .series("server.recovery_ms")
+        .map_or(0, |s| (s.mean() * 1000.0).round() as u64);
     let corrupt_injected = sim.stats.counter("net.faults_injected.corrupt");
     let corrupt_rejected = sim.stats.counter("net.corrupt_rejected");
     let faults = corrupt_injected
@@ -268,6 +335,32 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         }
     }
 
+    // Durability invariants (crash mode only).
+    if cfg.server_crashes > 0 {
+        if crashes != crash_rounds.len() as u64 {
+            return Err(format!(
+                "seed {}: scheduled {} crashes but {crashes} fired",
+                cfg.seed,
+                crash_rounds.len()
+            ));
+        }
+        if recovered_commits == 0 {
+            return Err(format!(
+                "seed {}: crashes fired but recovery replayed nothing",
+                cfg.seed
+            ));
+        }
+        let s = server.borrow();
+        for (host, h) in &handles {
+            if !s.executed_contains(*host, h.req) {
+                return Err(format!(
+                    "seed {}: replied commit {:?} from {host:?} lost by recovery",
+                    cfg.seed, h.req
+                ));
+            }
+        }
+    }
+
     let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
     for v in [
         cfg.seed,
@@ -279,6 +372,12 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         corrupt_rejected,
         retransmits,
         converged_ms,
+        crashes,
+        wal_appends,
+        checkpoints,
+        recovered_commits,
+        recovery_truncated_tail,
+        recovery_us_mean,
     ] {
         digest ^= v;
         digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
@@ -295,15 +394,23 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         corrupt_injected,
         retransmits,
         converged_ms,
+        server_crashes: crashes,
+        wal_appends,
+        checkpoints,
+        recovered_commits,
+        recovery_truncated_tail,
+        recovery_us_mean,
         digest,
     })
 }
 
 /// Runs a range of seeds and renders the per-seed table; `Err` on the
-/// first invariant violation.
+/// first invariant violation. `server_crashes > 0` adds the durability
+/// plane (write-ahead log + scheduled power failures) and its columns.
 pub fn run_seeds(
     seeds: impl IntoIterator<Item = u64>,
     smoke: bool,
+    server_crashes: usize,
 ) -> Result<(Report, Vec<SoakOutcome>), String> {
     let mut r = Report::new("soak");
     let title = if smoke {
@@ -311,22 +418,37 @@ pub fn run_seeds(
     } else {
         "Soak — chaos convergence (5 clients × 100 ops per seed)"
     };
-    let mut t = Table::new(
-        title,
-        &[
-            "seed", "ops", "final n", "faults", "crc rej", "rexmit", "reexec", "converge",
-        ],
-    )
-    .note("Flapping link, 5% drop, 1% corruption, 2% duplication, 40 ms jitter.");
+    let base_cols = [
+        "seed", "ops", "final n", "faults", "crc rej", "rexmit", "reexec", "converge",
+    ];
+    let crash_cols = [
+        "seed", "ops", "final n", "faults", "crc rej", "rexmit", "reexec", "converge", "crash",
+        "wal", "ckpt", "replay", "torn B", "recov",
+    ];
+    let cols: &[&str] = if server_crashes > 0 {
+        &crash_cols
+    } else {
+        &base_cols
+    };
+    let note = if server_crashes > 0 {
+        format!(
+            "Flapping link, 5% drop, 1% corruption, 2% duplication, 40 ms jitter; \
+             {server_crashes} server power failure(s) per seed, 12 s outage each."
+        )
+    } else {
+        "Flapping link, 5% drop, 1% corruption, 2% duplication, 40 ms jitter.".to_owned()
+    };
+    let mut t = Table::new(title, cols).note(&note);
     let mut outs = Vec::new();
     for seed in seeds {
         let cfg = if smoke {
             SoakConfig::smoke(seed)
         } else {
             SoakConfig::full(seed)
-        };
+        }
+        .with_server_crashes(server_crashes);
         let o = run_seed(cfg)?;
-        t.row(vec![
+        let mut row = vec![
             o.seed.to_string(),
             o.ops.to_string(),
             o.final_n.to_string(),
@@ -335,12 +457,37 @@ pub fn run_seeds(
             o.retransmits.to_string(),
             o.reexecs.to_string(),
             format!("{:.1} s", o.converged_ms as f64 / 1000.0),
-        ]);
+        ];
+        if server_crashes > 0 {
+            row.extend([
+                o.server_crashes.to_string(),
+                o.wal_appends.to_string(),
+                o.checkpoints.to_string(),
+                o.recovered_commits.to_string(),
+                o.recovery_truncated_tail.to_string(),
+                format!("{:.1} ms", o.recovery_us_mean as f64 / 1000.0),
+            ]);
+        }
+        t.row(row);
         r.metric(
             format!("soak.seed{}.converge_ms", o.seed),
             o.converged_ms as f64,
         );
         r.metric(format!("soak.seed{}.faults", o.seed), o.faults as f64);
+        if server_crashes > 0 {
+            r.metric(
+                format!("soak.seed{}.wal_appends", o.seed),
+                o.wal_appends as f64,
+            );
+            r.metric(
+                format!("soak.seed{}.recovered_commits", o.seed),
+                o.recovered_commits as f64,
+            );
+            r.metric(
+                format!("soak.seed{}.recovery_ms", o.seed),
+                o.recovery_us_mean as f64 / 1000.0,
+            );
+        }
         outs.push(o);
     }
     r.table(&t);

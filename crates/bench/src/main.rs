@@ -101,11 +101,15 @@ fn main() {
     }
 }
 
-/// `rover-bench soak [--seed A..B | --seed N] [--smoke]`: seeded chaos
-/// convergence soak; exits non-zero on the first violated invariant.
+/// `rover-bench soak [--seed A..B | --seed N] [--smoke]
+/// [--server-crashes N]`: seeded chaos convergence soak; exits non-zero
+/// on the first violated invariant. `--server-crashes N` attaches a
+/// write-ahead commit log to the server and power-fails it N times
+/// mid-traffic per seed, checking the durability invariants on top.
 fn run_soak(args: &[String]) {
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut smoke = false;
+    let mut server_crashes = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -116,15 +120,24 @@ fn run_soak(args: &[String]) {
                 });
             }
             "--smoke" => smoke = true,
+            "--server-crashes" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--server-crashes needs a value"));
+                server_crashes = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--server-crashes takes a count"));
+            }
             _ => usage(&format!("unknown soak flag {a}")),
         }
     }
     eprintln!(
-        "soak: {} seed(s), {} size…",
+        "soak: {} seed(s), {} size, {} server crash(es)…",
         seeds.len(),
-        if smoke { "smoke" } else { "full" }
+        if smoke { "smoke" } else { "full" },
+        server_crashes
     );
-    match exps::soak::run_seeds(seeds, smoke) {
+    match exps::soak::run_seeds(seeds, smoke, server_crashes) {
         Ok((report, outs)) => {
             print!("{}", report.text());
             println!(
@@ -155,7 +168,7 @@ fn parse_seeds(v: &str) -> Option<Vec<u64>> {
 fn usage(msg: &str) -> ! {
     eprintln!("rover-bench: {msg}");
     eprintln!(
-        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke]"
+        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke] [--server-crashes N]"
     );
     std::process::exit(2);
 }

@@ -26,3 +26,33 @@ fn soak_is_reproducible_per_seed() {
     let c = run_seed(SoakConfig::smoke(8)).expect("run c");
     assert_ne!(a.digest, c.digest, "different seeds should differ");
 }
+
+#[test]
+fn crash_soak_converges_with_durability_invariants() {
+    for seed in [1, 2] {
+        let o = run_seed(SoakConfig::smoke(seed).with_server_crashes(2))
+            .expect("durability invariants hold");
+        assert_eq!(o.final_n, o.ops);
+        assert_eq!(o.committed, o.ops);
+        assert_eq!(o.reexecs, 0, "at-most-once must survive restarts");
+        assert_eq!(o.server_crashes, 2);
+        assert!(o.wal_appends >= o.ops, "every commit hit the log");
+        assert!(o.recovered_commits > 0, "recovery replayed commits");
+        assert!(o.checkpoints >= 1, "attach wrote the initial checkpoint");
+    }
+}
+
+#[test]
+fn crash_soak_is_reproducible_per_seed() {
+    let a = run_seed(SoakConfig::smoke(9).with_server_crashes(2)).expect("run a");
+    let b = run_seed(SoakConfig::smoke(9).with_server_crashes(2)).expect("run b");
+    assert_eq!(
+        a, b,
+        "same seed must reproduce byte-identical recovered outcomes"
+    );
+    let plain = run_seed(SoakConfig::smoke(9)).expect("crash-free run");
+    assert_ne!(
+        a.digest, plain.digest,
+        "the durability plane must actually perturb the run"
+    );
+}

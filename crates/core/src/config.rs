@@ -33,6 +33,13 @@ impl StorageModel {
         per_kib: SimDuration::from_micros(50),
     };
 
+    /// A 1995 workstation SCSI disk: faster seeks than the laptop IDE
+    /// drive, used for the server's write-ahead commit log.
+    pub const SERVER_DISK_1995: StorageModel = StorageModel {
+        sync_latency: SimDuration::from_millis(8),
+        per_kib: SimDuration::from_micros(400),
+    };
+
     /// Free stable storage (the "no log cost" ablation bound).
     pub const FREE: StorageModel = StorageModel {
         sync_latency: SimDuration::ZERO,
@@ -161,6 +168,14 @@ pub struct ServerConfig {
     pub callbacks: bool,
     /// Transport fragmentation MTU for replies (`usize::MAX` disables).
     pub mtu: usize,
+    /// Stable-storage cost model for the write-ahead commit log; only
+    /// charged when a log is attached ([`crate::Server::attach_wal`]).
+    pub storage: StorageModel,
+    /// Commits between write-ahead-log checkpoints: after this many
+    /// commit records, the server snapshots its durable state into the
+    /// log and compacts everything older. `0` disables automatic
+    /// checkpoints (the log grows until compacted explicitly).
+    pub checkpoint_every: usize,
 }
 
 impl ServerConfig {
@@ -174,6 +189,8 @@ impl ServerConfig {
             sched_mode: SchedMode::Priority,
             callbacks: false,
             mtu: rover_net::DEFAULT_MTU,
+            storage: StorageModel::SERVER_DISK_1995,
+            checkpoint_every: 64,
         }
     }
 }

@@ -84,3 +84,36 @@ pub enum ClientEvent {
         version: rover_wire::Version,
     },
 }
+
+/// Events emitted by a home server's durability plane. The soak harness
+/// and tests observe crash/recovery transitions through these; an
+/// operator console would surface them the way §3.4's client events
+/// surface connectivity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// The server crashed (a scripted crash point fired, or a
+    /// write-ahead-log append failed). All volatile state is gone;
+    /// requests are dropped until recovery.
+    Crashed {
+        /// Commits made durable before the crash
+        /// (`server.wal_appends` at crash time).
+        durable_commits: u64,
+    },
+    /// Crash-restart recovery rebuilt the server from checkpoint + log
+    /// replay.
+    Recovered {
+        /// Commit records replayed from the log (after the newest
+        /// checkpoint).
+        commits: u64,
+        /// Torn/corrupt tail bytes the recovery scan discarded.
+        truncated_tail: u64,
+        /// Held out-of-order writes dropped by the crash (clients
+        /// retransmit them).
+        held_dropped: u64,
+    },
+    /// A checkpoint was written and the log compacted behind it.
+    Checkpoint {
+        /// Device size in bytes after compaction.
+        device_bytes: u64,
+    },
+}

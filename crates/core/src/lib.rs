@@ -73,12 +73,12 @@ pub use cache::{Cache, CacheEntry};
 pub use client::{Client, ClientRef, ExportHandle, Placement, PlacementHints, PollGuard};
 pub use config::{ClientConfig, LogPolicy, ServerConfig, StorageModel};
 pub use error::RoverError;
-pub use events::ClientEvent;
+pub use events::{ClientEvent, ServerEvent};
 pub use object::{collection_object, MethodRun, RoverObject};
 pub use payload::{ExportPayload, InvokePayload};
 pub use promise::{Outcome, Promise};
 pub use resolve::{ReexecuteResolver, RejectResolver, Resolution, Resolver, ScriptResolver};
-pub use server::{Server, ServerRef};
+pub use server::{CrashPoint, Server, ServerRef};
 pub use session::{Guarantees, Session};
 pub use urn::Urn;
 

@@ -7,19 +7,31 @@
 //! data (`Invoke`). Requests are executed at-most-once: a dedup cache
 //! keyed by (client, request-id) replays the original reply to
 //! retransmissions.
+//!
+//! The failure model covers the *server* machine too: with a write-ahead
+//! commit log attached ([`Server::attach_wal`]), every executed request
+//! is appended as a framed [`CommitRecord`] and forced to stable storage
+//! before its reply leaves the host. [`Server::crash_restart`] drops all
+//! volatile state and rebuilds the store, the write-ordering floors, the
+//! acknowledgement floors, the executed-id sets, and the dedup cache
+//! from the newest checkpoint plus log replay — so retransmissions of
+//! pre-crash commits replay their original replies instead of
+//! re-executing, and the exactly-once invariants survive a restart.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
+use rover_log::{FlushPolicy, FlushReceipt, LogError, OpLog, RecordKind, StableStore};
 use rover_net::{HostSched, LinkId, Net, SchedRef, SmtpRelay, SmtpRelayRef};
 use rover_sim::Sim;
 use rover_wire::{
-    Bytes, Encoder, Envelope, HostId, MsgKind, OpStatus, QrpcReply, QrpcRequest, RoverOp, Version,
-    Wire,
+    Bytes, CommitRecord, Encoder, Envelope, HostId, MsgKind, OpStatus, QrpcReply, QrpcRequest,
+    RoverOp, Version, Wire,
 };
 
 use crate::config::ServerConfig;
+use crate::events::ServerEvent;
 use crate::object::RoverObject;
 use crate::payload::{ExportPayload, InvokePayload};
 use crate::resolve::{RejectResolver, Resolution, Resolver};
@@ -27,6 +39,43 @@ use crate::urn::Urn;
 
 /// Shared handle to a server.
 pub type ServerRef = Rc<RefCell<Server>>;
+
+type ServerListener = Rc<RefCell<dyn FnMut(&mut Sim, &ServerEvent)>>;
+
+/// Write-ahead-log record kind: one [`CommitRecord`].
+const REC_COMMIT: RecordKind = RecordKind::Other(0x10);
+/// Write-ahead-log record kind: a full state snapshot (the `ROV1`
+/// checkpoint image produced by [`Server::export_store`]).
+const REC_CHECKPOINT: RecordKind = RecordKind::Other(0x11);
+
+/// Magic tag of the checkpoint's at-most-once extension section
+/// (`"ROV2"`); follows the original `ROV1` object + ordering sections.
+const ROV2_MAGIC: u32 = 0x524F_5632;
+
+/// Deterministic crash points in the commit path, scripted with
+/// [`Server::script_crash`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashPoint {
+    /// Crash before the commit record is appended: the execution's
+    /// effects are lost with the volatile state; after recovery the
+    /// client's retransmission executes freshly (a *first* execution —
+    /// nothing was ever committed or replied).
+    BeforeAppend,
+    /// Crash after the commit record is durable but before the reply is
+    /// sent: after recovery the client's retransmission hits the
+    /// recovered dedup cache and replays the original reply — never a
+    /// re-execution.
+    AfterAppend,
+}
+
+/// The attached write-ahead commit log.
+struct Wal {
+    /// Framed, checksummed device; flushed manually so each commit's
+    /// [`FlushReceipt`] can be charged to the virtual clock.
+    log: OpLog<Box<dyn StableStore>>,
+    /// Commit records appended since the last checkpoint.
+    commits_since_ckpt: usize,
+}
 
 /// How replies reach one client.
 struct ReplyRoute {
@@ -71,6 +120,20 @@ pub struct Server {
     importers: HashMap<Urn, std::collections::HashSet<u32>>,
     /// Accepted authentication tokens; `None` disables authentication.
     accepted_tokens: Option<std::collections::HashSet<u64>>,
+    /// Write-ahead commit log; `None` runs the server volatile (the
+    /// pre-durability behaviour).
+    wal: Option<Wal>,
+    /// True between a crash and the completion of recovery: the host is
+    /// down and every arriving envelope is dropped.
+    crashed: bool,
+    /// Scripted crash: fires at the Nth WAL-bound commit (1-based,
+    /// monotone across restarts) at the given point.
+    crash_at: Option<(u64, CrashPoint)>,
+    /// WAL-bound commits processed across the server's lifetime (keeps
+    /// counting through restarts; the scripted-crash ordinal).
+    commit_ordinal: u64,
+    /// Durability-plane event listeners.
+    listeners: Vec<ServerListener>,
 }
 
 impl Server {
@@ -92,6 +155,11 @@ impl Server {
             cpu_free_at: rover_sim::SimTime::ZERO,
             importers: HashMap::new(),
             accepted_tokens: None,
+            wal: None,
+            crashed: false,
+            crash_at: None,
+            commit_ordinal: 0,
+            listeners: Vec::new(),
         }));
         let weak = Rc::downgrade(&server);
         let host = server.borrow().cfg.host;
@@ -177,10 +245,22 @@ impl Server {
     }
 
     /// Serializes the server's durable state (for checkpointing /
-    /// restart): the object store plus the per-session write-ordering
-    /// floors. Ordering state must survive a restart or ordered exports
-    /// issued after it would wait forever for predecessors the old
-    /// incarnation already admitted.
+    /// restart): the `ROV1` sections (object store plus per-session
+    /// write-ordering floors — ordering state must survive a restart or
+    /// ordered exports issued after it would wait forever for
+    /// predecessors the old incarnation already admitted), followed by a
+    /// `ROV2` extension carrying the at-most-once state: per-client
+    /// acknowledgement floors, executed-id sets, and the dedup replay
+    /// cache in eviction (FIFO) order. Dedup entries already below their
+    /// client's floor are pruned from the snapshot (floor-driven): the
+    /// protocol answers below-floor arrivals from committed state, so
+    /// those replies can never be needed again.
+    ///
+    /// The held out-of-order write buffer is deliberately *not*
+    /// serialized: held requests were never executed or replied to, so
+    /// dropping them is safe — the owning clients retransmit and the
+    /// ordering gate re-admits them (counted as
+    /// `server.held_dropped_on_recovery` by [`Server::crash_restart`]).
     pub fn export_store(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         enc.put_u32(0x524F_5631); // "ROV1"
@@ -199,35 +279,519 @@ impl Server {
             enc.put_u64(session);
             enc.put_u64(expected);
         }
+
+        // ROV2 extension: at-most-once state.
+        enc.put_u32(ROV2_MAGIC);
+        let mut floors: Vec<(u32, u64)> = self.ack_floor.iter().map(|(c, f)| (*c, *f)).collect();
+        floors.sort();
+        enc.put_u32(floors.len() as u32);
+        for (client, floor) in floors {
+            enc.put_u32(client);
+            enc.put_u64(floor);
+        }
+        let mut executed: Vec<(u32, &std::collections::BTreeSet<u64>)> =
+            self.executed.iter().map(|(c, ids)| (*c, ids)).collect();
+        executed.sort_by_key(|(c, _)| *c);
+        enc.put_u32(executed.len() as u32);
+        for (client, ids) in executed {
+            enc.put_u32(client);
+            enc.put_u32(ids.len() as u32);
+            for id in ids {
+                enc.put_u64(*id);
+            }
+        }
+        let dedup: Vec<&(u32, u64)> = self
+            .dedup_order
+            .iter()
+            .filter(|(c, id)| *id >= self.ack_floor.get(c).copied().unwrap_or(0))
+            .collect();
+        enc.put_u32(dedup.len() as u32);
+        for key @ (client, req) in dedup {
+            enc.put_u32(*client);
+            enc.put_u64(*req);
+            let reply = self.dedup.get(key).expect("order entry has a cache entry");
+            reply.encode(&mut enc);
+        }
         enc.into_vec()
     }
 
-    /// Restores state written by [`Server::export_store`]. Object
-    /// versions are preserved, so clients holding cached copies remain
-    /// consistent across the restart. The at-most-once dedup cache does
-    /// *not* survive (as in a real restart); retransmissions of already-
-    /// committed exports surface as conflicts and go through resolution.
+    /// Restores state written by [`Server::export_store`], *replacing*
+    /// the server's state wholesale: the store, ordering floors, and all
+    /// derived at-most-once state (dedup cache, acknowledgement floors,
+    /// executed-id sets, held writes, callback sets) are cleared before
+    /// the snapshot is installed, so importing into a warm server cannot
+    /// leave stale entries behind. Object versions are preserved, so
+    /// clients holding cached copies remain consistent across the
+    /// restart. Snapshots that predate the `ROV2` extension restore with
+    /// an empty dedup cache (retransmissions of already-committed
+    /// exports then surface as conflicts and go through resolution).
     pub fn import_store(&mut self, bytes: &[u8]) -> Result<usize, crate::RoverError> {
         let mut dec = rover_wire::Decoder::new(bytes);
         let magic = dec.get_u32().map_err(crate::RoverError::from)?;
         if magic != 0x524F_5631 {
             return Err(crate::RoverError::Wire("bad checkpoint magic".into()));
         }
+        // Parse everything before touching any state, so a truncated
+        // snapshot cannot leave the server half-replaced.
         let n = dec.get_u32().map_err(crate::RoverError::from)?;
-        let mut loaded = 0;
+        let mut objs = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            let obj = RoverObject::decode(&mut dec).map_err(crate::RoverError::from)?;
-            self.store.insert(obj.urn.clone(), obj);
-            loaded += 1;
+            objs.push(RoverObject::decode(&mut dec).map_err(crate::RoverError::from)?);
         }
         let m = dec.get_u32().map_err(crate::RoverError::from)?;
+        let mut seqs = Vec::with_capacity(m as usize);
         for _ in 0..m {
             let client = dec.get_u32().map_err(crate::RoverError::from)?;
             let session = dec.get_u64().map_err(crate::RoverError::from)?;
             let expected = dec.get_u64().map_err(crate::RoverError::from)?;
-            self.expected_seq.insert((client, session), expected);
+            seqs.push(((client, session), expected));
+        }
+        let mut floors: Vec<(u32, u64)> = Vec::new();
+        let mut executed: Vec<(u32, Vec<u64>)> = Vec::new();
+        let mut dedup: Vec<((u32, u64), QrpcReply)> = Vec::new();
+        if dec.remaining() > 0 {
+            let magic2 = dec.get_u32().map_err(crate::RoverError::from)?;
+            if magic2 != ROV2_MAGIC {
+                return Err(crate::RoverError::Wire("bad checkpoint extension".into()));
+            }
+            let nf = dec.get_u32().map_err(crate::RoverError::from)?;
+            for _ in 0..nf {
+                let client = dec.get_u32().map_err(crate::RoverError::from)?;
+                let floor = dec.get_u64().map_err(crate::RoverError::from)?;
+                floors.push((client, floor));
+            }
+            let ne = dec.get_u32().map_err(crate::RoverError::from)?;
+            for _ in 0..ne {
+                let client = dec.get_u32().map_err(crate::RoverError::from)?;
+                let count = dec.get_u32().map_err(crate::RoverError::from)?;
+                let mut ids = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    ids.push(dec.get_u64().map_err(crate::RoverError::from)?);
+                }
+                executed.push((client, ids));
+            }
+            let nd = dec.get_u32().map_err(crate::RoverError::from)?;
+            for _ in 0..nd {
+                let client = dec.get_u32().map_err(crate::RoverError::from)?;
+                let req = dec.get_u64().map_err(crate::RoverError::from)?;
+                let reply = QrpcReply::decode(&mut dec).map_err(crate::RoverError::from)?;
+                dedup.push(((client, req), reply));
+            }
+        }
+
+        self.clear_state();
+        let loaded = objs.len();
+        for obj in objs {
+            self.store.insert(obj.urn.clone(), obj);
+        }
+        self.expected_seq.extend(seqs);
+        self.ack_floor.extend(floors);
+        for (client, ids) in executed {
+            self.executed.insert(client, ids.into_iter().collect());
+        }
+        for (key, reply) in dedup {
+            if self.dedup.insert(key, reply).is_none() {
+                self.dedup_order.push_back(key);
+            }
         }
         Ok(loaded)
+    }
+
+    /// Drops every piece of volatile server state: the store, ordering
+    /// floors, and all derived at-most-once bookkeeping.
+    fn clear_state(&mut self) {
+        self.store.clear();
+        self.expected_seq.clear();
+        self.dedup.clear();
+        self.dedup_order.clear();
+        self.ack_floor.clear();
+        self.executed.clear();
+        self.held.clear();
+        self.importers.clear();
+    }
+
+    // --- write-ahead commit log -----------------------------------------
+
+    /// Registers a durability-plane event listener
+    /// ([`ServerEvent`]: crash, recovery, checkpoint).
+    pub fn on_event<F>(sv: &ServerRef, f: F)
+    where
+        F: FnMut(&mut Sim, &ServerEvent) + 'static,
+    {
+        sv.borrow_mut().listeners.push(Rc::new(RefCell::new(f)));
+    }
+
+    fn emit(sv: &ServerRef, sim: &mut Sim, ev: ServerEvent) {
+        let listeners = sv.borrow().listeners.clone();
+        for l in listeners {
+            (l.borrow_mut())(sim, &ev);
+        }
+    }
+
+    /// Attaches a write-ahead commit log on `store`. From here on, every
+    /// executed request is durable (commit record appended and synced)
+    /// before its reply leaves the host, and checkpoints compact the log
+    /// every [`ServerConfig::checkpoint_every`] commits.
+    ///
+    /// A fresh (empty) device is initialized with a checkpoint of the
+    /// server's current state, so objects installed with
+    /// [`Server::put_object`] before the attach survive a crash. A
+    /// non-empty device is a *restart*: the server's state is replaced
+    /// by checkpoint + log replay, exactly as [`Server::crash_restart`]
+    /// would.
+    pub fn attach_wal(
+        sv: &ServerRef,
+        sim: &mut Sim,
+        store: Box<dyn StableStore>,
+    ) -> Result<(), crate::RoverError> {
+        if sv.borrow().wal.is_some() {
+            return Err(crate::RoverError::Log("wal already attached".into()));
+        }
+        let log =
+            OpLog::open_with(store, FlushPolicy::Manual, false).map_err(crate::RoverError::from)?;
+        if log.is_empty() && log.tail_skipped_bytes() == 0 {
+            sv.borrow_mut().wal = Some(Wal {
+                log,
+                commits_since_ckpt: 0,
+            });
+            Server::write_checkpoint(sv, sim).map_err(crate::RoverError::from)?;
+            Ok(())
+        } else {
+            Server::recover_from_log(sv, sim, log, 0)
+        }
+    }
+
+    /// Creates a server whose state is recovered from `store` (a device
+    /// previously written by a WAL-attached server) and keeps the log
+    /// attached. Equivalent to [`Server::new`] + [`Server::attach_wal`].
+    pub fn recover(
+        net: &Net,
+        cfg: ServerConfig,
+        sim: &mut Sim,
+        store: Box<dyn StableStore>,
+    ) -> Result<ServerRef, crate::RoverError> {
+        let sv = Server::new(net, cfg);
+        Server::attach_wal(&sv, sim, store)?;
+        Ok(sv)
+    }
+
+    /// True once a write-ahead log is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Durable size of the write-ahead device in bytes (0 without one).
+    pub fn wal_device_len(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.log.device_len()).unwrap_or(0)
+    }
+
+    /// True while the server is "down" (between a crash and recovery);
+    /// arriving envelopes are dropped.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Whether this server has executed request `req` of `client` — the
+    /// at-most-once witness the soak harness checks across restarts.
+    /// Ids below the client's acknowledgement floor were pruned from the
+    /// explicit set precisely because the client confirmed receiving
+    /// their replies, so the floor itself vouches for them.
+    pub fn executed_contains(&self, client: HostId, req: rover_wire::RequestId) -> bool {
+        if req.0 < self.ack_floor.get(&client.0).copied().unwrap_or(0) {
+            return true;
+        }
+        self.executed
+            .get(&client.0)
+            .is_some_and(|ex| ex.contains(&req.0))
+    }
+
+    /// Arms a deterministic crash: the server crashes at the `nth`
+    /// WAL-bound commit (1-based, counted across the server's lifetime
+    /// including past restarts) at the given [`CrashPoint`]. The host
+    /// stays down — dropping all traffic — until
+    /// [`Server::crash_restart`] recovers it.
+    pub fn script_crash(&mut self, nth: u64, point: CrashPoint) {
+        self.crash_at = Some((nth, point));
+    }
+
+    /// Cuts power to the server immediately — the soak harness's
+    /// scheduled mid-traffic failure. Volatile state is dead; every
+    /// envelope is dropped until [`Server::crash_restart`] brings the
+    /// host back from the write-ahead device.
+    pub fn crash_now(sv: &ServerRef, sim: &mut Sim) {
+        Server::crash(sv, sim);
+    }
+
+    /// Marks the server crashed: volatile state is dead (recovery wipes
+    /// it), and every envelope is dropped until recovery.
+    fn crash(sv: &ServerRef, sim: &mut Sim) {
+        {
+            let mut s = sv.borrow_mut();
+            s.crashed = true;
+            s.crash_at = None;
+        }
+        sim.stats.incr("server.crashes");
+        sim.trace(
+            "server",
+            "crashed; dropping traffic until recovery".to_owned(),
+        );
+        let durable = sim.stats.counter("server.wal_appends");
+        Server::emit(
+            sv,
+            sim,
+            ServerEvent::Crashed {
+                durable_commits: durable,
+            },
+        );
+    }
+
+    /// Should the scripted crash fire at `point` for commit `ordinal`?
+    fn crash_due(&self, ordinal: u64, point: CrashPoint) -> bool {
+        self.wal.is_some() && self.crash_at == Some((ordinal, point))
+    }
+
+    /// Simulates a machine failure and reboot: all volatile state is
+    /// dropped (unsynced device bytes included), and the server is
+    /// rebuilt from the write-ahead device — newest checkpoint first,
+    /// then replay of every complete commit record after it. Held
+    /// out-of-order writes are lost by design and counted
+    /// (`server.held_dropped_on_recovery`); their clients retransmit.
+    ///
+    /// Requires an attached WAL ([`Server::attach_wal`]).
+    pub fn crash_restart(sv: &ServerRef, sim: &mut Sim) -> Result<(), crate::RoverError> {
+        let (store, held_dropped) = {
+            let mut s = sv.borrow_mut();
+            let Some(wal) = s.wal.take() else {
+                return Err(crate::RoverError::Log(
+                    "crash_restart requires an attached wal".into(),
+                ));
+            };
+            let held_dropped: u64 = s.held.values().map(|m| m.len() as u64).sum();
+            let mut store = wal.log.into_store();
+            store.drop_staged();
+            s.clear_state();
+            s.crashed = true;
+            (store, held_dropped)
+        };
+        if held_dropped > 0 {
+            sim.stats
+                .add("server.held_dropped_on_recovery", held_dropped);
+        }
+        let log =
+            OpLog::open_with(store, FlushPolicy::Manual, false).map_err(crate::RoverError::from)?;
+        Server::recover_from_log(sv, sim, log, held_dropped)
+    }
+
+    /// Rebuilds server state from an opened write-ahead log: newest
+    /// checkpoint snapshot, then replay of commit records after it.
+    /// Installs the log, clears the crashed flag, charges the recovery
+    /// scan to the virtual clock, and emits [`ServerEvent::Recovered`].
+    fn recover_from_log(
+        sv: &ServerRef,
+        sim: &mut Sim,
+        log: OpLog<Box<dyn StableStore>>,
+        held_dropped: u64,
+    ) -> Result<(), crate::RoverError> {
+        let truncated = log.tail_skipped_bytes();
+        let device_bytes = log.device_len();
+        let (recovered, cost) = {
+            let mut s = sv.borrow_mut();
+            s.clear_state();
+            let mut ckpt: Option<(u64, Bytes)> = None;
+            for r in log.records() {
+                if r.kind == REC_CHECKPOINT {
+                    ckpt = Some((r.seq, r.payload.clone()));
+                }
+            }
+            let ckpt_seq = match &ckpt {
+                Some((seq, snap)) => {
+                    s.import_store(snap)?;
+                    *seq
+                }
+                None => 0,
+            };
+            let mut recovered = 0u64;
+            for r in log.records() {
+                if r.kind != REC_COMMIT || r.seq <= ckpt_seq {
+                    continue;
+                }
+                let c = CommitRecord::from_shared(&r.payload).map_err(crate::RoverError::from)?;
+                s.apply_commit(c)?;
+                recovered += 1;
+            }
+            // Re-prune executed ids below the recovered floors, exactly
+            // as the admission path would have.
+            let floors = s.ack_floor.clone();
+            for (client, floor) in floors {
+                if let Some(ex) = s.executed.get_mut(&client) {
+                    *ex = ex.split_off(&floor);
+                }
+            }
+            s.wal = Some(Wal {
+                log,
+                commits_since_ckpt: recovered as usize,
+            });
+            s.crashed = false;
+            // The reboot's recovery scan reads the whole device; charge
+            // it like any other serial work, starting from a fresh CPU
+            // horizon (the old one died with the machine).
+            s.cpu_free_at = sim.now();
+            let scan = s.cfg.cpu.marshal_cost(device_bytes as usize);
+            let cost = s.charge_serial(sim.now(), scan);
+            (recovered, cost)
+        };
+        sim.stats.add("server.recovered_commits", recovered);
+        sim.stats.add("server.recovery_truncated_tail", truncated);
+        sim.stats.sample_duration("server.recovery_ms", cost);
+        sim.trace(
+            "server",
+            format!(
+                "recovered: {recovered} commit(s) replayed, {truncated} torn byte(s) discarded"
+            ),
+        );
+        Server::emit(
+            sv,
+            sim,
+            ServerEvent::Recovered {
+                commits: recovered,
+                truncated_tail: truncated,
+                held_dropped,
+            },
+        );
+        Ok(())
+    }
+
+    /// Installs one replayed commit record's effects.
+    fn apply_commit(&mut self, c: CommitRecord) -> Result<(), crate::RoverError> {
+        let floor = self.ack_floor.entry(c.client.0).or_insert(0);
+        if c.acked_below > *floor {
+            *floor = c.acked_below;
+        }
+        self.executed
+            .entry(c.client.0)
+            .or_default()
+            .insert(c.req_id.0);
+        let key = (c.client.0, c.req_id.0);
+        if self.dedup.insert(key, c.reply).is_none() {
+            self.dedup_order.push_back(key);
+        }
+        if c.session_seq > 0 {
+            let e = self
+                .expected_seq
+                .entry((c.client.0, c.session.0))
+                .or_insert(1);
+            *e = (*e).max(c.session_seq + 1);
+        }
+        if let Some(bytes) = c.obj {
+            let obj = RoverObject::from_shared(&bytes).map_err(crate::RoverError::from)?;
+            self.store.insert(obj.urn.clone(), obj);
+        }
+        Ok(())
+    }
+
+    /// Appends this commit's record to the WAL and syncs it; the receipt
+    /// prices the flush on the virtual clock.
+    fn wal_append_commit(
+        &mut self,
+        req: &QrpcRequest,
+        urn: Option<&Urn>,
+        session_seq: u64,
+        reply: &QrpcReply,
+    ) -> Result<FlushReceipt, LogError> {
+        let obj = match (&req.op, reply.status) {
+            // Only a successful export changes the store; everything
+            // else commits bookkeeping only.
+            (RoverOp::Export { .. }, OpStatus::Ok | OpStatus::Resolved) => {
+                urn.and_then(|u| self.store.get(u)).map(|o| o.to_bytes())
+            }
+            _ => None,
+        };
+        let rec = CommitRecord {
+            client: req.client,
+            req_id: req.req_id,
+            acked_below: req.acked_below,
+            session: req.session,
+            session_seq,
+            urn: req.urn.clone(),
+            obj,
+            reply: reply.clone(),
+        };
+        let wal = self.wal.as_mut().expect("wal attached");
+        wal.log.append(REC_COMMIT, rec.to_bytes())?;
+        let receipt = wal.log.flush()?;
+        wal.commits_since_ckpt += 1;
+        Ok(receipt)
+    }
+
+    /// Snapshots the full server state into the log as a checkpoint
+    /// record, then compacts everything older than it. On success the
+    /// device holds one checkpoint plus the commits since.
+    fn write_checkpoint(sv: &ServerRef, sim: &mut Sim) -> Result<(), LogError> {
+        let res = {
+            let mut s = sv.borrow_mut();
+            s.checkpoint_inner()
+        };
+        match res {
+            Ok((device_bytes, written, compact_failed)) => {
+                sim.stats.incr("server.checkpoints");
+                if compact_failed {
+                    // The device keeps dead frames (recovery ignores
+                    // records older than the newest checkpoint); only
+                    // space reclamation was lost.
+                    sim.stats.incr("server.wal_compact_failed");
+                }
+                // Price the snapshot write like any other flush.
+                let cost = {
+                    let mut s = sv.borrow_mut();
+                    let raw = s.cfg.storage.flush_cost(FlushReceipt {
+                        bytes: written,
+                        synced: true,
+                    });
+                    s.charge_serial(sim.now(), raw)
+                };
+                let _ = cost;
+                Server::emit(sv, sim, ServerEvent::Checkpoint { device_bytes });
+                Ok(())
+            }
+            Err(e) => {
+                sim.stats.incr("server.wal_append_failed");
+                sim.trace("server", format!("checkpoint failed: {e}; crashing"));
+                Server::crash(sv, sim);
+                Err(e)
+            }
+        }
+    }
+
+    /// Appends + syncs the checkpoint record and prunes the log behind
+    /// it. Returns (device bytes after, snapshot bytes written, whether
+    /// compaction failed non-fatally).
+    fn checkpoint_inner(&mut self) -> Result<(u64, usize, bool), LogError> {
+        let snap = self.export_store();
+        let written = snap.len();
+        let wal = self
+            .wal
+            .as_mut()
+            .ok_or_else(|| LogError::Io("no wal attached".into()))?;
+        let seq = wal.log.append(REC_CHECKPOINT, snap)?;
+        wal.log.flush()?;
+        let old: Vec<u64> = wal
+            .log
+            .records()
+            .map(|r| r.seq)
+            .filter(|&q| q < seq)
+            .collect();
+        let had_old = !old.is_empty();
+        for q in old {
+            let _ = wal.log.remove(q);
+        }
+        // A failed compaction is safe: the durable image still contains
+        // the (now-dead) pre-checkpoint frames, and recovery ignores
+        // anything older than the newest checkpoint. When nothing was
+        // removed (the very first checkpoint) there is nothing to
+        // reclaim, so the device rewrite is skipped entirely.
+        let compact_failed = had_old && wal.log.compact().is_err();
+        wal.commits_since_ckpt = 0;
+        Ok((wal.log.device_len(), written, compact_failed))
     }
 
     // ------------------------------------------------------------------
@@ -245,6 +809,12 @@ impl Server {
     }
 
     fn on_request(sv: &ServerRef, sim: &mut Sim, env: Envelope) {
+        // A crashed host receives nothing: the envelope vanishes and the
+        // client's retransmission machinery takes over.
+        if sv.borrow().crashed {
+            sim.stats.incr("server.dropped_while_crashed");
+            return;
+        }
         // Charge unmarshalling cost, then process.
         let cost = {
             let mut s = sv.borrow_mut();
@@ -253,6 +823,10 @@ impl Server {
         };
         let sv2 = sv.clone();
         sim.schedule_after(cost, move |sim| {
+            if sv2.borrow().crashed {
+                sim.stats.incr("server.dropped_while_crashed");
+                return;
+            }
             let req = match QrpcRequest::from_shared(&env.body) {
                 Ok(r) => r,
                 Err(_) => {
@@ -359,6 +933,11 @@ impl Server {
             // successors.
             Server::process(sv, sim, req);
             loop {
+                // A crash mid-drain kills the host; remaining held
+                // writes die with the volatile state.
+                if sv.borrow().crashed {
+                    break;
+                }
                 let next = {
                     let mut s = sv.borrow_mut();
                     let exp = s.expected_seq.get(&skey).copied().unwrap_or(1);
@@ -398,10 +977,41 @@ impl Server {
     }
 
     fn process(sv: &ServerRef, sim: &mut Sim, req: QrpcRequest) {
+        if sv.borrow().crashed {
+            sim.stats.incr("server.dropped_while_crashed");
+            return;
+        }
         let client = req.client;
         // Parse the request URN exactly once; execution and the
         // callback fan-out below both use this parse.
         let parsed = Urn::parse(&req.urn).ok();
+        // Ordered-write sequence this commit consumes (0 = unordered);
+        // recorded in the commit record so the session floor recovers.
+        let ordered_seq = match &req.op {
+            RoverOp::Export { .. } => ExportPayload::from_shared(&req.payload)
+                .map(|p| p.session_seq)
+                .unwrap_or(0),
+            _ => 0,
+        };
+
+        // With a WAL attached this is a commit: number it (the scripted
+        // crash ordinal, monotone across restarts) and honour a crash
+        // scripted *before* the append — nothing was ever made durable
+        // or replied, so after recovery the client's retransmission is a
+        // clean first execution.
+        let wal_bound = sv.borrow().wal.is_some();
+        let ordinal = if wal_bound {
+            let mut s = sv.borrow_mut();
+            s.commit_ordinal += 1;
+            s.commit_ordinal
+        } else {
+            0
+        };
+        if wal_bound && sv.borrow().crash_due(ordinal, CrashPoint::BeforeAppend) {
+            Server::crash(sv, sim);
+            return;
+        }
+
         let (reply, steps) = {
             let mut s = sv.borrow_mut();
             // A second execution of the same request id means its dedup
@@ -421,6 +1031,37 @@ impl Server {
             }
             s.execute(&req, parsed.as_ref())
         };
+
+        // Durability point: the commit record reaches stable storage
+        // before any reply is scheduled. A failed append or sync is a
+        // mid-flush crash — the host goes down with a possibly-torn
+        // frame on the device, which recovery truncates.
+        let mut wal_cost = rover_sim::SimDuration::ZERO;
+        if wal_bound {
+            let res = {
+                let mut s = sv.borrow_mut();
+                s.wal_append_commit(&req, parsed.as_ref(), ordered_seq, &reply)
+            };
+            match res {
+                Ok(receipt) => {
+                    sim.stats.incr("server.wal_appends");
+                    wal_cost = sv.borrow().cfg.storage.flush_cost(receipt);
+                }
+                Err(e) => {
+                    sim.stats.incr("server.wal_append_failed");
+                    sim.trace("server", format!("wal append failed: {e}; crashing"));
+                    Server::crash(sv, sim);
+                    return;
+                }
+            }
+            // Crash scripted *after* the append: the commit is durable
+            // but the reply never leaves — after recovery the client's
+            // retransmission hits the recovered dedup cache.
+            if sv.borrow().crash_due(ordinal, CrashPoint::AfterAppend) {
+                Server::crash(sv, sim);
+                return;
+            }
+        }
 
         // Record dedup + ordering bookkeeping.
         {
@@ -466,10 +1107,32 @@ impl Server {
             }
         }
 
-        // Charge execution + reply marshalling, then transmit.
+        // Checkpoint when due; a failed checkpoint crashes the host
+        // (the commit above is already durable, so the unsent reply is
+        // recovered into the dedup cache and replayed on retransmit).
+        if wal_bound {
+            let due = {
+                let s = sv.borrow();
+                s.cfg.checkpoint_every > 0
+                    && s.wal
+                        .as_ref()
+                        .is_some_and(|w| w.commits_since_ckpt >= s.cfg.checkpoint_every)
+            };
+            if due {
+                let _ = Server::write_checkpoint(sv, sim);
+                if sv.borrow().crashed {
+                    return;
+                }
+            }
+        }
+
+        // Charge execution + reply marshalling + the commit flush, then
+        // transmit.
         let total = {
             let mut s = sv.borrow_mut();
-            let raw = s.cfg.cpu.interp_cost(steps) + s.cfg.cpu.marshal_cost(reply.payload.len());
+            let raw = s.cfg.cpu.interp_cost(steps)
+                + s.cfg.cpu.marshal_cost(reply.payload.len())
+                + wal_cost;
             s.charge_serial(sim.now(), raw)
         };
         sim.stats.sample_duration("server.exec_ms", total);
@@ -718,6 +1381,11 @@ impl Server {
         reply: QrpcReply,
         prio: rover_wire::Priority,
     ) {
+        // A reply computed before the crash never leaves a dead host.
+        if sv.borrow().crashed {
+            sim.stats.incr("server.reply_dropped_crashed");
+            return;
+        }
         let (net, host, mut sched, mut any_up, smtp) = {
             let s = sv.borrow();
             let route = s.routes.get(&client.0);

@@ -203,6 +203,13 @@ impl<S: StableStore> StableStore for FaultStore<S> {
     fn durable_len(&self) -> u64 {
         self.inner.durable_len()
     }
+
+    fn drop_staged(&mut self) {
+        // Both buffering layers are volatile: the wrapper's own staging
+        // area and whatever a FailSync left cached in the inner device.
+        self.staged.clear();
+        self.inner.drop_staged();
+    }
 }
 
 #[cfg(test)]

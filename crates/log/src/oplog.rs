@@ -142,6 +142,7 @@ pub struct OpLog<S: StableStore> {
     compress: bool,
     buffered: usize,
     appended_since_sync: usize,
+    tail_skipped: u64,
 }
 
 impl<S: StableStore> OpLog<S> {
@@ -172,7 +173,14 @@ impl<S: StableStore> OpLog<S> {
             compress,
             buffered: 0,
             appended_since_sync: 0,
+            tail_skipped: (bytes.len() - pos) as u64,
         })
+    }
+
+    /// Bytes of unparseable tail (torn or corrupt frames) discarded by
+    /// [`OpLog::open`]'s recovery scan; zero on a clean open.
+    pub fn tail_skipped_bytes(&self) -> u64 {
+        self.tail_skipped
     }
 
     /// Appends a record, returning its sequence number.

@@ -31,6 +31,40 @@ pub trait StableStore {
 
     /// Returns the durable length in bytes.
     fn durable_len(&self) -> u64;
+
+    /// Simulates the volatile half of a crash on a *live* device:
+    /// buffered (unsynced) bytes vanish, durable bytes survive. Used by
+    /// in-place crash/restart paths that cannot consume the store the
+    /// way [`MemStore::crash`] does.
+    fn drop_staged(&mut self);
+}
+
+/// A boxed device is a device: lets non-generic owners (e.g. the server)
+/// hold any stable store behind `Box<dyn StableStore>`.
+impl StableStore for Box<dyn StableStore> {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), LogError> {
+        (**self).append(bytes)
+    }
+
+    fn sync(&mut self) -> Result<usize, LogError> {
+        (**self).sync()
+    }
+
+    fn read_all(&mut self) -> Result<Vec<u8>, LogError> {
+        (**self).read_all()
+    }
+
+    fn reset(&mut self, bytes: &[u8]) -> Result<(), LogError> {
+        (**self).reset(bytes)
+    }
+
+    fn durable_len(&self) -> u64 {
+        (**self).durable_len()
+    }
+
+    fn drop_staged(&mut self) {
+        (**self).drop_staged()
+    }
 }
 
 /// In-memory stable store with explicit crash semantics, used by the
@@ -93,6 +127,10 @@ impl StableStore for MemStore {
 
     fn durable_len(&self) -> u64 {
         self.durable.len() as u64
+    }
+
+    fn drop_staged(&mut self) {
+        self.staged.clear();
     }
 }
 
@@ -196,6 +234,10 @@ impl StableStore for FileStore {
 
     fn durable_len(&self) -> u64 {
         self.durable_len
+    }
+
+    fn drop_staged(&mut self) {
+        self.staged.clear();
     }
 }
 

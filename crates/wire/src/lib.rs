@@ -9,6 +9,8 @@
 //! - the QRPC protocol envelopes — [`QrpcRequest`], [`QrpcReply`],
 //!   [`Envelope`], [`Fragment`] — and the primitive identifier types
 //!   shared across the toolkit,
+//! - the server write-ahead [`CommitRecord`] — the durable image of one
+//!   executed request, logged before its reply leaves the host,
 //! - a CRC-32 checksum ([`crc32`]) protecting log records and frames,
 //! - a from-scratch LZSS compressor ([`compress`]/[`decompress`]) used
 //!   by the log- and wire-compression ablations (the paper's prototype
@@ -30,6 +32,7 @@
 //! ```
 
 mod checksum;
+mod commit;
 mod http;
 mod lzss;
 mod marshal;
@@ -37,6 +40,7 @@ mod message;
 
 pub use bytes::Bytes;
 pub use checksum::crc32;
+pub use commit::CommitRecord;
 pub use http::{
     envelope_http_bytes, envelope_to_http_request, envelope_to_http_response,
     http_request_to_envelope, http_response_to_envelope, HttpError, HttpRequest, HttpResponse,
