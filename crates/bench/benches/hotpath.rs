@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use rover_bench::exps::scale::{run_scale, ScaleConfig, GROUP_POLICY};
 use rover_core::{RoverObject, Urn};
 use rover_net::{split_envelope, Reassembler};
 use rover_script::{set_program_cache_enabled, Budget, Value};
@@ -407,5 +408,55 @@ fn bench_rdo(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_event_loop, bench_frag, bench_rdo);
+/// A 64-client single-burst scale-soak arm: every client arrives at
+/// once and drives 8 exports at the 1995 server disk model.
+fn burst_cfg(policy: rover_core::CommitPolicy) -> ScaleConfig {
+    let mut cfg = ScaleConfig::new(11, 64, 8).with_policy(policy);
+    cfg.bursts = 1; // one thundering herd, not a staggered arrival ramp
+                    // Pin the fast link so the commit path — not a 14.4k modem — is
+                    // the bottleneck being compared.
+    cfg.link_override = Some(rover_net::LinkSpec::ETHERNET_10M);
+    cfg
+}
+
+/// Virtual-time commits/s of one converged arm.
+fn commits_per_s(policy: rover_core::CommitPolicy) -> f64 {
+    run_scale(burst_cfg(policy))
+        .expect("scale invariants hold")
+        .commits_per_s()
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    // Wall-clock cost of simulating one converged 64-client burst —
+    // the group engine also runs *fewer* simulator events per commit.
+    c.bench_function("commit/group_burst_64c", |b| {
+        b.iter(|| black_box(commits_per_s(GROUP_POLICY)));
+    });
+    c.bench_function("commit/perop_burst_64c", |b| {
+        b.iter(|| black_box(commits_per_s(rover_core::CommitPolicy::PerOperation)));
+    });
+
+    // Headline ratio in *virtual* time — the release gate: under a
+    // 64-client burst on the 1995 server disk, group commit must
+    // sustain >= 4x the per-operation-flush commit rate.
+    let group = commits_per_s(GROUP_POLICY);
+    let per_op = commits_per_s(rover_core::CommitPolicy::PerOperation);
+    let speedup = group / per_op;
+    println!(
+        "commit/speedup_group_vs_perop                {:>10.2}x  (group {:.0} commits/s, per-op {:.0} commits/s)",
+        speedup, group, per_op
+    );
+    assert!(
+        speedup >= 4.0,
+        "group-commit gate: only {speedup:.2}x per-op flush under a 64-client burst (need >= 4x)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_event_loop,
+    bench_frag,
+    bench_rdo,
+    bench_group_commit
+);
 criterion_main!(benches);

@@ -5,6 +5,7 @@ pub mod apps;
 pub mod drain;
 pub mod micro;
 pub mod migration;
+pub mod scale;
 pub mod soak;
 pub mod tables;
 
@@ -28,6 +29,7 @@ pub const ALL: &[&str] = &[
     "a4-consistency",
     "a5-callbacks",
     "a6-fragmentation",
+    "s1-scale",
 ];
 
 /// Runs one experiment by id into a buffered [`Report`]; `None` for
@@ -53,6 +55,7 @@ pub fn run_report(id: &str) -> Option<crate::report::Report> {
         "a4-consistency" => ablations::a4_consistency(&mut r),
         "a5-callbacks" => ablations::a5_callbacks(&mut r),
         "a6-fragmentation" => ablations::a6_fragmentation(&mut r),
+        "s1-scale" => scale::s1_scale(&mut r),
         _ => return None,
     }
     Some(r)

@@ -1,0 +1,708 @@
+//! Scale soak: thousands of clients hammer one server and the
+//! group-commit engine is measured against the per-operation flush
+//! baseline.
+//!
+//! Where the chaos soak (`soak.rs`) stresses *correctness* under lossy
+//! links, the scale soak stresses *throughput*: clean links, zipf-skewed
+//! object access over a fixed object population, bursty arrivals with a
+//! mix of open-loop (fixed think time) and closed-loop (next export
+//! chained on the previous commit) clients, and three link classes.
+//! Every run reports server-side throughput — commits/s, p50/p99 reply
+//! latency, WAL bytes/s, mean group-commit batch size — and the same
+//! exactly-once invariants the chaos soak enforces:
+//!
+//! - **zero lost commits**: the object counters sum to the exports
+//!   issued;
+//! - **zero re-executions**: `server.dedup_miss_reexec == 0`;
+//! - **every promise decided** `Ok`/`Resolved`;
+//! - **byte-reproducible**: the same seed yields the same digest.
+//!
+//! [`run_pair`] runs both commit policies on the same seed and checks
+//! the headline acceptance gate: with the 1995 server disk model, group
+//! commit must sustain at least 5x the per-operation commits/s once the
+//! client population is large enough for batching to matter.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use rover_core::{
+    Client, ClientConfig, ClientRef, CommitPolicy, Guarantees, ReexecuteResolver, RoverObject,
+    Server, ServerConfig, Urn,
+};
+use rover_log::MemStore;
+use rover_net::{LinkSpec, Net};
+use rover_sim::{Sim, SimDuration, SimTime};
+use rover_wire::{HostId, OpStatus, Priority, SessionId};
+
+use crate::report::Report;
+use crate::table::Table;
+
+/// Objects in the store; zipf-skewed assignment concentrates most
+/// clients on the head of this population.
+const NOBJ: usize = 64;
+/// Zipf exponent for the object-popularity distribution.
+const ZIPF_S: f64 = 1.0;
+
+const SERVER: HostId = HostId(1);
+
+/// Parameters of one scale-soak arm.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Master seed (simulator RNG + the zipf/arrival draw).
+    pub seed: u64,
+    /// Client population.
+    pub clients: usize,
+    /// Exports issued per client.
+    pub ops_per_client: usize,
+    /// Arrival bursts the population is split into.
+    pub bursts: usize,
+    /// Gap between consecutive arrival bursts.
+    pub burst_gap: SimDuration,
+    /// Open-loop inter-export think time (closed-loop clients chain on
+    /// the previous commit instead).
+    pub think: SimDuration,
+    /// Give every client this link class instead of the round-robin
+    /// ethernet/WaveLAN/CSLIP mix (the hotpath gate pins ethernet so
+    /// the *server*, not a 14.4k modem, is the bottleneck).
+    pub link_override: Option<LinkSpec>,
+    /// Server commit policy under test.
+    pub policy: CommitPolicy,
+}
+
+/// The group policy both the CLI and the `s1-scale` experiment measure:
+/// flush at 64 staged commits or 20 ms after the first, whichever is
+/// first.
+pub const GROUP_POLICY: CommitPolicy = CommitPolicy::Group {
+    max_batch: 64,
+    window: SimDuration::from_millis(20),
+};
+
+impl ScaleConfig {
+    /// A per-operation-flush arm at the given population.
+    pub fn new(seed: u64, clients: usize, ops_per_client: usize) -> ScaleConfig {
+        ScaleConfig {
+            seed,
+            clients,
+            ops_per_client,
+            bursts: 16,
+            burst_gap: SimDuration::from_millis(100),
+            think: SimDuration::from_millis(10),
+            link_override: None,
+            policy: CommitPolicy::PerOperation,
+        }
+    }
+
+    /// Swaps in a commit policy.
+    pub fn with_policy(mut self, policy: CommitPolicy) -> ScaleConfig {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Measured result of one converged scale arm. All fields are integers
+/// so equal digests mean byte-identical runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaleOutcome {
+    /// Seed the arm used.
+    pub seed: u64,
+    /// Client population.
+    pub clients: u64,
+    /// Exports issued (clients x ops_per_client).
+    pub ops: u64,
+    /// Exports whose committed promise resolved `Ok`/`Resolved`.
+    pub committed: u64,
+    /// Sum of the final object counters — must equal `ops`.
+    pub final_total: u64,
+    /// `server.dedup_miss_reexec` — must be zero.
+    pub reexecs: u64,
+    /// First export to last commit, in virtual milliseconds.
+    pub duration_ms: u64,
+    /// Commit records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Framed bytes forced to the WAL device.
+    pub wal_flush_bytes: u64,
+    /// Group flushes (`server.group_commits`; 0 on the per-op arm).
+    pub group_commits: u64,
+    /// Mean commits per flush x100 (100 = one per flush, per-op).
+    pub batch_mean_x100: u64,
+    /// Mean staged-to-durable wait in microseconds (0 on the per-op
+    /// arm, where nothing ever waits staged).
+    pub flush_wait_us_mean: u64,
+    /// Replies that rode an earlier reply's envelope.
+    pub reply_coalesced: u64,
+    /// Median export reply latency (issue to committed), microseconds.
+    pub p50_reply_us: u64,
+    /// 99th-percentile export reply latency, microseconds.
+    pub p99_reply_us: u64,
+    /// Client retransmissions (clean links: expected 0).
+    pub retransmits: u64,
+    /// Order-insensitive FNV fingerprint of everything above.
+    pub digest: u64,
+}
+
+impl ScaleOutcome {
+    /// Server throughput in commits per virtual second.
+    pub fn commits_per_s(&self) -> f64 {
+        self.ops as f64 / (self.duration_ms.max(1) as f64 / 1000.0)
+    }
+
+    /// WAL device bandwidth in bytes per virtual second.
+    pub fn wal_bytes_per_s(&self) -> f64 {
+        self.wal_flush_bytes as f64 / (self.duration_ms.max(1) as f64 / 1000.0)
+    }
+}
+
+/// splitmix64: the deterministic draw behind zipf picks and arrival
+/// jitter (independent of the simulator RNG so both arms of a seed see
+/// the same workload).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from one splitmix output.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Cumulative zipf(s) distribution over `n` ranks.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    let mut acc = 0.0;
+    for x in &mut w {
+        acc += *x / total;
+        *x = acc;
+    }
+    w
+}
+
+fn zipf_pick(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+fn client_host(i: usize) -> HostId {
+    HostId(10 + i as u32)
+}
+
+/// The three link classes, assigned round-robin: office ethernet,
+/// in-building wireless, and a dial-up modem.
+fn link_class(i: usize) -> LinkSpec {
+    match i % 3 {
+        0 => LinkSpec::ETHERNET_10M,
+        1 => LinkSpec::WAVELAN_2M,
+        _ => LinkSpec::CSLIP_14_4,
+    }
+}
+
+/// Per-run mutable state shared by every client's callbacks.
+struct Shared {
+    done: Cell<u64>,
+    last_done: Cell<SimTime>,
+    /// (issue time, committed promise) per export, in issue order.
+    issued: RefCell<Vec<(SimTime, rover_core::Promise)>>,
+    errors: RefCell<Vec<String>>,
+}
+
+/// Issues one export and counts its commit; returns false on an issue
+/// error (recorded in `st.errors`).
+fn issue_export(
+    sim: &mut Sim,
+    cl: &ClientRef,
+    urn: &Urn,
+    session: SessionId,
+    st: &Rc<Shared>,
+) -> bool {
+    let h = match Client::export(cl, sim, urn, session, "add", &["1"], Priority::NORMAL) {
+        Ok(h) => h,
+        Err(e) => {
+            st.errors.borrow_mut().push(format!("export failed: {e:?}"));
+            return false;
+        }
+    };
+    let committed = h.committed.clone();
+    st.issued.borrow_mut().push((sim.now(), h.committed));
+    let st2 = st.clone();
+    committed.on_ready(sim, move |sim, _| {
+        st2.done.set(st2.done.get() + 1);
+        st2.last_done.set(sim.now());
+    });
+    true
+}
+
+/// Closed-loop driver: each commit triggers the next export.
+fn chain_exports(
+    sim: &mut Sim,
+    cl: ClientRef,
+    urn: Urn,
+    session: SessionId,
+    left: usize,
+    st: Rc<Shared>,
+) {
+    if left == 0 {
+        return;
+    }
+    let h = match Client::export(&cl, sim, &urn, session, "add", &["1"], Priority::NORMAL) {
+        Ok(h) => h,
+        Err(e) => {
+            st.errors.borrow_mut().push(format!("export failed: {e:?}"));
+            return;
+        }
+    };
+    let committed = h.committed.clone();
+    st.issued.borrow_mut().push((sim.now(), h.committed));
+    committed.on_ready(sim, move |sim, _| {
+        st.done.set(st.done.get() + 1);
+        st.last_done.set(sim.now());
+        chain_exports(sim, cl, urn, session, left - 1, st);
+    });
+}
+
+/// Runs one scale arm to quiescence; `Err` describes the first violated
+/// invariant.
+pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
+    let total_ops = (cfg.clients * cfg.ops_per_client) as u64;
+    let mut sim = Sim::new(cfg.seed);
+    let net = Net::new();
+    let mut scfg = ServerConfig::workstation(SERVER);
+    scfg.commit = cfg.policy;
+    // At 10k clients a periodic full-store snapshot would dominate the
+    // flush pipeline being measured; the log is compacted offline.
+    scfg.checkpoint_every = 0;
+    // Clean links never force a retransmission, but size the dedup
+    // cache so even one would replay rather than re-execute.
+    scfg.dedup_capacity = (total_ops as usize).max(4096);
+    let server = Server::new(&net, scfg);
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    let urns: Vec<Urn> = (0..NOBJ)
+        .map(|k| Urn::parse(&format!("urn:rover:scale/obj{k}")).expect("valid urn"))
+        .collect();
+    for urn in &urns {
+        server.borrow_mut().put_object(
+            RoverObject::new(urn.clone(), "counter")
+                .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+                .with_field("n", "0"),
+        );
+    }
+    Server::attach_wal(&server, &mut sim, Box::new(MemStore::new()))
+        .map_err(|e| format!("seed {}: attach_wal failed: {e:?}", cfg.seed))?;
+
+    let cdf = zipf_cdf(NOBJ, ZIPF_S);
+    let mut draw = cfg.seed ^ 0xC0FF_EE00_5CA1_E5A7;
+    let st = Rc::new(Shared {
+        done: Cell::new(0),
+        last_done: Cell::new(sim.now()),
+        issued: RefCell::new(Vec::with_capacity(total_ops as usize)),
+        errors: RefCell::new(Vec::new()),
+    });
+
+    let mut clients: Vec<ClientRef> = Vec::with_capacity(cfg.clients);
+    for i in 0..cfg.clients {
+        let host = client_host(i);
+        let spec = cfg.link_override.unwrap_or_else(|| link_class(i));
+        let link = net.add_link(spec, host, SERVER);
+        server.borrow_mut().add_route(host, link);
+        let mut ccfg = ClientConfig::thinkpad(host, SERVER);
+        // Reply latency under a saturated per-op server can reach
+        // minutes; probe far beyond it so clean links never retransmit.
+        ccfg.rto = SimDuration::from_secs(900);
+        ccfg.rto_backoff = 2.0;
+        ccfg.rto_max = SimDuration::from_secs(3600);
+        let cl = Client::new(&mut sim, &net, ccfg, vec![link]);
+        let session = Client::create_session(&cl, Guarantees::ALL, true);
+
+        let urn = urns[zipf_pick(&cdf, unit(splitmix(&mut draw)))].clone();
+        let burst = (i * cfg.bursts.max(1)) / cfg.clients.max(1);
+        let jitter = SimDuration::from_micros(splitmix(&mut draw) % 40_000);
+        let arrival =
+            SimDuration::from_micros(cfg.burst_gap.as_micros() * burst as u64 + jitter.as_micros());
+        let closed = i % 2 == 0;
+        let (cl2, st2, ops, think) = (cl.clone(), st.clone(), cfg.ops_per_client, cfg.think);
+        sim.schedule_after(arrival, move |sim| {
+            let p = match Client::import(&cl2, sim, &urn, session, Priority::FOREGROUND) {
+                Ok(p) => p,
+                Err(e) => {
+                    st2.errors
+                        .borrow_mut()
+                        .push(format!("import failed: {e:?}"));
+                    return;
+                }
+            };
+            p.on_ready(sim, move |sim, o| {
+                if o.status != OpStatus::Ok {
+                    st2.errors
+                        .borrow_mut()
+                        .push(format!("import resolved {:?}", o.status));
+                    return;
+                }
+                if closed {
+                    chain_exports(sim, cl2, urn, session, ops, st2);
+                } else {
+                    for j in 0..ops {
+                        let (cl3, urn3, st3) = (cl2.clone(), urn.clone(), st2.clone());
+                        sim.schedule_after(
+                            SimDuration::from_micros(think.as_micros() * j as u64),
+                            move |sim| {
+                                issue_export(sim, &cl3, &urn3, session, &st3);
+                            },
+                        );
+                    }
+                }
+            });
+        });
+        clients.push(cl);
+    }
+
+    // Drive until every export's commit promise resolved.
+    let t0 = sim.now();
+    let deadline = t0 + SimDuration::from_secs(4 * 3600);
+    while st.done.get() < total_ops {
+        if let Some(e) = st.errors.borrow().first() {
+            return Err(format!("seed {}: {e}", cfg.seed));
+        }
+        if !sim.step() {
+            return Err(format!(
+                "seed {}: event queue drained with {}/{total_ops} commits",
+                cfg.seed,
+                st.done.get()
+            ));
+        }
+        if sim.now() > deadline {
+            return Err(format!(
+                "seed {}: did not converge ({}/{total_ops} commits at {})",
+                cfg.seed,
+                st.done.get(),
+                sim.now()
+            ));
+        }
+    }
+    let duration_ms = st.last_done.get().since(t0).as_millis_f64().ceil() as u64;
+    sim.run(); // Drain residual probe timers and notifications.
+    if let Some(e) = st.errors.borrow().first() {
+        return Err(format!("seed {}: {e}", cfg.seed));
+    }
+
+    let final_total: u64 = urns
+        .iter()
+        .map(|u| {
+            server
+                .borrow()
+                .get_object(u)
+                .and_then(|o| o.field("n").and_then(|v| v.parse::<u64>().ok()))
+                .unwrap_or(0)
+        })
+        .sum();
+    let issued = st.issued.borrow();
+    let committed = issued
+        .iter()
+        .filter(|(_, p)| {
+            matches!(
+                p.poll().map(|o| o.status),
+                Some(OpStatus::Ok) | Some(OpStatus::Resolved)
+            )
+        })
+        .count() as u64;
+    let mut reply_us: Vec<u64> = issued
+        .iter()
+        .filter_map(|(t, p)| p.resolved_at().map(|r| r.since(*t).as_micros()))
+        .collect();
+    reply_us.sort_unstable();
+    let q = |f: f64| -> u64 {
+        if reply_us.is_empty() {
+            return 0;
+        }
+        let idx = ((reply_us.len() as f64 * f).ceil() as usize).clamp(1, reply_us.len());
+        reply_us[idx - 1]
+    };
+    let (p50_reply_us, p99_reply_us) = (q(0.50), q(0.99));
+    drop(issued);
+
+    let reexecs = sim.stats.counter("server.dedup_miss_reexec");
+    let wal_appends = sim.stats.counter("server.wal_appends");
+    let wal_flush_bytes = sim.stats.counter("server.wal_flush_bytes");
+    let group_commits = sim.stats.counter("server.group_commits");
+    let batch_mean_x100 = sim
+        .stats
+        .series("server.group_commit_batch_size")
+        .map_or(100, |s| (s.mean() * 100.0).round() as u64);
+    let flush_wait_us_mean = sim
+        .stats
+        .series("server.flush_wait_ms")
+        .map_or(0, |s| (s.mean() * 1000.0).round() as u64);
+    let reply_coalesced = sim.stats.counter("server.reply_coalesced");
+    let retransmits = sim.stats.counter("client.retransmits");
+
+    if final_total != total_ops {
+        return Err(format!(
+            "seed {}: lost or duplicated ops: counters sum to {final_total}, issued {total_ops}",
+            cfg.seed
+        ));
+    }
+    if committed != total_ops {
+        return Err(format!(
+            "seed {}: {committed}/{total_ops} exports resolved Ok/Resolved",
+            cfg.seed
+        ));
+    }
+    if reexecs != 0 {
+        return Err(format!(
+            "seed {}: {reexecs} dedup-miss re-executions (at-most-once violated)",
+            cfg.seed
+        ));
+    }
+    if wal_appends < total_ops {
+        return Err(format!(
+            "seed {}: only {wal_appends} WAL commit records for {total_ops} exports",
+            cfg.seed
+        ));
+    }
+    match cfg.policy {
+        CommitPolicy::Group { .. } if group_commits == 0 => {
+            return Err(format!(
+                "seed {}: group policy never flushed a group",
+                cfg.seed
+            ));
+        }
+        CommitPolicy::PerOperation if group_commits != 0 => {
+            return Err(format!(
+                "seed {}: per-op policy recorded {group_commits} group flushes",
+                cfg.seed
+            ));
+        }
+        _ => {}
+    }
+    for cl in &clients {
+        if Client::log_len(cl) != 0 {
+            return Err(format!(
+                "seed {}: client log not empty after convergence",
+                cfg.seed
+            ));
+        }
+    }
+
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        cfg.seed,
+        cfg.clients as u64,
+        total_ops,
+        committed,
+        final_total,
+        reexecs,
+        duration_ms,
+        wal_appends,
+        wal_flush_bytes,
+        group_commits,
+        batch_mean_x100,
+        flush_wait_us_mean,
+        reply_coalesced,
+        p50_reply_us,
+        p99_reply_us,
+        retransmits,
+    ] {
+        digest ^= v;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    Ok(ScaleOutcome {
+        seed: cfg.seed,
+        clients: cfg.clients as u64,
+        ops: total_ops,
+        committed,
+        final_total,
+        reexecs,
+        duration_ms,
+        wal_appends,
+        wal_flush_bytes,
+        group_commits,
+        batch_mean_x100,
+        flush_wait_us_mean,
+        reply_coalesced,
+        p50_reply_us,
+        p99_reply_us,
+        retransmits,
+        digest,
+    })
+}
+
+/// Runs both commit-policy arms on one seed and returns
+/// `(per_op, group, speedup)`. Past `RATIO_MIN_CLIENTS` clients the
+/// group arm must sustain at least [`RATIO_FLOOR`]x the per-operation
+/// commits/s — the release acceptance gate.
+pub fn run_pair(
+    seed: u64,
+    clients: usize,
+    ops_per_client: usize,
+) -> Result<(ScaleOutcome, ScaleOutcome, f64), String> {
+    let base = ScaleConfig::new(seed, clients, ops_per_client);
+    let per_op = run_scale(base)?;
+    let group = run_scale(base.with_policy(GROUP_POLICY))?;
+    let speedup = group.commits_per_s() / per_op.commits_per_s();
+    if clients >= RATIO_MIN_CLIENTS && speedup < RATIO_FLOOR {
+        return Err(format!(
+            "seed {seed}: group commit only {speedup:.2}x per-op commits/s at {clients} clients \
+             (gate: >= {RATIO_FLOOR}x)"
+        ));
+    }
+    Ok((per_op, group, speedup))
+}
+
+/// Population at which the throughput gate is enforced (below it the
+/// arrival schedule, not the commit path, bounds both arms).
+pub const RATIO_MIN_CLIENTS: usize = 256;
+/// Required group-commit speedup over per-operation flush.
+pub const RATIO_FLOOR: f64 = 5.0;
+
+fn outcome_rows(t: &mut Table, o: &ScaleOutcome, arm: &str) {
+    t.row(vec![
+        o.seed.to_string(),
+        arm.to_owned(),
+        o.clients.to_string(),
+        o.ops.to_string(),
+        format!("{:.0}", o.commits_per_s()),
+        format!("{:.1}", o.p50_reply_us as f64 / 1000.0),
+        format!("{:.1}", o.p99_reply_us as f64 / 1000.0),
+        format!("{:.0}", o.wal_bytes_per_s() / 1024.0),
+        format!("{:.2}", o.batch_mean_x100 as f64 / 100.0),
+        o.reply_coalesced.to_string(),
+    ]);
+}
+
+/// Renders one seed's two arms into a comparison table + metrics.
+fn report_pair(r: &mut Report, t: &mut Table, trio: &(ScaleOutcome, ScaleOutcome, f64)) {
+    let (per_op, group, speedup) = trio;
+    outcome_rows(t, per_op, "per-op");
+    outcome_rows(t, group, "group");
+    for (o, arm) in [(per_op, "perop"), (group, "group")] {
+        let s = o.seed;
+        r.metric(
+            format!("scale.seed{s}.{arm}.commits_per_s"),
+            o.commits_per_s(),
+        );
+        r.metric(
+            format!("scale.seed{s}.{arm}.p50_reply_ms"),
+            o.p50_reply_us as f64 / 1000.0,
+        );
+        r.metric(
+            format!("scale.seed{s}.{arm}.p99_reply_ms"),
+            o.p99_reply_us as f64 / 1000.0,
+        );
+        r.metric(
+            format!("scale.seed{s}.{arm}.wal_bytes_per_s"),
+            o.wal_bytes_per_s(),
+        );
+        r.metric(
+            format!("scale.seed{s}.{arm}.mean_batch"),
+            o.batch_mean_x100 as f64 / 100.0,
+        );
+    }
+    r.metric(format!("scale.seed{}.speedup", per_op.seed), *speedup);
+}
+
+/// CLI entry for `rover-bench soak --clients N`: every seed runs both
+/// arms; `Err` on the first violated invariant (including the speedup
+/// gate).
+pub fn run_cli(
+    seeds: impl IntoIterator<Item = u64>,
+    clients: usize,
+    smoke: bool,
+) -> Result<Report, String> {
+    let ops = if smoke { 2 } else { 3 };
+    let mut r = Report::new("scale");
+    let mut t = Table::new(
+        &format!(
+            "Scale soak — {clients} clients x {ops} ops, per-op flush vs group commit \
+             (batch 64 / 20 ms window)"
+        ),
+        &[
+            "seed",
+            "arm",
+            "clients",
+            "ops",
+            "commit/s",
+            "p50 ms",
+            "p99 ms",
+            "wal KiB/s",
+            "batch",
+            "coal",
+        ],
+    )
+    .note(
+        "Clean links (ethernet / WaveLAN / CSLIP mix), zipf-skewed objects, \
+         bursty open+closed arrivals; 1995 server disk model.",
+    );
+    let mut speedups = Vec::new();
+    for seed in seeds {
+        let trio = run_pair(seed, clients, ops)?;
+        report_pair(&mut r, &mut t, &trio);
+        speedups.push(trio.2);
+    }
+    r.table(&t);
+    for (i, s) in speedups.iter().enumerate() {
+        r.metric(format!("scale.run{i}.speedup"), *s);
+    }
+    Ok(r)
+}
+
+/// The `s1-scale` experiment: the full 10k-client soak, both arms, one
+/// seed — the headline group-commit throughput figures in
+/// `results/BENCH_rover.json`.
+pub fn s1_scale(r: &mut Report) {
+    const CLIENTS: usize = 10_000;
+    const OPS: usize = 3;
+    let mut t = Table::new(
+        "S1 — 10k-client scale soak: per-op flush vs group commit (batch 64 / 20 ms window)",
+        &[
+            "seed",
+            "arm",
+            "clients",
+            "ops",
+            "commit/s",
+            "p50 ms",
+            "p99 ms",
+            "wal KiB/s",
+            "batch",
+            "coal",
+        ],
+    )
+    .note(
+        "Clean links (ethernet / WaveLAN / CSLIP mix), zipf-skewed objects, bursty \
+         open+closed arrivals; 1995 server disk model. Gate: group >= 5x per-op commits/s.",
+    );
+    match run_pair(1, CLIENTS, OPS) {
+        Ok(trio) => {
+            report_pair(r, &mut t, &trio);
+            r.table(&t);
+        }
+        Err(e) => panic!("s1-scale invariant violated: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_skewed() {
+        let cdf = zipf_cdf(NOBJ, ZIPF_S);
+        assert_eq!(cdf.len(), NOBJ);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        assert!((cdf[NOBJ - 1] - 1.0).abs() < 1e-9);
+        // Rank 1 carries far more than a uniform share.
+        assert!(cdf[0] > 3.0 / NOBJ as f64);
+        assert_eq!(zipf_pick(&cdf, 0.0), 0);
+        assert_eq!(zipf_pick(&cdf, 0.999_999_999), NOBJ - 1);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let (mut a, mut b) = (42u64, 42u64);
+        for _ in 0..8 {
+            assert_eq!(splitmix(&mut a), splitmix(&mut b));
+        }
+    }
+}

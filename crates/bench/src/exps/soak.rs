@@ -58,6 +58,10 @@ pub struct SoakConfig {
     /// Server crash/restart cycles scheduled mid-traffic (0 = the
     /// server never fails and no write-ahead log is attached).
     pub server_crashes: usize,
+    /// Run the server's commit path under group commit (batched WAL
+    /// flushes + coalesced replies) instead of per-operation flush.
+    /// Implies a write-ahead log even when `server_crashes == 0`.
+    pub group_commit: bool,
 }
 
 impl SoakConfig {
@@ -68,6 +72,7 @@ impl SoakConfig {
             clients: 5,
             ops_per_client: 100,
             server_crashes: 0,
+            group_commit: false,
         }
     }
 
@@ -78,12 +83,21 @@ impl SoakConfig {
             clients: 3,
             ops_per_client: 20,
             server_crashes: 0,
+            group_commit: false,
         }
     }
 
     /// Adds `n` scheduled server crash/restart cycles.
     pub fn with_server_crashes(mut self, n: usize) -> SoakConfig {
         self.server_crashes = n;
+        self
+    }
+
+    /// Switches the server to the group-commit engine
+    /// ([`CommitPolicy::Group`], batch 8 / 50 ms window — sized for the
+    /// soak's modest concurrency).
+    pub fn with_group_commit(mut self) -> SoakConfig {
+        self.group_commit = true;
         self
     }
 }
@@ -124,6 +138,16 @@ pub struct SoakOutcome {
     /// Mean recovery scan time across restarts, in microseconds
     /// (virtual time; 0 when the server never crashed).
     pub recovery_us_mean: u64,
+    /// Group flushes performed (`server.group_commits`; 0 under the
+    /// per-operation policy).
+    pub group_commits: u64,
+    /// Mean commits per group flush x100 (100 = one per flush).
+    pub group_batch_mean_x100: u64,
+    /// Replies that rode an earlier reply's coalesced envelope.
+    pub reply_coalesced: u64,
+    /// Mean staged-to-durable wait per commit, in microseconds (0 under
+    /// the per-operation policy, where nothing ever waits staged).
+    pub flush_wait_us_mean: u64,
     /// Order-insensitive fingerprint of final state + stats; equal
     /// digests mean byte-identical runs.
     pub digest: u64,
@@ -140,7 +164,14 @@ fn client_host(i: usize) -> HostId {
 pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
     let mut sim = Sim::new(cfg.seed);
     let net = Net::new();
-    let server = Server::new(&net, ServerConfig::workstation(SERVER));
+    let mut scfg = ServerConfig::workstation(SERVER);
+    if cfg.group_commit {
+        scfg.commit = rover_core::CommitPolicy::Group {
+            max_batch: 8,
+            window: SimDuration::from_millis(50),
+        };
+    }
+    let server = Server::new(&net, scfg);
     server
         .borrow_mut()
         .register_resolver("counter", Box::new(ReexecuteResolver));
@@ -150,7 +181,7 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
             .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
             .with_field("n", "0"),
     );
-    if cfg.server_crashes > 0 {
+    if cfg.server_crashes > 0 || cfg.group_commit {
         // Durable mode: the initial checkpoint snapshots the counter
         // object, and every commit hits the log before its reply.
         Server::attach_wal(&server, &mut sim, Box::new(MemStore::new()))
@@ -290,6 +321,16 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         .stats
         .series("server.recovery_ms")
         .map_or(0, |s| (s.mean() * 1000.0).round() as u64);
+    let group_commits = sim.stats.counter("server.group_commits");
+    let group_batch_mean_x100 = sim
+        .stats
+        .series("server.group_commit_batch_size")
+        .map_or(100, |s| (s.mean() * 100.0).round() as u64);
+    let reply_coalesced = sim.stats.counter("server.reply_coalesced");
+    let flush_wait_us_mean = sim
+        .stats
+        .series("server.flush_wait_ms")
+        .map_or(0, |s| (s.mean() * 1000.0).round() as u64);
     let corrupt_injected = sim.stats.counter("net.faults_injected.corrupt");
     let corrupt_rejected = sim.stats.counter("net.corrupt_rejected");
     let faults = corrupt_injected
@@ -361,6 +402,22 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         }
     }
 
+    // Group-commit invariants (group mode only).
+    if cfg.group_commit {
+        if group_commits == 0 {
+            return Err(format!(
+                "seed {}: group commit enabled but no group ever flushed",
+                cfg.seed
+            ));
+        }
+        if wal_appends < ops {
+            return Err(format!(
+                "seed {}: only {wal_appends} WAL commit records for {ops} exports",
+                cfg.seed
+            ));
+        }
+    }
+
     let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
     for v in [
         cfg.seed,
@@ -378,6 +435,10 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         recovered_commits,
         recovery_truncated_tail,
         recovery_us_mean,
+        group_commits,
+        group_batch_mean_x100,
+        reply_coalesced,
+        flush_wait_us_mean,
     ] {
         digest ^= v;
         digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
@@ -400,17 +461,24 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         recovered_commits,
         recovery_truncated_tail,
         recovery_us_mean,
+        group_commits,
+        group_batch_mean_x100,
+        reply_coalesced,
+        flush_wait_us_mean,
         digest,
     })
 }
 
 /// Runs a range of seeds and renders the per-seed table; `Err` on the
 /// first invariant violation. `server_crashes > 0` adds the durability
-/// plane (write-ahead log + scheduled power failures) and its columns.
+/// plane (write-ahead log + scheduled power failures) and its columns;
+/// `group_commit` runs the server's group-commit engine and adds its
+/// columns.
 pub fn run_seeds(
     seeds: impl IntoIterator<Item = u64>,
     smoke: bool,
     server_crashes: usize,
+    group_commit: bool,
 ) -> Result<(Report, Vec<SoakOutcome>), String> {
     let mut r = Report::new("soak");
     let title = if smoke {
@@ -418,19 +486,16 @@ pub fn run_seeds(
     } else {
         "Soak — chaos convergence (5 clients × 100 ops per seed)"
     };
-    let base_cols = [
+    let mut cols = vec![
         "seed", "ops", "final n", "faults", "crc rej", "rexmit", "reexec", "converge",
     ];
-    let crash_cols = [
-        "seed", "ops", "final n", "faults", "crc rej", "rexmit", "reexec", "converge", "crash",
-        "wal", "ckpt", "replay", "torn B", "recov",
-    ];
-    let cols: &[&str] = if server_crashes > 0 {
-        &crash_cols
-    } else {
-        &base_cols
-    };
-    let note = if server_crashes > 0 {
+    if server_crashes > 0 {
+        cols.extend(["crash", "wal", "ckpt", "replay", "torn B", "recov"]);
+    }
+    if group_commit {
+        cols.extend(["gflush", "batch", "coal", "fwait"]);
+    }
+    let mut note = if server_crashes > 0 {
         format!(
             "Flapping link, 5% drop, 1% corruption, 2% duplication, 40 ms jitter; \
              {server_crashes} server power failure(s) per seed, 12 s outage each."
@@ -438,15 +503,21 @@ pub fn run_seeds(
     } else {
         "Flapping link, 5% drop, 1% corruption, 2% duplication, 40 ms jitter.".to_owned()
     };
-    let mut t = Table::new(title, cols).note(&note);
+    if group_commit {
+        note.push_str(" Group commit: batch 8 / 50 ms window, coalesced replies.");
+    }
+    let mut t = Table::new(title, &cols).note(&note);
     let mut outs = Vec::new();
     for seed in seeds {
-        let cfg = if smoke {
+        let mut cfg = if smoke {
             SoakConfig::smoke(seed)
         } else {
             SoakConfig::full(seed)
         }
         .with_server_crashes(server_crashes);
+        if group_commit {
+            cfg = cfg.with_group_commit();
+        }
         let o = run_seed(cfg)?;
         let mut row = vec![
             o.seed.to_string(),
@@ -468,6 +539,14 @@ pub fn run_seeds(
                 format!("{:.1} ms", o.recovery_us_mean as f64 / 1000.0),
             ]);
         }
+        if group_commit {
+            row.extend([
+                o.group_commits.to_string(),
+                format!("{:.2}", o.group_batch_mean_x100 as f64 / 100.0),
+                o.reply_coalesced.to_string(),
+                format!("{:.1} ms", o.flush_wait_us_mean as f64 / 1000.0),
+            ]);
+        }
         t.row(row);
         r.metric(
             format!("soak.seed{}.converge_ms", o.seed),
@@ -486,6 +565,24 @@ pub fn run_seeds(
             r.metric(
                 format!("soak.seed{}.recovery_ms", o.seed),
                 o.recovery_us_mean as f64 / 1000.0,
+            );
+        }
+        if group_commit {
+            r.metric(
+                format!("soak.seed{}.group_commits", o.seed),
+                o.group_commits as f64,
+            );
+            r.metric(
+                format!("soak.seed{}.mean_batch", o.seed),
+                o.group_batch_mean_x100 as f64 / 100.0,
+            );
+            r.metric(
+                format!("soak.seed{}.reply_coalesced", o.seed),
+                o.reply_coalesced as f64,
+            );
+            r.metric(
+                format!("soak.seed{}.flush_wait_ms", o.seed),
+                o.flush_wait_us_mean as f64 / 1000.0,
             );
         }
         outs.push(o);

@@ -102,14 +102,27 @@ fn main() {
 }
 
 /// `rover-bench soak [--seed A..B | --seed N] [--smoke]
-/// [--server-crashes N]`: seeded chaos convergence soak; exits non-zero
-/// on the first violated invariant. `--server-crashes N` attaches a
-/// write-ahead commit log to the server and power-fails it N times
-/// mid-traffic per seed, checking the durability invariants on top.
+/// [--server-crashes N] [--group-commit] [--clients N]`: seeded soak;
+/// exits non-zero on the first violated invariant.
+///
+/// Without `--clients` this is the chaos convergence soak:
+/// `--server-crashes N` attaches a write-ahead commit log and
+/// power-fails the server N times mid-traffic per seed, and
+/// `--group-commit` runs the server's group-commit engine (batched WAL
+/// flushes, coalesced replies) instead of per-operation flush.
+///
+/// `--clients N` switches to the scale soak: N clients (zipf-skewed
+/// objects, bursty open+closed arrivals, mixed link classes, clean
+/// links) run against *both* commit policies and the group arm must
+/// sustain the release throughput gate. Defaults to one seed unless
+/// `--seed` is given.
 fn run_soak(args: &[String]) {
     let mut seeds: Vec<u64> = (1..=10).collect();
+    let mut seeds_given = false;
     let mut smoke = false;
     let mut server_crashes = 0usize;
+    let mut group_commit = false;
+    let mut clients: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -118,6 +131,7 @@ fn run_soak(args: &[String]) {
                 seeds = parse_seeds(v).unwrap_or_else(|| {
                     usage("--seed takes a number or an inclusive range like 1..4")
                 });
+                seeds_given = true;
             }
             "--smoke" => smoke = true,
             "--server-crashes" => {
@@ -128,16 +142,56 @@ fn run_soak(args: &[String]) {
                     .parse()
                     .unwrap_or_else(|_| usage("--server-crashes takes a count"));
             }
+            "--group-commit" => group_commit = true,
+            "--clients" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--clients needs a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--clients takes a count"));
+                if n == 0 {
+                    usage("--clients needs a positive count");
+                }
+                clients = Some(n);
+            }
             _ => usage(&format!("unknown soak flag {a}")),
         }
     }
+
+    if let Some(n) = clients {
+        if server_crashes > 0 {
+            usage("--server-crashes applies to the chaos soak (omit --clients)");
+        }
+        // The scale soak always measures both commit policies, so
+        // --group-commit is implied.
+        let seeds = if seeds_given { seeds } else { vec![1] };
+        eprintln!(
+            "scale soak: {} seed(s), {n} clients, {} size, both commit policies…",
+            seeds.len(),
+            if smoke { "smoke" } else { "full" },
+        );
+        match exps::scale::run_cli(seeds, n, smoke) {
+            Ok(report) => {
+                print!("{}", report.text());
+                println!("scale soak: all invariants and the throughput gate held");
+            }
+            Err(e) => {
+                eprintln!("scale soak FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     eprintln!(
-        "soak: {} seed(s), {} size, {} server crash(es)…",
+        "soak: {} seed(s), {} size, {} server crash(es), {} commit…",
         seeds.len(),
         if smoke { "smoke" } else { "full" },
-        server_crashes
+        server_crashes,
+        if group_commit { "group" } else { "per-op" },
     );
-    match exps::soak::run_seeds(seeds, smoke, server_crashes) {
+    match exps::soak::run_seeds(seeds, smoke, server_crashes, group_commit) {
         Ok((report, outs)) => {
             print!("{}", report.text());
             println!(
@@ -168,7 +222,7 @@ fn parse_seeds(v: &str) -> Option<Vec<u64>> {
 fn usage(msg: &str) -> ! {
     eprintln!("rover-bench: {msg}");
     eprintln!(
-        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke] [--server-crashes N]"
+        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke] [--server-crashes N] [--group-commit]\n       rover-bench soak --clients N [--seed A..B|N] [--smoke]"
     );
     std::process::exit(2);
 }

@@ -43,6 +43,38 @@ fn crash_soak_converges_with_durability_invariants() {
 }
 
 #[test]
+fn group_commit_soak_converges_through_crashes() {
+    for seed in [1, 2] {
+        let o = run_seed(
+            SoakConfig::smoke(seed)
+                .with_server_crashes(2)
+                .with_group_commit(),
+        )
+        .expect("group-commit durability invariants hold");
+        assert_eq!(o.final_n, o.ops);
+        assert_eq!(o.committed, o.ops);
+        assert_eq!(o.reexecs, 0, "at-most-once must survive batched restarts");
+        assert_eq!(o.server_crashes, 2);
+        assert!(o.group_commits > 0, "the engine actually batched");
+        assert!(o.wal_appends >= o.ops, "every commit hit the log");
+        assert!(o.recovered_commits > 0, "recovery replayed batches");
+    }
+}
+
+#[test]
+fn group_commit_soak_is_reproducible_and_distinct() {
+    let a = run_seed(SoakConfig::smoke(5).with_group_commit()).expect("run a");
+    let b = run_seed(SoakConfig::smoke(5).with_group_commit()).expect("run b");
+    assert_eq!(a, b, "same seed must reproduce byte-identical outcomes");
+    let per_op = run_seed(SoakConfig::smoke(5)).expect("per-op run");
+    assert_ne!(
+        a.digest, per_op.digest,
+        "the commit policy must actually perturb the run"
+    );
+    assert_eq!(per_op.group_commits, 0);
+}
+
+#[test]
 fn crash_soak_is_reproducible_per_seed() {
     let a = run_seed(SoakConfig::smoke(9).with_server_crashes(2)).expect("run a");
     let b = run_seed(SoakConfig::smoke(9).with_server_crashes(2)).expect("run b");

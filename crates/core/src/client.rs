@@ -21,7 +21,7 @@ use rover_script::Value;
 use rover_sim::{Sim, SimTime};
 use rover_wire::{
     Bytes, Decoder, Envelope, HostId, MsgKind, OpStatus, Priority, QrpcReply, QrpcRequest,
-    RequestId, RoverOp, SessionId, Version, Wire,
+    ReplyBatch, RequestId, RoverOp, SessionId, Version, Wire,
 };
 
 use crate::cache::Cache;
@@ -288,6 +288,7 @@ impl Client {
                 let Some(cl) = weak.upgrade() else { return };
                 match env.kind {
                     MsgKind::Reply => Client::on_reply(&cl, sim, env),
+                    MsgKind::ReplyBatch => Client::on_reply_batch(&cl, sim, env),
                     MsgKind::Callback => Client::on_callback(&cl, sim, env),
                     _ => {}
                 }
@@ -1459,6 +1460,34 @@ impl Client {
                 }
             };
             Client::complete(&cl2, sim, reply);
+        });
+    }
+
+    /// Coalesced reply batch: one envelope carrying several replies the
+    /// server committed in one group. One unmarshalling charge covers
+    /// the whole envelope; the replies complete in commit order.
+    fn on_reply_batch(cl: &ClientRef, sim: &mut Sim, env: Envelope) {
+        let cost = {
+            let mut c = cl.borrow_mut();
+            let m = c.cfg.cpu.marshal_cost(env.body.len());
+            c.charge_serial(sim.now(), m)
+        };
+        let cl2 = cl.clone();
+        sim.schedule_after(cost, move |sim| {
+            let batch = match ReplyBatch::from_shared(&env.body) {
+                Ok(b) => b,
+                Err(_) => {
+                    sim.stats.incr("client.bad_reply");
+                    return;
+                }
+            };
+            sim.stats.add(
+                "client.replies_coalesced",
+                batch.replies.len().saturating_sub(1) as u64,
+            );
+            for reply in batch.replies {
+                Client::complete(&cl2, sim, reply);
+            }
         });
     }
 

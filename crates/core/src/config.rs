@@ -150,6 +150,38 @@ impl ClientConfig {
     }
 }
 
+/// When the server makes executed commits durable and schedules their
+/// replies.
+///
+/// The paper lists group commit as not-implemented future work (§5.2);
+/// the per-operation policy reproduces the prototype's one-flush-per-
+/// QRPC critical path, and [`CommitPolicy::Group`] is the amortized
+/// engine: executed requests stage their commit records into a pending
+/// batch, one flush commits the whole group as a *single* WAL record,
+/// and only then are the group's replies scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitPolicy {
+    /// One synchronous WAL flush per executed QRPC (the paper's
+    /// prototype; the default).
+    PerOperation,
+    /// Group commit: flush the pending batch when `max_batch` commits
+    /// have staged or `window` after the first one staged, whichever
+    /// comes first.
+    Group {
+        /// Commits per group before a size-triggered flush.
+        max_batch: usize,
+        /// Maximum time the oldest staged commit may wait unflushed.
+        window: SimDuration,
+    },
+}
+
+impl CommitPolicy {
+    /// True when this policy batches commits.
+    pub fn is_group(&self) -> bool {
+        matches!(self, CommitPolicy::Group { .. })
+    }
+}
+
 /// Server-side configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -176,6 +208,9 @@ pub struct ServerConfig {
     /// log and compacts everything older. `0` disables automatic
     /// checkpoints (the log grows until compacted explicitly).
     pub checkpoint_every: usize,
+    /// Commit/flush/reply policy for the write-ahead log; only
+    /// meaningful when a log is attached.
+    pub commit: CommitPolicy,
 }
 
 impl ServerConfig {
@@ -191,6 +226,7 @@ impl ServerConfig {
             mtu: rover_net::DEFAULT_MTU,
             storage: StorageModel::SERVER_DISK_1995,
             checkpoint_every: 64,
+            commit: CommitPolicy::PerOperation,
         }
     }
 }
@@ -205,6 +241,7 @@ mod tests {
         assert_eq!(
             m.flush_cost(FlushReceipt {
                 bytes: 0,
+                records: 0,
                 synced: false
             }),
             SimDuration::ZERO
@@ -216,10 +253,12 @@ mod tests {
         let m = StorageModel::LAPTOP_DISK_1995;
         let small = m.flush_cost(FlushReceipt {
             bytes: 100,
+            records: 1,
             synced: true,
         });
         let big = m.flush_cost(FlushReceipt {
             bytes: 100 * 1024,
+            records: 1,
             synced: true,
         });
         assert!(small >= m.sync_latency);
@@ -230,6 +269,7 @@ mod tests {
     fn flash_is_much_faster_than_disk() {
         let r = FlushReceipt {
             bytes: 200,
+            records: 1,
             synced: true,
         };
         assert!(

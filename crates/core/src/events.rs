@@ -116,4 +116,13 @@ pub enum ServerEvent {
         /// Device size in bytes after compaction.
         device_bytes: u64,
     },
+    /// A group-commit batch was flushed durably as one WAL record
+    /// ([`crate::CommitPolicy::Group`]); its replies are now eligible to
+    /// leave the host.
+    GroupCommit {
+        /// Commits made durable by this flush.
+        records: usize,
+        /// Framed bytes the flush forced to the device.
+        wal_bytes: usize,
+    },
 }

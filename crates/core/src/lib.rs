@@ -71,7 +71,7 @@ mod urn;
 
 pub use cache::{Cache, CacheEntry};
 pub use client::{Client, ClientRef, ExportHandle, Placement, PlacementHints, PollGuard};
-pub use config::{ClientConfig, LogPolicy, ServerConfig, StorageModel};
+pub use config::{ClientConfig, CommitPolicy, LogPolicy, ServerConfig, StorageModel};
 pub use error::RoverError;
 pub use events::{ClientEvent, ServerEvent};
 pub use object::{collection_object, MethodRun, RoverObject};

@@ -26,11 +26,11 @@ use rover_log::{FlushPolicy, FlushReceipt, LogError, OpLog, RecordKind, StableSt
 use rover_net::{HostSched, LinkId, Net, SchedRef, SmtpRelay, SmtpRelayRef};
 use rover_sim::Sim;
 use rover_wire::{
-    Bytes, CommitRecord, Encoder, Envelope, HostId, MsgKind, OpStatus, QrpcReply, QrpcRequest,
-    RoverOp, Version, Wire,
+    decode_commit_batch, encode_commit_batch, Bytes, CommitRecord, Encoder, Envelope, HostId,
+    MsgKind, OpStatus, QrpcReply, QrpcRequest, ReplyBatch, RoverOp, Version, Wire,
 };
 
-use crate::config::ServerConfig;
+use crate::config::{CommitPolicy, ServerConfig};
 use crate::events::ServerEvent;
 use crate::object::RoverObject;
 use crate::payload::{ExportPayload, InvokePayload};
@@ -47,6 +47,11 @@ const REC_COMMIT: RecordKind = RecordKind::Other(0x10);
 /// Write-ahead-log record kind: a full state snapshot (the `ROV1`
 /// checkpoint image produced by [`Server::export_store`]).
 const REC_CHECKPOINT: RecordKind = RecordKind::Other(0x11);
+/// Write-ahead-log record kind: one group-commit batch — several
+/// [`CommitRecord`]s framed as a *single* record
+/// ([`rover_wire::encode_commit_batch`]), so the frame CRC covers the
+/// whole group and a torn tail discards the batch atomically.
+const REC_COMMIT_BATCH: RecordKind = RecordKind::Other(0x12);
 
 /// Magic tag of the checkpoint's at-most-once extension section
 /// (`"ROV2"`); follows the original `ROV1` object + ordering sections.
@@ -61,10 +66,14 @@ pub enum CrashPoint {
     /// client's retransmission executes freshly (a *first* execution —
     /// nothing was ever committed or replied).
     BeforeAppend,
-    /// Crash after the commit record is durable but before the reply is
-    /// sent: after recovery the client's retransmission hits the
-    /// recovered dedup cache and replays the original reply — never a
-    /// re-execution.
+    /// Crash after the commit record is appended but before the reply
+    /// is sent. Under per-operation flush the record is already durable:
+    /// after recovery the client's retransmission hits the recovered
+    /// dedup cache and replays the original reply — never a
+    /// re-execution. Under group commit ([`CommitPolicy::Group`]) the
+    /// record has only *staged* into the pending batch — a crash between
+    /// execute and the group flush — so nothing is durable, no reply
+    /// ever left, and the retransmission executes freshly.
     AfterAppend,
 }
 
@@ -75,6 +84,27 @@ struct Wal {
     log: OpLog<Box<dyn StableStore>>,
     /// Commit records appended since the last checkpoint.
     commits_since_ckpt: usize,
+}
+
+/// One executed-but-not-yet-durable commit staged in the pending
+/// group-commit batch ([`CommitPolicy::Group`]). Its reply (cached in
+/// `rec.reply`) may not leave the host before the group flush
+/// completes.
+struct PendingCommit {
+    /// The durable record this commit contributes to the batch; the
+    /// object image is captured at stage time, so later staged commits
+    /// to the same object never alias.
+    rec: CommitRecord,
+    /// Reply priority (the request's).
+    prio: rover_wire::Priority,
+    /// Deferred cache-invalidation fan-out ([`ServerConfig::callbacks`]);
+    /// importers are notified only once the commit is durable.
+    notify: Option<(Urn, Version)>,
+    /// When the commit staged (start of its `server.flush_wait_ms`).
+    staged_at: rover_sim::SimTime,
+    /// When this commit's execute + reply-marshal CPU work completes;
+    /// the reply leaves at the *later* of this and the flush.
+    cpu_done: rover_sim::SimTime,
 }
 
 /// How replies reach one client.
@@ -116,6 +146,23 @@ pub struct Server {
     held: HashMap<(u32, u64), BTreeMap<u64, QrpcRequest>>,
     /// Single-CPU serialization horizon for execution costs.
     cpu_free_at: rover_sim::SimTime,
+    /// Disk serialization horizon for group flushes: the commit path is
+    /// pipelined, so the CPU executes the next requests while the disk
+    /// syncs the previous batch.
+    disk_free_at: rover_sim::SimTime,
+    /// Executed commits staged for the next group flush
+    /// ([`CommitPolicy::Group`]); empty under per-operation flush.
+    pending: Vec<PendingCommit>,
+    /// True while a window timer for the current pending batch is
+    /// outstanding.
+    group_timer_armed: bool,
+    /// Window-timer generation: a timer only fires for the batch that
+    /// armed it (a size-cap flush plus a fresh batch would otherwise
+    /// be cut short by the stale timer).
+    group_timer_gen: u64,
+    /// Bumped on every crash/recovery; in-flight flush-dispatch and
+    /// window-timer events captured under an older incarnation no-op.
+    incarnation: u64,
     /// Clients holding an imported copy of each object (callback set).
     importers: HashMap<Urn, std::collections::HashSet<u32>>,
     /// Accepted authentication tokens; `None` disables authentication.
@@ -153,6 +200,11 @@ impl Server {
             expected_seq: HashMap::new(),
             held: HashMap::new(),
             cpu_free_at: rover_sim::SimTime::ZERO,
+            disk_free_at: rover_sim::SimTime::ZERO,
+            pending: Vec::new(),
+            group_timer_armed: false,
+            group_timer_gen: 0,
+            incarnation: 0,
             importers: HashMap::new(),
             accepted_tokens: None,
             wal: None,
@@ -525,10 +577,21 @@ impl Server {
     /// Marks the server crashed: volatile state is dead (recovery wipes
     /// it), and every envelope is dropped until recovery.
     fn crash(sv: &ServerRef, sim: &mut Sim) {
-        {
+        let staged_lost = {
             let mut s = sv.borrow_mut();
             s.crashed = true;
             s.crash_at = None;
+            // Staged-but-unflushed commits die with the volatile state:
+            // no reply ever left for them, so their clients retransmit
+            // and re-execute freshly after recovery.
+            let staged_lost = s.pending.len() as u64;
+            s.pending.clear();
+            s.group_timer_armed = false;
+            s.incarnation += 1;
+            staged_lost
+        };
+        if staged_lost > 0 {
+            sim.stats.add("server.staged_lost_on_crash", staged_lost);
         }
         sim.stats.incr("server.crashes");
         sim.trace(
@@ -612,12 +675,23 @@ impl Server {
             };
             let mut recovered = 0u64;
             for r in log.records() {
-                if r.kind != REC_COMMIT || r.seq <= ckpt_seq {
+                if r.seq <= ckpt_seq {
                     continue;
                 }
-                let c = CommitRecord::from_shared(&r.payload).map_err(crate::RoverError::from)?;
-                s.apply_commit(c)?;
-                recovered += 1;
+                if r.kind == REC_COMMIT {
+                    let c =
+                        CommitRecord::from_shared(&r.payload).map_err(crate::RoverError::from)?;
+                    s.apply_commit(c)?;
+                    recovered += 1;
+                } else if r.kind == REC_COMMIT_BATCH {
+                    // One frame, many commits: the frame CRC already
+                    // vouched for the whole group (a torn batch never
+                    // parses as a record at all).
+                    for c in decode_commit_batch(&r.payload).map_err(crate::RoverError::from)? {
+                        s.apply_commit(c)?;
+                        recovered += 1;
+                    }
+                }
             }
             // Re-prune executed ids below the recovered floors, exactly
             // as the admission path would have.
@@ -633,9 +707,14 @@ impl Server {
             });
             s.crashed = false;
             // The reboot's recovery scan reads the whole device; charge
-            // it like any other serial work, starting from a fresh CPU
-            // horizon (the old one died with the machine).
+            // it like any other serial work, starting from fresh CPU and
+            // disk horizons (the old ones died with the machine). Any
+            // staged batch or armed window timer is stale too.
             s.cpu_free_at = sim.now();
+            s.disk_free_at = sim.now();
+            s.pending.clear();
+            s.group_timer_armed = false;
+            s.incarnation += 1;
             let scan = s.cfg.cpu.marshal_cost(device_bytes as usize);
             let cost = s.charge_serial(sim.now(), scan);
             (recovered, cost)
@@ -689,6 +768,36 @@ impl Server {
         Ok(())
     }
 
+    /// Builds the durable record for an executed request. The object
+    /// image is captured *now* (immediately post-execution), so commits
+    /// staged behind it in a group never alias its snapshot.
+    fn make_commit_record(
+        &self,
+        req: &QrpcRequest,
+        urn: Option<&Urn>,
+        session_seq: u64,
+        reply: &QrpcReply,
+    ) -> CommitRecord {
+        let obj = match (&req.op, reply.status) {
+            // Only a successful export changes the store; everything
+            // else commits bookkeeping only.
+            (RoverOp::Export { .. }, OpStatus::Ok | OpStatus::Resolved) => {
+                urn.and_then(|u| self.store.get(u)).map(|o| o.to_bytes())
+            }
+            _ => None,
+        };
+        CommitRecord {
+            client: req.client,
+            req_id: req.req_id,
+            acked_below: req.acked_below,
+            session: req.session,
+            session_seq,
+            urn: req.urn.clone(),
+            obj,
+            reply: reply.clone(),
+        }
+    }
+
     /// Appends this commit's record to the WAL and syncs it; the receipt
     /// prices the flush on the virtual clock.
     fn wal_append_commit(
@@ -698,29 +807,241 @@ impl Server {
         session_seq: u64,
         reply: &QrpcReply,
     ) -> Result<FlushReceipt, LogError> {
-        let obj = match (&req.op, reply.status) {
-            // Only a successful export changes the store; everything
-            // else commits bookkeeping only.
-            (RoverOp::Export { .. }, OpStatus::Ok | OpStatus::Resolved) => {
-                urn.and_then(|u| self.store.get(u)).map(|o| o.to_bytes())
-            }
-            _ => None,
-        };
-        let rec = CommitRecord {
-            client: req.client,
-            req_id: req.req_id,
-            acked_below: req.acked_below,
-            session: req.session,
-            session_seq,
-            urn: req.urn.clone(),
-            obj,
-            reply: reply.clone(),
-        };
+        let rec = self.make_commit_record(req, urn, session_seq, reply);
         let wal = self.wal.as_mut().expect("wal attached");
         wal.log.append(REC_COMMIT, rec.to_bytes())?;
         let receipt = wal.log.flush()?;
         wal.commits_since_ckpt += 1;
         Ok(receipt)
+    }
+
+    /// True while `key`'s original execution sits in the unflushed
+    /// pending batch — its reply exists but is not yet durable, so it
+    /// must not be replayed to a retransmission.
+    fn pending_contains(&self, key: (u32, u64)) -> bool {
+        self.pending
+            .iter()
+            .any(|p| p.rec.client.0 == key.0 && p.rec.req_id.0 == key.1)
+    }
+
+    /// Flushes the pending group: the whole batch becomes durable as one
+    /// WAL record, then — and only then — its replies are scheduled.
+    /// The flush occupies the *disk* timeline; the CPU keeps executing
+    /// requests that stage into the next batch meanwhile (the pipeline).
+    fn group_flush(sv: &ServerRef, sim: &mut Sim) {
+        let batch = {
+            let mut s = sv.borrow_mut();
+            s.group_timer_armed = false;
+            if s.crashed || s.pending.is_empty() {
+                return;
+            }
+            std::mem::take(&mut s.pending)
+        };
+        let records: Vec<CommitRecord> = batch.iter().map(|p| p.rec.clone()).collect();
+        let res = {
+            let mut s = sv.borrow_mut();
+            let payload = encode_commit_batch(&records);
+            let wal = s.wal.as_mut().expect("group commit requires a wal");
+            wal.log
+                .append(REC_COMMIT_BATCH, payload)
+                .and_then(|_| wal.log.flush())
+        };
+        let receipt = match res {
+            Ok(r) => r,
+            Err(e) => {
+                // A failed append or sync mid-batch is a crash: the
+                // device may hold a torn frame (recovery discards the
+                // whole batch), and no reply in the group ever leaves.
+                // The batch was already taken out of `pending`, so
+                // account its loss here rather than in `crash`.
+                sim.stats.incr("server.wal_append_failed");
+                sim.stats
+                    .add("server.staged_lost_on_crash", batch.len() as u64);
+                sim.trace("server", format!("group flush failed: {e}; crashing"));
+                Server::crash(sv, sim);
+                return;
+            }
+        };
+        let n = batch.len();
+        sim.stats.incr("server.group_commits");
+        sim.stats.add("server.wal_appends", n as u64);
+        sim.stats.sample("server.group_commit_batch_size", n as f64);
+        sim.stats
+            .add("server.wal_flush_bytes", receipt.bytes as u64);
+        // Serialize the flush on the disk horizon and hold every reply
+        // in the group until both the flush and that commit's own CPU
+        // work are done.
+        let (done, fire_delay) = {
+            let mut s = sv.borrow_mut();
+            s.wal.as_mut().expect("wal attached").commits_since_ckpt += n;
+            let cost = s.cfg.storage.flush_cost(receipt);
+            let start = s.disk_free_at.max(sim.now());
+            let done = start + cost;
+            s.disk_free_at = done;
+            let ready = batch
+                .iter()
+                .map(|p| p.cpu_done)
+                .max()
+                .unwrap_or(done)
+                .max(done);
+            (done, ready.since(sim.now()))
+        };
+        for p in &batch {
+            sim.stats
+                .sample_duration("server.flush_wait_ms", done.since(p.staged_at));
+        }
+        Server::emit(
+            sv,
+            sim,
+            ServerEvent::GroupCommit {
+                records: n,
+                wal_bytes: receipt.bytes,
+            },
+        );
+        let inc = sv.borrow().incarnation;
+        let sv2 = sv.clone();
+        sim.schedule_after(fire_delay, move |sim| {
+            Server::dispatch_batch(&sv2, sim, inc, batch);
+        });
+
+        // Checkpoint when due — the pending batch is empty here, so the
+        // snapshot can never strand half a group.
+        let due = {
+            let s = sv.borrow();
+            s.cfg.checkpoint_every > 0
+                && s.wal
+                    .as_ref()
+                    .is_some_and(|w| w.commits_since_ckpt >= s.cfg.checkpoint_every)
+        };
+        if due {
+            let _ = Server::write_checkpoint(sv, sim);
+        }
+    }
+
+    /// Sends the replies of one durably committed group, coalescing the
+    /// per-client runs into single [`ReplyBatch`] envelopes, then fans
+    /// out the group's deferred invalidation callbacks.
+    fn dispatch_batch(sv: &ServerRef, sim: &mut Sim, inc: u64, batch: Vec<PendingCommit>) {
+        {
+            let s = sv.borrow();
+            // A stale dispatch from before a crash: the commits are
+            // durable (retransmissions replay from the recovered dedup
+            // cache) but this incarnation's replies never left.
+            if s.crashed || s.incarnation != inc {
+                sim.stats
+                    .add("server.reply_dropped_crashed", batch.len() as u64);
+                return;
+            }
+        }
+        let host = sv.borrow().cfg.host;
+        // Group by client, preserving commit order within each run.
+        let mut groups: Vec<(HostId, Vec<&PendingCommit>)> = Vec::new();
+        for p in &batch {
+            match groups.iter_mut().find(|(c, _)| *c == p.rec.client) {
+                Some((_, v)) => v.push(p),
+                None => groups.push((p.rec.client, vec![p])),
+            }
+        }
+        for (client, ps) in groups {
+            if ps.len() == 1 {
+                Server::send_reply(sv, sim, client, ps[0].rec.reply.clone(), ps[0].prio);
+            } else {
+                // One envelope, many replies: the client decodes them in
+                // order. The envelope travels at the most urgent of the
+                // coalesced priorities.
+                let prio = ps.iter().map(|p| p.prio).min().expect("non-empty run");
+                let rb = ReplyBatch {
+                    replies: ps.iter().map(|p| p.rec.reply.clone()).collect(),
+                };
+                let env = Envelope::reply_batch(host, client, &rb);
+                sim.stats
+                    .add("server.reply_coalesced", (ps.len() - 1) as u64);
+                Server::route_reply(sv, sim, client, env, prio, ps.len() as u64);
+            }
+        }
+        for p in &batch {
+            if let Some((urn, version)) = &p.notify {
+                Server::notify_importers(sv, sim, urn, *version, p.rec.client);
+            }
+        }
+    }
+
+    /// Group-commit staging: charges the execute/marshal CPU (no flush
+    /// on the critical path), stages the commit record into the pending
+    /// batch, and triggers a size-cap flush or arms the window timer.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_commit(
+        sv: &ServerRef,
+        sim: &mut Sim,
+        req: &QrpcRequest,
+        parsed: Option<Urn>,
+        ordered_seq: u64,
+        reply: QrpcReply,
+        steps: u64,
+        ordinal: u64,
+    ) {
+        let committed = matches!(req.op, RoverOp::Export { .. })
+            && matches!(reply.status, OpStatus::Ok | OpStatus::Resolved);
+        let (total, flush_now, arm, window) = {
+            let mut s = sv.borrow_mut();
+            let raw = s.cfg.cpu.interp_cost(steps) + s.cfg.cpu.marshal_cost(reply.payload.len());
+            let total = s.charge_serial(sim.now(), raw);
+            let notify = if committed && s.cfg.callbacks {
+                parsed.clone().map(|u| (u, reply.version))
+            } else {
+                None
+            };
+            let rec = s.make_commit_record(req, parsed.as_ref(), ordered_seq, &reply);
+            s.pending.push(PendingCommit {
+                rec,
+                prio: req.priority,
+                notify,
+                staged_at: sim.now(),
+                cpu_done: sim.now() + total,
+            });
+            let CommitPolicy::Group { max_batch, window } = s.cfg.commit else {
+                unreachable!("stage_commit requires a group policy");
+            };
+            let flush_now = s.pending.len() >= max_batch.max(1);
+            let arm = !flush_now && s.pending.len() == 1;
+            (total, flush_now, arm, window)
+        };
+        sim.stats.sample_duration("server.exec_ms", total);
+        sim.stats.incr("server.requests");
+        // Crash scripted *after* the append-stage: the batch was never
+        // flushed, so nothing is durable and no reply ever leaves —
+        // after recovery the client's retransmission executes freshly.
+        if sv.borrow().crash_due(ordinal, CrashPoint::AfterAppend) {
+            Server::crash(sv, sim);
+            return;
+        }
+        if flush_now {
+            Server::group_flush(sv, sim);
+        } else if arm {
+            // First commit into an empty batch: bound its wait with the
+            // window timer. The generation guard keeps a stale timer
+            // (whose batch a size-cap flush already committed) from
+            // cutting the *next* batch short.
+            let (inc, gen) = {
+                let mut s = sv.borrow_mut();
+                s.group_timer_armed = true;
+                s.group_timer_gen += 1;
+                (s.incarnation, s.group_timer_gen)
+            };
+            let sv2 = sv.clone();
+            sim.schedule_after(window, move |sim| {
+                let live = {
+                    let s = sv2.borrow();
+                    !s.crashed
+                        && s.incarnation == inc
+                        && s.group_timer_armed
+                        && s.group_timer_gen == gen
+                };
+                if live {
+                    Server::group_flush(&sv2, sim);
+                }
+            });
+        }
     }
 
     /// Snapshots the full server state into the log as a checkpoint
@@ -745,6 +1066,7 @@ impl Server {
                     let mut s = sv.borrow_mut();
                     let raw = s.cfg.storage.flush_cost(FlushReceipt {
                         bytes: written,
+                        records: 1,
                         synced: true,
                     });
                     s.charge_serial(sim.now(), raw)
@@ -766,6 +1088,10 @@ impl Server {
     /// it. Returns (device bytes after, snapshot bytes written, whether
     /// compaction failed non-fatally).
     fn checkpoint_inner(&mut self) -> Result<(u64, usize, bool), LogError> {
+        // A snapshot with staged-but-unflushed commits baked in would
+        // make an undurable group visible to recovery; every call site
+        // flushes or empties the batch first.
+        debug_assert!(self.pending.is_empty(), "checkpoint with staged commits");
         let snap = self.export_store();
         let written = snap.len();
         let wal = self
@@ -874,8 +1200,18 @@ impl Server {
             floor
         };
 
-        // At-most-once: a replayed request gets its original reply.
+        // At-most-once: a replayed request gets its original reply —
+        // unless the original still sits in an unflushed group, where
+        // the reply exists in volatile state only. Replaying it now
+        // would leak a commit that a crash could still un-happen; drop
+        // the duplicate instead, and the client's next retransmission
+        // finds either a durably flushed dedup entry or (after a crash)
+        // no trace of the request at all.
         let key = (req.client.0, req.req_id.0);
+        if sv.borrow().pending_contains(key) {
+            sim.stats.incr("server.dup_while_staged");
+            return;
+        }
         let cached = sv.borrow().dedup.get(&key).cloned();
         if let Some(reply) = cached {
             sim.stats.incr("server.dedup_replay");
@@ -1032,12 +1368,16 @@ impl Server {
             s.execute(&req, parsed.as_ref())
         };
 
-        // Durability point: the commit record reaches stable storage
-        // before any reply is scheduled. A failed append or sync is a
-        // mid-flush crash — the host goes down with a possibly-torn
-        // frame on the device, which recovery truncates.
+        // Under a group policy the commit stages into the pending batch
+        // below; durability and the reply wait for the group flush.
+        let group = wal_bound && sv.borrow().cfg.commit.is_group();
+
+        // Per-operation durability point: the commit record reaches
+        // stable storage before any reply is scheduled. A failed append
+        // or sync is a mid-flush crash — the host goes down with a
+        // possibly-torn frame on the device, which recovery truncates.
         let mut wal_cost = rover_sim::SimDuration::ZERO;
-        if wal_bound {
+        if wal_bound && !group {
             let res = {
                 let mut s = sv.borrow_mut();
                 s.wal_append_commit(&req, parsed.as_ref(), ordered_seq, &reply)
@@ -1045,6 +1385,8 @@ impl Server {
             match res {
                 Ok(receipt) => {
                     sim.stats.incr("server.wal_appends");
+                    sim.stats
+                        .add("server.wal_flush_bytes", receipt.bytes as u64);
                     wal_cost = sv.borrow().cfg.storage.flush_cost(receipt);
                 }
                 Err(e) => {
@@ -1105,6 +1447,11 @@ impl Server {
                     }
                 }
             }
+        }
+
+        if group {
+            Server::stage_commit(sv, sim, &req, parsed, ordered_seq, reply, steps, ordinal);
+            return;
         }
 
         // Checkpoint when due; a failed checkpoint crashes the host
@@ -1381,9 +1728,26 @@ impl Server {
         reply: QrpcReply,
         prio: rover_wire::Priority,
     ) {
+        let host = sv.borrow().cfg.host;
+        let env = Envelope::reply(host, client, &reply);
+        Server::route_reply(sv, sim, client, env, prio, 1);
+    }
+
+    /// Routes one outbound envelope to `client`: scheduler queue, SMTP
+    /// spool, or best-effort direct send. `logical` is how many QRPC
+    /// replies the envelope carries (>1 for a coalesced
+    /// [`ReplyBatch`]); every counter scales by it.
+    fn route_reply(
+        sv: &ServerRef,
+        sim: &mut Sim,
+        client: HostId,
+        env: Envelope,
+        prio: rover_wire::Priority,
+        logical: u64,
+    ) {
         // A reply computed before the crash never leaves a dead host.
         if sv.borrow().crashed {
-            sim.stats.incr("server.reply_dropped_crashed");
+            sim.stats.add("server.reply_dropped_crashed", logical);
             return;
         }
         let (net, host, mut sched, mut any_up, smtp) = {
@@ -1422,14 +1786,12 @@ impl Server {
             }
         }
 
-        let env = Envelope::reply(host, client, &reply);
-
         // Disconnected client with an SMTP route: spool the reply
         // (split-phase QRPC) instead of queueing it at the server.
         if !any_up {
             if let Some(relay) = smtp {
                 SmtpRelay::submit(&relay, sim, env);
-                sim.stats.incr("server.replies_via_smtp");
+                sim.stats.add("server.replies_via_smtp", logical);
                 return;
             }
         }
@@ -1439,18 +1801,18 @@ impl Server {
                 // Priority-queued: drains now or whenever a link to the
                 // client comes back up.
                 HostSched::enqueue_keyed(&sched, sim, &net, env, prio, None);
-                sim.stats.incr("server.replies");
+                sim.stats.add("server.replies", logical);
             }
             None => {
                 // No configured route: best-effort direct send.
                 match net.up_link_between(host, client) {
                     Some(l) if net.send(sim, l, env).is_ok() => {
-                        sim.stats.incr("server.replies");
+                        sim.stats.add("server.replies", logical);
                     }
                     _ => {
                         // The client will retransmit and hit the dedup
                         // cache.
-                        sim.stats.incr("server.reply_dropped");
+                        sim.stats.add("server.reply_dropped", logical);
                     }
                 }
             }

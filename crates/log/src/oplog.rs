@@ -129,6 +129,10 @@ pub enum FlushPolicy {
 pub struct FlushReceipt {
     /// Bytes written to the device by this sync (0 = no-op).
     pub bytes: usize,
+    /// Framed records this sync made durable (0 = no-op). Group commit
+    /// amortizes one sync over many records; this is the batch size the
+    /// flush actually achieved.
+    pub records: usize,
     /// Whether a physical sync was issued.
     pub synced: bool,
 }
@@ -218,6 +222,11 @@ impl<S: StableStore> OpLog<S> {
         let bytes = self.store.sync()?;
         let receipt = FlushReceipt {
             bytes,
+            records: if bytes > 0 {
+                self.appended_since_sync
+            } else {
+                0
+            },
             synced: bytes > 0,
         };
         self.buffered = 0;

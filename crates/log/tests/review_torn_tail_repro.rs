@@ -6,9 +6,11 @@ use rover_log::{FlushPolicy, MemStore, OpLog, RecordKind};
 #[test]
 fn appends_after_torn_tail_recovery_survive_second_crash() {
     let mut log = OpLog::open_with(MemStore::new(), FlushPolicy::Manual, false).unwrap();
-    log.append(RecordKind::Other(0x10), b"commit-1".to_vec()).unwrap();
+    log.append(RecordKind::Other(0x10), b"commit-1".to_vec())
+        .unwrap();
     log.flush().unwrap();
-    log.append(RecordKind::Other(0x10), b"commit-2".to_vec()).unwrap();
+    log.append(RecordKind::Other(0x10), b"commit-2".to_vec())
+        .unwrap();
     log.flush().unwrap();
     let durable = log.device_len();
 
@@ -19,7 +21,8 @@ fn appends_after_torn_tail_recovery_survive_second_crash() {
     assert!(log.tail_skipped_bytes() > 0);
 
     // Post-recovery commit: appended, flushed, reply would now be sent.
-    log.append(RecordKind::Other(0x10), b"commit-3".to_vec()).unwrap();
+    log.append(RecordKind::Other(0x10), b"commit-3".to_vec())
+        .unwrap();
     log.flush().unwrap();
     assert_eq!(log.len(), 2);
 

@@ -72,6 +72,36 @@ impl Wire for CommitRecord {
     }
 }
 
+/// Encodes a group-commit batch as one log-record payload: a count
+/// followed by the records back to back.
+///
+/// The whole group travels as a *single* framed WAL record, so the
+/// frame's CRC covers every commit in the batch — a crash mid-flush
+/// leaves a torn frame that recovery discards whole, never a partially
+/// replayed batch. (No reply for any commit in the batch has left the
+/// host before the flush succeeded, so discarding the group is safe.)
+pub fn encode_commit_batch(records: &[CommitRecord]) -> Bytes {
+    let mut enc = Encoder::new();
+    enc.put_u32(records.len() as u32);
+    for r in records {
+        r.encode(&mut enc);
+    }
+    enc.finish()
+}
+
+/// Decodes a batch payload written by [`encode_commit_batch`]. Object
+/// images are zero-copy views into `bytes`.
+pub fn decode_commit_batch(bytes: &Bytes) -> Result<Vec<CommitRecord>, WireError> {
+    let mut dec = Decoder::from_shared(bytes);
+    let n = dec.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(CommitRecord::decode(&mut dec)?);
+    }
+    dec.expect_end()?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +145,31 @@ mod tests {
         let w = wire.as_ptr() as usize;
         let o = obj.as_ptr() as usize;
         assert!(o >= w && o + obj.len() <= w + wire.len());
+    }
+
+    #[test]
+    fn commit_batch_roundtrips() {
+        let recs = vec![
+            sample(Some(Bytes::from_static(b"one"))),
+            sample(None),
+            sample(Some(Bytes::from_static(b"three"))),
+        ];
+        let wire = encode_commit_batch(&recs);
+        assert_eq!(decode_commit_batch(&wire).unwrap(), recs);
+        assert!(decode_commit_batch(&encode_commit_batch(&[]))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn torn_commit_batch_fails_whole() {
+        let recs = vec![sample(None), sample(Some(Bytes::from_static(b"img")))];
+        let wire = encode_commit_batch(&recs);
+        // Any truncation — even one that leaves the first record intact
+        // — rejects the whole batch: batch recovery is all-or-nothing.
+        for cut in [0, 4, wire.len() / 2, wire.len() - 1] {
+            assert!(decode_commit_batch(&wire.slice(..cut)).is_err());
+        }
     }
 
     #[test]

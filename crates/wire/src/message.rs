@@ -325,6 +325,40 @@ pub enum MsgKind {
     /// Server→client cache-invalidation callback: the body names an
     /// object (URN string) and its new committed version.
     Callback,
+    /// Body is a [`ReplyBatch`]: several [`QrpcReply`]s to the same
+    /// client coalesced into one envelope by the server's group-commit
+    /// engine (one set of framing + checksum instead of one per reply).
+    ReplyBatch,
+}
+
+/// Several replies to one client, coalesced into a single envelope.
+///
+/// The group-commit engine flushes a whole batch of commits with one
+/// disk sync; replies that share a destination then share an envelope.
+/// Replies appear in execution order, so per-session ordering is
+/// preserved — the client completes them in sequence.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ReplyBatch {
+    /// The coalesced replies, in server execution order.
+    pub replies: Vec<QrpcReply>,
+}
+
+impl Wire for ReplyBatch {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.replies.len() as u32);
+        for r in &self.replies {
+            r.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = dec.get_u32()? as usize;
+        let mut replies = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            replies.push(QrpcReply::decode(dec)?);
+        }
+        Ok(ReplyBatch { replies })
+    }
 }
 
 /// One transport-level fragment of a large envelope.
@@ -377,6 +411,7 @@ impl MsgKind {
             MsgKind::Ack => 2,
             MsgKind::Fragment => 3,
             MsgKind::Callback => 4,
+            MsgKind::ReplyBatch => 5,
         }
     }
 
@@ -388,6 +423,7 @@ impl MsgKind {
             2 => MsgKind::Ack,
             3 => MsgKind::Fragment,
             4 => MsgKind::Callback,
+            5 => MsgKind::ReplyBatch,
             _ => return None,
         })
     }
@@ -424,6 +460,16 @@ impl Envelope {
             src,
             dst,
             body: rep.to_bytes(),
+        }
+    }
+
+    /// Wraps a coalesced reply batch for transport.
+    pub fn reply_batch(src: HostId, dst: HostId, batch: &ReplyBatch) -> Self {
+        Envelope {
+            kind: MsgKind::ReplyBatch,
+            src,
+            dst,
+            body: batch.to_bytes(),
         }
     }
 
@@ -570,6 +616,47 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         assert!(Envelope::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn reply_batch_roundtrips_and_saves_framing() {
+        let replies: Vec<QrpcReply> = (0..3)
+            .map(|i| QrpcReply {
+                req_id: RequestId(i),
+                status: OpStatus::Ok,
+                version: Version(i + 1),
+                payload: Bytes::from_static(b"state"),
+            })
+            .collect();
+        let batch = ReplyBatch {
+            replies: replies.clone(),
+        };
+        let env = Envelope::reply_batch(HostId(1), HostId(2), &batch);
+        assert_eq!(env.kind, MsgKind::ReplyBatch);
+        let back = ReplyBatch::from_bytes(&env.body).unwrap();
+        assert_eq!(back.replies, replies);
+        // One envelope's framing is cheaper than three envelopes'.
+        let separate: usize = replies
+            .iter()
+            .map(|r| Envelope::reply(HostId(1), HostId(2), r).wire_size())
+            .sum();
+        assert!(env.wire_size() < separate);
+    }
+
+    #[test]
+    fn truncated_reply_batch_fails_cleanly() {
+        let batch = ReplyBatch {
+            replies: vec![QrpcReply {
+                req_id: RequestId(9),
+                status: OpStatus::Resolved,
+                version: Version(2),
+                payload: Bytes::from_static(b"xyz"),
+            }],
+        };
+        let bytes = batch.to_bytes();
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(ReplyBatch::from_bytes(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]
