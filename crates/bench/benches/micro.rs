@@ -28,6 +28,7 @@ fn sample_request(n: usize) -> QrpcRequest {
         auth: 7,
         acked_below: 3,
         payload: Bytes::from(vec![0x5A; n]),
+        read_vector: Vec::new(),
     }
 }
 

@@ -30,6 +30,7 @@ pub const ALL: &[&str] = &[
     "a5-callbacks",
     "a6-fragmentation",
     "s1-scale",
+    "s2-shard-scaling",
 ];
 
 /// Runs one experiment by id into a buffered [`Report`]; `None` for
@@ -56,6 +57,7 @@ pub fn run_report(id: &str) -> Option<crate::report::Report> {
         "a5-callbacks" => ablations::a5_callbacks(&mut r),
         "a6-fragmentation" => ablations::a6_fragmentation(&mut r),
         "s1-scale" => scale::s1_scale(&mut r),
+        "s2-shard-scaling" => scale::s2_shard_scaling(&mut r),
         _ => return None,
     }
     Some(r)

@@ -1,6 +1,6 @@
-//! Scale soak: thousands of clients hammer one server and the
-//! group-commit engine is measured against the per-operation flush
-//! baseline.
+//! Scale soak: thousands of clients hammer the home-server federation
+//! and the group-commit engine is measured against the per-operation
+//! flush baseline — on one server or across `N` URN-partitioned shards.
 //!
 //! Where the chaos soak (`soak.rs`) stresses *correctness* under lossy
 //! links, the scale soak stresses *throughput*: clean links, zipf-skewed
@@ -17,22 +17,39 @@
 //! - **every promise decided** `Ok`/`Resolved`;
 //! - **byte-reproducible**: the same seed yields the same digest.
 //!
+//! With `shards > 1` the URN space is hash-partitioned across
+//! `shards` independent servers (own WAL, own CPU/disk timeline, own
+//! group-commit engine each; see [`rover_core::ShardMap`]), every
+//! object lives on exactly one shard, and every ~64th client becomes a
+//! *cross-shard verifier*: one session spanning two shards that
+//! alternates exports between them and re-reads after every commit,
+//! asserting monotonic reads and writes-follow-reads across the
+//! federation. `shard_crashes > 0` adds shard-kill chaos: each shard is
+//! power-failed independently at scripted commit ordinals and rebooted
+//! from its own write-ahead device, while the invariants above must
+//! still hold. `shards == 1` reproduces the single-server soak
+//! byte-for-byte (same draws, same event order, same digest).
+//!
 //! [`run_pair`] runs both commit policies on the same seed and checks
 //! the headline acceptance gate: with the 1995 server disk model, group
 //! commit must sustain at least 5x the per-operation commits/s once the
 //! client population is large enough for batching to matter.
+//! [`s2_shard_scaling`] charts the federation: aggregate group-commit
+//! throughput at 1/2/4/8 shards and 10k clients, with an 8-shard
+//! >= 3x single-shard gate.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use rover_core::{
-    Client, ClientConfig, ClientRef, CommitPolicy, Guarantees, ReexecuteResolver, RoverObject,
-    Server, ServerConfig, Urn,
+    Client, ClientConfig, ClientRef, CommitPolicy, CrashPoint, Guarantees, ReexecuteResolver,
+    RoverObject, Server, ServerConfig, ServerEvent, ServerRef, ShardMap, Urn,
 };
 use rover_log::MemStore;
 use rover_net::{LinkSpec, Net};
 use rover_sim::{Sim, SimDuration, SimTime};
-use rover_wire::{HostId, OpStatus, Priority, SessionId};
+use rover_wire::{HostId, OpStatus, Priority, RequestId, SessionId};
 
 use crate::report::Report;
 use crate::table::Table;
@@ -44,6 +61,14 @@ const NOBJ: usize = 64;
 const ZIPF_S: f64 = 1.0;
 
 const SERVER: HostId = HostId(1);
+
+/// Shard hosts occupy `HostId(1)..=HostId(MAX_SHARDS)`; clients start
+/// at `HostId(10)`.
+pub const MAX_SHARDS: usize = 8;
+
+/// Every Nth client of a sharded run becomes a cross-shard verifier
+/// (one session spanning two shards, MR/WFR asserted on every commit).
+const VERIFIER_EVERY: usize = 64;
 
 /// Parameters of one scale-soak arm.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +92,14 @@ pub struct ScaleConfig {
     pub link_override: Option<LinkSpec>,
     /// Server commit policy under test.
     pub policy: CommitPolicy,
+    /// Home-server shards the URN space is hash-partitioned across
+    /// (1 = the classic single-server soak, byte-identical to the
+    /// unsharded runs).
+    pub shards: usize,
+    /// Power-failure/reboot cycles scheduled per shard at scripted
+    /// commit ordinals (0 = no chaos). Requires `shards >= 1`; each
+    /// shard crashes and recovers independently.
+    pub shard_crashes: usize,
 }
 
 /// The group policy both the CLI and the `s1-scale` experiment measure:
@@ -89,6 +122,8 @@ impl ScaleConfig {
             think: SimDuration::from_millis(10),
             link_override: None,
             policy: CommitPolicy::PerOperation,
+            shards: 1,
+            shard_crashes: 0,
         }
     }
 
@@ -97,16 +132,30 @@ impl ScaleConfig {
         self.policy = policy;
         self
     }
+
+    /// Partitions the URN space across `n` home-server shards.
+    pub fn with_shards(mut self, n: usize) -> ScaleConfig {
+        self.shards = n;
+        self
+    }
+
+    /// Schedules `n` power-failure/reboot cycles per shard.
+    pub fn with_shard_crashes(mut self, n: usize) -> ScaleConfig {
+        self.shard_crashes = n;
+        self
+    }
 }
 
 /// Measured result of one converged scale arm. All fields are integers
 /// so equal digests mean byte-identical runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScaleOutcome {
     /// Seed the arm used.
     pub seed: u64,
     /// Client population.
     pub clients: u64,
+    /// Home-server shards the run federated across.
+    pub shards: u64,
     /// Exports issued (clients x ops_per_client).
     pub ops: u64,
     /// Exports whose committed promise resolved `Ok`/`Resolved`.
@@ -117,36 +166,59 @@ pub struct ScaleOutcome {
     pub reexecs: u64,
     /// First export to last commit, in virtual milliseconds.
     pub duration_ms: u64,
-    /// Commit records appended to the write-ahead log.
+    /// Commit records appended across every shard's write-ahead log.
     pub wal_appends: u64,
-    /// Framed bytes forced to the WAL device.
+    /// Framed bytes forced to the WAL devices (all shards).
     pub wal_flush_bytes: u64,
     /// Group flushes (`server.group_commits`; 0 on the per-op arm).
     pub group_commits: u64,
     /// Mean commits per flush x100 (100 = one per flush, per-op).
     pub batch_mean_x100: u64,
+    /// Median commits per flush x100.
+    pub batch_p50_x100: u64,
+    /// 99th-percentile commits per flush x100.
+    pub batch_p99_x100: u64,
     /// Mean staged-to-durable wait in microseconds (0 on the per-op
     /// arm, where nothing ever waits staged).
     pub flush_wait_us_mean: u64,
+    /// Median staged-to-durable wait, microseconds.
+    pub flush_wait_us_p50: u64,
+    /// 99th-percentile staged-to-durable wait, microseconds.
+    pub flush_wait_us_p99: u64,
     /// Replies that rode an earlier reply's envelope.
     pub reply_coalesced: u64,
     /// Median export reply latency (issue to committed), microseconds.
     pub p50_reply_us: u64,
     /// 99th-percentile export reply latency, microseconds.
     pub p99_reply_us: u64,
-    /// Client retransmissions (clean links: expected 0).
+    /// Client retransmissions (clean links without chaos: expected 0).
     pub retransmits: u64,
+    /// Shard power failures that fired (scripted chaos).
+    pub crashes: u64,
+    /// Cross-shard requests whose carried read-vector was checked at
+    /// admission (`server.wfr_checked`; 0 when `shards == 1`).
+    pub wfr_checked: u64,
+    /// Requests the writes-follow-reads gate held for a lagging local
+    /// object version (only possible under shard-kill chaos).
+    pub wfr_holds: u64,
+    /// max/mean exports per shard x100 (100 = perfectly balanced;
+    /// always 100 at one shard).
+    pub imbalance_x100: u64,
+    /// Exports routed to each shard (index = shard).
+    pub shard_ops: Vec<u64>,
+    /// Final write-ahead device size per shard, bytes.
+    pub shard_wal_bytes: Vec<u64>,
     /// Order-insensitive FNV fingerprint of everything above.
     pub digest: u64,
 }
 
 impl ScaleOutcome {
-    /// Server throughput in commits per virtual second.
+    /// Aggregate throughput in commits per virtual second.
     pub fn commits_per_s(&self) -> f64 {
         self.ops as f64 / (self.duration_ms.max(1) as f64 / 1000.0)
     }
 
-    /// WAL device bandwidth in bytes per virtual second.
+    /// Aggregate WAL device bandwidth in bytes per virtual second.
     pub fn wal_bytes_per_s(&self) -> f64 {
         self.wal_flush_bytes as f64 / (self.duration_ms.max(1) as f64 / 1000.0)
     }
@@ -198,13 +270,87 @@ fn link_class(i: usize) -> LinkSpec {
     }
 }
 
+/// Deterministic per-client workload draws, consumed from the shared
+/// splitmix stream in the exact order the single-server soak always
+/// drew them (object pick first, arrival jitter second) — so `shards
+/// == 1` replays the identical workload byte-for-byte.
+struct Draws {
+    /// Object index per client.
+    obj: Vec<usize>,
+    /// Arrival jitter in microseconds per client.
+    jitter_us: Vec<u64>,
+}
+
+fn draw_workload(cfg: &ScaleConfig, cdf: &[f64]) -> Draws {
+    let mut draw = cfg.seed ^ 0xC0FF_EE00_5CA1_E5A7;
+    let mut obj = Vec::with_capacity(cfg.clients);
+    let mut jitter_us = Vec::with_capacity(cfg.clients);
+    for _ in 0..cfg.clients {
+        obj.push(zipf_pick(cdf, unit(splitmix(&mut draw))));
+        jitter_us.push(splitmix(&mut draw) % 40_000);
+    }
+    Draws { obj, jitter_us }
+}
+
+/// Is client `i` a cross-shard verifier in this configuration?
+fn is_verifier(cfg: &ScaleConfig, i: usize) -> bool {
+    cfg.shards > 1 && i.is_multiple_of(VERIFIER_EVERY)
+}
+
+/// Picks each verifier's *secondary* object — one homed on a different
+/// shard than its primary — from a splitmix stream separate from the
+/// main workload draw (so verifiers never perturb the shared stream).
+fn draw_secondaries(
+    cfg: &ScaleConfig,
+    draws: &Draws,
+    urns: &[Urn],
+    map: &ShardMap,
+    cdf: &[f64],
+) -> HashMap<usize, usize> {
+    let mut vdraw = cfg.seed ^ 0x5EED_CAFE_D00D_F00D;
+    let mut out = HashMap::new();
+    for i in 0..cfg.clients {
+        if !is_verifier(cfg, i) {
+            continue;
+        }
+        let home = map.shard_for(urns[draws.obj[i]].as_str());
+        let mut pick = None;
+        for _ in 0..16 {
+            let cand = zipf_pick(cdf, unit(splitmix(&mut vdraw)));
+            if map.shard_for(urns[cand].as_str()) != home {
+                pick = Some(cand);
+                break;
+            }
+        }
+        let pick =
+            pick.or_else(|| (0..urns.len()).find(|&k| map.shard_for(urns[k].as_str()) != home));
+        if let Some(p) = pick {
+            out.insert(i, p);
+        }
+    }
+    out
+}
+
 /// Per-run mutable state shared by every client's callbacks.
 struct Shared {
     done: Cell<u64>,
     last_done: Cell<SimTime>,
     /// (issue time, committed promise) per export, in issue order.
     issued: RefCell<Vec<(SimTime, rover_core::Promise)>>,
+    /// (client host, destination shard host, request id) per export —
+    /// the post-chaos durability audit replays this against each
+    /// shard's executed set.
+    commits: RefCell<Vec<(HostId, HostId, RequestId)>>,
     errors: RefCell<Vec<String>>,
+}
+
+impl Shared {
+    fn record(&self, sim: &Sim, host: HostId, dst: HostId, h: &rover_core::ExportHandle) {
+        self.commits.borrow_mut().push((host, dst, h.req));
+        self.issued
+            .borrow_mut()
+            .push((sim.now(), h.committed.clone()));
+    }
 }
 
 /// Issues one export and counts its commit; returns false on an issue
@@ -214,6 +360,8 @@ fn issue_export(
     cl: &ClientRef,
     urn: &Urn,
     session: SessionId,
+    host: HostId,
+    dst: HostId,
     st: &Rc<Shared>,
 ) -> bool {
     let h = match Client::export(cl, sim, urn, session, "add", &["1"], Priority::NORMAL) {
@@ -223,8 +371,8 @@ fn issue_export(
             return false;
         }
     };
-    let committed = h.committed.clone();
-    st.issued.borrow_mut().push((sim.now(), h.committed));
+    st.record(sim, host, dst, &h);
+    let committed = h.committed;
     let st2 = st.clone();
     committed.on_ready(sim, move |sim, _| {
         st2.done.set(st2.done.get() + 1);
@@ -234,11 +382,14 @@ fn issue_export(
 }
 
 /// Closed-loop driver: each commit triggers the next export.
+#[allow(clippy::too_many_arguments)]
 fn chain_exports(
     sim: &mut Sim,
     cl: ClientRef,
     urn: Urn,
     session: SessionId,
+    host: HostId,
+    dst: HostId,
     left: usize,
     st: Rc<Shared>,
 ) {
@@ -252,52 +403,205 @@ fn chain_exports(
             return;
         }
     };
-    let committed = h.committed.clone();
-    st.issued.borrow_mut().push((sim.now(), h.committed));
+    st.record(sim, host, dst, &h);
+    let committed = h.committed;
     committed.on_ready(sim, move |sim, _| {
         st.done.set(st.done.get() + 1);
         st.last_done.set(sim.now());
-        chain_exports(sim, cl, urn, session, left - 1, st);
+        chain_exports(sim, cl, urn, session, host, dst, left - 1, st);
     });
+}
+
+/// One cross-shard verifier step: export to the step's target shard,
+/// then re-read the object and assert the session's read floor —
+/// monotonic reads plus the session's own committed write — still
+/// holds. Steps alternate between the verifier's two shards, so every
+/// export carries a writes-follow-reads read-vector for its
+/// destination.
+#[allow(clippy::too_many_arguments)]
+fn verifier_step(
+    sim: &mut Sim,
+    cl: ClientRef,
+    pair: Rc<(Urn, Urn)>,
+    hosts: Rc<(HostId, HostId)>,
+    session: SessionId,
+    host: HostId,
+    j: usize,
+    ops: usize,
+    st: Rc<Shared>,
+    floors: Rc<RefCell<HashMap<Urn, u64>>>,
+) {
+    if j == ops {
+        return;
+    }
+    let (target, dst) = if j.is_multiple_of(2) {
+        (pair.0.clone(), hosts.0)
+    } else {
+        (pair.1.clone(), hosts.1)
+    };
+    let h = match Client::export(&cl, sim, &target, session, "add", &["1"], Priority::NORMAL) {
+        Ok(h) => h,
+        Err(e) => {
+            st.errors.borrow_mut().push(format!("export failed: {e:?}"));
+            return;
+        }
+    };
+    st.record(sim, host, dst, &h);
+    let committed = h.committed;
+    committed.on_ready(sim, move |sim, o| {
+        st.done.set(st.done.get() + 1);
+        st.last_done.set(sim.now());
+        let wrote = o.version.0;
+        let p = match Client::import(&cl, sim, &target, session, Priority::FOREGROUND) {
+            Ok(p) => p,
+            Err(e) => {
+                st.errors
+                    .borrow_mut()
+                    .push(format!("verifier re-read failed: {e:?}"));
+                return;
+            }
+        };
+        p.on_ready(sim, move |sim, o2| {
+            if o2.status != OpStatus::Ok {
+                st.errors
+                    .borrow_mut()
+                    .push(format!("verifier re-read resolved {:?}", o2.status));
+                return;
+            }
+            let floor = floors
+                .borrow()
+                .get(&target)
+                .copied()
+                .unwrap_or(0)
+                .max(wrote);
+            if o2.version.0 < floor {
+                st.errors.borrow_mut().push(format!(
+                    "cross-shard session violated: read {target} at v{} below floor v{floor}",
+                    o2.version.0
+                ));
+                return;
+            }
+            floors.borrow_mut().insert(target.clone(), o2.version.0);
+            verifier_step(sim, cl, pair, hosts, session, host, j + 1, ops, st, floors);
+        });
+    });
+}
+
+/// Schedules the scripted power failures for one shard: crash at evenly
+/// spaced lifetime commit ordinals, reboot from the shard's write-ahead
+/// device after a fixed outage, then arm the next crash. Returns how
+/// many crashes were scheduled (distinct ordinals).
+fn script_shard_chaos(server: &ServerRef, crashes: usize, expected_ops: u64) -> u64 {
+    if crashes == 0 || expected_ops == 0 {
+        return 0;
+    }
+    let ords: Vec<u64> = (1..=crashes)
+        .map(|k| ((k as u64 * expected_ops) / (crashes as u64 + 1)).max(1))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let outage = SimDuration::from_secs(12);
+    server
+        .borrow_mut()
+        .script_crash(ords[0], CrashPoint::AfterAppend);
+    let next = Rc::new(Cell::new(1usize));
+    let sv = server.clone();
+    let scheduled = ords.len() as u64;
+    Server::on_event(server, move |sim, ev| {
+        if let ServerEvent::Crashed { .. } = ev {
+            let (sv, ords, next) = (sv.clone(), ords.clone(), next.clone());
+            sim.schedule_after(outage, move |sim| {
+                Server::crash_restart(&sv, sim).expect("scale shard crash_restart");
+                let i = next.get();
+                if i < ords.len() {
+                    next.set(i + 1);
+                    sv.borrow_mut()
+                        .script_crash(ords[i], CrashPoint::AfterAppend);
+                }
+            });
+        }
+    });
+    scheduled
 }
 
 /// Runs one scale arm to quiescence; `Err` describes the first violated
 /// invariant.
 pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
     let total_ops = (cfg.clients * cfg.ops_per_client) as u64;
+    let shards = cfg.shards.max(1);
+    if shards > MAX_SHARDS {
+        return Err(format!(
+            "at most {MAX_SHARDS} shards (host ids 1..={MAX_SHARDS})"
+        ));
+    }
     let mut sim = Sim::new(cfg.seed);
     let net = Net::new();
-    let mut scfg = ServerConfig::workstation(SERVER);
-    scfg.commit = cfg.policy;
-    // At 10k clients a periodic full-store snapshot would dominate the
-    // flush pipeline being measured; the log is compacted offline.
-    scfg.checkpoint_every = 0;
-    // Clean links never force a retransmission, but size the dedup
-    // cache so even one would replay rather than re-execute.
-    scfg.dedup_capacity = (total_ops as usize).max(4096);
-    let server = Server::new(&net, scfg);
-    server
-        .borrow_mut()
-        .register_resolver("counter", Box::new(ReexecuteResolver));
+    let shard_hosts: Vec<HostId> = (0..shards).map(|s| HostId(SERVER.0 + s as u32)).collect();
+    let map = ShardMap::new(shard_hosts.clone());
+
+    let mut servers: Vec<ServerRef> = Vec::with_capacity(shards);
+    for &host in &shard_hosts {
+        let mut scfg = ServerConfig::workstation(host);
+        scfg.commit = cfg.policy;
+        // At 10k clients a periodic full-store snapshot would dominate
+        // the flush pipeline being measured; the log is compacted
+        // offline.
+        scfg.checkpoint_every = 0;
+        // Clean links never force a retransmission, but size the dedup
+        // cache so even one would replay rather than re-execute.
+        scfg.dedup_capacity = (total_ops as usize).max(4096);
+        let server = Server::new(&net, scfg);
+        server
+            .borrow_mut()
+            .register_resolver("counter", Box::new(ReexecuteResolver));
+        servers.push(server);
+    }
     let urns: Vec<Urn> = (0..NOBJ)
         .map(|k| Urn::parse(&format!("urn:rover:scale/obj{k}")).expect("valid urn"))
         .collect();
     for urn in &urns {
-        server.borrow_mut().put_object(
-            RoverObject::new(urn.clone(), "counter")
-                .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
-                .with_field("n", "0"),
-        );
+        servers[map.shard_for(urn.as_str())]
+            .borrow_mut()
+            .put_object(
+                RoverObject::new(urn.clone(), "counter")
+                    .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+                    .with_field("n", "0"),
+            );
     }
-    Server::attach_wal(&server, &mut sim, Box::new(MemStore::new()))
-        .map_err(|e| format!("seed {}: attach_wal failed: {e:?}", cfg.seed))?;
+    for server in &servers {
+        Server::attach_wal(server, &mut sim, Box::new(MemStore::new()))
+            .map_err(|e| format!("seed {}: attach_wal failed: {e:?}", cfg.seed))?;
+    }
 
     let cdf = zipf_cdf(NOBJ, ZIPF_S);
-    let mut draw = cfg.seed ^ 0xC0FF_EE00_5CA1_E5A7;
+    let draws = draw_workload(&cfg, &cdf);
+    let secondaries = draw_secondaries(&cfg, &draws, &urns, &map, &cdf);
+
+    // Exports each shard will take, from the deterministic assignment:
+    // the chaos ordinals and the imbalance figure both derive from it.
+    let mut shard_ops = vec![0u64; shards];
+    for i in 0..cfg.clients {
+        let prim = map.shard_for(urns[draws.obj[i]].as_str());
+        match secondaries.get(&i) {
+            Some(&sec) if is_verifier(&cfg, i) => {
+                let sec = map.shard_for(urns[sec].as_str());
+                for j in 0..cfg.ops_per_client {
+                    shard_ops[if j % 2 == 0 { prim } else { sec }] += 1;
+                }
+            }
+            _ => shard_ops[prim] += cfg.ops_per_client as u64,
+        }
+    }
+    let mut scheduled_crashes = 0;
+    for (s, server) in servers.iter().enumerate() {
+        scheduled_crashes += script_shard_chaos(server, cfg.shard_crashes, shard_ops[s]);
+    }
+
     let st = Rc::new(Shared {
         done: Cell::new(0),
         last_done: Cell::new(sim.now()),
         issued: RefCell::new(Vec::with_capacity(total_ops as usize)),
+        commits: RefCell::new(Vec::with_capacity(total_ops as usize)),
         errors: RefCell::new(Vec::new()),
     });
 
@@ -305,56 +609,136 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
     for i in 0..cfg.clients {
         let host = client_host(i);
         let spec = cfg.link_override.unwrap_or_else(|| link_class(i));
-        let link = net.add_link(spec, host, SERVER);
-        server.borrow_mut().add_route(host, link);
-        let mut ccfg = ClientConfig::thinkpad(host, SERVER);
+        let urn = urns[draws.obj[i]].clone();
+        let home = map.host_for(urn.as_str());
+        let home_idx = (home.0 - SERVER.0) as usize;
+        let link = net.add_link(spec, host, home);
+        servers[home_idx].borrow_mut().add_route(host, link);
+        let mut ccfg = ClientConfig::thinkpad(host, home);
         // Reply latency under a saturated per-op server can reach
         // minutes; probe far beyond it so clean links never retransmit.
         ccfg.rto = SimDuration::from_secs(900);
         ccfg.rto_backoff = 2.0;
         ccfg.rto_max = SimDuration::from_secs(3600);
-        let cl = Client::new(&mut sim, &net, ccfg, vec![link]);
+        if cfg.shard_crashes > 0 {
+            // Shard-kill chaos loses staged work and replies; probe
+            // well inside the run so retries land on the recovered
+            // incarnation promptly.
+            ccfg.rto = SimDuration::from_secs(60);
+            ccfg.rto_max = SimDuration::from_secs(960);
+        }
+        if shards > 1 {
+            ccfg.shards = Some(map.clone());
+        }
+        let mut links = vec![link];
+        let verifier_pair = match secondaries.get(&i) {
+            Some(&sec) if is_verifier(&cfg, i) => {
+                let surn = urns[sec].clone();
+                let shost = map.host_for(surn.as_str());
+                let slink = net.add_link(spec, host, shost);
+                servers[(shost.0 - SERVER.0) as usize]
+                    .borrow_mut()
+                    .add_route(host, slink);
+                links.push(slink);
+                Some((surn, shost))
+            }
+            _ => None,
+        };
+        let cl = Client::new(&mut sim, &net, ccfg, links);
         let session = Client::create_session(&cl, Guarantees::ALL, true);
 
-        let urn = urns[zipf_pick(&cdf, unit(splitmix(&mut draw)))].clone();
         let burst = (i * cfg.bursts.max(1)) / cfg.clients.max(1);
-        let jitter = SimDuration::from_micros(splitmix(&mut draw) % 40_000);
+        let jitter = SimDuration::from_micros(draws.jitter_us[i]);
         let arrival =
             SimDuration::from_micros(cfg.burst_gap.as_micros() * burst as u64 + jitter.as_micros());
         let closed = i % 2 == 0;
         let (cl2, st2, ops, think) = (cl.clone(), st.clone(), cfg.ops_per_client, cfg.think);
-        sim.schedule_after(arrival, move |sim| {
-            let p = match Client::import(&cl2, sim, &urn, session, Priority::FOREGROUND) {
-                Ok(p) => p,
-                Err(e) => {
-                    st2.errors
-                        .borrow_mut()
-                        .push(format!("import failed: {e:?}"));
-                    return;
-                }
-            };
-            p.on_ready(sim, move |sim, o| {
-                if o.status != OpStatus::Ok {
-                    st2.errors
-                        .borrow_mut()
-                        .push(format!("import resolved {:?}", o.status));
-                    return;
-                }
-                if closed {
-                    chain_exports(sim, cl2, urn, session, ops, st2);
-                } else {
-                    for j in 0..ops {
-                        let (cl3, urn3, st3) = (cl2.clone(), urn.clone(), st2.clone());
-                        sim.schedule_after(
-                            SimDuration::from_micros(think.as_micros() * j as u64),
-                            move |sim| {
-                                issue_export(sim, &cl3, &urn3, session, &st3);
-                            },
-                        );
-                    }
-                }
-            });
-        });
+        match verifier_pair {
+            Some((surn, shost)) => {
+                // Cross-shard verifier: warm both shards' read floors,
+                // then alternate exports between them with a session
+                // check after every commit.
+                let pair = Rc::new((urn, surn));
+                let hosts = Rc::new((home, shost));
+                sim.schedule_after(arrival, move |sim| {
+                    let p = match Client::import(&cl2, sim, &pair.0, session, Priority::FOREGROUND)
+                    {
+                        Ok(p) => p,
+                        Err(e) => {
+                            st2.errors
+                                .borrow_mut()
+                                .push(format!("import failed: {e:?}"));
+                            return;
+                        }
+                    };
+                    p.on_ready(sim, move |sim, o| {
+                        if o.status != OpStatus::Ok {
+                            st2.errors
+                                .borrow_mut()
+                                .push(format!("import resolved {:?}", o.status));
+                            return;
+                        }
+                        let p2 =
+                            match Client::import(&cl2, sim, &pair.1, session, Priority::FOREGROUND)
+                            {
+                                Ok(p) => p,
+                                Err(e) => {
+                                    st2.errors
+                                        .borrow_mut()
+                                        .push(format!("import failed: {e:?}"));
+                                    return;
+                                }
+                            };
+                        p2.on_ready(sim, move |sim, o| {
+                            if o.status != OpStatus::Ok {
+                                st2.errors
+                                    .borrow_mut()
+                                    .push(format!("import resolved {:?}", o.status));
+                                return;
+                            }
+                            let floors = Rc::new(RefCell::new(HashMap::new()));
+                            verifier_step(
+                                sim, cl2, pair, hosts, session, host, 0, ops, st2, floors,
+                            );
+                        });
+                    });
+                });
+            }
+            None => {
+                sim.schedule_after(arrival, move |sim| {
+                    let p = match Client::import(&cl2, sim, &urn, session, Priority::FOREGROUND) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            st2.errors
+                                .borrow_mut()
+                                .push(format!("import failed: {e:?}"));
+                            return;
+                        }
+                    };
+                    p.on_ready(sim, move |sim, o| {
+                        if o.status != OpStatus::Ok {
+                            st2.errors
+                                .borrow_mut()
+                                .push(format!("import resolved {:?}", o.status));
+                            return;
+                        }
+                        if closed {
+                            chain_exports(sim, cl2, urn, session, host, home, ops, st2);
+                        } else {
+                            for j in 0..ops {
+                                let (cl3, urn3, st3) = (cl2.clone(), urn.clone(), st2.clone());
+                                sim.schedule_after(
+                                    SimDuration::from_micros(think.as_micros() * j as u64),
+                                    move |sim| {
+                                        issue_export(sim, &cl3, &urn3, session, host, home, &st3);
+                                    },
+                                );
+                            }
+                        }
+                    });
+                });
+            }
+        }
         clients.push(cl);
     }
 
@@ -390,7 +774,7 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
     let final_total: u64 = urns
         .iter()
         .map(|u| {
-            server
+            servers[map.shard_for(u.as_str())]
                 .borrow()
                 .get_object(u)
                 .and_then(|o| o.field("n").and_then(|v| v.parse::<u64>().ok()))
@@ -430,12 +814,40 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
         .stats
         .series("server.group_commit_batch_size")
         .map_or(100, |s| (s.mean() * 100.0).round() as u64);
+    let batch_p50_x100 = sim
+        .stats
+        .series("server.group_commit_batch_size")
+        .map_or(100, |s| (s.quantile(0.50) * 100.0).round() as u64);
+    let batch_p99_x100 = sim
+        .stats
+        .series("server.group_commit_batch_size")
+        .map_or(100, |s| (s.quantile(0.99) * 100.0).round() as u64);
     let flush_wait_us_mean = sim
         .stats
         .series("server.flush_wait_ms")
         .map_or(0, |s| (s.mean() * 1000.0).round() as u64);
+    let flush_wait_us_p50 = sim
+        .stats
+        .series("server.flush_wait_ms")
+        .map_or(0, |s| (s.quantile(0.50) * 1000.0).round() as u64);
+    let flush_wait_us_p99 = sim
+        .stats
+        .series("server.flush_wait_ms")
+        .map_or(0, |s| (s.quantile(0.99) * 1000.0).round() as u64);
     let reply_coalesced = sim.stats.counter("server.reply_coalesced");
     let retransmits = sim.stats.counter("client.retransmits");
+    let crashes = sim.stats.counter("server.crashes");
+    let wfr_checked = sim.stats.counter("server.wfr_checked");
+    let wfr_holds = sim.stats.counter("server.wfr_held");
+    let shard_wal_bytes: Vec<u64> = servers
+        .iter()
+        .map(|s| s.borrow().wal_device_len())
+        .collect();
+    let imbalance_x100 = {
+        let max = shard_ops.iter().copied().max().unwrap_or(0);
+        let mean = total_ops.max(1) as f64 / shards as f64;
+        ((max as f64 / mean) * 100.0).round() as u64
+    };
 
     if final_total != total_ops {
         return Err(format!(
@@ -476,6 +888,46 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
         }
         _ => {}
     }
+    if cfg.shard_crashes == 0 && retransmits != 0 {
+        return Err(format!(
+            "seed {}: {retransmits} retransmissions on clean links without chaos",
+            cfg.seed
+        ));
+    }
+    if crashes != scheduled_crashes {
+        return Err(format!(
+            "seed {}: scheduled {scheduled_crashes} shard crashes but {crashes} fired",
+            cfg.seed
+        ));
+    }
+    if shards > 1 && secondaries.values().len() > 0 && wfr_checked == 0 {
+        return Err(format!(
+            "seed {}: cross-shard verifiers ran but no read-vector was ever checked",
+            cfg.seed
+        ));
+    }
+    for (s, server) in servers.iter().enumerate() {
+        let stuck = server.borrow().wfr_held_count();
+        if stuck != 0 {
+            return Err(format!(
+                "seed {}: shard {s} still holds {stuck} writes-follow-reads requests",
+                cfg.seed
+            ));
+        }
+    }
+    if cfg.shard_crashes > 0 {
+        // Durability audit: every export that was replied survives in
+        // its shard's recovered executed set.
+        for (client, dst, req) in st.commits.borrow().iter() {
+            let s = (dst.0 - SERVER.0) as usize;
+            if !servers[s].borrow().executed_contains(*client, *req) {
+                return Err(format!(
+                    "seed {}: replied commit {req:?} from {client:?} lost by shard {s} recovery",
+                    cfg.seed
+                ));
+            }
+        }
+    }
     for cl in &clients {
         if Client::log_len(cl) != 0 {
             return Err(format!(
@@ -486,9 +938,14 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
     }
 
     let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        digest ^= v;
+        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    };
     for v in [
         cfg.seed,
         cfg.clients as u64,
+        shards as u64,
         total_ops,
         committed,
         final_total,
@@ -498,19 +955,30 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
         wal_flush_bytes,
         group_commits,
         batch_mean_x100,
+        batch_p50_x100,
+        batch_p99_x100,
         flush_wait_us_mean,
+        flush_wait_us_p50,
+        flush_wait_us_p99,
         reply_coalesced,
         p50_reply_us,
         p99_reply_us,
         retransmits,
+        crashes,
+        wfr_checked,
+        wfr_holds,
+        imbalance_x100,
     ] {
-        digest ^= v;
-        digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        fold(v);
+    }
+    for &v in shard_ops.iter().chain(shard_wal_bytes.iter()) {
+        fold(v);
     }
 
     Ok(ScaleOutcome {
         seed: cfg.seed,
         clients: cfg.clients as u64,
+        shards: shards as u64,
         ops: total_ops,
         committed,
         final_total,
@@ -520,11 +988,21 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
         wal_flush_bytes,
         group_commits,
         batch_mean_x100,
+        batch_p50_x100,
+        batch_p99_x100,
         flush_wait_us_mean,
+        flush_wait_us_p50,
+        flush_wait_us_p99,
         reply_coalesced,
         p50_reply_us,
         p99_reply_us,
         retransmits,
+        crashes,
+        wfr_checked,
+        wfr_holds,
+        imbalance_x100,
+        shard_ops,
+        shard_wal_bytes,
         digest,
     })
 }
@@ -556,6 +1034,9 @@ pub fn run_pair(
 pub const RATIO_MIN_CLIENTS: usize = 256;
 /// Required group-commit speedup over per-operation flush.
 pub const RATIO_FLOOR: f64 = 5.0;
+/// Required 8-shard speedup over a single shard (group commit, 10k
+/// clients) — the federation acceptance gate.
+pub const SHARD_FLOOR: f64 = 3.0;
 
 fn outcome_rows(t: &mut Table, o: &ScaleOutcome, arm: &str) {
     t.row(vec![
@@ -600,19 +1081,137 @@ fn report_pair(r: &mut Report, t: &mut Table, trio: &(ScaleOutcome, ScaleOutcome
             o.batch_mean_x100 as f64 / 100.0,
         );
     }
+    // Flush-wait / batch-size histogram percentiles (group arm; the
+    // per-op arm never stages, so its histograms are degenerate).
+    r.metric(
+        format!("scale.seed{}.group.flush_wait_p50_ms", group.seed),
+        group.flush_wait_us_p50 as f64 / 1000.0,
+    );
+    r.metric(
+        format!("scale.seed{}.group.flush_wait_p99_ms", group.seed),
+        group.flush_wait_us_p99 as f64 / 1000.0,
+    );
+    r.metric(
+        format!("scale.seed{}.group.batch_p50", group.seed),
+        group.batch_p50_x100 as f64 / 100.0,
+    );
+    r.metric(
+        format!("scale.seed{}.group.batch_p99", group.seed),
+        group.batch_p99_x100 as f64 / 100.0,
+    );
     r.metric(format!("scale.seed{}.speedup", per_op.seed), *speedup);
+}
+
+/// Renders one sharded (group-commit) arm into a table row + metrics.
+fn report_sharded(r: &mut Report, t: &mut Table, o: &ScaleOutcome, prefix: &str) {
+    t.row(vec![
+        o.seed.to_string(),
+        o.shards.to_string(),
+        o.clients.to_string(),
+        o.ops.to_string(),
+        format!("{:.0}", o.commits_per_s()),
+        format!("{:.1}", o.p50_reply_us as f64 / 1000.0),
+        format!("{:.1}", o.p99_reply_us as f64 / 1000.0),
+        format!("{:.0}", o.wal_bytes_per_s() / 1024.0),
+        format!("{:.2}", o.imbalance_x100 as f64 / 100.0),
+        o.wfr_checked.to_string(),
+        o.crashes.to_string(),
+        o.retransmits.to_string(),
+    ]);
+    r.metric(format!("{prefix}.commits_per_s"), o.commits_per_s());
+    r.metric(
+        format!("{prefix}.p50_reply_ms"),
+        o.p50_reply_us as f64 / 1000.0,
+    );
+    r.metric(
+        format!("{prefix}.p99_reply_ms"),
+        o.p99_reply_us as f64 / 1000.0,
+    );
+    r.metric(format!("{prefix}.wal_bytes_per_s"), o.wal_bytes_per_s());
+    r.metric(
+        format!("{prefix}.imbalance"),
+        o.imbalance_x100 as f64 / 100.0,
+    );
+    r.metric(format!("{prefix}.wfr_checked"), o.wfr_checked as f64);
+    for (s, &b) in o.shard_wal_bytes.iter().enumerate() {
+        r.metric(
+            format!("{prefix}.shard{s}.wal_bytes_per_s"),
+            b as f64 / (o.duration_ms.max(1) as f64 / 1000.0),
+        );
+    }
+}
+
+fn sharded_table(title: &str, note: &str) -> Table {
+    Table::new(
+        title,
+        &[
+            "seed",
+            "shards",
+            "clients",
+            "ops",
+            "commit/s",
+            "p50 ms",
+            "p99 ms",
+            "wal KiB/s",
+            "imbal",
+            "wfr chk",
+            "crash",
+            "rexmit",
+        ],
+    )
+    .note(note)
 }
 
 /// CLI entry for `rover-bench soak --clients N`: every seed runs both
 /// arms; `Err` on the first violated invariant (including the speedup
-/// gate).
+/// gate). With `shards > 1` the run federates across shards instead
+/// (group-commit arm, optional shard-kill chaos) and the single-server
+/// gate is replaced by the federation invariants.
 pub fn run_cli(
     seeds: impl IntoIterator<Item = u64>,
     clients: usize,
     smoke: bool,
+    shards: usize,
+    shard_crashes: usize,
 ) -> Result<Report, String> {
     let ops = if smoke { 2 } else { 3 };
     let mut r = Report::new("scale");
+    if shards > 1 {
+        let chaos = if shard_crashes > 0 {
+            format!(
+                "; shard-kill chaos: {shard_crashes} scripted power failure(s) per shard, \
+                 12 s outage each"
+            )
+        } else {
+            String::new()
+        };
+        let mut t = sharded_table(
+            &format!(
+                "Scale soak — {clients} clients x {ops} ops across {shards} shards, \
+                 group commit (batch 64 / 20 ms window)"
+            ),
+            &format!(
+                "URN space hash-partitioned across {shards} home-server shards (independent \
+                 WALs); cross-shard verifier sessions assert MR/WFR{chaos}."
+            ),
+        );
+        for seed in seeds {
+            let o = run_scale(
+                ScaleConfig::new(seed, clients, ops)
+                    .with_policy(GROUP_POLICY)
+                    .with_shards(shards)
+                    .with_shard_crashes(shard_crashes),
+            )?;
+            report_sharded(
+                &mut r,
+                &mut t,
+                &o,
+                &format!("scale.seed{seed}.shard{shards}"),
+            );
+        }
+        r.table(&t);
+        return Ok(r);
+    }
     let mut t = Table::new(
         &format!(
             "Scale soak — {clients} clients x {ops} ops, per-op flush vs group commit \
@@ -682,6 +1281,60 @@ pub fn s1_scale(r: &mut Report) {
     }
 }
 
+/// The `s2-shard-scaling` experiment: 10k clients under group commit,
+/// federated across 1/2/4/8 URN-partitioned shards, one seed — the
+/// scale-out chart (aggregate commits/s, reply percentiles, per-shard
+/// WAL bandwidth, load imbalance) plus one shard-kill chaos arm. Gate:
+/// 8 shards sustain >= [`SHARD_FLOOR`]x the single-shard commits/s.
+pub fn s2_shard_scaling(r: &mut Report) {
+    const CLIENTS: usize = 10_000;
+    const OPS: usize = 3;
+    let mut t = sharded_table(
+        "S2 — sharded home-server federation: group-commit scale-out at 10k clients",
+        "URN space hash-partitioned across N shards (independent WAL + commit engine each); \
+         cross-shard verifier sessions assert MR/WFR. Chaos arm: 2 scripted power failures \
+         per shard. Gate: 8 shards >= 3x 1-shard commits/s.",
+    );
+    let mut one_shard = 0.0f64;
+    let mut eight_shard = 0.0f64;
+    for shards in [1usize, 2, 4, 8] {
+        let o = run_scale(
+            ScaleConfig::new(1, CLIENTS, OPS)
+                .with_policy(GROUP_POLICY)
+                .with_shards(shards),
+        )
+        .unwrap_or_else(|e| panic!("s2-shard-scaling invariant violated: {e}"));
+        report_sharded(r, &mut t, &o, &format!("s2.shards{shards}"));
+        if shards == 1 {
+            one_shard = o.commits_per_s();
+        }
+        if shards == 8 {
+            eight_shard = o.commits_per_s();
+        }
+    }
+    let scaleout = eight_shard / one_shard.max(1e-9);
+    if scaleout < SHARD_FLOOR {
+        panic!(
+            "s2-shard-scaling gate violated: 8 shards only {scaleout:.2}x one shard \
+             ({eight_shard:.0} vs {one_shard:.0} commits/s; gate >= {SHARD_FLOOR}x)"
+        );
+    }
+    r.metric("s2.scaleout_8x1", scaleout);
+    // Shard-kill chaos arm: every shard power-failed twice mid-run; the
+    // run_scale invariants prove zero lost commits, zero re-executions,
+    // the durability audit, and cross-shard WFR under recovery.
+    let chaos = run_scale(
+        ScaleConfig::new(1, CLIENTS, OPS)
+            .with_policy(GROUP_POLICY)
+            .with_shards(4)
+            .with_shard_crashes(2),
+    )
+    .unwrap_or_else(|e| panic!("s2-shard-scaling chaos invariant violated: {e}"));
+    report_sharded(r, &mut t, &chaos, "s2.chaos4x2");
+    r.metric("s2.chaos4x2.crashes", chaos.crashes as f64);
+    r.table(&t);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -703,6 +1356,27 @@ mod tests {
         let (mut a, mut b) = (42u64, 42u64);
         for _ in 0..8 {
             assert_eq!(splitmix(&mut a), splitmix(&mut b));
+        }
+    }
+
+    #[test]
+    fn secondaries_land_on_other_shards() {
+        let cfg = ScaleConfig::new(1, 200, 2).with_shards(4);
+        let cdf = zipf_cdf(NOBJ, ZIPF_S);
+        let draws = draw_workload(&cfg, &cdf);
+        let urns: Vec<Urn> = (0..NOBJ)
+            .map(|k| Urn::parse(&format!("urn:rover:scale/obj{k}")).unwrap())
+            .collect();
+        let map = ShardMap::new((0..4).map(|s| HostId(1 + s)).collect());
+        let sec = draw_secondaries(&cfg, &draws, &urns, &map, &cdf);
+        assert!(!sec.is_empty(), "200 clients at 4 shards have verifiers");
+        for (&i, &s) in &sec {
+            assert!(is_verifier(&cfg, i));
+            assert_ne!(
+                map.shard_for(urns[draws.obj[i]].as_str()),
+                map.shard_for(urns[s].as_str()),
+                "secondary must live on a different shard"
+            );
         }
     }
 }

@@ -143,11 +143,19 @@ pub struct SoakOutcome {
     pub group_commits: u64,
     /// Mean commits per group flush x100 (100 = one per flush).
     pub group_batch_mean_x100: u64,
+    /// Median commits per group flush x100.
+    pub group_batch_p50_x100: u64,
+    /// 99th-percentile commits per group flush x100.
+    pub group_batch_p99_x100: u64,
     /// Replies that rode an earlier reply's coalesced envelope.
     pub reply_coalesced: u64,
     /// Mean staged-to-durable wait per commit, in microseconds (0 under
     /// the per-operation policy, where nothing ever waits staged).
     pub flush_wait_us_mean: u64,
+    /// Median staged-to-durable wait, microseconds.
+    pub flush_wait_us_p50: u64,
+    /// 99th-percentile staged-to-durable wait, microseconds.
+    pub flush_wait_us_p99: u64,
     /// Order-insensitive fingerprint of final state + stats; equal
     /// digests mean byte-identical runs.
     pub digest: u64,
@@ -326,11 +334,27 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         .stats
         .series("server.group_commit_batch_size")
         .map_or(100, |s| (s.mean() * 100.0).round() as u64);
+    let group_batch_p50_x100 = sim
+        .stats
+        .series("server.group_commit_batch_size")
+        .map_or(100, |s| (s.quantile(0.50) * 100.0).round() as u64);
+    let group_batch_p99_x100 = sim
+        .stats
+        .series("server.group_commit_batch_size")
+        .map_or(100, |s| (s.quantile(0.99) * 100.0).round() as u64);
     let reply_coalesced = sim.stats.counter("server.reply_coalesced");
     let flush_wait_us_mean = sim
         .stats
         .series("server.flush_wait_ms")
         .map_or(0, |s| (s.mean() * 1000.0).round() as u64);
+    let flush_wait_us_p50 = sim
+        .stats
+        .series("server.flush_wait_ms")
+        .map_or(0, |s| (s.quantile(0.50) * 1000.0).round() as u64);
+    let flush_wait_us_p99 = sim
+        .stats
+        .series("server.flush_wait_ms")
+        .map_or(0, |s| (s.quantile(0.99) * 1000.0).round() as u64);
     let corrupt_injected = sim.stats.counter("net.faults_injected.corrupt");
     let corrupt_rejected = sim.stats.counter("net.corrupt_rejected");
     let faults = corrupt_injected
@@ -437,8 +461,12 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         recovery_us_mean,
         group_commits,
         group_batch_mean_x100,
+        group_batch_p50_x100,
+        group_batch_p99_x100,
         reply_coalesced,
         flush_wait_us_mean,
+        flush_wait_us_p50,
+        flush_wait_us_p99,
     ] {
         digest ^= v;
         digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
@@ -463,8 +491,12 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         recovery_us_mean,
         group_commits,
         group_batch_mean_x100,
+        group_batch_p50_x100,
+        group_batch_p99_x100,
         reply_coalesced,
         flush_wait_us_mean,
+        flush_wait_us_p50,
+        flush_wait_us_p99,
         digest,
     })
 }
@@ -583,6 +615,22 @@ pub fn run_seeds(
             r.metric(
                 format!("soak.seed{}.flush_wait_ms", o.seed),
                 o.flush_wait_us_mean as f64 / 1000.0,
+            );
+            r.metric(
+                format!("soak.seed{}.flush_wait_p50_ms", o.seed),
+                o.flush_wait_us_p50 as f64 / 1000.0,
+            );
+            r.metric(
+                format!("soak.seed{}.flush_wait_p99_ms", o.seed),
+                o.flush_wait_us_p99 as f64 / 1000.0,
+            );
+            r.metric(
+                format!("soak.seed{}.batch_p50", o.seed),
+                o.group_batch_p50_x100 as f64 / 100.0,
+            );
+            r.metric(
+                format!("soak.seed{}.batch_p99", o.seed),
+                o.group_batch_p99_x100 as f64 / 100.0,
             );
         }
         outs.push(o);

@@ -102,8 +102,8 @@ fn main() {
 }
 
 /// `rover-bench soak [--seed A..B | --seed N] [--smoke]
-/// [--server-crashes N] [--group-commit] [--clients N]`: seeded soak;
-/// exits non-zero on the first violated invariant.
+/// [--server-crashes N] [--group-commit] [--clients N] [--shards N]`:
+/// seeded soak; exits non-zero on the first violated invariant.
 ///
 /// Without `--clients` this is the chaos convergence soak:
 /// `--server-crashes N` attaches a write-ahead commit log and
@@ -115,7 +115,10 @@ fn main() {
 /// objects, bursty open+closed arrivals, mixed link classes, clean
 /// links) run against *both* commit policies and the group arm must
 /// sustain the release throughput gate. Defaults to one seed unless
-/// `--seed` is given.
+/// `--seed` is given. `--shards N` (N > 1) federates the scale soak
+/// across N URN-partitioned home-server shards under group commit, and
+/// `--server-crashes K` then power-fails every shard K times
+/// mid-traffic (shard-kill chaos).
 fn run_soak(args: &[String]) {
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut seeds_given = false;
@@ -123,6 +126,7 @@ fn run_soak(args: &[String]) {
     let mut server_crashes = 0usize;
     let mut group_commit = false;
     let mut clients: Option<usize> = None;
+    let mut shards = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -155,23 +159,49 @@ fn run_soak(args: &[String]) {
                 }
                 clients = Some(n);
             }
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage("--shards needs a value"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards takes a count"));
+                if n == 0 || n > rover_bench::exps::scale::MAX_SHARDS {
+                    usage(&format!(
+                        "--shards takes 1..={}",
+                        rover_bench::exps::scale::MAX_SHARDS
+                    ));
+                }
+                shards = n;
+            }
             _ => usage(&format!("unknown soak flag {a}")),
         }
     }
 
     if let Some(n) = clients {
-        if server_crashes > 0 {
-            usage("--server-crashes applies to the chaos soak (omit --clients)");
+        if server_crashes > 0 && shards <= 1 {
+            usage(
+                "--server-crashes with --clients needs --shards > 1 (shard-kill chaos); \
+                 omit --clients for the chaos soak",
+            );
         }
-        // The scale soak always measures both commit policies, so
-        // --group-commit is implied.
+        // The unsharded scale soak always measures both commit
+        // policies, so --group-commit is implied; the sharded soak
+        // runs the group-commit federation.
         let seeds = if seeds_given { seeds } else { vec![1] };
-        eprintln!(
-            "scale soak: {} seed(s), {n} clients, {} size, both commit policies…",
-            seeds.len(),
-            if smoke { "smoke" } else { "full" },
-        );
-        match exps::scale::run_cli(seeds, n, smoke) {
+        if shards > 1 {
+            eprintln!(
+                "scale soak: {} seed(s), {n} clients, {} size, {shards} shards, \
+                 {server_crashes} crash(es) per shard, group commit…",
+                seeds.len(),
+                if smoke { "smoke" } else { "full" },
+            );
+        } else {
+            eprintln!(
+                "scale soak: {} seed(s), {n} clients, {} size, both commit policies…",
+                seeds.len(),
+                if smoke { "smoke" } else { "full" },
+            );
+        }
+        match exps::scale::run_cli(seeds, n, smoke, shards, server_crashes) {
             Ok(report) => {
                 print!("{}", report.text());
                 println!("scale soak: all invariants and the throughput gate held");
@@ -182,6 +212,9 @@ fn run_soak(args: &[String]) {
             }
         }
         return;
+    }
+    if shards > 1 {
+        usage("--shards applies to the scale soak (add --clients N)");
     }
 
     eprintln!(
@@ -222,7 +255,7 @@ fn parse_seeds(v: &str) -> Option<Vec<u64>> {
 fn usage(msg: &str) -> ! {
     eprintln!("rover-bench: {msg}");
     eprintln!(
-        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke] [--server-crashes N] [--group-commit]\n       rover-bench soak --clients N [--seed A..B|N] [--smoke]"
+        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke] [--server-crashes N] [--group-commit]\n       rover-bench soak --clients N [--seed A..B|N] [--smoke] [--shards N [--server-crashes K]]"
     );
     std::process::exit(2);
 }

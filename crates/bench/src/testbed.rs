@@ -1,10 +1,12 @@
 //! Shared experiment testbed: one mobile client, one home server, one
-//! configurable channel — the paper's measurement setup.
+//! configurable channel — the paper's measurement setup — plus a
+//! multi-shard [`Federation`] for the sharded home-server experiments.
 
 use rover_core::{
     Client, ClientConfig, ClientRef, Guarantees, Promise, ReexecuteResolver, RoverObject,
-    ScriptResolver, Server, ServerConfig, ServerRef, Urn,
+    ScriptResolver, Server, ServerConfig, ServerRef, ShardMap, Urn,
 };
+use rover_log::MemStore;
 use rover_net::{LinkId, LinkSpec, Net};
 use rover_sim::{Sim, SimDuration};
 use rover_wire::{HostId, SessionId};
@@ -117,6 +119,104 @@ impl Rig {
         let p = f(self);
         self.await_promise(&p);
         p.resolved_at().expect("resolved").since(t0).as_millis_f64()
+    }
+}
+
+/// One mobile client multi-homed across `n` URN-partitioned server
+/// shards, each with its own write-ahead log — the sharded-federation
+/// measurement setup. Shard hosts are `HostId(2)..=HostId(1 + n)`;
+/// the client is [`CLIENT`].
+pub struct Federation {
+    /// The simulation world.
+    pub sim: Sim,
+    /// The network.
+    pub net: Net,
+    /// The shard routing table the client uses.
+    pub map: ShardMap,
+    /// One server per shard, index = shard.
+    pub servers: Vec<ServerRef>,
+    /// Client↔shard links, index = shard.
+    pub links: Vec<LinkId>,
+    /// The mobile client (routes every URN via `map`).
+    pub client: ClientRef,
+    /// A ready-made session with all guarantees.
+    pub session: SessionId,
+}
+
+impl Federation {
+    /// Builds an `n`-shard federation over `spec` links, each shard
+    /// with an attached write-ahead log, and one client configured to
+    /// route by shard.
+    pub fn new(n: usize, spec: LinkSpec) -> Federation {
+        assert!(n >= 1, "a federation needs at least one shard");
+        let mut sim = Sim::new(1995);
+        let net = Net::new();
+        let hosts: Vec<HostId> = (0..n).map(|s| HostId(SERVER.0 + s as u32)).collect();
+        let map = ShardMap::new(hosts.clone());
+        let mut servers = Vec::with_capacity(n);
+        let mut links = Vec::with_capacity(n);
+        for &host in &hosts {
+            let scfg = ServerConfig::workstation(host);
+            let server = Server::new(&net, scfg);
+            let link = net.add_link(spec, CLIENT, host);
+            server.borrow_mut().add_route(CLIENT, link);
+            server
+                .borrow_mut()
+                .register_resolver("counter", Box::new(ReexecuteResolver));
+            servers.push(server);
+            links.push(link);
+        }
+        let mut cfg = ClientConfig::thinkpad(CLIENT, hosts[0]);
+        cfg.shards = Some(map.clone());
+        let client = Client::new(&mut sim, &net, cfg, links.clone());
+        let session = Client::create_session(&client, Guarantees::ALL, true);
+        Federation {
+            sim,
+            net,
+            map,
+            servers,
+            links,
+            client,
+            session,
+        }
+    }
+
+    /// Attaches a fresh write-ahead log to every shard. Call *after*
+    /// seeding objects: the log's initial checkpoint snapshots the
+    /// store, and crash-restart recovers from that checkpoint — objects
+    /// put after the attach would not survive a shard power failure.
+    pub fn attach_wals(&mut self) {
+        for server in &self.servers {
+            Server::attach_wal(server, &mut self.sim, Box::new(MemStore::new()))
+                .expect("federation attach_wal");
+        }
+    }
+
+    /// The shard index owning `urn`.
+    pub fn shard_of(&self, urn: &Urn) -> usize {
+        self.map.shard_for(urn.as_str())
+    }
+
+    /// Installs a counter object on its home shard and returns its URN.
+    pub fn put_counter(&self, path: &str) -> Urn {
+        let urn = Urn::new("bench", path).expect("valid urn");
+        self.servers[self.shard_of(&urn)].borrow_mut().put_object(
+            RoverObject::new(urn.clone(), "counter")
+                .with_code("proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}")
+                .with_field("n", "0"),
+        );
+        urn
+    }
+
+    /// Runs the sim until `p` resolves (panics after 10 simulated
+    /// hours).
+    pub fn await_promise(&mut self, p: &Promise) {
+        let deadline = self.sim.now() + SimDuration::from_secs(36_000);
+        while !p.is_ready() {
+            if !self.sim.step() || self.sim.now() > deadline {
+                panic!("promise did not resolve (t = {})", self.sim.now());
+            }
+        }
     }
 }
 

@@ -1,0 +1,289 @@
+//! Sharded-federation tests: cross-shard session guarantees (monotonic
+//! reads, writes-follow-reads, exactly-once) under interleaving and
+//! shard crash-restart, plus shard-routing determinism — the same URN
+//! population and seed must reproduce byte-identical assignments and
+//! soak digests, and `--shards 1` must reproduce the single-server
+//! path exactly.
+
+use rover_bench::exps::scale::{run_scale, ScaleConfig, GROUP_POLICY};
+use rover_bench::testbed::Federation;
+use rover_core::{Client, Priority, Server, ShardMap, Urn};
+use rover_net::LinkSpec;
+use rover_sim::SimDuration;
+use rover_wire::HostId;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a 2-shard federation with `n` counters spread across both
+/// shards, all imported into the client cache (exports need a cached
+/// copy, and the imports seed the session's read floors).
+fn federation_with_counters(n: usize) -> (Federation, Vec<Urn>) {
+    let mut fed = Federation::new(2, LinkSpec::ETHERNET_10M);
+    let urns: Vec<Urn> = (0..n)
+        .map(|i| fed.put_counter(&format!("obj{i}")))
+        .collect();
+    let shards: Vec<usize> = urns.iter().map(|u| fed.shard_of(u)).collect();
+    assert!(
+        shards.contains(&0) && shards.contains(&1),
+        "population must span both shards"
+    );
+    // WALs attach after seeding so the initial checkpoint covers the
+    // objects — crash-restart must bring them back.
+    fed.attach_wals();
+    for u in &urns {
+        let p = Client::import(&fed.client, &mut fed.sim, u, fed.session, Priority::NORMAL)
+            .expect("import");
+        fed.await_promise(&p);
+    }
+    (fed, urns)
+}
+
+/// Interleaves reads and writes across both shards from one session,
+/// issuing bursts without waiting so the two links reorder them, then
+/// checks exactly-once commits and per-object monotonic versions.
+#[test]
+fn cross_shard_session_interleaving_holds_guarantees() {
+    for seed in [1u64, 7, 23] {
+        let (mut fed, urns) = federation_with_counters(8);
+        let mut rng = seed;
+        let mut adds = vec![0u64; urns.len()];
+        let mut floors = vec![0u64; urns.len()];
+        let v0: Vec<u64> = urns
+            .iter()
+            .map(|u| {
+                fed.servers[fed.shard_of(u)]
+                    .borrow()
+                    .get_object(u)
+                    .unwrap()
+                    .version
+                    .0
+            })
+            .collect();
+        let mut import_log: Vec<(usize, rover_core::Promise)> = Vec::new();
+        for _burst in 0..6 {
+            // A burst of ~10 unawaited ops lets the two shard links
+            // interleave requests from the same session.
+            let mut commits = Vec::new();
+            for _ in 0..10 {
+                let i = (splitmix(&mut rng) % urns.len() as u64) as usize;
+                if splitmix(&mut rng).is_multiple_of(2) {
+                    let h = Client::export(
+                        &fed.client,
+                        &mut fed.sim,
+                        &urns[i],
+                        fed.session,
+                        "add",
+                        &["1"],
+                        Priority::NORMAL,
+                    )
+                    .expect("export");
+                    adds[i] += 1;
+                    commits.push((i, h.committed));
+                } else {
+                    let p = Client::import(
+                        &fed.client,
+                        &mut fed.sim,
+                        &urns[i],
+                        fed.session,
+                        Priority::NORMAL,
+                    )
+                    .expect("import");
+                    import_log.push((i, p));
+                }
+            }
+            fed.sim.run();
+            for (i, p) in commits {
+                let o = p.poll().expect("committed");
+                // Contended bursts re-execute at the server: both `Ok`
+                // and `Resolved` are successful commits.
+                assert!(
+                    matches!(
+                        o.status,
+                        rover_wire::OpStatus::Ok | rover_wire::OpStatus::Resolved
+                    ),
+                    "obj{i} commit failed with {:?}",
+                    o.status
+                );
+                assert!(
+                    o.version.0 >= floors[i],
+                    "session write saw version regress on obj{i}"
+                );
+                floors[i] = o.version.0;
+            }
+        }
+        // Monotonic reads: in issue order, per object, versions never
+        // regress (seed {seed}).
+        let mut read_floor = vec![0u64; urns.len()];
+        for (i, p) in import_log {
+            let o = p.poll().expect("import resolved");
+            assert!(
+                o.version.0 >= read_floor[i],
+                "monotonic reads violated on obj{i} (seed {seed})"
+            );
+            read_floor[i] = o.version.0;
+        }
+        // Exactly-once: each shard's committed copy counted every add
+        // exactly once, and versions advanced once per commit.
+        for (i, u) in urns.iter().enumerate() {
+            let s = fed.servers[fed.shard_of(u)].borrow();
+            let o = s.get_object(u).unwrap();
+            assert_eq!(
+                o.field("n").unwrap().parse::<u64>().unwrap(),
+                adds[i],
+                "obj{i} must count each add exactly once (seed {seed})"
+            );
+            assert_eq!(o.version.0, v0[i] + adds[i]);
+        }
+        assert_eq!(fed.sim.stats.counter("server.dedup_miss_reexec"), 0);
+        // Cross-shard exports carried read vectors; none may be stuck.
+        assert!(fed.sim.stats.counter("server.wfr_checked") > 0);
+        for sv in &fed.servers {
+            assert_eq!(sv.borrow().wfr_held_count(), 0);
+        }
+    }
+}
+
+/// Crashes one shard mid-burst and restarts it: lost requests must be
+/// retransmitted and re-executed exactly once, the surviving shard is
+/// undisturbed, and the session guarantees hold across the outage.
+#[test]
+fn cross_shard_guarantees_survive_shard_crash_restart() {
+    let (mut fed, urns) = federation_with_counters(8);
+    let mut rng = 42u64;
+    let mut adds = vec![0u64; urns.len()];
+    let mut commits = Vec::new();
+    for _ in 0..24 {
+        let i = (splitmix(&mut rng) % urns.len() as u64) as usize;
+        let h = Client::export(
+            &fed.client,
+            &mut fed.sim,
+            &urns[i],
+            fed.session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .expect("export");
+        adds[i] += 1;
+        commits.push((i, h.committed));
+    }
+    // Power-fail shard 1 while the burst is in flight; bring it back
+    // five seconds later. QRPC retransmission re-drives lost requests.
+    let sv = fed.servers[1].clone();
+    fed.sim.schedule_after(SimDuration::from_millis(50), {
+        let sv = sv.clone();
+        move |sim| Server::crash_now(&sv, sim)
+    });
+    fed.sim
+        .schedule_after(SimDuration::from_secs(5), move |sim| {
+            Server::crash_restart(&sv, sim).expect("shard recovers");
+        });
+    fed.sim.run();
+    for (i, p) in commits {
+        let o = p.poll().expect("committed despite the crash");
+        assert!(
+            matches!(
+                o.status,
+                rover_wire::OpStatus::Ok | rover_wire::OpStatus::Resolved
+            ),
+            "obj{i} commit failed with {:?}",
+            o.status
+        );
+    }
+    assert_eq!(fed.sim.stats.counter("server.crashes"), 1);
+    assert!(
+        fed.sim.stats.counter("client.retransmits") > 0,
+        "the outage must force retransmission"
+    );
+    for (i, u) in urns.iter().enumerate() {
+        let s = fed.servers[fed.shard_of(u)].borrow();
+        let o = s.get_object(u).unwrap();
+        assert_eq!(
+            o.field("n").unwrap().parse::<u64>().unwrap(),
+            adds[i],
+            "obj{i} lost or double-applied a commit across the crash"
+        );
+    }
+    assert_eq!(fed.sim.stats.counter("server.dedup_miss_reexec"), 0);
+    for sv in &fed.servers {
+        assert_eq!(sv.borrow().wfr_held_count(), 0);
+    }
+}
+
+#[test]
+fn sharded_scale_run_is_deterministic() {
+    let cfg = ScaleConfig::new(5, 130, 2)
+        .with_policy(GROUP_POLICY)
+        .with_shards(4);
+    let a = run_scale(cfg).expect("run a");
+    let b = run_scale(cfg).expect("run b");
+    assert_eq!(a, b, "same seed and shard count must reproduce exactly");
+    assert_eq!(a.shards, 4);
+    assert_eq!(a.shard_ops.iter().sum::<u64>(), a.ops);
+}
+
+#[test]
+fn shard_kill_chaos_run_is_deterministic() {
+    let cfg = ScaleConfig::new(9, 130, 2)
+        .with_policy(GROUP_POLICY)
+        .with_shards(4)
+        .with_shard_crashes(1);
+    let a = run_scale(cfg).expect("chaos run a");
+    let b = run_scale(cfg).expect("chaos run b");
+    assert_eq!(a, b, "shard-kill chaos must replay byte-identically");
+    assert_eq!(a.crashes, 4, "one scheduled crash per shard");
+}
+
+#[test]
+fn one_shard_run_reproduces_the_unsharded_digest() {
+    let base = ScaleConfig::new(3, 150, 2).with_policy(GROUP_POLICY);
+    let unsharded = run_scale(base).expect("unsharded");
+    let one = run_scale(base.with_shards(1)).expect("one shard");
+    assert_eq!(
+        unsharded, one,
+        "--shards 1 must be byte-identical to the single-server soak"
+    );
+}
+
+#[test]
+fn different_shard_counts_commit_everything_but_diverge() {
+    let two = run_scale(
+        ScaleConfig::new(4, 130, 2)
+            .with_policy(GROUP_POLICY)
+            .with_shards(2),
+    )
+    .expect("2 shards");
+    let four = run_scale(
+        ScaleConfig::new(4, 130, 2)
+            .with_policy(GROUP_POLICY)
+            .with_shards(4),
+    )
+    .expect("4 shards");
+    assert_eq!(two.final_total, two.ops);
+    assert_eq!(four.final_total, four.ops);
+    assert_eq!(two.committed, four.committed, "same workload either way");
+    assert_ne!(two.digest, four.digest, "placement must show in the digest");
+}
+
+#[test]
+fn shard_map_assignment_is_byte_stable_across_constructions() {
+    let hosts: Vec<HostId> = (1..=4).map(HostId).collect();
+    let a = ShardMap::new(hosts.clone());
+    let b = ShardMap::new(hosts);
+    let mut digest_a = 0xcbf2_9ce4_8422_2325u64;
+    let mut digest_b = digest_a;
+    for i in 0..512 {
+        let urn = format!("urn:rover:scale/obj{i}");
+        let (sa, sb) = (a.shard_for(&urn), b.shard_for(&urn));
+        assert_eq!(sa, sb, "assignment must not depend on construction");
+        digest_a = (digest_a ^ sa as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        digest_b = (digest_b ^ sb as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    assert_eq!(digest_a, digest_b);
+}

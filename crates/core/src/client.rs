@@ -97,6 +97,9 @@ struct Outstanding {
     log_seq: u64,
     promise: Promise,
     urn: Option<Urn>,
+    /// Destination shard/server this request routes to (fixed at issue
+    /// time; the basis of per-shard `acked_below` floors).
+    dst: HostId,
     class: OpClass,
     issued_at: SimTime,
     enqueue_epoch: u64,
@@ -201,6 +204,7 @@ impl Client {
                     _ => OpClass::Ping,
                 };
                 let urn = Urn::parse(&request.urn).ok();
+                let dst = c.server_for(&request.urn);
                 c.outstanding.insert(
                     request.req_id.0,
                     Outstanding {
@@ -208,6 +212,7 @@ impl Client {
                         log_seq: *log_seq,
                         promise: Promise::new(),
                         urn,
+                        dst,
                         class,
                         issued_at: sim.now(),
                         enqueue_epoch: epoch,
@@ -851,7 +856,8 @@ impl Client {
             let m = c.cfg.cpu.marshal_cost(bytes.len());
             let marshal = c.charge_serial(sim.now(), m);
             let link = HostSched::active_link(&c.sched, &c.net);
-            (request, marshal, link, c.net.clone(), c.cfg.server)
+            let dst = c.server_for("urn:rover:sys/ping");
+            (request, marshal, link, c.net.clone(), dst)
         };
         let link = link.ok_or_else(|| RoverError::Wire("disconnected".into()))?;
 
@@ -867,6 +873,7 @@ impl Client {
                     log_seq: 0,
                     promise: promise.clone(),
                     urn: None,
+                    dst: server,
                     class: OpClass::Ping,
                     issued_at: sim.now(),
                     enqueue_epoch: epoch,
@@ -992,8 +999,12 @@ impl Client {
     // ------------------------------------------------------------------
     // QRPC engine.
 
-    /// Returns the home server for an object, by URN authority.
+    /// Returns the home server for an object: the shard map (when
+    /// configured) wins, then per-authority homes, then the default.
     fn server_for(&self, urn: &str) -> HostId {
+        if let Some(map) = &self.cfg.shards {
+            return map.host_for(urn);
+        }
         Urn::parse(urn)
             .ok()
             .and_then(|u| self.cfg.authorities.get(u.authority()).copied())
@@ -1025,6 +1036,25 @@ impl Client {
             .unwrap_or(self.next_req)
     }
 
+    /// Per-shard acknowledgement floor: the lowest unanswered request id
+    /// *routed to `dst`*. Request ids stay globally unique per client
+    /// (replies carry only the id), so each shard sees a sparse subset
+    /// of the id space; its floor may only account for requests it will
+    /// ever see, otherwise a slow shard would hold back dedup eviction
+    /// on a fast one — or worse, a fast shard's floor would overrun ids
+    /// still outstanding at a slow one. Unsharded clients keep the
+    /// global floor so their wire bytes are unchanged.
+    fn ack_floor_for(&self, dst: HostId) -> u64 {
+        if self.cfg.shards.is_none() {
+            return self.ack_floor();
+        }
+        self.outstanding
+            .iter()
+            .find(|(_, o)| o.dst == dst)
+            .map(|(id, _)| *id)
+            .unwrap_or(self.next_req)
+    }
+
     fn build_request(
         &mut self,
         op: RoverOp,
@@ -1036,7 +1066,32 @@ impl Client {
     ) -> QrpcRequest {
         let req_id = RequestId(self.next_req);
         self.next_req += 1;
-        let acked_below = self.ack_floor().min(req_id.0);
+        let dst = self.server_for(urn);
+        let acked_below = self.ack_floor_for(dst).min(req_id.0);
+        // Cross-shard writes-follow-reads: a write leaving for one shard
+        // carries the session's read floors for objects homed *on that
+        // shard*, so the shard can refuse to admit the write into a
+        // state older than anything this session already observed
+        // (relevant after a shard crash-restart). Single-shard traffic
+        // carries nothing — its wire bytes are unchanged.
+        let read_vector = match (&op, &self.cfg.shards) {
+            (RoverOp::Export { .. }, Some(map)) if map.len() > 1 => {
+                match self.sessions.get(&session.0) {
+                    Some(sess) => {
+                        let mut rv: Vec<(String, u64)> = sess
+                            .reads()
+                            .filter(|(u, _)| self.server_for(u.as_str()) == dst)
+                            .map(|(u, v)| (u.as_str().to_owned(), v.0))
+                            .collect();
+                        rv.sort();
+                        rv.truncate(16);
+                        rv
+                    }
+                    None => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        };
         QrpcRequest {
             req_id,
             client: self.cfg.host,
@@ -1048,6 +1103,7 @@ impl Client {
             auth: self.cfg.auth_token,
             acked_below,
             payload,
+            read_vector,
         }
     }
 
@@ -1112,6 +1168,7 @@ impl Client {
 
             let epoch = c.link_epoch;
             let rto = c.cfg.rto;
+            let dst = c.server_for(&request.urn);
             c.outstanding.insert(
                 req_id.0,
                 Outstanding {
@@ -1119,6 +1176,7 @@ impl Client {
                     log_seq,
                     promise: promise.clone(),
                     urn: urn.clone(),
+                    dst,
                     class,
                     issued_at: sim.now(),
                     enqueue_epoch: epoch,
@@ -1182,7 +1240,7 @@ impl Client {
                 .outstanding
                 .get(&req)
                 .map(|o| c.server_for(&o.request.urn));
-            let floor = c.ack_floor().min(req);
+            let floor = dst.map_or(req, |d| c.ack_floor_for(d).min(req));
             match (c.outstanding.get_mut(&req), dst) {
                 (Some(o), Some(dst)) => {
                     o.enqueue_epoch = epoch;

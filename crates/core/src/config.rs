@@ -86,6 +86,11 @@ pub struct ClientConfig {
     /// server" (paper §2), and different authorities may live on
     /// different hosts.
     pub authorities: std::collections::HashMap<String, HostId>,
+    /// Optional shard routing table: when set, every QRPC routes to
+    /// the shard owning its URN (hash of the name, with optional
+    /// prefix pins). Checked before `authorities`/`server`; `None`
+    /// keeps the classic single-home-server routing.
+    pub shards: Option<crate::ShardMap>,
     /// CPU cost model for marshalling and RDO execution.
     pub cpu: CpuModel,
     /// Stable-storage cost model for the QRPC log.
@@ -132,6 +137,7 @@ impl ClientConfig {
             host,
             server,
             authorities: std::collections::HashMap::new(),
+            shards: None,
             cpu: CpuModel::THINKPAD_701C,
             storage: StorageModel::LAPTOP_DISK_1995,
             log_policy: LogPolicy::PerOperation,

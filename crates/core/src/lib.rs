@@ -67,6 +67,7 @@ mod promise;
 mod resolve;
 mod server;
 mod session;
+mod shard;
 mod urn;
 
 pub use cache::{Cache, CacheEntry};
@@ -80,6 +81,7 @@ pub use promise::{Outcome, Promise};
 pub use resolve::{ReexecuteResolver, RejectResolver, Resolution, Resolver, ScriptResolver};
 pub use server::{CrashPoint, Server, ServerRef};
 pub use session::{Guarantees, Session};
+pub use shard::ShardMap;
 pub use urn::Urn;
 
 pub use rover_wire::{HostId, OpStatus, Priority, RequestId, SessionId, Version};

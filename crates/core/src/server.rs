@@ -144,6 +144,12 @@ pub struct Server {
     expected_seq: HashMap<(u32, u64), u64>,
     /// Ordered writes held for a predecessor.
     held: HashMap<(u32, u64), BTreeMap<u64, QrpcRequest>>,
+    /// Cross-shard writes-follow-reads holds: requests whose carried
+    /// session read-vector names a committed version this shard has not
+    /// reached yet, keyed by the object they wait on. Drained when that
+    /// object's version advances; volatile (cleared by recovery — the
+    /// owning clients retransmit).
+    wfr_held: HashMap<Urn, Vec<QrpcRequest>>,
     /// Single-CPU serialization horizon for execution costs.
     cpu_free_at: rover_sim::SimTime,
     /// Disk serialization horizon for group flushes: the commit path is
@@ -199,6 +205,7 @@ impl Server {
             executed: HashMap::new(),
             expected_seq: HashMap::new(),
             held: HashMap::new(),
+            wfr_held: HashMap::new(),
             cpu_free_at: rover_sim::SimTime::ZERO,
             disk_free_at: rover_sim::SimTime::ZERO,
             pending: Vec::new(),
@@ -459,6 +466,7 @@ impl Server {
         self.ack_floor.clear();
         self.executed.clear();
         self.held.clear();
+        self.wfr_held.clear();
         self.importers.clear();
     }
 
@@ -622,7 +630,7 @@ impl Server {
     ///
     /// Requires an attached WAL ([`Server::attach_wal`]).
     pub fn crash_restart(sv: &ServerRef, sim: &mut Sim) -> Result<(), crate::RoverError> {
-        let (store, held_dropped) = {
+        let (store, held_dropped, wfr_dropped) = {
             let mut s = sv.borrow_mut();
             let Some(wal) = s.wal.take() else {
                 return Err(crate::RoverError::Log(
@@ -630,15 +638,19 @@ impl Server {
                 ));
             };
             let held_dropped: u64 = s.held.values().map(|m| m.len() as u64).sum();
+            let wfr_dropped: u64 = s.wfr_held.values().map(|v| v.len() as u64).sum();
             let mut store = wal.log.into_store();
             store.drop_staged();
             s.clear_state();
             s.crashed = true;
-            (store, held_dropped)
+            (store, held_dropped, wfr_dropped)
         };
         if held_dropped > 0 {
             sim.stats
                 .add("server.held_dropped_on_recovery", held_dropped);
+        }
+        if wfr_dropped > 0 {
+            sim.stats.add("server.wfr_dropped_on_recovery", wfr_dropped);
         }
         let log =
             OpLog::open_with(store, FlushPolicy::Manual, false).map_err(crate::RoverError::from)?;
@@ -1236,6 +1248,41 @@ impl Server {
             return;
         }
 
+        // Cross-shard writes-follow-reads gate: the request carries the
+        // session's read floors for objects homed *here*. If our
+        // committed copy of any named object is older than its floor,
+        // admitting the write now would order it before reads the
+        // session already performed on another shard's state — hold it
+        // until the local copy catches up (drained when the object's
+        // version advances; a crash drops the holds and the client
+        // retransmits).
+        if !req.read_vector.is_empty() {
+            sim.stats.incr("server.wfr_checked");
+            let behind = {
+                let s = sv.borrow();
+                req.read_vector.iter().find_map(|(name, fl)| {
+                    let cur = Urn::parse(name)
+                        .ok()
+                        .and_then(|u| s.store.get(&u).map(|o| o.version.0))
+                        .unwrap_or(0);
+                    if cur < *fl {
+                        Urn::parse(name).ok()
+                    } else {
+                        None
+                    }
+                })
+            };
+            if let Some(urn) = behind {
+                sim.stats.incr("server.wfr_held");
+                sim.trace(
+                    "server",
+                    format!("wfr hold req={} behind on {urn}", req.req_id.0),
+                );
+                sv.borrow_mut().wfr_held.entry(urn).or_default().push(req);
+                return;
+            }
+        }
+
         let ordered_seq = match &req.op {
             RoverOp::Export { .. } => ExportPayload::from_shared(&req.payload)
                 .map(|p| p.session_seq)
@@ -1450,7 +1497,21 @@ impl Server {
         }
 
         if group {
-            Server::stage_commit(sv, sim, &req, parsed, ordered_seq, reply, steps, ordinal);
+            Server::stage_commit(
+                sv,
+                sim,
+                &req,
+                parsed.clone(),
+                ordered_seq,
+                reply,
+                steps,
+                ordinal,
+            );
+            // The object's version advanced at execute time: any
+            // cross-shard writes-follow-reads holds it satisfies
+            // re-enter admission now (after this commit staged, so WAL
+            // order preserves the dependency).
+            Server::drain_wfr(sv, sim, parsed.as_ref());
             return;
         }
 
@@ -1501,6 +1562,50 @@ impl Server {
                 Server::notify_importers(sv, sim, urn, reply_version, client);
             }
         }
+
+        // The object's version advanced at execute time: drain any
+        // cross-shard writes-follow-reads holds this commit satisfied
+        // (after the commit's own WAL record, preserving dependency
+        // order on replay).
+        Server::drain_wfr(sv, sim, parsed.as_ref());
+    }
+
+    /// Re-admits cross-shard writes-follow-reads holds waiting on `urn`
+    /// whose read floor the current committed version now satisfies.
+    /// Each freed request re-runs the full admission gauntlet (it may
+    /// re-hold on another object it is still behind on).
+    fn drain_wfr(sv: &ServerRef, sim: &mut Sim, urn: Option<&Urn>) {
+        let Some(urn) = urn else { return };
+        if sv.borrow().crashed {
+            return;
+        }
+        let freed = {
+            let mut s = sv.borrow_mut();
+            let Some(held) = s.wfr_held.remove(urn) else {
+                return;
+            };
+            let cur = s.store.get(urn).map(|o| o.version.0).unwrap_or(0);
+            let (freed, kept): (Vec<_>, Vec<_>) = held.into_iter().partition(|r| {
+                r.read_vector
+                    .iter()
+                    .filter(|(name, _)| Urn::parse(name).ok().as_ref() == Some(urn))
+                    .all(|(_, fl)| cur >= *fl)
+            });
+            if !kept.is_empty() {
+                s.wfr_held.insert(urn.clone(), kept);
+            }
+            freed
+        };
+        for r in freed {
+            sim.stats.incr("server.wfr_drained");
+            Server::admit(sv, sim, r);
+        }
+    }
+
+    /// Requests currently held by the cross-shard writes-follow-reads
+    /// gate (waiting for a local object version to catch up).
+    pub fn wfr_held_count(&self) -> usize {
+        self.wfr_held.values().map(Vec::len).sum()
     }
 
     /// Sends a small callback envelope to every importer of `urn`

@@ -138,6 +138,13 @@ impl Session {
     pub fn needs_own_writes(&self, urn: &Urn) -> bool {
         self.guarantees.ryw && self.pending_writes.contains_key(urn)
     }
+
+    /// Iterates the session's read floors (highest version observed per
+    /// object). Cross-shard writes carry the subset homed on their
+    /// destination shard as the writes-follow-reads read-vector.
+    pub fn reads(&self) -> impl Iterator<Item = (&Urn, Version)> {
+        self.read_vector.iter().map(|(u, v)| (u, *v))
+    }
 }
 
 #[cfg(test)]

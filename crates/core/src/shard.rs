@@ -1,0 +1,178 @@
+//! Shard routing: partitioning the URN space across N home servers.
+//!
+//! Rover's architecture gives every object one home server (paper §2);
+//! the federation layer scales that out by partitioning the URN
+//! namespace across N server *shards*. Routing must be a pure function
+//! of the URN string so that every client — and every run of the
+//! deterministic soaks — computes the same assignment: the map hashes
+//! the full URN with FNV-1a and takes it modulo the shard count.
+//! Operators can additionally *pin* a URN prefix to a specific shard
+//! (e.g. keep one authority's whole namespace on one machine); pins are
+//! checked first, longest prefix wins.
+
+use rover_wire::HostId;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic URN → shard routing table.
+///
+/// # Examples
+///
+/// ```
+/// use rover_core::ShardMap;
+/// use rover_wire::HostId;
+///
+/// let map = ShardMap::new(vec![HostId(1), HostId(2), HostId(3)]);
+/// let s = map.shard_for("urn:rover:mail/inbox/42");
+/// assert!(s < 3);
+/// // Same URN, same shard — routing is a pure function of the name.
+/// assert_eq!(s, map.shard_for("urn:rover:mail/inbox/42"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Host ids of the shard servers, in shard-index order.
+    hosts: Vec<HostId>,
+    /// Prefix pins: `(urn_prefix, shard_index)`, checked before the
+    /// hash; the longest matching prefix wins.
+    pins: Vec<(String, usize)>,
+}
+
+impl ShardMap {
+    /// Builds a map over `hosts` (one per shard) with no pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is empty.
+    pub fn new(hosts: Vec<HostId>) -> ShardMap {
+        assert!(!hosts.is_empty(), "a ShardMap needs at least one shard");
+        ShardMap {
+            hosts,
+            pins: Vec::new(),
+        }
+    }
+
+    /// Pins every URN starting with `prefix` to shard `shard`
+    /// (an index into the host list, not a `HostId`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn pin_prefix(mut self, prefix: &str, shard: usize) -> ShardMap {
+        assert!(shard < self.hosts.len(), "pin to nonexistent shard");
+        self.pins.push((prefix.to_string(), shard));
+        // Longest-prefix-first so `shard_for` can take the first match.
+        self.pins
+            .sort_by(|a, b| b.0.len().cmp(&a.0.len()).then(a.0.cmp(&b.0)));
+        self
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the map has a single shard (routing is trivial).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shard index owning `urn`.
+    pub fn shard_for(&self, urn: &str) -> usize {
+        for (prefix, shard) in &self.pins {
+            if urn.starts_with(prefix.as_str()) {
+                return *shard;
+            }
+        }
+        (fnv1a(urn.as_bytes()) % self.hosts.len() as u64) as usize
+    }
+
+    /// The host owning `urn`.
+    pub fn host_for(&self, urn: &str) -> HostId {
+        self.hosts[self.shard_for(urn)]
+    }
+
+    /// The host of shard `idx`.
+    pub fn host(&self, idx: usize) -> HostId {
+        self.hosts[idx]
+    }
+
+    /// All shard hosts in shard-index order.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hosts(n: u32) -> Vec<HostId> {
+        (1..=n).map(HostId).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let map = ShardMap::new(hosts(4));
+        for i in 0..256 {
+            let urn = format!("urn:rover:scale/obj{i}");
+            let s = map.shard_for(&urn);
+            assert!(s < 4);
+            assert_eq!(s, map.shard_for(&urn), "same urn, same shard");
+            assert_eq!(map.host_for(&urn), map.host(s));
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_it() {
+        let map = ShardMap::new(vec![HostId(9)]);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.shard_for("urn:rover:a/b"), 0);
+        assert_eq!(map.host_for("urn:rover:zzz"), HostId(9));
+    }
+
+    #[test]
+    fn hash_spreads_across_shards() {
+        let map = ShardMap::new(hosts(4));
+        let mut seen = [0usize; 4];
+        for i in 0..256 {
+            seen[map.shard_for(&format!("urn:rover:scale/obj{i}"))] += 1;
+        }
+        for (s, n) in seen.iter().enumerate() {
+            assert!(*n > 0, "shard {s} got no objects");
+        }
+    }
+
+    #[test]
+    fn pins_override_hash_longest_first() {
+        let map = ShardMap::new(hosts(4))
+            .pin_prefix("urn:rover:mail", 1)
+            .pin_prefix("urn:rover:mail/archive", 3);
+        assert_eq!(map.shard_for("urn:rover:mail/inbox/1"), 1);
+        assert_eq!(map.shard_for("urn:rover:mail/archive/1995"), 3);
+        // Unpinned names still hash.
+        let s = map.shard_for("urn:rover:cal/today");
+        assert!(s < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_map_rejected() {
+        ShardMap::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent shard")]
+    fn out_of_range_pin_rejected() {
+        let _ = ShardMap::new(hosts(2)).pin_prefix("urn:rover:x", 5);
+    }
+}

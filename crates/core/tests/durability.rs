@@ -306,6 +306,7 @@ fn held_out_of_order_writes_are_dropped_and_counted_on_recovery() {
             session_seq: 5,
         }
         .to_bytes(),
+        read_vector: Vec::new(),
     };
     let link = r.net.up_link_between(CLIENT, SERVER).unwrap();
     r.net
@@ -582,6 +583,7 @@ fn raw_export(j: u64) -> QrpcRequest {
             session_seq: j + 1,
         }
         .to_bytes(),
+        read_vector: Vec::new(),
     }
 }
 

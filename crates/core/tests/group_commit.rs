@@ -101,6 +101,7 @@ fn raw_export(j: u64) -> QrpcRequest {
             session_seq: j + 1,
         }
         .to_bytes(),
+        read_vector: Vec::new(),
     }
 }
 

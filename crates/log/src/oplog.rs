@@ -169,6 +169,12 @@ impl<S: StableStore> OpLog<S> {
             records.insert(rec.seq, rec);
             pos += used;
         }
+        if pos < bytes.len() {
+            // Torn/corrupt tail: truncate the device to the parsed
+            // prefix, otherwise post-recovery appends land *after* the
+            // tear and the next recovery scan stops before them.
+            store.reset(&bytes[..pos])?;
+        }
         Ok(OpLog {
             store,
             records,

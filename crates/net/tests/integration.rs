@@ -271,6 +271,7 @@ fn rover_over_http_over_reliable_stream() {
             auth: 0,
             acked_below: 0,
             payload: Bytes::new(),
+            read_vector: Vec::new(),
         };
         let env = Envelope::request(HostId(1), HostId(2), &q);
         sent.push(env.clone());

@@ -302,6 +302,7 @@ mod tests {
             auth: 0,
             acked_below: 0,
             payload: Bytes::new(),
+            read_vector: Vec::new(),
         };
         Envelope::request(HostId(1), HostId(2), &req)
     }

@@ -246,6 +246,15 @@ pub struct QrpcRequest {
     pub acked_below: u64,
     /// Operation arguments / update payload.
     pub payload: Bytes,
+    /// Session read-vector floors carried by cross-shard requests:
+    /// `(urn, version)` pairs the issuing session has observed. A shard
+    /// must not admit this request while its committed copy of any
+    /// listed object is older than the floor — this is how
+    /// writes-follow-reads survives shard boundaries and shard
+    /// crash-restarts. Encoded as an optional trailer *only when
+    /// non-empty*, so single-shard traffic is byte-identical to the
+    /// pre-federation wire format.
+    pub read_vector: Vec<(String, u64)>,
 }
 
 impl Wire for QrpcRequest {
@@ -260,20 +269,47 @@ impl Wire for QrpcRequest {
         enc.put_u64(self.auth);
         enc.put_u64(self.acked_below);
         enc.put_bytes(&self.payload);
+        if !self.read_vector.is_empty() {
+            enc.put_u32(self.read_vector.len() as u32);
+            for (urn, floor) in &self.read_vector {
+                enc.put_str(urn);
+                enc.put_u64(*floor);
+            }
+        }
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let req_id = RequestId::decode(dec)?;
+        let client = HostId::decode(dec)?;
+        let session = SessionId::decode(dec)?;
+        let op = RoverOp::decode(dec)?;
+        let urn = dec.get_str()?;
+        let base_version = Version::decode(dec)?;
+        let priority = Priority::decode(dec)?;
+        let auth = dec.get_u64()?;
+        let acked_below = dec.get_u64()?;
+        let payload = dec.get_bytes_shared()?;
+        let mut read_vector = Vec::new();
+        if dec.remaining() > 0 {
+            let n = dec.get_u32()? as usize;
+            for _ in 0..n {
+                let u = dec.get_str()?;
+                let v = dec.get_u64()?;
+                read_vector.push((u, v));
+            }
+        }
         Ok(QrpcRequest {
-            req_id: RequestId::decode(dec)?,
-            client: HostId::decode(dec)?,
-            session: SessionId::decode(dec)?,
-            op: RoverOp::decode(dec)?,
-            urn: dec.get_str()?,
-            base_version: Version::decode(dec)?,
-            priority: Priority::decode(dec)?,
-            auth: dec.get_u64()?,
-            acked_below: dec.get_u64()?,
-            payload: dec.get_bytes_shared()?,
+            req_id,
+            client,
+            session,
+            op,
+            urn,
+            base_version,
+            priority,
+            auth,
+            acked_below,
+            payload,
+            read_vector,
         })
     }
 }
@@ -528,6 +564,7 @@ mod tests {
             auth: 0xfeed,
             acked_below: 41,
             payload: Bytes::from_static(b"body bytes"),
+            read_vector: Vec::new(),
         }
     }
 

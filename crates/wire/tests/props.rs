@@ -44,6 +44,7 @@ fn arb_request() -> impl Strategy<Value = QrpcRequest> {
                 auth,
                 acked_below,
                 payload: Bytes::from(payload),
+                read_vector: Vec::new(),
             },
         )
 }
