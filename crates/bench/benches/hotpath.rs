@@ -2,7 +2,9 @@
 //! generation-stamped event loop (vs the old tombstone-set design),
 //! zero-copy fragmentation (vs the old copy-per-hop path), and the RDO
 //! execution fast path (parse-once program cache plus the reusable
-//! per-object interpreter, each vs its parse/reload-per-call baseline).
+//! per-object interpreter, each vs its parse/reload-per-call baseline),
+//! and the space-saving hot-set tracker (vs a naive full-sorted-map
+//! tracker at 10k distinct URNs).
 //!
 //! Each benchmark runs one "round" against a 10k-pending backlog:
 //! schedule 100 events, cancel three of every four, then pop the
@@ -10,13 +12,13 @@
 //! simulator (most timers are cancelled by the reply arriving first).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use rover_bench::exps::scale::{run_scale, ScaleConfig, GROUP_POLICY};
-use rover_core::{RoverObject, Urn};
+use rover_core::{HotSet, RoverObject, Urn};
 use rover_net::{split_envelope, Reassembler};
 use rover_script::{set_program_cache_enabled, Budget, Value};
 use rover_sim::{Sim, SimDuration, SimTime};
@@ -408,6 +410,132 @@ fn bench_rdo(c: &mut Criterion) {
     );
 }
 
+/// What tracking the hot set *without* the space-saving sketch costs:
+/// a full count map over every distinct URN plus a sorted index kept
+/// consistent on each hit, so top-K is a reverse scan. Two B-tree
+/// updates and two key clones per touch, and memory grows with the
+/// number of distinct URNs instead of K.
+#[derive(Default)]
+struct SortedMapTracker {
+    counts: BTreeMap<String, u64>,
+    order: BTreeSet<(u64, String)>,
+}
+
+impl SortedMapTracker {
+    fn touch(&mut self, key: &str) {
+        let c = self.counts.entry(key.to_string()).or_insert(0);
+        if *c > 0 {
+            self.order.remove(&(*c, key.to_string()));
+        }
+        *c += 1;
+        self.order.insert((*c, key.to_string()));
+    }
+
+    fn top(&self, k: usize) -> Vec<(String, u64)> {
+        self.order
+            .iter()
+            .rev()
+            .take(k)
+            .map(|(c, u)| (u.clone(), *c))
+            .collect()
+    }
+}
+
+const URNS: usize = 10_000;
+const HOT_K: usize = 32;
+
+/// A Zipf-shaped touch stream over `URNS` distinct URNs — the mix a
+/// shard sees from the s3 workload after URN partitioning: a quarter
+/// of the hits land on one dominant object, most of the rest on a
+/// 16-object hot head, and a one-in-sixteen cold tail spread across
+/// the whole population.
+fn urn_stream() -> (Vec<String>, Vec<usize>) {
+    let urns: Vec<String> = (0..URNS)
+        .map(|i| format!("urn:rover:bench/obj{i}"))
+        .collect();
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let idxs: Vec<usize> = (0..50_000usize)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (state >> 33) as usize;
+            match i % 16 {
+                0..=3 => 0,
+                15 => r % URNS,
+                _ => r % 16,
+            }
+        })
+        .collect();
+    (urns, idxs)
+}
+
+fn bench_hotset(c: &mut Criterion) {
+    let quick = criterion::test_mode();
+    let (urns, idxs) = urn_stream();
+
+    c.bench_function("hotset/touch_stream_10k_urns", |b| {
+        let mut hs = HotSet::new(HOT_K);
+        b.iter(|| {
+            for &i in &idxs {
+                hs.touch(black_box(&urns[i]));
+            }
+        });
+    });
+    c.bench_function("hotset/sorted_map_baseline_10k_urns", |b| {
+        let mut tr = SortedMapTracker::default();
+        b.iter(|| {
+            for &i in &idxs {
+                tr.touch(black_box(&urns[i]));
+            }
+        });
+    });
+
+    // Headline ratio, measured directly — the release gate: the
+    // space-saving tracker must update at >= 5x the full-sorted-map
+    // rate at 10k distinct URNs, in O(K) space.
+    let iters: u64 = if quick { 3 } else { 20 };
+
+    let mut hs = HotSet::new(HOT_K);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for &i in &idxs {
+            hs.touch(black_box(&urns[i]));
+        }
+    }
+    let hs_ns = t0.elapsed().as_nanos() as f64 / (iters as usize * idxs.len()) as f64;
+
+    let mut tr = SortedMapTracker::default();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        for &i in &idxs {
+            tr.touch(black_box(&urns[i]));
+        }
+    }
+    let tr_ns = t0.elapsed().as_nanos() as f64 / (iters as usize * idxs.len()) as f64;
+
+    // Both trackers agree on the hottest URN, and the sketch held O(K)
+    // space while the baseline swallowed the whole population.
+    let hs_top = hs.top();
+    let tr_top = tr.top(HOT_K);
+    assert_eq!(
+        hs_top[0].0, tr_top[0].0,
+        "trackers disagree on the hot head"
+    );
+    assert!(hs.len() <= HOT_K, "space-saving tracker exceeded K keys");
+    assert!(tr.counts.len() > HOT_K * 50);
+
+    let speedup = tr_ns / hs_ns;
+    println!(
+        "hotset/speedup_vs_sorted_map                 {:>10.2}x  (space-saving {:.0} ns/touch, sorted-map {:.0} ns/touch)",
+        speedup, hs_ns, tr_ns
+    );
+    assert!(
+        speedup >= 5.0,
+        "hot-set gate: space-saving touch only {speedup:.2}x the sorted-map baseline at 10k URNs (need >= 5x)"
+    );
+}
+
 /// A 64-client single-burst scale-soak arm: every client arrives at
 /// once and drives 8 exports at the 1995 server disk model.
 fn burst_cfg(policy: rover_core::CommitPolicy) -> ScaleConfig {
@@ -457,6 +585,7 @@ criterion_group!(
     bench_event_loop,
     bench_frag,
     bench_rdo,
+    bench_hotset,
     bench_group_commit
 );
 criterion_main!(benches);

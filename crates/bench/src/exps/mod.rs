@@ -31,6 +31,7 @@ pub const ALL: &[&str] = &[
     "a6-fragmentation",
     "s1-scale",
     "s2-shard-scaling",
+    "s3-hot-balance",
 ];
 
 /// Runs one experiment by id into a buffered [`Report`]; `None` for
@@ -58,6 +59,7 @@ pub fn run_report(id: &str) -> Option<crate::report::Report> {
         "a6-fragmentation" => ablations::a6_fragmentation(&mut r),
         "s1-scale" => scale::s1_scale(&mut r),
         "s2-shard-scaling" => scale::s2_shard_scaling(&mut r),
+        "s3-hot-balance" => scale::s3_hot_balance(&mut r),
         _ => return None,
     }
     Some(r)

@@ -156,6 +156,11 @@ pub struct SoakOutcome {
     pub flush_wait_us_p50: u64,
     /// 99th-percentile staged-to-durable wait, microseconds.
     pub flush_wait_us_p99: u64,
+    /// Median server queue depth sampled at every admission x100
+    /// (staged commits + ordered-write and writes-follow-reads holds).
+    pub qdepth_p50_x100: u64,
+    /// 99th-percentile server queue depth at admission x100.
+    pub qdepth_p99_x100: u64,
     /// Order-insensitive fingerprint of final state + stats; equal
     /// digests mean byte-identical runs.
     pub digest: u64,
@@ -355,6 +360,14 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         .stats
         .series("server.flush_wait_ms")
         .map_or(0, |s| (s.quantile(0.99) * 1000.0).round() as u64);
+    let qdepth_p50_x100 = sim
+        .stats
+        .series("server.qdepth")
+        .map_or(0, |s| (s.quantile(0.50) * 100.0).round() as u64);
+    let qdepth_p99_x100 = sim
+        .stats
+        .series("server.qdepth")
+        .map_or(0, |s| (s.quantile(0.99) * 100.0).round() as u64);
     let corrupt_injected = sim.stats.counter("net.faults_injected.corrupt");
     let corrupt_rejected = sim.stats.counter("net.corrupt_rejected");
     let faults = corrupt_injected
@@ -467,6 +480,8 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         flush_wait_us_mean,
         flush_wait_us_p50,
         flush_wait_us_p99,
+        qdepth_p50_x100,
+        qdepth_p99_x100,
     ] {
         digest ^= v;
         digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
@@ -497,6 +512,8 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         flush_wait_us_mean,
         flush_wait_us_p50,
         flush_wait_us_p99,
+        qdepth_p50_x100,
+        qdepth_p99_x100,
         digest,
     })
 }
@@ -585,6 +602,14 @@ pub fn run_seeds(
             o.converged_ms as f64,
         );
         r.metric(format!("soak.seed{}.faults", o.seed), o.faults as f64);
+        r.metric(
+            format!("soak.seed{}.qdepth_p50", o.seed),
+            o.qdepth_p50_x100 as f64 / 100.0,
+        );
+        r.metric(
+            format!("soak.seed{}.qdepth_p99", o.seed),
+            o.qdepth_p99_x100 as f64 / 100.0,
+        );
         if server_crashes > 0 {
             r.metric(
                 format!("soak.seed{}.wal_appends", o.seed),

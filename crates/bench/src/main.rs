@@ -118,7 +118,10 @@ fn main() {
 /// `--seed` is given. `--shards N` (N > 1) federates the scale soak
 /// across N URN-partitioned home-server shards under group commit, and
 /// `--server-crashes K` then power-fails every shard K times
-/// mid-traffic (shard-kill chaos).
+/// mid-traffic (shard-kill chaos). `--replicate-hot K` publishes each
+/// shard's K hottest objects to its peers as versioned read replicas
+/// every epoch, and `--rebalance-every E` runs the commit-load
+/// rebalancer every E milliseconds (both need `--shards > 1`).
 fn run_soak(args: &[String]) {
     let mut seeds: Vec<u64> = (1..=10).collect();
     let mut seeds_given = false;
@@ -127,6 +130,8 @@ fn run_soak(args: &[String]) {
     let mut group_commit = false;
     let mut clients: Option<usize> = None;
     let mut shards = 1usize;
+    let mut replicate_hot = 0usize;
+    let mut rebalance_every_ms = 0u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -172,10 +177,29 @@ fn run_soak(args: &[String]) {
                 }
                 shards = n;
             }
+            "--replicate-hot" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--replicate-hot needs a value"));
+                replicate_hot = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--replicate-hot takes a top-K count"));
+            }
+            "--rebalance-every" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--rebalance-every needs a value"));
+                rebalance_every_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--rebalance-every takes milliseconds"));
+            }
             _ => usage(&format!("unknown soak flag {a}")),
         }
     }
 
+    if (replicate_hot > 0 || rebalance_every_ms > 0) && (shards <= 1 || clients.is_none()) {
+        usage("--replicate-hot/--rebalance-every need the sharded scale soak (--clients N --shards > 1)");
+    }
     if let Some(n) = clients {
         if server_crashes > 0 && shards <= 1 {
             usage(
@@ -201,7 +225,15 @@ fn run_soak(args: &[String]) {
                 if smoke { "smoke" } else { "full" },
             );
         }
-        match exps::scale::run_cli(seeds, n, smoke, shards, server_crashes) {
+        match exps::scale::run_cli(
+            seeds,
+            n,
+            smoke,
+            shards,
+            server_crashes,
+            replicate_hot,
+            rebalance_every_ms,
+        ) {
             Ok(report) => {
                 print!("{}", report.text());
                 println!("scale soak: all invariants and the throughput gate held");
@@ -255,7 +287,7 @@ fn parse_seeds(v: &str) -> Option<Vec<u64>> {
 fn usage(msg: &str) -> ! {
     eprintln!("rover-bench: {msg}");
     eprintln!(
-        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke] [--server-crashes N] [--group-commit]\n       rover-bench soak --clients N [--seed A..B|N] [--smoke] [--shards N [--server-crashes K]]"
+        "usage: rover-bench [all|list|<experiment-id>…] [--jobs N] [--json <dir>|none]\n       rover-bench soak [--seed A..B|N] [--smoke] [--server-crashes N] [--group-commit]\n       rover-bench soak --clients N [--seed A..B|N] [--smoke] [--shards N [--server-crashes K]\n                       [--replicate-hot K] [--rebalance-every MS]]"
     );
     std::process::exit(2);
 }

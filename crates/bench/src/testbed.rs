@@ -148,23 +148,55 @@ impl Federation {
     /// with an attached write-ahead log, and one client configured to
     /// route by shard.
     pub fn new(n: usize, spec: LinkSpec) -> Federation {
+        Federation::build(n, spec, 0)
+    }
+
+    /// Builds an `n`-shard federation with the dynamic load-balancing
+    /// plane armed: the shared routing map carries the replica
+    /// directory and migration pins, every shard runs the hot-set
+    /// tracker at replication factor `k`, and a full server↔server
+    /// mesh carries replica publications. Drive epochs explicitly with
+    /// [`rover_core::Server::replication_epoch`].
+    pub fn dynamic(n: usize, spec: LinkSpec, replicate_hot: usize) -> Federation {
+        Federation::build(n, spec, replicate_hot)
+    }
+
+    fn build(n: usize, spec: LinkSpec, replicate_hot: usize) -> Federation {
         assert!(n >= 1, "a federation needs at least one shard");
+        let dynamic = replicate_hot > 0;
         let mut sim = Sim::new(1995);
         let net = Net::new();
         let hosts: Vec<HostId> = (0..n).map(|s| HostId(SERVER.0 + s as u32)).collect();
-        let map = ShardMap::new(hosts.clone());
+        let map = if dynamic {
+            ShardMap::new(hosts.clone()).with_dynamic()
+        } else {
+            ShardMap::new(hosts.clone())
+        };
         let mut servers = Vec::with_capacity(n);
         let mut links = Vec::with_capacity(n);
-        for &host in &hosts {
-            let scfg = ServerConfig::workstation(host);
+        for (idx, &host) in hosts.iter().enumerate() {
+            let mut scfg = ServerConfig::workstation(host);
+            scfg.replicate_hot = replicate_hot;
             let server = Server::new(&net, scfg);
             let link = net.add_link(spec, CLIENT, host);
             server.borrow_mut().add_route(CLIENT, link);
             server
                 .borrow_mut()
                 .register_resolver("counter", Box::new(ReexecuteResolver));
+            if dynamic {
+                server.borrow_mut().attach_shard_routing(map.clone(), idx);
+            }
             servers.push(server);
             links.push(link);
+        }
+        if dynamic {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let l = net.add_link(spec, hosts[a], hosts[b]);
+                    servers[a].borrow_mut().add_route(hosts[b], l);
+                    servers[b].borrow_mut().add_route(hosts[a], l);
+                }
+            }
         }
         let mut cfg = ClientConfig::thinkpad(CLIENT, hosts[0]);
         cfg.shards = Some(map.clone());

@@ -272,6 +272,58 @@ fn different_shard_counts_commit_everything_but_diverge() {
 }
 
 #[test]
+fn replication_and_rebalancing_run_is_deterministic() {
+    let cfg = ScaleConfig::new(6, 300, 2)
+        .with_policy(GROUP_POLICY)
+        .with_shards(4)
+        .with_replication(8)
+        .with_rebalancing(SimDuration::from_millis(50));
+    let a = run_scale(cfg).expect("dynamic run a");
+    let b = run_scale(cfg).expect("dynamic run b");
+    assert_eq!(a, b, "the dynamic plane must replay byte-identically");
+    assert_eq!(a.final_total, a.ops, "every add applied exactly once");
+}
+
+#[test]
+fn replication_serves_replica_reads_without_weakening_sessions() {
+    let base = ScaleConfig::new(8, 400, 2)
+        .with_policy(GROUP_POLICY)
+        .with_shards(4);
+    let replicated = run_scale(base.with_replication(8)).expect("replicated");
+    assert!(
+        replicated.replica_reads > 0,
+        "top-8 replication at 400 clients must serve some imports from replicas"
+    );
+    assert!(
+        replicated.replicas_published > 0,
+        "every epoch publishes each shard's hot set"
+    );
+    // The durability audit inside run_scale already proved exactly-once
+    // and the session floors; the replicated arm must commit the same
+    // workload as the static one.
+    let stat = run_scale(base).expect("static");
+    assert_eq!(replicated.committed, stat.committed);
+    assert_eq!(replicated.final_total, stat.final_total);
+}
+
+#[test]
+fn chaos_with_replication_is_deterministic_and_durable() {
+    let cfg = ScaleConfig::new(11, 300, 2)
+        .with_policy(GROUP_POLICY)
+        .with_shards(4)
+        .with_shard_crashes(1)
+        .with_replication(8);
+    let a = run_scale(cfg).expect("chaos+replication run a");
+    let b = run_scale(cfg).expect("chaos+replication run b");
+    assert_eq!(a, b, "chaos with volatile replicas must replay exactly");
+    assert_eq!(a.crashes, 4, "one scheduled crash per shard");
+    assert_eq!(
+        a.final_total, a.ops,
+        "crashes with replication on must not lose or double-apply adds"
+    );
+}
+
+#[test]
 fn shard_map_assignment_is_byte_stable_across_constructions() {
     let hosts: Vec<HostId> = (1..=4).map(HostId).collect();
     let a = ShardMap::new(hosts.clone());

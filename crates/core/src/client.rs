@@ -1011,6 +1011,44 @@ impl Client {
             .unwrap_or(self.cfg.server)
     }
 
+    /// Routes one outbound request, possibly amending it. Writes (and
+    /// everything that is not an import) go to the object's home shard.
+    /// An import may be offloaded to the least-loaded replica holder
+    /// the dynamic directory lists for its URN — but only when the
+    /// session has no pending writes on the object (read-your-writes
+    /// routes home) — and then carries the session's read floor in the
+    /// request's read-vector so the holder can refuse a stale serve
+    /// (monotonic reads never weaken). Without a dynamic routing plane
+    /// this is exactly [`Client::server_for`] and the request is
+    /// untouched.
+    fn route_request(&mut self, request: &mut QrpcRequest) -> HostId {
+        let home = self.server_for(&request.urn);
+        if !matches!(request.op, RoverOp::Import) {
+            return home;
+        }
+        let Some(map) = self.cfg.shards.clone() else {
+            return home;
+        };
+        if map.len() <= 1 || !map.has_dynamic() {
+            return home;
+        }
+        let (floor, pending) = match (
+            self.sessions.get(&request.session.0),
+            Urn::parse(&request.urn).ok(),
+        ) {
+            (Some(sess), Some(u)) => (sess.read_floor(&u).0, sess.needs_own_writes(&u)),
+            _ => (0, false),
+        };
+        if pending {
+            return home;
+        }
+        let dst = map.read_host_for(&request.urn, floor);
+        if dst != home {
+            request.read_vector = vec![(request.urn.clone(), floor)];
+        }
+        dst
+    }
+
     /// Serializes a local CPU/storage cost behind earlier local work;
     /// returns the delay from `now` until this work completes.
     fn charge_serial(
@@ -1113,7 +1151,7 @@ impl Client {
     fn issue_qrpc(
         cl: &ClientRef,
         sim: &mut Sim,
-        request: QrpcRequest,
+        mut request: QrpcRequest,
         urn: Option<Urn>,
         class: OpClass,
         extra_delay: rover_sim::SimDuration,
@@ -1122,6 +1160,10 @@ impl Client {
         let req_id = request.req_id;
         let (ready, delay) = {
             let mut c = cl.borrow_mut();
+            // Route before marshalling: replica-offloaded imports gain
+            // their read-floor trailer here, so the logged bytes match
+            // the wire bytes.
+            let routed = c.route_request(&mut request);
             let bytes = request.to_bytes();
             let marshal = c.cfg.cpu.marshal_cost(bytes.len());
             sim.stats.sample_duration("client.marshal_ms", marshal);
@@ -1168,7 +1210,7 @@ impl Client {
 
             let epoch = c.link_epoch;
             let rto = c.cfg.rto;
-            let dst = c.server_for(&request.urn);
+            let dst = routed;
             c.outstanding.insert(
                 req_id.0,
                 Outstanding {
@@ -1236,10 +1278,13 @@ impl Client {
             let epoch = c.link_epoch;
             let host = c.cfg.host;
             let (sched, net) = (c.sched.clone(), c.net.clone());
-            let dst = c
-                .outstanding
-                .get(&req)
-                .map(|o| c.server_for(&o.request.urn));
+            // Every copy of a request goes to the destination recorded
+            // at issue time: re-computing the route per transmit would
+            // let a retransmission chase a migration to a shard that
+            // never saw the original — and re-execute a commit whose
+            // reply was merely lost. Route changes happen only through
+            // the explicit redirect path (fresh request id).
+            let dst = c.outstanding.get(&req).map(|o| o.dst);
             let floor = dst.map_or(req, |d| c.ack_floor_for(d).min(req));
             match (c.outstanding.get_mut(&req), dst) {
                 (Some(o), Some(dst)) => {
@@ -1575,7 +1620,117 @@ impl Client {
         }
     }
 
+    /// Re-issues an outstanding request to the object's current home
+    /// shard under a fresh request id. Used when a reply proves the
+    /// original destination cannot (or must not) serve it: the object
+    /// migrated away, a replica holder's copy missed the session floor,
+    /// or an `Ok` import landed below the monotonic-reads floor.
+    ///
+    /// The fresh id keeps at-most-once intact: the *old* id's dedup slot
+    /// at the old destination stays poisoned with its non-executing
+    /// reply, and the new destination sees a request it has never
+    /// executed. The stable-log record of the original is kept (same
+    /// `log_seq`): crash recovery re-issues the logged request to the
+    /// then-current route, which is exactly this path replayed.
+    fn redirect(cl: &ClientRef, sim: &mut Sim, req: u64) {
+        let new_id = {
+            let mut c = cl.borrow_mut();
+            let Some(mut o) = c.outstanding.remove(&req) else {
+                sim.stats.incr("client.duplicate_replies");
+                return;
+            };
+            let new_id = RequestId(c.next_req);
+            c.next_req += 1;
+            // Always back to the home shard (migration-pin aware): the
+            // dynamic read plane already had its chance.
+            let dst = c.server_for(o.request.urn.as_str());
+            o.request.req_id = new_id;
+            o.request.acked_below = c.ack_floor_for(dst).min(new_id.0);
+            o.request.read_vector = Vec::new();
+            if o.class == OpClass::Export {
+                // Ordered writes sequence per destination: a redirected
+                // export consumes a fresh seq in the new home's space
+                // (the old seq was drawn for — and burned at — the old
+                // destination, whose server advanced past it when it
+                // answered `WrongShard`).
+                if let Ok(payload) = ExportPayload::from_bytes(&o.request.payload) {
+                    if payload.session_seq > 0 {
+                        if let Some(sess) = c.sessions.get_mut(&o.request.session.0) {
+                            let seq = sess.next_seq_for(dst);
+                            o.request.payload = ExportPayload {
+                                session_seq: seq,
+                                ..payload
+                            }
+                            .to_bytes();
+                        }
+                    }
+                }
+                // Writes-follow-reads floors for the new destination,
+                // mirroring build_request.
+                if c.cfg.shards.as_ref().is_some_and(|m| m.len() > 1) {
+                    if let Some(sess) = c.sessions.get(&o.request.session.0) {
+                        let mut rv: Vec<(String, u64)> = sess
+                            .reads()
+                            .filter(|(u, _)| c.server_for(u.as_str()) == dst)
+                            .map(|(u, v)| (u.as_str().to_owned(), v.0))
+                            .collect();
+                        rv.sort();
+                        rv.truncate(16);
+                        o.request.read_vector = rv;
+                    }
+                }
+            }
+            o.dst = dst;
+            o.enqueue_epoch = c.link_epoch;
+            o.retries = 0;
+            o.rto_armed = false;
+            o.strikes = 0;
+            o.rto_cur = c.cfg.rto;
+            if let Some(u) = &o.urn {
+                if o.class == OpClass::Import && c.inflight_imports.get(u) == Some(&req) {
+                    c.inflight_imports.insert(u.clone(), new_id.0);
+                }
+            }
+            c.outstanding.insert(new_id.0, o);
+            new_id
+        };
+        sim.stats.incr("client.redirects");
+        sim.trace("qrpc", format!("redirect req={req} -> req={}", new_id.0));
+        Client::enqueue_request(cl, sim, new_id.0, true);
+    }
+
     fn complete(cl: &ClientRef, sim: &mut Sim, reply: QrpcReply) {
+        // Replica-plane redirects. A `WrongShard` answer means the
+        // destination could not serve this request (object re-homed by a
+        // migration, or a replica holder's copy was too stale for the
+        // session's floor): re-issue to the object's current home. An
+        // `Ok` import that lands *below* the session's monotonic-reads
+        // floor can also happen under dynamic routing (a concurrent
+        // export raised the floor while the replica read was in flight)
+        // — re-read from home rather than weaken MR.
+        let redirect = {
+            let c = cl.borrow();
+            match c.outstanding.get(&reply.req_id.0) {
+                None => false,
+                Some(o) => {
+                    reply.status == OpStatus::WrongShard
+                        || (o.class == OpClass::Import
+                            && reply.status == OpStatus::Ok
+                            && c.cfg.shards.as_ref().is_some_and(|m| m.has_dynamic())
+                            && match (c.sessions.get(&o.request.session.0), &o.urn) {
+                                (Some(sess), Some(u)) => {
+                                    sess.guarantees.mr && reply.version < sess.read_floor(u)
+                                }
+                                _ => false,
+                            })
+                }
+            }
+        };
+        if redirect {
+            Client::redirect(cl, sim, reply.req_id.0);
+            return;
+        }
+
         let mut events: Vec<ClientEvent> = Vec::new();
         let done = {
             let mut c = cl.borrow_mut();

@@ -217,6 +217,12 @@ pub struct ServerConfig {
     /// Commit/flush/reply policy for the write-ahead log; only
     /// meaningful when a log is attached.
     pub commit: CommitPolicy,
+    /// Hot-set replication factor K: each epoch the shard publishes its
+    /// K hottest home objects to its federation peers as volatile,
+    /// version-stamped read replicas. `0` (the default) disables the
+    /// load-balancing plane entirely — no tracker, no replica frames,
+    /// byte-identical to the pre-replication server.
+    pub replicate_hot: usize,
 }
 
 impl ServerConfig {
@@ -233,6 +239,7 @@ impl ServerConfig {
             storage: StorageModel::SERVER_DISK_1995,
             checkpoint_every: 64,
             commit: CommitPolicy::PerOperation,
+            replicate_hot: 0,
         }
     }
 }

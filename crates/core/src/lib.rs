@@ -61,9 +61,11 @@ mod client;
 mod config;
 mod error;
 mod events;
+mod hotset;
 mod object;
 mod payload;
 mod promise;
+mod rebalance;
 mod resolve;
 mod server;
 mod session;
@@ -75,13 +77,15 @@ pub use client::{Client, ClientRef, ExportHandle, Placement, PlacementHints, Pol
 pub use config::{ClientConfig, CommitPolicy, LogPolicy, ServerConfig, StorageModel};
 pub use error::RoverError;
 pub use events::{ClientEvent, ServerEvent};
+pub use hotset::HotSet;
 pub use object::{collection_object, MethodRun, RoverObject};
 pub use payload::{ExportPayload, InvokePayload};
 pub use promise::{Outcome, Promise};
+pub use rebalance::{Migration, Rebalancer};
 pub use resolve::{ReexecuteResolver, RejectResolver, Resolution, Resolver, ScriptResolver};
 pub use server::{CrashPoint, Server, ServerRef};
 pub use session::{Guarantees, Session};
-pub use shard::ShardMap;
+pub use shard::{ShardMap, ShardMapError};
 pub use urn::Urn;
 
 pub use rover_wire::{HostId, OpStatus, Priority, RequestId, SessionId, Version};

@@ -1,0 +1,276 @@
+//! Dynamic shard rebalancing: write offload for persistently hot
+//! prefixes.
+//!
+//! Read replicas ([`crate::HotSet`] + the replica directory in
+//! [`crate::ShardMap`]) spread *read* load, but a write-hot object still
+//! funnels every commit through its home shard. The [`Rebalancer`]
+//! closes that gap: each tick it compares per-shard commit loads over
+//! the last window, and when one shard is persistently hotter than the
+//! mean it picks that shard's hottest home object and proposes moving
+//! it to the least-loaded shard. The caller (the bench harness, or an
+//! operator plane in a real deployment) then performs the move —
+//! `Server::migrate_out` on the source, `Server::install_migrated` on
+//! the target, `ShardMap::migrate_prefix` to re-route — all gated by
+//! the existing writes-follow-reads hold/drain machinery so
+//! exactly-once and WAL ordering survive the migration.
+//!
+//! Decisions are a pure function of the load counters handed in, so a
+//! deterministic soak makes the same migrations every run.
+
+/// One proposed migration: move the object named by `urn` from shard
+/// `from` to shard `to`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Migration {
+    /// Exact URN to re-home (installed as a migration pin, so the pin
+    /// matches only this object).
+    pub urn: String,
+    /// Source shard index (the object's current home).
+    pub from: usize,
+    /// Target shard index (the least-loaded shard last window).
+    pub to: usize,
+}
+
+/// Periodic commit-load rebalancer (see module docs).
+#[derive(Debug)]
+pub struct Rebalancer {
+    /// Cumulative per-shard commit loads at the previous tick; the
+    /// decision looks at the *delta* since then.
+    last_loads: Vec<u64>,
+    /// A shard triggers a migration when its window load exceeds the
+    /// mean by this factor.
+    threshold: f64,
+    /// URN → tick at which it was last migrated. An object is not
+    /// re-moved within [`Rebalancer::MOVE_COOLDOWN`] ticks (ping-pong
+    /// churns the WAL), but *can* move again afterwards — a target
+    /// that ended up overloaded sheds what it was handed.
+    moved: std::collections::HashMap<String, u64>,
+    /// Shard index → tick at which it last received a migration. A
+    /// freshly pinned object's traffic takes a window or two to show
+    /// up on the target's commit counter; until then the target still
+    /// looks cold, and without a cooldown every early decision stacks
+    /// onto the same lagging shard.
+    targeted: Vec<u64>,
+    /// Decision counter (drives both cooldowns).
+    ticks: u64,
+    /// Migrations proposed over the rebalancer's lifetime.
+    proposed: u64,
+}
+
+impl Rebalancer {
+    /// Default trigger: a shard 15% above the mean window load is
+    /// imbalanced enough to shed its hottest object.
+    pub const DEFAULT_THRESHOLD: f64 = 1.15;
+
+    /// Minimum mean per-shard window load before any decision fires.
+    /// Early windows carry a handful of commits; acting on that noise
+    /// produces migrations the controller then has to undo.
+    pub const MIN_WINDOW_MEAN: u64 = 32;
+
+    /// Ticks a shard is ineligible as a migration *target* after
+    /// receiving one (covers the control lag between pinning an object
+    /// and its commits appearing on the target's counter).
+    pub const TARGET_COOLDOWN: u64 = 2;
+
+    /// Ticks an object is ineligible to move again after a migration.
+    pub const MOVE_COOLDOWN: u64 = 8;
+
+    /// Creates a rebalancer over `shards` shards with the default
+    /// trigger threshold.
+    pub fn new(shards: usize) -> Rebalancer {
+        Rebalancer::with_threshold(shards, Rebalancer::DEFAULT_THRESHOLD)
+    }
+
+    /// Creates a rebalancer with an explicit trigger threshold
+    /// (`window_load > threshold * mean`).
+    pub fn with_threshold(shards: usize, threshold: f64) -> Rebalancer {
+        Rebalancer {
+            last_loads: vec![0; shards],
+            threshold,
+            moved: std::collections::HashMap::new(),
+            targeted: vec![0; shards],
+            ticks: 0,
+            proposed: 0,
+        }
+    }
+
+    /// Migrations proposed so far.
+    pub fn proposed(&self) -> u64 {
+        self.proposed
+    }
+
+    /// One rebalancing decision. `loads` is the *cumulative* per-shard
+    /// commit counter (e.g. [`crate::ShardMap::commit_loads`]);
+    /// `hottest` gives each shard's current hot set, hottest first
+    /// (e.g. [`crate::HotSet::top`]), restricted to objects actually
+    /// homed there. Returns the migration to perform, or `None` when
+    /// the window was balanced, too small to trust, or the hot shard
+    /// has nothing eligible to shed.
+    pub fn tick(&mut self, loads: &[u64], hottest: &[Vec<(String, u64)>]) -> Option<Migration> {
+        let n = self.last_loads.len();
+        debug_assert_eq!(loads.len(), n, "shard count is fixed at construction");
+        let window: Vec<u64> = (0..n)
+            .map(|i| loads[i].saturating_sub(self.last_loads[i]))
+            .collect();
+        self.last_loads.copy_from_slice(loads);
+        self.ticks += 1;
+
+        let total: u64 = window.iter().sum();
+        if n < 2 || total < Rebalancer::MIN_WINDOW_MEAN * n as u64 {
+            return None;
+        }
+        let mean = total as f64 / n as f64;
+        // Hottest shard; ties break to the lowest index (determinism).
+        let from = (0..n).max_by_key(|&i| (window[i], std::cmp::Reverse(i)))?;
+        if (window[from] as f64) <= self.threshold * mean {
+            return None;
+        }
+        // Coldest shard still accepting (not the source, not inside
+        // the target cooldown); ties to the lowest index.
+        let to = (0..n)
+            .filter(|&i| {
+                i != from
+                    && (self.targeted[i] == 0
+                        || self.ticks.saturating_sub(self.targeted[i])
+                            >= Rebalancer::TARGET_COOLDOWN)
+            })
+            .min_by_key(|&i| (window[i], i))?;
+        // Hottest object homed on the hot shard that is out of its
+        // move cooldown.
+        let urn = hottest
+            .get(from)?
+            .iter()
+            .map(|(u, _)| u)
+            .find(|u| {
+                self.moved
+                    .get(*u)
+                    .is_none_or(|&t| self.ticks.saturating_sub(t) >= Rebalancer::MOVE_COOLDOWN)
+            })?
+            .clone();
+        self.moved.insert(urn.clone(), self.ticks);
+        self.targeted[to] = self.ticks;
+        self.proposed += 1;
+        Some(Migration { urn, from, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(urns: &[&str]) -> Vec<(String, u64)> {
+        urns.iter()
+            .enumerate()
+            .map(|(i, u)| (u.to_string(), 100 - i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn balanced_load_proposes_nothing() {
+        let mut r = Rebalancer::new(4);
+        let hotsets = vec![hot(&["a"]), hot(&["b"]), hot(&["c"]), hot(&["d"])];
+        assert_eq!(r.tick(&[100, 100, 100, 100], &hotsets), None);
+        assert_eq!(r.proposed(), 0);
+    }
+
+    #[test]
+    fn skewed_load_moves_hottest_object_to_coldest_shard() {
+        let mut r = Rebalancer::new(4);
+        let hotsets = vec![
+            hot(&["urn:rover:t/hot", "urn:rover:t/warm"]),
+            hot(&[]),
+            hot(&[]),
+            hot(&[]),
+        ];
+        let m = r.tick(&[400, 100, 50, 100], &hotsets).expect("imbalanced");
+        assert_eq!(
+            m,
+            Migration {
+                urn: "urn:rover:t/hot".into(),
+                from: 0,
+                to: 2,
+            }
+        );
+        assert_eq!(r.proposed(), 1);
+    }
+
+    #[test]
+    fn ticks_use_window_deltas_not_cumulative_loads() {
+        let mut r = Rebalancer::new(2);
+        let hotsets = vec![hot(&["urn:rover:t/x"]), hot(&[])];
+        // First window: shard 0 hot.
+        assert!(r.tick(&[300, 100], &hotsets).is_some());
+        // Second window: both advanced equally — balanced, despite the
+        // cumulative counters still being skewed.
+        assert_eq!(r.tick(&[400, 200], &hotsets), None);
+    }
+
+    #[test]
+    fn an_object_is_not_remigrated_within_the_move_cooldown() {
+        let mut r = Rebalancer::new(3);
+        let hotsets = vec![hot(&["urn:rover:t/only"]), hot(&[]), hot(&[])];
+        let m = r.tick(&[300, 10, 10], &hotsets).expect("imbalanced");
+        assert_eq!(m.to, 1);
+        // Still hot and shard 2 is an eligible target, but the only
+        // candidate is inside its move cooldown.
+        assert_eq!(r.tick(&[600, 20, 20], &hotsets), None);
+    }
+
+    #[test]
+    fn a_stacked_object_moves_again_after_the_cooldown() {
+        let mut r = Rebalancer::new(3);
+        // Shard 1 is hot and its only hot object was just migrated in.
+        let hotsets = vec![hot(&[]), hot(&["urn:rover:t/hot"]), hot(&[])];
+        let idle = vec![hot(&[]), hot(&[]), hot(&[])];
+        let mut loads = vec![100u64, 100, 100];
+        // Burn through the move cooldown with balanced windows.
+        loads[1] += 400; // make shard 1 hot once to record the move
+        loads[0] += 100;
+        loads[2] += 100;
+        let m = r.tick(&loads, &hotsets).expect("imbalanced");
+        assert_eq!(m.urn, "urn:rover:t/hot");
+        for _ in 0..Rebalancer::MOVE_COOLDOWN {
+            for l in loads.iter_mut() {
+                *l += 100;
+            }
+            assert_eq!(r.tick(&loads, &idle), None);
+        }
+        // Cooldown over: the same object is eligible again.
+        loads[1] += 400;
+        loads[0] += 100;
+        loads[2] += 100;
+        assert!(r.tick(&loads, &hotsets).is_some());
+    }
+
+    #[test]
+    fn a_fresh_target_is_skipped_until_its_load_catches_up() {
+        let mut r = Rebalancer::new(3);
+        let hotsets = vec![
+            hot(&["urn:rover:t/a", "urn:rover:t/b", "urn:rover:t/c"]),
+            hot(&[]),
+            hot(&[]),
+        ];
+        // Shard 1 is coldest: first migration targets it.
+        let m = r.tick(&[400, 50, 100], &hotsets).expect("imbalanced");
+        assert_eq!(m.to, 1);
+        // Next tick shard 1 still *looks* coldest (control lag), but it
+        // just received a migration — the next one goes to shard 2.
+        let m = r.tick(&[800, 100, 200], &hotsets).expect("imbalanced");
+        assert_eq!(m.to, 2);
+    }
+
+    #[test]
+    fn small_windows_are_ignored() {
+        let mut r = Rebalancer::new(2);
+        let hotsets = vec![hot(&["urn:rover:t/x"]), hot(&[])];
+        // Badly skewed, but below the volume floor: no decision.
+        assert_eq!(r.tick(&[30, 1], &hotsets), None);
+        assert_eq!(r.proposed(), 0);
+    }
+
+    #[test]
+    fn empty_window_is_a_no_op() {
+        let mut r = Rebalancer::new(3);
+        let hotsets = vec![hot(&["a"]), hot(&[]), hot(&[])];
+        assert_eq!(r.tick(&[0, 0, 0], &hotsets), None);
+    }
+}

@@ -27,14 +27,17 @@ use rover_net::{HostSched, LinkId, Net, SchedRef, SmtpRelay, SmtpRelayRef};
 use rover_sim::Sim;
 use rover_wire::{
     decode_commit_batch, encode_commit_batch, Bytes, CommitRecord, Encoder, Envelope, HostId,
-    MsgKind, OpStatus, QrpcReply, QrpcRequest, ReplyBatch, RoverOp, Version, Wire,
+    MigrateRecord, MsgKind, OpStatus, QrpcReply, QrpcRequest, ReplicaFrame, ReplyBatch, RoverOp,
+    Version, Wire,
 };
 
 use crate::config::{CommitPolicy, ServerConfig};
 use crate::events::ServerEvent;
+use crate::hotset::HotSet;
 use crate::object::RoverObject;
 use crate::payload::{ExportPayload, InvokePayload};
 use crate::resolve::{RejectResolver, Resolution, Resolver};
+use crate::shard::ShardMap;
 use crate::urn::Urn;
 
 /// Shared handle to a server.
@@ -52,6 +55,17 @@ const REC_CHECKPOINT: RecordKind = RecordKind::Other(0x11);
 /// ([`rover_wire::encode_commit_batch`]), so the frame CRC covers the
 /// whole group and a torn tail discards the batch atomically.
 const REC_COMMIT_BATCH: RecordKind = RecordKind::Other(0x12);
+/// Write-ahead-log record kind: one [`MigrateRecord`] — the rebalancer
+/// re-homing an object (tombstone on the source shard's log, install
+/// on the target's), so both logs replay to the post-migration store.
+const REC_MIGRATE: RecordKind = RecordKind::Other(0x13);
+
+/// Tracker slots per replication unit: the hot tracker holds
+/// `4 × replicate_hot` counters (min 8) so the published top-K comes
+/// from a set with churn headroom.
+fn hot_capacity(k: usize) -> usize {
+    (4 * k).max(8)
+}
 
 /// Magic tag of the checkpoint's at-most-once extension section
 /// (`"ROV2"`); follows the original `ROV1` object + ordering sections.
@@ -171,6 +185,27 @@ pub struct Server {
     incarnation: u64,
     /// Clients holding an imported copy of each object (callback set).
     importers: HashMap<Urn, std::collections::HashSet<u32>>,
+    /// Volatile read replicas of hot objects homed on *other* shards,
+    /// each paired with the publication epoch its frame carried.
+    /// Replicas die with a crash (never recovered) and age out when
+    /// their home stops refreshing them.
+    replicas: HashMap<Urn, (RoverObject, u64)>,
+    /// Approximate top-K tracker over this shard's import/export
+    /// traffic; `Some` only when replication is on
+    /// (`cfg.replicate_hot > 0` and shard routing attached).
+    hotset: Option<HotSet>,
+    /// Federation routing: a clone of the shared [`ShardMap`] (its
+    /// dynamic plane is shared across clones) plus this server's shard
+    /// index. `None` outside a federation — every hot-set/replica/
+    /// migration path below is then inert.
+    shard_routing: Option<(ShardMap, usize)>,
+    /// Replication epochs this server has run.
+    repl_epoch: u64,
+    /// Imports served from a peer replica (lifetime).
+    replica_reads_n: u64,
+    /// Successful export commits executed here (lifetime; the load
+    /// sampler reads this even without a dynamic routing plane).
+    commits_n: u64,
     /// Accepted authentication tokens; `None` disables authentication.
     accepted_tokens: Option<std::collections::HashSet<u64>>,
     /// Write-ahead commit log; `None` runs the server volatile (the
@@ -213,6 +248,12 @@ impl Server {
             group_timer_gen: 0,
             incarnation: 0,
             importers: HashMap::new(),
+            replicas: HashMap::new(),
+            hotset: None,
+            shard_routing: None,
+            repl_epoch: 0,
+            replica_reads_n: 0,
+            commits_n: 0,
             accepted_tokens: None,
             wal: None,
             crashed: false,
@@ -225,11 +266,11 @@ impl Server {
         net.register_host(
             host,
             rover_net::wrap_reassembly(move |sim: &mut Sim, _net: &Net, env: Envelope| {
-                if env.kind != MsgKind::Request {
-                    return;
-                }
-                if let Some(sv) = weak.upgrade() {
-                    Server::on_request(&sv, sim, env);
+                let Some(sv) = weak.upgrade() else { return };
+                match env.kind {
+                    MsgKind::Request => Server::on_request(&sv, sim, env),
+                    MsgKind::Replica => Server::on_replica(&sv, sim, env),
+                    _ => {}
                 }
             }),
         );
@@ -301,6 +342,303 @@ impl Server {
     /// Unauthenticated requests are answered with `Rejected`.
     pub fn require_auth(&mut self, tokens: &[u64]) {
         self.accepted_tokens = Some(tokens.iter().copied().collect());
+    }
+
+    // --- hot-set replication & rebalancing ------------------------------
+
+    /// Joins this server to a shard federation: `map` is a clone of the
+    /// shared routing table (its dynamic plane, when attached, is
+    /// shared across clones) and `shard` this server's index in it.
+    /// When [`ServerConfig::replicate_hot`] is non-zero this also arms
+    /// the hot-set tracker; with it zero the server merely learns its
+    /// place in the map (needed to answer `WrongShard` for migrated
+    /// objects) and the replication plane stays fully inert.
+    pub fn attach_shard_routing(&mut self, map: ShardMap, shard: usize) {
+        if self.cfg.replicate_hot > 0 {
+            self.hotset = Some(HotSet::new(hot_capacity(self.cfg.replicate_hot)));
+        }
+        self.shard_routing = Some((map, shard));
+    }
+
+    /// Whether the routing table homes `urn` on a different shard — the
+    /// object either hashes elsewhere or was migrated away from here.
+    fn homed_elsewhere(&self, urn: &str) -> bool {
+        self.shard_routing
+            .as_ref()
+            .is_some_and(|(map, idx)| map.shard_for(urn) != *idx)
+    }
+
+    /// Successful export commits executed by this server.
+    pub fn commit_count(&self) -> u64 {
+        self.commits_n
+    }
+
+    /// Imports served from a peer replica instead of the home store.
+    pub fn replica_reads(&self) -> u64 {
+        self.replica_reads_n
+    }
+
+    /// Peer replicas currently installed here.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The hot tracker's current view restricted to objects actually
+    /// homed (and stored) here, hottest first — the rebalancer's
+    /// migration candidates.
+    pub fn hot_home_top(&self) -> Vec<(String, u64)> {
+        let Some(h) = &self.hotset else {
+            return Vec::new();
+        };
+        h.top()
+            .into_iter()
+            .filter(|(name, _)| {
+                !self.homed_elsewhere(name)
+                    && Urn::parse(name)
+                        .ok()
+                        .is_some_and(|u| self.store.contains_key(&u))
+            })
+            .collect()
+    }
+
+    /// Requests queued at this server right now: staged group commits
+    /// plus ordered-write and writes-follow-reads holds.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+            + self.held.values().map(|m| m.len()).sum::<usize>()
+            + self.wfr_held.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Handles an incoming [`ReplicaFrame`] from a federation peer:
+    /// installs the image as a volatile read replica (never shadowing
+    /// an object homed here) and registers it in the shared directory.
+    fn on_replica(sv: &ServerRef, sim: &mut Sim, env: Envelope) {
+        if sv.borrow().crashed {
+            sim.stats.incr("server.dropped_while_crashed");
+            return;
+        }
+        let Ok(frame) = ReplicaFrame::from_shared(&env.body) else {
+            sim.stats.incr("server.bad_request");
+            return;
+        };
+        let (Ok(urn), Ok(obj)) = (Urn::parse(&frame.urn), RoverObject::from_shared(&frame.obj))
+        else {
+            sim.stats.incr("server.bad_request");
+            return;
+        };
+        let mut s = sv.borrow_mut();
+        // The home (or migration target) serves from its store; a
+        // replica of an object homed here would only shadow it.
+        if !s.homed_elsewhere(&frame.urn) || s.store.contains_key(&urn) {
+            return;
+        }
+        let newer = s
+            .replicas
+            .get(&urn)
+            .is_none_or(|(old, _)| obj.version >= old.version);
+        if !newer {
+            return;
+        }
+        s.replicas.insert(urn, (obj, frame.epoch));
+        if let Some((map, idx)) = &s.shard_routing {
+            map.publish_replica(&frame.urn, *idx, frame.version.0);
+        }
+        sim.stats.incr("server.replicas_installed");
+    }
+
+    /// One replication epoch: ages out peer replicas whose home stopped
+    /// refreshing them (bounding staleness to one epoch), folds the hot
+    /// tracker's activity into the stats, decays it, and publishes this
+    /// shard's K hottest home objects to every federation peer as
+    /// version-stamped volatile replicas. A no-op when replication is
+    /// off or the host is down.
+    pub fn replication_epoch(sv: &ServerRef, sim: &mut Sim) {
+        let (frames, peers, host) = {
+            let mut guard = sv.borrow_mut();
+            let s = &mut *guard;
+            if s.crashed || s.cfg.replicate_hot == 0 {
+                return;
+            }
+            let Some((map, idx)) = s.shard_routing.clone() else {
+                return;
+            };
+            s.repl_epoch += 1;
+            let epoch = s.repl_epoch;
+            let min_epoch = epoch.saturating_sub(1);
+            let stale: Vec<Urn> = s
+                .replicas
+                .iter()
+                .filter(|(_, (_, e))| *e < min_epoch)
+                .map(|(u, _)| u.clone())
+                .collect();
+            for u in stale {
+                s.replicas.remove(&u);
+                map.retract_replica(u.as_str(), idx);
+                sim.stats.incr("server.replicas_aged_out");
+            }
+            let mut frames = Vec::new();
+            if let Some(h) = &mut s.hotset {
+                let (touched, evicted) = h.take_activity();
+                sim.stats.add("server.hot_tracked", touched);
+                sim.stats.add("server.hot_evicted", evicted);
+                let top = h.top();
+                h.decay();
+                for (name, _) in top {
+                    if frames.len() >= s.cfg.replicate_hot {
+                        break;
+                    }
+                    // Publish only objects homed (and present) here.
+                    if map.shard_for(&name) != idx {
+                        continue;
+                    }
+                    let Some(obj) = Urn::parse(&name).ok().and_then(|u| s.store.get(&u)) else {
+                        continue;
+                    };
+                    frames.push(ReplicaFrame {
+                        urn: name,
+                        version: obj.version,
+                        epoch,
+                        obj: obj.to_bytes(),
+                    });
+                }
+            }
+            let peers: Vec<HostId> = map
+                .hosts()
+                .iter()
+                .copied()
+                .filter(|h| *h != s.cfg.host)
+                .collect();
+            (frames, peers, s.cfg.host)
+        };
+        for f in &frames {
+            let body = f.to_bytes();
+            for &p in &peers {
+                let env = Envelope {
+                    kind: MsgKind::Replica,
+                    src: host,
+                    dst: p,
+                    body: body.clone(),
+                };
+                Server::send_callback(sv, sim, p, env);
+                sim.stats.incr("server.replicas_published");
+            }
+        }
+    }
+
+    /// Appends and syncs one migration record; `None` receipt means no
+    /// WAL is attached (volatile server — the move is volatile too).
+    fn wal_append_migrate(
+        &mut self,
+        urn: &str,
+        obj: Option<Bytes>,
+    ) -> Result<Option<FlushReceipt>, LogError> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(None);
+        };
+        let rec = MigrateRecord {
+            urn: urn.to_string(),
+            obj,
+        };
+        wal.log.append(REC_MIGRATE, rec.to_bytes())?;
+        let receipt = wal.log.flush()?;
+        wal.commits_since_ckpt += 1;
+        Ok(Some(receipt))
+    }
+
+    /// The source side of a rebalancing move: flushes any staged group
+    /// (WAL order — every commit made here precedes the departure),
+    /// removes `urn` from the store, appends a durable migration
+    /// tombstone, and returns the object image for
+    /// [`Server::install_migrated`] on the target. Writes-follow-reads
+    /// holds keyed on the object re-enter admission: with the object
+    /// homed elsewhere its floors are no longer this shard's to
+    /// enforce, and ordered exports now answer `WrongShard` so their
+    /// clients re-route. Returns `None` when the host is down or the
+    /// object is not stored here.
+    pub fn migrate_out(sv: &ServerRef, sim: &mut Sim, urn: &Urn) -> Option<RoverObject> {
+        if sv.borrow().crashed {
+            return None;
+        }
+        if !sv.borrow().pending.is_empty() {
+            Server::group_flush(sv, sim);
+            if sv.borrow().crashed {
+                return None;
+            }
+        }
+        let (obj, res) = {
+            let mut s = sv.borrow_mut();
+            let obj = s.store.remove(urn)?;
+            let res = s.wal_append_migrate(urn.as_str(), None);
+            (obj, res)
+        };
+        match res {
+            Ok(receipt) => {
+                if let Some(receipt) = receipt {
+                    let mut s = sv.borrow_mut();
+                    let cost = s.cfg.storage.flush_cost(receipt);
+                    s.charge_serial(sim.now(), cost);
+                }
+            }
+            Err(e) => {
+                sim.stats.incr("server.wal_append_failed");
+                sim.trace(
+                    "server",
+                    format!("migrate-out append failed: {e}; crashing"),
+                );
+                Server::crash(sv, sim);
+                return None;
+            }
+        }
+        sim.stats.incr("server.migrated_out");
+        // Free every hold waiting on the departed object; re-admission
+        // answers them under the post-migration routing.
+        let freed = sv.borrow_mut().wfr_held.remove(urn).unwrap_or_default();
+        for r in freed {
+            sim.stats.incr("server.wfr_drained");
+            Server::admit(sv, sim, r);
+        }
+        Some(obj)
+    }
+
+    /// The target side of a rebalancing move: installs the migrated
+    /// object into the store (displacing any replica of it held here),
+    /// appends the durable install record, and drains holds the
+    /// arrival satisfies. Returns `false` when the host is down (the
+    /// caller must retry or abort the move — the source has already
+    /// logged the tombstone).
+    pub fn install_migrated(sv: &ServerRef, sim: &mut Sim, obj: RoverObject) -> bool {
+        if sv.borrow().crashed {
+            return false;
+        }
+        let urn = obj.urn.clone();
+        let res = {
+            let mut s = sv.borrow_mut();
+            s.replicas.remove(&urn);
+            if let Some((map, idx)) = &s.shard_routing {
+                map.retract_replica(urn.as_str(), *idx);
+            }
+            let bytes = obj.to_bytes();
+            s.store.insert(urn.clone(), obj);
+            s.wal_append_migrate(urn.as_str(), Some(bytes))
+        };
+        match res {
+            Ok(receipt) => {
+                if let Some(receipt) = receipt {
+                    let mut s = sv.borrow_mut();
+                    let cost = s.cfg.storage.flush_cost(receipt);
+                    s.charge_serial(sim.now(), cost);
+                }
+            }
+            Err(e) => {
+                sim.stats.incr("server.wal_append_failed");
+                sim.trace("server", format!("migrate-in append failed: {e}; crashing"));
+                Server::crash(sv, sim);
+                return false;
+            }
+        }
+        sim.stats.incr("server.migrated_in");
+        Server::drain_wfr(sv, sim, Some(&urn));
+        true
     }
 
     /// Serializes the server's durable state (for checkpointing /
@@ -468,6 +806,16 @@ impl Server {
         self.held.clear();
         self.wfr_held.clear();
         self.importers.clear();
+        // Replicas are volatile by contract: gone locally, and the
+        // shared directory forgets this holder so no client routes a
+        // read here until the next epoch republishes.
+        self.replicas.clear();
+        if let Some((map, idx)) = &self.shard_routing {
+            map.drop_replicas_of(*idx);
+        }
+        if self.hotset.is_some() {
+            self.hotset = Some(HotSet::new(hot_capacity(self.cfg.replicate_hot)));
+        }
     }
 
     // --- write-ahead commit log -----------------------------------------
@@ -596,6 +944,12 @@ impl Server {
             s.pending.clear();
             s.group_timer_armed = false;
             s.incarnation += 1;
+            // Replicas die with the volatile state, and the shared
+            // directory must stop routing reads at a dead holder.
+            s.replicas.clear();
+            if let Some((map, idx)) = &s.shard_routing {
+                map.drop_replicas_of(*idx);
+            }
             staged_lost
         };
         if staged_lost > 0 {
@@ -702,6 +1056,24 @@ impl Server {
                     for c in decode_commit_batch(&r.payload).map_err(crate::RoverError::from)? {
                         s.apply_commit(c)?;
                         recovered += 1;
+                    }
+                } else if r.kind == REC_MIGRATE {
+                    // Rebalancer move: tombstone (the object left this
+                    // shard) or install (it arrived), replayed in log
+                    // order against commits to the same object.
+                    let m =
+                        MigrateRecord::from_shared(&r.payload).map_err(crate::RoverError::from)?;
+                    match m.obj {
+                        Some(bytes) => {
+                            let obj = RoverObject::from_shared(&bytes)
+                                .map_err(crate::RoverError::from)?;
+                            s.store.insert(obj.urn.clone(), obj);
+                        }
+                        None => {
+                            if let Ok(u) = Urn::parse(&m.urn) {
+                                s.store.remove(&u);
+                            }
+                        }
                     }
                 }
             }
@@ -1180,6 +1552,10 @@ impl Server {
     /// sequence; later ones are held, duplicates replay the cached
     /// reply.
     fn admit(sv: &ServerRef, sim: &mut Sim, req: QrpcRequest) {
+        // Queue-depth sample at admission: staged commits plus ordered
+        // and writes-follow-reads holds (the digest's p50/p99 series).
+        sim.stats
+            .sample("server.qdepth", sv.borrow().queue_depth() as f64);
         // Authentication gate: reject before any state is touched.
         let authed = match &sv.borrow().accepted_tokens {
             None => true,
@@ -1256,11 +1632,18 @@ impl Server {
         // until the local copy catches up (drained when the object's
         // version advances; a crash drops the holds and the client
         // retransmits).
-        if !req.read_vector.is_empty() {
+        if matches!(req.op, RoverOp::Export { .. }) && !req.read_vector.is_empty() {
             sim.stats.incr("server.wfr_checked");
             let behind = {
                 let s = sv.borrow();
                 req.read_vector.iter().find_map(|(name, fl)| {
+                    // A floor constrains only objects homed *here*: one
+                    // naming an object that routes to another shard
+                    // (hashed there, or migrated away) is that shard's
+                    // to enforce — holding on it would wait forever.
+                    if s.homed_elsewhere(name) {
+                        return None;
+                    }
                     let cur = Urn::parse(name)
                         .ok()
                         .and_then(|u| s.store.get(&u).map(|o| o.version.0))
@@ -1412,8 +1795,33 @@ impl Server {
                     format!("dedup entry evicted; re-executing req={}", req.req_id.0),
                 );
             }
-            s.execute(&req, parsed.as_ref())
+            // Hot-set tracking: every import/export against this shard
+            // is a hit (the epoch tick folds the counters into stats).
+            if let Some(h) = s.hotset.as_mut() {
+                if matches!(req.op, RoverOp::Import | RoverOp::Export { .. }) {
+                    h.touch(&req.urn);
+                }
+            }
+            let rr_before = s.replica_reads_n;
+            let out = s.execute(&req, parsed.as_ref());
+            if s.replica_reads_n > rr_before {
+                sim.stats.incr("server.replica_reads");
+            }
+            out
         };
+        match reply.status {
+            OpStatus::WrongShard => sim.stats.incr("server.wrong_shard"),
+            OpStatus::Ok | OpStatus::Resolved if matches!(req.op, RoverOp::Export { .. }) => {
+                // Committed write: feed the shared load counters (the
+                // rebalancer and the imbalance metric read them).
+                let mut s = sv.borrow_mut();
+                s.commits_n += 1;
+                if let Some((map, idx)) = &s.shard_routing {
+                    map.note_commit(*idx);
+                }
+            }
+            _ => {}
+        }
 
         // Under a group policy the commit stages into the pending batch
         // below; durability and the reply wait for the group flush.
@@ -1708,7 +2116,37 @@ impl Server {
                         0,
                     )
                 }
-                None => (fail(OpStatus::NoSuchObject), 0),
+                None => {
+                    // Replica serve: a read routed here by the replica
+                    // directory. The session's floor travels in the
+                    // request's read-vector; the replica serves only
+                    // when its version satisfies it (monotonic reads
+                    // never weaken), else the client re-routes home.
+                    if let Some((rep, _)) = self.replicas.get(urn) {
+                        let floor = req
+                            .read_vector
+                            .iter()
+                            .filter(|(name, _)| *name == req.urn)
+                            .map(|(_, fl)| *fl)
+                            .max()
+                            .unwrap_or(0);
+                        if rep.version.0 >= floor {
+                            let reply = QrpcReply {
+                                req_id: req.req_id,
+                                status: OpStatus::Ok,
+                                version: rep.version,
+                                payload: rep.to_bytes(),
+                            };
+                            self.replica_reads_n += 1;
+                            return (reply, 0);
+                        }
+                        return (fail(OpStatus::WrongShard), 0);
+                    }
+                    if self.homed_elsewhere(&req.urn) {
+                        return (fail(OpStatus::WrongShard), 0);
+                    }
+                    (fail(OpStatus::NoSuchObject), 0)
+                }
             },
 
             RoverOp::Invoke { .. } => {
@@ -1717,7 +2155,12 @@ impl Server {
                     Err(_) => return (fail(OpStatus::Rejected), 0),
                 };
                 let Some(obj) = self.store.get(urn) else {
-                    return (fail(OpStatus::NoSuchObject), 0);
+                    let status = if self.homed_elsewhere(&req.urn) {
+                        OpStatus::WrongShard
+                    } else {
+                        OpStatus::NoSuchObject
+                    };
+                    return (fail(status), 0);
                 };
                 // Invocations are read-only: run on a scratch copy.
                 let mut scratch = obj.clone();
@@ -1748,7 +2191,18 @@ impl Server {
                     Err(_) => return (fail(OpStatus::Rejected), 0),
                 };
                 let Some(current) = self.store.get(urn) else {
-                    return (fail(OpStatus::NoSuchObject), 0);
+                    // A write whose object was migrated away (or never
+                    // homed here): the client re-routes it to the
+                    // current home. The reply still commits dedup +
+                    // ordering bookkeeping here, so the session's
+                    // sequence floor advances and retransmissions of
+                    // this id replay `WrongShard` instead of blocking.
+                    let status = if self.homed_elsewhere(&req.urn) {
+                        OpStatus::WrongShard
+                    } else {
+                        OpStatus::NoSuchObject
+                    };
+                    return (fail(status), 0);
                 };
 
                 let conflict = req.base_version != current.version;

@@ -110,6 +110,23 @@ impl Session {
         seq
     }
 
+    /// Draws the next ordered-write sequence for `server` *without*
+    /// touching the pending-write count — used when the QRPC engine
+    /// re-issues an already-pending write to a different shard after a
+    /// migration redirect (the write is still the same logical
+    /// operation; only its destination's sequence space changed).
+    pub fn next_seq_for(&mut self, server: HostId) -> u64 {
+        let slot = self.next_write_seq.entry(server.0).or_insert(1);
+        let seq = *slot;
+        *slot += 1;
+        seq
+    }
+
+    /// The session's Monotonic-Reads floor for `urn` (0 = never read).
+    pub fn read_floor(&self, urn: &Urn) -> Version {
+        self.read_vector.get(urn).copied().unwrap_or(Version(0))
+    }
+
     /// Records a write completing (committed, resolved, or rejected).
     pub fn note_write_done(&mut self, urn: &Urn, committed_version: Version) {
         if let Some(n) = self.pending_writes.get_mut(urn) {

@@ -72,6 +72,36 @@ impl Wire for CommitRecord {
     }
 }
 
+/// One durable shard-migration step: the load rebalancer re-homing an
+/// object from one shard to another.
+///
+/// The move writes one record on *each* side so both write-ahead logs
+/// replay to the post-migration state independently: the source logs a
+/// tombstone (`obj: None` — the object left this shard) and the target
+/// logs the install (`obj: Some(image)` at its migrated version).
+#[derive(Clone, PartialEq, Debug)]
+pub struct MigrateRecord {
+    /// Canonical URN of the migrated object.
+    pub urn: String,
+    /// The migrated object image (encoded `RoverObject`): `Some` on the
+    /// receiving shard's log, `None` (tombstone) on the source's.
+    pub obj: Option<Bytes>,
+}
+
+impl Wire for MigrateRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.urn);
+        enc.put_opt(self.obj.as_ref(), |e, b| e.put_bytes(b));
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(MigrateRecord {
+            urn: dec.get_str()?,
+            obj: dec.get_opt(|d| d.get_bytes_shared())?,
+        })
+    }
+}
+
 /// Encodes a group-commit batch as one log-record payload: a count
 /// followed by the records back to back.
 ///
@@ -169,6 +199,25 @@ mod tests {
         // — rejects the whole batch: batch recovery is all-or-nothing.
         for cut in [0, 4, wire.len() / 2, wire.len() - 1] {
             assert!(decode_commit_batch(&wire.slice(..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn migrate_record_roundtrips_both_sides() {
+        let install = MigrateRecord {
+            urn: "urn:rover:scale/obj7".into(),
+            obj: Some(Bytes::from_static(b"image")),
+        };
+        let tombstone = MigrateRecord {
+            urn: "urn:rover:scale/obj7".into(),
+            obj: None,
+        };
+        for rec in [install, tombstone] {
+            let bytes = rec.to_bytes();
+            assert_eq!(MigrateRecord::from_bytes(&bytes).unwrap(), rec);
+            for cut in [0, 2, bytes.len() - 1] {
+                assert!(MigrateRecord::from_bytes(&bytes[..cut]).is_err());
+            }
         }
     }
 

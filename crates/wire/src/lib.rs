@@ -40,7 +40,7 @@ mod message;
 
 pub use bytes::Bytes;
 pub use checksum::crc32;
-pub use commit::{decode_commit_batch, encode_commit_batch, CommitRecord};
+pub use commit::{decode_commit_batch, encode_commit_batch, CommitRecord, MigrateRecord};
 pub use http::{
     envelope_http_bytes, envelope_to_http_request, envelope_to_http_response,
     http_request_to_envelope, http_response_to_envelope, HttpError, HttpRequest, HttpResponse,
@@ -48,6 +48,6 @@ pub use http::{
 pub use lzss::{compress, decompress, LzssError};
 pub use marshal::{Decoder, Encoder, Wire, WireError, MAX_FIELD_LEN};
 pub use message::{
-    Envelope, Fragment, HostId, MsgKind, OpStatus, Priority, QrpcReply, QrpcRequest, ReplyBatch,
-    RequestId, RoverOp, SessionId, Version,
+    Envelope, Fragment, HostId, MsgKind, OpStatus, Priority, QrpcReply, QrpcRequest, ReplicaFrame,
+    ReplyBatch, RequestId, RoverOp, SessionId, Version,
 };

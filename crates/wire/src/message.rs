@@ -185,6 +185,13 @@ pub enum OpStatus {
     /// produced by a server — the client's QRPC engine synthesizes it
     /// locally as the graceful end of the retry chain.
     Unreachable,
+    /// The receiving shard does not (or no longer does) serve this
+    /// object: it migrated to another shard, or a replica holder could
+    /// not satisfy the session's read floor. The client re-issues the
+    /// operation — fresh request id, re-computed route — rather than
+    /// retransmitting; the QRPC engine handles this internally and
+    /// applications never observe it.
+    WrongShard,
 }
 
 impl Wire for OpStatus {
@@ -198,6 +205,7 @@ impl Wire for OpStatus {
             OpStatus::ExecError => 5,
             OpStatus::Rejected => 6,
             OpStatus::Unreachable => 7,
+            OpStatus::WrongShard => 8,
         });
     }
 
@@ -211,6 +219,7 @@ impl Wire for OpStatus {
             5 => OpStatus::ExecError,
             6 => OpStatus::Rejected,
             7 => OpStatus::Unreachable,
+            8 => OpStatus::WrongShard,
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -365,6 +374,45 @@ pub enum MsgKind {
     /// client coalesced into one envelope by the server's group-commit
     /// engine (one set of framing + checksum instead of one per reply).
     ReplyBatch,
+    /// Shard→shard hot-set replica publication: the body is a
+    /// [`ReplicaFrame`] carrying a version-stamped immutable object
+    /// image a home shard pushes to its peers each epoch.
+    Replica,
+}
+
+/// One version-stamped object image published by a home shard to a
+/// peer shard for read offload. Replicas are *volatile*: the receiver
+/// serves session-floor-satisfying reads from the image until it
+/// crashes (dropping it) or a newer epoch replaces it.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ReplicaFrame {
+    /// Canonical URN of the replicated object.
+    pub urn: String,
+    /// Committed version of the image at publication time.
+    pub version: Version,
+    /// Publication epoch (monotone per home shard); late frames from an
+    /// older epoch never overwrite a newer image.
+    pub epoch: u64,
+    /// Encoded `RoverObject` image.
+    pub obj: Bytes,
+}
+
+impl Wire for ReplicaFrame {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.urn);
+        self.version.encode(enc);
+        enc.put_u64(self.epoch);
+        enc.put_bytes(&self.obj);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ReplicaFrame {
+            urn: dec.get_str()?,
+            version: Version::decode(dec)?,
+            epoch: dec.get_u64()?,
+            obj: dec.get_bytes_shared()?,
+        })
+    }
 }
 
 /// Several replies to one client, coalesced into a single envelope.
@@ -448,6 +496,7 @@ impl MsgKind {
             MsgKind::Fragment => 3,
             MsgKind::Callback => 4,
             MsgKind::ReplyBatch => 5,
+            MsgKind::Replica => 6,
         }
     }
 
@@ -460,6 +509,7 @@ impl MsgKind {
             3 => MsgKind::Fragment,
             4 => MsgKind::Callback,
             5 => MsgKind::ReplyBatch,
+            6 => MsgKind::Replica,
             _ => return None,
         })
     }
@@ -600,6 +650,7 @@ mod tests {
             OpStatus::ExecError,
             OpStatus::Rejected,
             OpStatus::Unreachable,
+            OpStatus::WrongShard,
         ] {
             assert_eq!(OpStatus::from_bytes(&s.to_bytes()).unwrap(), s);
         }
@@ -701,6 +752,22 @@ mod tests {
         assert!(Priority::FOREGROUND < Priority::INTERACTIVE);
         assert!(Priority::BACKGROUND < Priority::BULK);
         assert_eq!(Priority::default(), Priority::NORMAL);
+    }
+
+    #[test]
+    fn replica_frame_roundtrips() {
+        let f = ReplicaFrame {
+            urn: "urn:rover:scale/obj7".into(),
+            version: Version(41),
+            epoch: 3,
+            obj: Bytes::from_static(b"encoded object image"),
+        };
+        assert_eq!(ReplicaFrame::from_bytes(&f.to_bytes()).unwrap(), f);
+        for cut in [0, 3, f.to_bytes().len() - 1] {
+            assert!(ReplicaFrame::from_bytes(&f.to_bytes()[..cut]).is_err());
+        }
+        assert_eq!(MsgKind::from_byte(6), Some(MsgKind::Replica));
+        assert_eq!(MsgKind::Replica.to_byte(), 6);
     }
 
     #[test]
