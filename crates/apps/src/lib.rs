@@ -9,6 +9,7 @@
 //! which is exactly what the evaluation measured (fetch latency, queued
 //! operation drain, conflict resolution, user-perceived stalls).
 
+#![deny(unsafe_code)]
 pub mod calendar;
 pub mod mail;
 pub mod web;

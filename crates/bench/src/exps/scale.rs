@@ -270,6 +270,10 @@ pub struct ScaleOutcome {
     /// Requests the client re-routed after a `WrongShard` answer or a
     /// stale replica read (`client.redirects`).
     pub redirects: u64,
+    /// Adversarial-input rejections summed across the codec planes
+    /// (`wire.decode_rejected.*` + `log.scan_rejected.*` +
+    /// `script.parse_rejected`).
+    pub input_rejected: u64,
     /// Exports routed to each shard (index = shard).
     pub shard_ops: Vec<u64>,
     /// Final write-ahead device size per shard, bytes.
@@ -1106,6 +1110,18 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
     let replicas_published = sim.stats.counter("server.replicas_published");
     let migrations = sim.stats.counter("server.migrated_out");
     let redirects = sim.stats.counter("client.redirects");
+    // Adversarial-input rejections across all three codec planes,
+    // summed by prefix so new reason tags fold in automatically.
+    let input_rejected: u64 = sim
+        .stats
+        .counters()
+        .filter(|(k, _)| {
+            k.starts_with("wire.decode_rejected.")
+                || k.starts_with("log.scan_rejected.")
+                || *k == "script.parse_rejected"
+        })
+        .map(|(_, v)| v)
+        .sum();
 
     if final_total != total_ops {
         return Err(format!(
@@ -1235,6 +1251,7 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
         replicas_published,
         migrations,
         redirects,
+        input_rejected,
     ] {
         fold(v);
     }
@@ -1277,6 +1294,7 @@ pub fn run_scale(cfg: ScaleConfig) -> Result<ScaleOutcome, String> {
         replicas_published,
         migrations,
         redirects,
+        input_rejected,
         shard_ops,
         shard_wal_bytes,
         digest,

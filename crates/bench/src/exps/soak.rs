@@ -161,6 +161,10 @@ pub struct SoakOutcome {
     pub qdepth_p50_x100: u64,
     /// 99th-percentile server queue depth at admission x100.
     pub qdepth_p99_x100: u64,
+    /// Adversarial-input rejections summed across the codec planes
+    /// (`wire.decode_rejected.*` + `log.scan_rejected.*` +
+    /// `script.parse_rejected`).
+    pub input_rejected: u64,
     /// Order-insensitive fingerprint of final state + stats; equal
     /// digests mean byte-identical runs.
     pub digest: u64,
@@ -375,6 +379,19 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         + sim.stats.counter("net.faults_injected.dup")
         + sim.stats.counter("net.faults_injected.jitter");
     let retransmits = sim.stats.counter("client.retransmits");
+    // Adversarial-input rejections across all three codec planes: wire
+    // decode failures, WAL scan issues, and script parse rejections.
+    // Summed by prefix so new reason tags fold in automatically.
+    let input_rejected: u64 = sim
+        .stats
+        .counters()
+        .filter(|(k, _)| {
+            k.starts_with("wire.decode_rejected.")
+                || k.starts_with("log.scan_rejected.")
+                || *k == "script.parse_rejected"
+        })
+        .map(|(_, v)| v)
+        .sum();
 
     // Convergence invariants.
     if final_n != ops {
@@ -482,6 +499,7 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         flush_wait_us_p99,
         qdepth_p50_x100,
         qdepth_p99_x100,
+        input_rejected,
     ] {
         digest ^= v;
         digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
@@ -514,6 +532,7 @@ pub fn run_seed(cfg: SoakConfig) -> Result<SoakOutcome, String> {
         flush_wait_us_p99,
         qdepth_p50_x100,
         qdepth_p99_x100,
+        input_rejected,
         digest,
     })
 }
@@ -536,7 +555,7 @@ pub fn run_seeds(
         "Soak — chaos convergence (5 clients × 100 ops per seed)"
     };
     let mut cols = vec![
-        "seed", "ops", "final n", "faults", "crc rej", "rexmit", "reexec", "converge",
+        "seed", "ops", "final n", "faults", "crc rej", "inp rej", "rexmit", "reexec", "converge",
     ];
     if server_crashes > 0 {
         cols.extend(["crash", "wal", "ckpt", "replay", "torn B", "recov"]);
@@ -574,6 +593,7 @@ pub fn run_seeds(
             o.final_n.to_string(),
             o.faults.to_string(),
             o.corrupt_rejected.to_string(),
+            o.input_rejected.to_string(),
             o.retransmits.to_string(),
             o.reexecs.to_string(),
             format!("{:.1} s", o.converged_ms as f64 / 1000.0),

@@ -5,6 +5,7 @@
 //! recorded results). Everything runs on virtual time, so results are
 //! deterministic and complete in seconds of wall clock.
 
+#![deny(unsafe_code)]
 pub mod exps;
 pub mod harness;
 pub mod report;

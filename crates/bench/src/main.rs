@@ -18,6 +18,7 @@
 //! (override the directory with `--json <dir>`, disable with
 //! `--json none`).
 
+#![deny(unsafe_code)]
 use rover_bench::{exps, harness};
 
 fn main() {

@@ -529,7 +529,12 @@ impl Client {
             let mut tentative = entry.read_copy(true).clone();
             let vals: Vec<Value> = args.iter().map(Value::str).collect();
             let budget = c.cfg.budget;
-            let run = tentative.run_method(method, &vals, budget)?;
+            let run = tentative.run_method(method, &vals, budget).map_err(|e| {
+                if matches!(e, RoverError::ScriptParse(_)) {
+                    sim.stats.incr("script.parse_rejected");
+                }
+                e
+            })?;
             let raw_cost = c.cfg.cpu.dispatch_cost() + c.cfg.cpu.interp_cost(run.steps);
             let local_cost = c.charge_serial(sim.now(), raw_cost);
             c.cache.set_tentative(urn, tentative);
@@ -743,7 +748,14 @@ impl Client {
                 .ok_or_else(|| RoverError::NotCached(urn.to_string()))?;
             let mut scratch = entry.read_copy(true).clone();
             let vals: Vec<Value> = args.iter().map(Value::str).collect();
-            let run = scratch.run_method(method, &vals, c.cfg.budget)?;
+            let run = scratch
+                .run_method(method, &vals, c.cfg.budget)
+                .map_err(|e| {
+                    if matches!(e, RoverError::ScriptParse(_)) {
+                        sim.stats.incr("script.parse_rejected");
+                    }
+                    e
+                })?;
             if run.mutated {
                 return Err(RoverError::LocalMutation(urn.to_string()));
             }
@@ -1559,6 +1571,7 @@ impl Client {
                 Ok(r) => r,
                 Err(_) => {
                     sim.stats.incr("client.bad_reply");
+                    sim.stats.incr("wire.decode_rejected.reply");
                     return;
                 }
             };
@@ -1581,6 +1594,7 @@ impl Client {
                 Ok(b) => b,
                 Err(_) => {
                     sim.stats.incr("client.bad_reply");
+                    sim.stats.incr("wire.decode_rejected.reply_batch");
                     return;
                 }
             };

@@ -22,6 +22,11 @@ pub enum RoverError {
     Log(String),
     /// A wire-format error (corrupt message).
     Wire(String),
+    /// RDO method code never parsed: the script text itself was
+    /// malformed (hostile or corrupt input), as opposed to a script
+    /// that ran and failed ([`RoverError::Exec`]). Hosts count these
+    /// separately.
+    ScriptParse(String),
     /// The operation requires a cached copy that is not present.
     NotCached(String),
 }
@@ -39,6 +44,7 @@ impl fmt::Display for RoverError {
             }
             RoverError::Log(m) => write!(f, "stable log failure: {m}"),
             RoverError::Wire(m) => write!(f, "wire error: {m}"),
+            RoverError::ScriptParse(m) => write!(f, "script parse rejected: {m}"),
             RoverError::NotCached(u) => write!(f, "object not in cache: {u}"),
         }
     }

@@ -56,7 +56,10 @@
 //! assert_eq!(p.poll().unwrap().object.unwrap().field("msg"), Some("hello mobile world"));
 //! ```
 
+#![deny(unsafe_code)]
+
 mod cache;
+mod checkpoint;
 mod client;
 mod config;
 mod error;
@@ -73,6 +76,7 @@ mod shard;
 mod urn;
 
 pub use cache::{Cache, CacheEntry};
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, CheckpointImage};
 pub use client::{Client, ClientRef, ExportHandle, Placement, PlacementHints, PollGuard};
 pub use config::{ClientConfig, CommitPolicy, LogPolicy, ServerConfig, StorageModel};
 pub use error::RoverError;

@@ -173,9 +173,17 @@ impl RoverObject {
                     fields: &mut self.fields,
                     calls: 0,
                 };
-                interp
-                    .eval(&mut host, &self.code)
-                    .map_err(|e| RoverError::Exec(format!("loading code for {}: {e}", host.urn)))?;
+                interp.eval(&mut host, &self.code).map_err(|e| {
+                    let msg = format!("loading code for {}: {e}", host.urn);
+                    // Object code arrives off the wire: text that never
+                    // parsed is hostile/corrupt input, distinguished
+                    // from a script that ran and failed.
+                    if e.parse {
+                        RoverError::ScriptParse(msg)
+                    } else {
+                        RoverError::Exec(msg)
+                    }
+                })?;
                 // Cache only *pure* loads (no host calls): a load that
                 // read or wrote fields would bake those reads into the
                 // template and replay them stale on later invocations.
@@ -220,7 +228,11 @@ impl RoverObject {
             Err(e) => {
                 // Failed methods roll back field mutations.
                 self.fields = before;
-                Err(RoverError::Exec(e.to_string()))
+                if e.parse {
+                    Err(RoverError::ScriptParse(e.to_string()))
+                } else {
+                    Err(RoverError::Exec(e.to_string()))
+                }
             }
         }
     }

@@ -67,10 +67,6 @@ fn hot_capacity(k: usize) -> usize {
     (4 * k).max(8)
 }
 
-/// Magic tag of the checkpoint's at-most-once extension section
-/// (`"ROV2"`); follows the original `ROV1` object + ordering sections.
-const ROV2_MAGIC: u32 = 0x524F_5632;
-
 /// Deterministic crash points in the commit path, scripted with
 /// [`Server::script_crash`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -203,6 +199,10 @@ pub struct Server {
     repl_epoch: u64,
     /// Imports served from a peer replica (lifetime).
     replica_reads_n: u64,
+    /// Requests whose RDO method code failed to parse (lifetime;
+    /// hostile or corrupt script text, distinct from scripts that ran
+    /// and failed).
+    parse_rejected_n: u64,
     /// Successful export commits executed here (lifetime; the load
     /// sampler reads this even without a dynamic routing plane).
     commits_n: u64,
@@ -253,6 +253,7 @@ impl Server {
             shard_routing: None,
             repl_epoch: 0,
             replica_reads_n: 0,
+            parse_rejected_n: 0,
             commits_n: 0,
             accepted_tokens: None,
             wal: None,
@@ -419,11 +420,13 @@ impl Server {
         }
         let Ok(frame) = ReplicaFrame::from_shared(&env.body) else {
             sim.stats.incr("server.bad_request");
+            sim.stats.incr("wire.decode_rejected.replica");
             return;
         };
         let (Ok(urn), Ok(obj)) = (Urn::parse(&frame.urn), RoverObject::from_shared(&frame.obj))
         else {
             sim.stats.incr("server.bad_request");
+            sim.stats.incr("wire.decode_rejected.replica");
             return;
         };
         let mut s = sv.borrow_mut();
@@ -659,57 +662,44 @@ impl Server {
     /// ordering gate re-admits them (counted as
     /// `server.held_dropped_on_recovery` by [`Server::crash_restart`]).
     pub fn export_store(&self) -> Vec<u8> {
-        let mut enc = Encoder::new();
-        enc.put_u32(0x524F_5631); // "ROV1"
-        let mut objs: Vec<&RoverObject> = self.store.values().collect();
-        objs.sort_by(|a, b| a.urn.cmp(&b.urn));
-        enc.put_u32(objs.len() as u32);
-        for o in objs {
-            o.encode(&mut enc);
-        }
-        let mut seqs: Vec<((u32, u64), u64)> =
-            self.expected_seq.iter().map(|(k, v)| (*k, *v)).collect();
-        seqs.sort();
-        enc.put_u32(seqs.len() as u32);
-        for ((client, session), expected) in seqs {
-            enc.put_u32(client);
-            enc.put_u64(session);
-            enc.put_u64(expected);
-        }
+        crate::checkpoint::encode_checkpoint(&self.checkpoint_image())
+    }
 
-        // ROV2 extension: at-most-once state.
-        enc.put_u32(ROV2_MAGIC);
-        let mut floors: Vec<(u32, u64)> = self.ack_floor.iter().map(|(c, f)| (*c, *f)).collect();
-        floors.sort();
-        enc.put_u32(floors.len() as u32);
-        for (client, floor) in floors {
-            enc.put_u32(client);
-            enc.put_u64(floor);
-        }
-        let mut executed: Vec<(u32, &std::collections::BTreeSet<u64>)> =
-            self.executed.iter().map(|(c, ids)| (*c, ids)).collect();
+    /// Snapshots the durable state into a [`CheckpointImage`] in
+    /// canonical order (see [`Server::export_store`] for what is and is
+    /// not included).
+    fn checkpoint_image(&self) -> crate::checkpoint::CheckpointImage {
+        let mut objects: Vec<RoverObject> = self.store.values().cloned().collect();
+        objects.sort_by(|a, b| a.urn.cmp(&b.urn));
+        let mut expected_seq: Vec<((u32, u64), u64)> =
+            self.expected_seq.iter().map(|(k, v)| (*k, *v)).collect();
+        expected_seq.sort();
+        let mut ack_floors: Vec<(u32, u64)> =
+            self.ack_floor.iter().map(|(c, f)| (*c, *f)).collect();
+        ack_floors.sort();
+        let mut executed: Vec<(u32, Vec<u64>)> = self
+            .executed
+            .iter()
+            .map(|(c, ids)| (*c, ids.iter().copied().collect()))
+            .collect();
         executed.sort_by_key(|(c, _)| *c);
-        enc.put_u32(executed.len() as u32);
-        for (client, ids) in executed {
-            enc.put_u32(client);
-            enc.put_u32(ids.len() as u32);
-            for id in ids {
-                enc.put_u64(*id);
-            }
-        }
-        let dedup: Vec<&(u32, u64)> = self
+        // Dedup entries already below their client's floor are pruned
+        // (the protocol answers below-floor arrivals from committed
+        // state); an order entry without a cache entry is skipped
+        // rather than trusted to exist.
+        let dedup: Vec<((u32, u64), QrpcReply)> = self
             .dedup_order
             .iter()
             .filter(|(c, id)| *id >= self.ack_floor.get(c).copied().unwrap_or(0))
+            .filter_map(|key| self.dedup.get(key).map(|r| (*key, r.clone())))
             .collect();
-        enc.put_u32(dedup.len() as u32);
-        for key @ (client, req) in dedup {
-            enc.put_u32(*client);
-            enc.put_u64(*req);
-            let reply = self.dedup.get(key).expect("order entry has a cache entry");
-            reply.encode(&mut enc);
+        crate::checkpoint::CheckpointImage {
+            objects,
+            expected_seq,
+            ack_floors,
+            executed,
+            dedup,
         }
-        enc.into_vec()
     }
 
     /// Restores state written by [`Server::export_store`], *replacing*
@@ -723,70 +713,20 @@ impl Server {
     /// an empty dedup cache (retransmissions of already-committed
     /// exports then surface as conflicts and go through resolution).
     pub fn import_store(&mut self, bytes: &[u8]) -> Result<usize, crate::RoverError> {
-        let mut dec = rover_wire::Decoder::new(bytes);
-        let magic = dec.get_u32().map_err(crate::RoverError::from)?;
-        if magic != 0x524F_5631 {
-            return Err(crate::RoverError::Wire("bad checkpoint magic".into()));
-        }
         // Parse everything before touching any state, so a truncated
         // snapshot cannot leave the server half-replaced.
-        let n = dec.get_u32().map_err(crate::RoverError::from)?;
-        let mut objs = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            objs.push(RoverObject::decode(&mut dec).map_err(crate::RoverError::from)?);
-        }
-        let m = dec.get_u32().map_err(crate::RoverError::from)?;
-        let mut seqs = Vec::with_capacity(m as usize);
-        for _ in 0..m {
-            let client = dec.get_u32().map_err(crate::RoverError::from)?;
-            let session = dec.get_u64().map_err(crate::RoverError::from)?;
-            let expected = dec.get_u64().map_err(crate::RoverError::from)?;
-            seqs.push(((client, session), expected));
-        }
-        let mut floors: Vec<(u32, u64)> = Vec::new();
-        let mut executed: Vec<(u32, Vec<u64>)> = Vec::new();
-        let mut dedup: Vec<((u32, u64), QrpcReply)> = Vec::new();
-        if dec.remaining() > 0 {
-            let magic2 = dec.get_u32().map_err(crate::RoverError::from)?;
-            if magic2 != ROV2_MAGIC {
-                return Err(crate::RoverError::Wire("bad checkpoint extension".into()));
-            }
-            let nf = dec.get_u32().map_err(crate::RoverError::from)?;
-            for _ in 0..nf {
-                let client = dec.get_u32().map_err(crate::RoverError::from)?;
-                let floor = dec.get_u64().map_err(crate::RoverError::from)?;
-                floors.push((client, floor));
-            }
-            let ne = dec.get_u32().map_err(crate::RoverError::from)?;
-            for _ in 0..ne {
-                let client = dec.get_u32().map_err(crate::RoverError::from)?;
-                let count = dec.get_u32().map_err(crate::RoverError::from)?;
-                let mut ids = Vec::with_capacity(count as usize);
-                for _ in 0..count {
-                    ids.push(dec.get_u64().map_err(crate::RoverError::from)?);
-                }
-                executed.push((client, ids));
-            }
-            let nd = dec.get_u32().map_err(crate::RoverError::from)?;
-            for _ in 0..nd {
-                let client = dec.get_u32().map_err(crate::RoverError::from)?;
-                let req = dec.get_u64().map_err(crate::RoverError::from)?;
-                let reply = QrpcReply::decode(&mut dec).map_err(crate::RoverError::from)?;
-                dedup.push(((client, req), reply));
-            }
-        }
-
+        let img = crate::checkpoint::decode_checkpoint(bytes)?;
         self.clear_state();
-        let loaded = objs.len();
-        for obj in objs {
+        let loaded = img.objects.len();
+        for obj in img.objects {
             self.store.insert(obj.urn.clone(), obj);
         }
-        self.expected_seq.extend(seqs);
-        self.ack_floor.extend(floors);
-        for (client, ids) in executed {
+        self.expected_seq.extend(img.expected_seq);
+        self.ack_floor.extend(img.ack_floors);
+        for (client, ids) in img.executed {
             self.executed.insert(client, ids.into_iter().collect());
         }
-        for (key, reply) in dedup {
+        for (key, reply) in img.dedup {
             if self.dedup.insert(key, reply).is_none() {
                 self.dedup_order.push_back(key);
             }
@@ -1021,7 +961,8 @@ impl Server {
         log: OpLog<Box<dyn StableStore>>,
         held_dropped: u64,
     ) -> Result<(), crate::RoverError> {
-        let truncated = log.tail_skipped_bytes();
+        let scan = log.scan_report();
+        let truncated = scan.tail_skipped_bytes;
         let device_bytes = log.device_len();
         let (recovered, cost) = {
             let mut s = sv.borrow_mut();
@@ -1105,6 +1046,13 @@ impl Server {
         };
         sim.stats.add("server.recovered_commits", recovered);
         sim.stats.add("server.recovery_truncated_tail", truncated);
+        if let Some(issue) = scan.issue {
+            // Typed scan-rejection taxonomy: which invariant the torn
+            // tail tripped (truncated_header / bad_magic / torn_payload
+            // / checksum_mismatch / decompress_failed).
+            sim.stats
+                .incr(&format!("log.scan_rejected.{}", issue.reason()));
+        }
         sim.stats.sample_duration("server.recovery_ms", cost);
         sim.trace(
             "server",
@@ -1541,6 +1489,7 @@ impl Server {
                 Ok(r) => r,
                 Err(_) => {
                     sim.stats.incr("server.bad_request");
+                    sim.stats.incr("wire.decode_rejected.request");
                     return;
                 }
             };
@@ -1803,9 +1752,13 @@ impl Server {
                 }
             }
             let rr_before = s.replica_reads_n;
+            let pr_before = s.parse_rejected_n;
             let out = s.execute(&req, parsed.as_ref());
             if s.replica_reads_n > rr_before {
                 sim.stats.incr("server.replica_reads");
+            }
+            if s.parse_rejected_n > pr_before {
+                sim.stats.incr("script.parse_rejected");
             }
             out
         };
@@ -2181,6 +2134,10 @@ impl Server {
                         )
                     }
                     Err(crate::RoverError::NoSuchMethod(_)) => (fail(OpStatus::NoSuchMethod), 0),
+                    Err(crate::RoverError::ScriptParse(_)) => {
+                        self.parse_rejected_n += 1;
+                        (fail(OpStatus::ExecError), 0)
+                    }
                     Err(_) => (fail(OpStatus::ExecError), 0),
                 }
             }
@@ -2269,6 +2226,10 @@ impl Server {
                             }
                             Err(crate::RoverError::NoSuchMethod(_)) => {
                                 (fail(OpStatus::NoSuchMethod), 0)
+                            }
+                            Err(crate::RoverError::ScriptParse(_)) => {
+                                self.parse_rejected_n += 1;
+                                (fail(OpStatus::ExecError), 0)
                             }
                             Err(_) => (fail(OpStatus::ExecError), 0),
                         }

@@ -1,0 +1,103 @@
+//! Property tests for the `ROV1`/`ROV2` checkpoint codec: arbitrary
+//! images round-trip byte-identically, truncation at any point is a
+//! typed error (never a panic or a partial image), and byte corruption
+//! never panics the decoder.
+
+use proptest::prelude::*;
+
+use rover_core::{decode_checkpoint, encode_checkpoint, CheckpointImage, RoverObject, Urn};
+use rover_wire::{Bytes, OpStatus, QrpcReply, RequestId, Version};
+
+fn arb_object() -> impl Strategy<Value = RoverObject> {
+    (
+        "urn:rover:[a-z]{1,8}/[a-z0-9]{1,12}",
+        "[a-z]{1,8}",
+        proptest::collection::vec(("[a-z]{1,6}", "[ -~]{0,24}"), 0..4),
+        any::<u64>(),
+    )
+        .prop_map(|(urn, type_name, fields, version)| {
+            let mut obj = RoverObject::new(Urn::parse(&urn).expect("generated urn"), &type_name);
+            for (k, v) in &fields {
+                obj = obj.with_field(k, v);
+            }
+            obj.version = Version(version);
+            obj
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = QrpcReply> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(r, v, payload)| QrpcReply {
+            req_id: RequestId(r),
+            status: OpStatus::Ok,
+            version: Version(v),
+            payload: Bytes::from(payload),
+        })
+}
+
+fn arb_image() -> impl Strategy<Value = CheckpointImage> {
+    (
+        proptest::collection::vec(arb_object(), 0..4),
+        proptest::collection::vec(((any::<u32>(), any::<u64>()), any::<u64>()), 0..4),
+        proptest::collection::vec((any::<u32>(), any::<u64>()), 0..4),
+        proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u64>(), 0..5)),
+            0..3,
+        ),
+        proptest::collection::vec(((any::<u32>(), any::<u64>()), arb_reply()), 0..3),
+    )
+        .prop_map(
+            |(objects, expected_seq, ack_floors, executed, dedup)| CheckpointImage {
+                objects,
+                expected_seq,
+                ack_floors,
+                executed,
+                dedup,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn checkpoint_images_roundtrip(img in arb_image()) {
+        let bytes = encode_checkpoint(&img);
+        let back = decode_checkpoint(&bytes).unwrap();
+        prop_assert_eq!(&back, &img);
+        // Re-encoding the decoded image is byte-identical: the codec
+        // has one canonical byte form per image.
+        prop_assert_eq!(encode_checkpoint(&back), bytes);
+    }
+
+    #[test]
+    fn truncation_is_always_a_typed_error(img in arb_image(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_checkpoint(&img);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_checkpoint(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics(
+        img in arb_image(),
+        at_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_checkpoint(&img);
+        if !bytes.is_empty() {
+            let at = ((bytes.len() as f64) * at_frac) as usize % bytes.len();
+            bytes[at] ^= 1 << bit;
+            // Either outcome is fine; what matters is that it's an
+            // outcome, not a panic — and that anything accepted still
+            // round-trips.
+            if let Ok(got) = decode_checkpoint(&bytes) {
+                let re = encode_checkpoint(&got);
+                prop_assert_eq!(decode_checkpoint(&re).unwrap(), got);
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Per-codec fuzz drivers and the invariant they enforce: arbitrary
+//! bytes never panic the codec, never escape its allocation budgets,
+//! and anything a codec *accepts* must round-trip. Every case is
+//! addressed by `(seed, iteration)` and replays exactly.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use rover_log::{MemStore, OpLog, StableStore};
+use rover_script::{Budget, Interp, NoHost};
+use rover_wire::{
+    decode_commit_batch, encode_commit_batch, Bytes, CommitRecord, Envelope, Fragment, HttpRequest,
+    HttpResponse, MigrateRecord, QrpcReply, QrpcRequest, ReplicaFrame, ReplyBatch, Wire,
+    MAX_DECOMPRESSED,
+};
+
+use crate::corpus::{log_corpus, script_corpus, wire_corpus, WireTarget};
+use crate::mutate::mutate;
+use crate::rng::case_rng;
+
+/// Which codec plane a run drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Codec {
+    /// Every wire decoder: messages, commit records, checkpoint images,
+    /// LZSS streams, HTTP framing.
+    Wire,
+    /// The WAL recovery scan over mutated device images.
+    Log,
+    /// The rover-script parser + budgeted evaluator.
+    Script,
+}
+
+impl Codec {
+    /// Codec name as printed in reports and accepted by `--codec`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Wire => "wire",
+            Codec::Log => "log",
+            Codec::Script => "script",
+        }
+    }
+
+    /// Parses a `--codec` argument.
+    pub fn parse(s: &str) -> Option<Codec> {
+        match s {
+            "wire" => Some(Codec::Wire),
+            "log" => Some(Codec::Log),
+            "script" => Some(Codec::Script),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one fuzz case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The codec accepted the input (and it round-tripped).
+    Accepted,
+    /// The codec rejected the input with a typed error.
+    Rejected,
+    /// The codec (or an invariant check) panicked — a finding.
+    Panicked(String),
+}
+
+/// Aggregate result of one `(codec, seed)` run. Two runs with the same
+/// seed and iteration count produce identical reports, digest included.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Codec driven.
+    pub codec: &'static str,
+    /// Base seed.
+    pub seed: u64,
+    /// Cases executed.
+    pub iters: u64,
+    /// Inputs accepted (decoded and round-tripped).
+    pub accepted: u64,
+    /// Inputs rejected with typed errors.
+    pub rejected: u64,
+    /// Panics observed (must be zero).
+    pub panics: u64,
+    /// FNV-1a digest over every case's input and outcome — the
+    /// byte-reproducibility witness.
+    pub digest: u64,
+}
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The materialized seed corpus for one codec plane.
+enum CorpusSet {
+    Wire(Vec<(WireTarget, Vec<u8>)>),
+    Log(Vec<Vec<u8>>),
+    Script(Vec<&'static str>),
+}
+
+impl CorpusSet {
+    fn new(codec: Codec) -> CorpusSet {
+        match codec {
+            Codec::Wire => CorpusSet::Wire(wire_corpus()),
+            Codec::Log => CorpusSet::Log(log_corpus()),
+            Codec::Script => CorpusSet::Script(script_corpus()),
+        }
+    }
+
+    /// Builds the mutated input for case `(seed, iteration)`.
+    fn build(&self, seed: u64, iteration: u64) -> (Option<WireTarget>, Vec<u8>) {
+        let mut rng = case_rng(seed, iteration);
+        match self {
+            CorpusSet::Wire(entries) => {
+                let (target, base) = &entries[rng.below(entries.len())];
+                let donor = &entries[rng.below(entries.len())].1;
+                (Some(*target), mutate(&mut rng, base, donor))
+            }
+            CorpusSet::Log(images) => {
+                let base = &images[rng.below(images.len())];
+                let donor = &images[rng.below(images.len())];
+                (None, mutate(&mut rng, base, donor))
+            }
+            CorpusSet::Script(sources) => {
+                let base = sources[rng.below(sources.len())].as_bytes();
+                let donor = sources[rng.below(sources.len())].as_bytes();
+                (None, mutate(&mut rng, base, donor))
+            }
+        }
+    }
+}
+
+/// Decode + round-trip for any [`Wire`] type: whatever the decoder
+/// accepts must re-encode and re-decode to the same value.
+fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(b: &Bytes) -> bool {
+    match T::from_shared(b) {
+        Ok(v) => {
+            let enc = v.to_bytes();
+            let v2 = T::from_shared(&enc).expect("re-decode of an accepted value");
+            assert_eq!(v2, v, "round-trip mismatch");
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn drive_wire(target: WireTarget, input: &[u8]) -> bool {
+    let b = Bytes::from(input.to_vec());
+    match target {
+        WireTarget::Envelope => round_trip::<Envelope>(&b),
+        WireTarget::Request => round_trip::<QrpcRequest>(&b),
+        WireTarget::Reply => round_trip::<QrpcReply>(&b),
+        WireTarget::ReplyBatch => round_trip::<ReplyBatch>(&b),
+        WireTarget::Replica => round_trip::<ReplicaFrame>(&b),
+        WireTarget::Fragment => round_trip::<Fragment>(&b),
+        WireTarget::Commit => round_trip::<CommitRecord>(&b),
+        WireTarget::Migrate => round_trip::<MigrateRecord>(&b),
+        WireTarget::CommitBatch => match decode_commit_batch(&b) {
+            Ok(records) => {
+                let enc = encode_commit_batch(&records);
+                let again = decode_commit_batch(&enc).expect("re-decode of accepted batch");
+                assert_eq!(again, records, "commit-batch round-trip mismatch");
+                true
+            }
+            Err(_) => false,
+        },
+        WireTarget::Checkpoint => match rover_core::decode_checkpoint(&b) {
+            Ok(img) => {
+                let enc = rover_core::encode_checkpoint(&img);
+                let again =
+                    rover_core::decode_checkpoint(&enc).expect("re-decode of accepted image");
+                assert_eq!(again, img, "checkpoint round-trip mismatch");
+                true
+            }
+            Err(_) => false,
+        },
+        WireTarget::Lzss => match rover_wire::decompress(&b) {
+            Ok(out) => {
+                assert!(
+                    out.len() <= MAX_DECOMPRESSED,
+                    "decompression budget escaped"
+                );
+                let re = rover_wire::compress(&out);
+                assert_eq!(
+                    rover_wire::decompress(&re).expect("re-decode of accepted stream"),
+                    out,
+                    "lzss round-trip mismatch"
+                );
+                true
+            }
+            Err(_) => false,
+        },
+        WireTarget::HttpRequest => match HttpRequest::parse(&b) {
+            Ok((req, used)) => {
+                assert!(used <= input.len(), "http consumed past the buffer");
+                let (again, _) =
+                    HttpRequest::parse(&req.to_bytes()).expect("re-parse of accepted request");
+                assert_eq!(again, req, "http request round-trip mismatch");
+                true
+            }
+            Err(_) => false,
+        },
+        WireTarget::HttpResponse => match HttpResponse::parse(&b) {
+            Ok((rep, used)) => {
+                assert!(used <= input.len(), "http consumed past the buffer");
+                let (again, _) =
+                    HttpResponse::parse(&rep.to_bytes()).expect("re-parse of accepted response");
+                assert_eq!(again, rep, "http response round-trip mismatch");
+                true
+            }
+            Err(_) => false,
+        },
+    }
+}
+
+fn drive_log(input: &[u8]) -> bool {
+    let mut store = MemStore::new();
+    store.reset(input).expect("mem store reset");
+    let log = match OpLog::open(store) {
+        Ok(l) => l,
+        Err(_) => return false,
+    };
+    let scan = log.scan_report();
+    assert!(
+        scan.tail_skipped_bytes as usize <= input.len(),
+        "scan skipped more bytes than the device holds"
+    );
+    assert_eq!(scan.records, log.len(), "scan report miscounts records");
+    let records: Vec<_> = log.records().cloned().collect();
+    // The open truncated the device to the parsed prefix: reopening the
+    // same store must be clean and replay the identical records.
+    let store = log.into_store();
+    let log2 = OpLog::open(store).expect("reopen of truncated device");
+    assert_eq!(
+        log2.tail_skipped_bytes(),
+        0,
+        "truncated device still has a torn tail on reopen"
+    );
+    let records2: Vec<_> = log2.records().cloned().collect();
+    assert_eq!(records2, records, "recovery scan is not idempotent");
+    scan.issue.is_none()
+}
+
+fn drive_script(input: &[u8]) -> bool {
+    let src = String::from_utf8_lossy(input);
+    let budget = Budget {
+        max_steps: 20_000,
+        max_depth: 32,
+    };
+    let mut interp = Interp::with_budget(budget);
+    let accepted = interp.eval(&mut NoHost, &src).is_ok();
+    assert!(
+        interp.steps_used() <= 2 * budget.max_steps,
+        "evaluator escaped its step budget"
+    );
+    accepted
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn drive(codec: Codec, target: Option<WireTarget>, input: &[u8]) -> CaseOutcome {
+    let res = panic::catch_unwind(AssertUnwindSafe(|| match codec {
+        Codec::Wire => drive_wire(target.expect("wire case has a target"), input),
+        Codec::Log => drive_log(input),
+        Codec::Script => drive_script(input),
+    }));
+    match res {
+        Ok(true) => CaseOutcome::Accepted,
+        Ok(false) => CaseOutcome::Rejected,
+        Err(e) => CaseOutcome::Panicked(panic_message(e)),
+    }
+}
+
+/// Runs `iters` cases of `codec` under `seed`. Deterministic: the
+/// returned report (digest included) is a pure function of the
+/// arguments.
+pub fn run_codec(codec: Codec, seed: u64, iters: u64) -> FuzzReport {
+    let corpus = CorpusSet::new(codec);
+    let mut report = FuzzReport {
+        codec: codec.name(),
+        seed,
+        iters,
+        accepted: 0,
+        rejected: 0,
+        panics: 0,
+        digest: FNV_BASIS,
+    };
+    for i in 0..iters {
+        let (target, input) = corpus.build(seed, i);
+        let outcome = drive(codec, target, &input);
+        let tag: u8 = match outcome {
+            CaseOutcome::Accepted => {
+                report.accepted += 1;
+                0
+            }
+            CaseOutcome::Rejected => {
+                report.rejected += 1;
+                1
+            }
+            CaseOutcome::Panicked(_) => {
+                report.panics += 1;
+                2
+            }
+        };
+        report.digest = fnv_fold(report.digest, &i.to_be_bytes());
+        report.digest = fnv_fold(report.digest, &input);
+        report.digest = fnv_fold(report.digest, &[tag]);
+    }
+    report
+}
+
+/// Replays the single case `(codec, seed, iteration)` and returns the
+/// exact input bytes alongside its outcome (the `--repro` path).
+pub fn run_case(
+    codec: Codec,
+    seed: u64,
+    iteration: u64,
+) -> (Vec<u8>, Option<WireTarget>, CaseOutcome) {
+    let corpus = CorpusSet::new(codec);
+    let (target, input) = corpus.build(seed, iteration);
+    let outcome = drive(codec, target, &input);
+    (input, target, outcome)
+}
+
+/// Installs a silent panic hook for the duration of a fuzz run, so
+/// expected `catch_unwind`-captured panics (if a finding ever appears)
+/// do not spray backtraces; returns a guard restoring the old hook.
+pub fn silence_panics() -> impl Drop {
+    type Hook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>;
+    let old = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    struct Restore(Option<Hook>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(h) = self.0.take() {
+                panic::set_hook(h);
+            }
+        }
+    }
+    Restore(Some(old))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE_ITERS: u64 = 400;
+
+    #[test]
+    fn wire_plane_smoke_no_panics_and_reproducible() {
+        let a = run_codec(Codec::Wire, 1, SMOKE_ITERS);
+        let b = run_codec(Codec::Wire, 1, SMOKE_ITERS);
+        assert_eq!(a, b, "same seed must reproduce byte-identically");
+        assert_eq!(a.panics, 0, "wire codecs panicked under fuzz");
+        let c = run_codec(Codec::Wire, 2, SMOKE_ITERS);
+        assert_ne!(a.digest, c.digest, "different seeds must diverge");
+    }
+
+    #[test]
+    fn log_plane_smoke_no_panics_and_reproducible() {
+        let a = run_codec(Codec::Log, 1, SMOKE_ITERS);
+        let b = run_codec(Codec::Log, 1, SMOKE_ITERS);
+        assert_eq!(a, b);
+        assert_eq!(a.panics, 0, "recovery scan panicked under fuzz");
+    }
+
+    #[test]
+    fn script_plane_smoke_no_panics_and_reproducible() {
+        let a = run_codec(Codec::Script, 1, SMOKE_ITERS);
+        let b = run_codec(Codec::Script, 1, SMOKE_ITERS);
+        assert_eq!(a, b);
+        assert_eq!(a.panics, 0, "script parser panicked under fuzz");
+    }
+
+    #[test]
+    fn repro_rebuilds_the_exact_case() {
+        let full = run_codec(Codec::Wire, 3, 50);
+        assert_eq!(full.panics, 0);
+        let (input_a, target_a, outcome_a) = run_case(Codec::Wire, 3, 17);
+        let (input_b, target_b, outcome_b) = run_case(Codec::Wire, 3, 17);
+        assert_eq!(input_a, input_b);
+        assert_eq!(target_a, target_b);
+        assert_eq!(outcome_a, outcome_b);
+    }
+
+    #[test]
+    fn some_mutants_are_accepted_and_some_rejected() {
+        // Structure-aware mutation should keep a corpus-size-dependent
+        // fraction of inputs valid; all-rejected would mean the corpus
+        // or mutator is broken.
+        let r = run_codec(Codec::Script, 5, 500);
+        assert!(r.accepted > 0, "no mutated script ever parsed");
+        assert!(r.rejected > 0, "every mutated script parsed");
+        let w = run_codec(Codec::Wire, 5, 2000);
+        assert!(w.accepted > 0, "no mutated frame ever decoded");
+        assert!(w.rejected > 0, "every mutated frame decoded");
+    }
+}

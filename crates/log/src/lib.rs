@@ -31,10 +31,14 @@
 //! log.remove(seq).unwrap();
 //! ```
 
+#![deny(unsafe_code)]
+
 mod fault;
 mod oplog;
 mod store;
 
 pub use fault::{FaultKind, FaultStore, ScriptedFault};
-pub use oplog::{FlushPolicy, FlushReceipt, LogError, LogRecord, OpLog, RecordKind};
+pub use oplog::{
+    FlushPolicy, FlushReceipt, LogError, LogRecord, OpLog, RecordKind, ScanIssue, ScanReport,
+};
 pub use store::{FileStore, MemStore, StableStore};

@@ -56,6 +56,104 @@ impl fmt::Display for LogError {
 
 impl std::error::Error for LogError {}
 
+/// Why the recovery scan stopped before the end of the device. One torn
+/// or corrupt frame ends the scan (everything after it is unreachable —
+/// frames are not self-synchronizing), so a scan yields at most one
+/// issue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScanIssue {
+    /// Fewer bytes than a frame header remained: a write torn mid-header.
+    TruncatedHeader {
+        /// Device offset of the partial frame.
+        at: u64,
+        /// Bytes that remained.
+        have: usize,
+    },
+    /// The magic bytes did not match: overwritten or garbage region.
+    BadMagic {
+        /// Device offset of the bad frame.
+        at: u64,
+    },
+    /// The header's declared payload length exceeds the remaining device
+    /// bytes: a write torn mid-payload.
+    TornPayload {
+        /// Device offset of the torn frame.
+        at: u64,
+        /// Payload length the header declared.
+        declared: usize,
+        /// Payload bytes actually present.
+        remaining: usize,
+    },
+    /// The payload failed its CRC: bit rot or a torn overwrite.
+    ChecksumMismatch {
+        /// Device offset of the corrupt frame.
+        at: u64,
+    },
+    /// A compressed payload failed to decompress (bad stream or budget).
+    DecompressFailed {
+        /// Device offset of the corrupt frame.
+        at: u64,
+    },
+}
+
+impl ScanIssue {
+    /// Stable lowercase reason key, used as the `log.scan_rejected.*`
+    /// stats suffix.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ScanIssue::TruncatedHeader { .. } => "truncated_header",
+            ScanIssue::BadMagic { .. } => "bad_magic",
+            ScanIssue::TornPayload { .. } => "torn_payload",
+            ScanIssue::ChecksumMismatch { .. } => "checksum_mismatch",
+            ScanIssue::DecompressFailed { .. } => "decompress_failed",
+        }
+    }
+
+    /// Device offset where the scan stopped.
+    pub fn at(&self) -> u64 {
+        match *self {
+            ScanIssue::TruncatedHeader { at, .. }
+            | ScanIssue::BadMagic { at }
+            | ScanIssue::TornPayload { at, .. }
+            | ScanIssue::ChecksumMismatch { at }
+            | ScanIssue::DecompressFailed { at } => at,
+        }
+    }
+}
+
+impl fmt::Display for ScanIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanIssue::TruncatedHeader { at, have } => {
+                write!(f, "truncated header at {at}: only {have} bytes remain")
+            }
+            ScanIssue::BadMagic { at } => write!(f, "bad frame magic at {at}"),
+            ScanIssue::TornPayload {
+                at,
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "torn payload at {at}: header declares {declared} bytes, {remaining} remain"
+            ),
+            ScanIssue::ChecksumMismatch { at } => write!(f, "payload checksum mismatch at {at}"),
+            ScanIssue::DecompressFailed { at } => write!(f, "payload decompression failed at {at}"),
+        }
+    }
+}
+
+/// Outcome of one recovery scan: how much replayed, what (if anything)
+/// stopped the scan, and how many tail bytes were discarded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ScanReport {
+    /// Frames successfully replayed.
+    pub records: usize,
+    /// Why the scan stopped early, if it did.
+    pub issue: Option<ScanIssue>,
+    /// Unparseable tail bytes discarded (0 on a clean open).
+    pub tail_skipped_bytes: u64,
+}
+
 /// Classifies log records so recovery can route them.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RecordKind {
@@ -146,7 +244,7 @@ pub struct OpLog<S: StableStore> {
     compress: bool,
     buffered: usize,
     appended_since_sync: usize,
-    tail_skipped: u64,
+    scan: ScanReport,
 }
 
 impl<S: StableStore> OpLog<S> {
@@ -164,10 +262,19 @@ impl<S: StableStore> OpLog<S> {
         let mut records = BTreeMap::new();
         let mut next_seq = 1;
         let mut pos = 0usize;
-        while let Some((rec, used)) = parse_frame(&bytes, pos) {
-            next_seq = next_seq.max(rec.seq + 1);
-            records.insert(rec.seq, rec);
-            pos += used;
+        let mut issue = None;
+        while pos < bytes.len() {
+            match parse_frame(&bytes, pos) {
+                Ok((rec, used)) => {
+                    next_seq = next_seq.max(rec.seq + 1);
+                    records.insert(rec.seq, rec);
+                    pos += used;
+                }
+                Err(why) => {
+                    issue = Some(why);
+                    break;
+                }
+            }
         }
         if pos < bytes.len() {
             // Torn/corrupt tail: truncate the device to the parsed
@@ -175,6 +282,11 @@ impl<S: StableStore> OpLog<S> {
             // tear and the next recovery scan stops before them.
             store.reset(&bytes[..pos])?;
         }
+        let scan = ScanReport {
+            records: records.len(),
+            issue,
+            tail_skipped_bytes: (bytes.len() - pos) as u64,
+        };
         Ok(OpLog {
             store,
             records,
@@ -183,14 +295,20 @@ impl<S: StableStore> OpLog<S> {
             compress,
             buffered: 0,
             appended_since_sync: 0,
-            tail_skipped: (bytes.len() - pos) as u64,
+            scan,
         })
     }
 
     /// Bytes of unparseable tail (torn or corrupt frames) discarded by
     /// [`OpLog::open`]'s recovery scan; zero on a clean open.
     pub fn tail_skipped_bytes(&self) -> u64 {
-        self.tail_skipped
+        self.scan.tail_skipped_bytes
+    }
+
+    /// The recovery scan's full report: frames replayed, the typed
+    /// reason the scan stopped (if it did), tail bytes discarded.
+    pub fn scan_report(&self) -> ScanReport {
+        self.scan
     }
 
     /// Appends a record, returning its sequence number.
@@ -320,35 +438,87 @@ fn encode_frame(rec: &LogRecord, compress_payload: bool) -> Vec<u8> {
     out
 }
 
-/// Parses one frame from `src` starting at `pos`; `None` on truncation
-/// or corruption (recovery stops there). Uncompressed payloads are
-/// returned as zero-copy views of `src`.
-fn parse_frame(src: &Bytes, pos: usize) -> Option<(LogRecord, usize)> {
-    let buf = &src[pos..];
+/// Reads `N` bytes at `at` as a fixed array; `None` past end-of-buffer.
+fn read_array<const N: usize>(buf: &[u8], at: usize) -> Option<[u8; N]> {
+    let s = buf.get(at..at.checked_add(N)?)?;
+    let mut a = [0u8; N];
+    a.copy_from_slice(s);
+    Some(a)
+}
+
+/// Parses one frame from `src` starting at `pos`. The device bytes are
+/// untrusted (a crash can tear them anywhere, bit rot can flip anything):
+/// every field is bounds-checked, the declared payload length is checked
+/// against the *remaining* bytes before any slicing, and decompression
+/// runs under the default output budget. The typed error names why the
+/// scan stopped; recovery discards everything from there on.
+/// Uncompressed payloads are returned as zero-copy views of `src`.
+fn parse_frame(src: &Bytes, pos: usize) -> Result<(LogRecord, usize), ScanIssue> {
+    let buf = src.get(pos..).unwrap_or(&[]);
+    let at = pos as u64;
     if buf.len() < HEADER_LEN {
-        return None;
+        return Err(ScanIssue::TruncatedHeader {
+            at,
+            have: buf.len(),
+        });
     }
-    if u16::from_be_bytes([buf[0], buf[1]]) != MAGIC {
-        return None;
+    let magic = read_array::<2>(buf, 0).map(u16::from_be_bytes);
+    if magic != Some(MAGIC) {
+        return Err(ScanIssue::BadMagic { at });
     }
-    let flags = buf[2];
-    let seq = u64::from_be_bytes(buf[3..11].try_into().expect("len 8"));
-    let kind = RecordKind::from_byte(buf[11]);
-    let len = u32::from_be_bytes(buf[12..16].try_into().expect("len 4")) as usize;
-    let sum = u32::from_be_bytes(buf[16..20].try_into().expect("len 4"));
-    if buf.len() < HEADER_LEN + len {
-        return None;
-    }
-    let payload = &buf[HEADER_LEN..HEADER_LEN + len];
+    let (flags, kind_byte) = match (buf.get(2), buf.get(11)) {
+        (Some(&f), Some(&k)) => (f, k),
+        _ => {
+            return Err(ScanIssue::TruncatedHeader {
+                at,
+                have: buf.len(),
+            })
+        }
+    };
+    let seq =
+        read_array::<8>(buf, 3)
+            .map(u64::from_be_bytes)
+            .ok_or(ScanIssue::TruncatedHeader {
+                at,
+                have: buf.len(),
+            })?;
+    let kind = RecordKind::from_byte(kind_byte);
+    let len =
+        read_array::<4>(buf, 12)
+            .map(u32::from_be_bytes)
+            .ok_or(ScanIssue::TruncatedHeader {
+                at,
+                have: buf.len(),
+            })? as usize;
+    let sum =
+        read_array::<4>(buf, 16)
+            .map(u32::from_be_bytes)
+            .ok_or(ScanIssue::TruncatedHeader {
+                at,
+                have: buf.len(),
+            })?;
+    // The declared length is untrusted: checked math, then a checked
+    // slice — a 4 GiB length in a torn header must not allocate or
+    // index out of range.
+    let end = HEADER_LEN.checked_add(len).ok_or(ScanIssue::TornPayload {
+        at,
+        declared: len,
+        remaining: buf.len() - HEADER_LEN,
+    })?;
+    let payload = buf.get(HEADER_LEN..end).ok_or(ScanIssue::TornPayload {
+        at,
+        declared: len,
+        remaining: buf.len() - HEADER_LEN,
+    })?;
     if crc32(payload) != sum {
-        return None;
+        return Err(ScanIssue::ChecksumMismatch { at });
     }
     let payload = if flags & FLAG_COMPRESSED != 0 {
-        Bytes::from(decompress(payload).ok()?)
+        Bytes::from(decompress(payload).map_err(|_| ScanIssue::DecompressFailed { at })?)
     } else {
-        src.slice(pos + HEADER_LEN..pos + HEADER_LEN + len)
+        src.slice(pos + HEADER_LEN..pos + end)
     };
-    Some((LogRecord { seq, kind, payload }, HEADER_LEN + len))
+    Ok((LogRecord { seq, kind, payload }, end))
 }
 
 #[cfg(test)]
@@ -435,6 +605,111 @@ mod tests {
         store.reset(&bytes).unwrap();
         let log = OpLog::open(store).unwrap();
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn scan_report_names_the_torn_payload() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        log.append(RecordKind::Request, b"good".to_vec()).unwrap();
+        log.append(RecordKind::Request, b"torn".to_vec()).unwrap();
+        let durable = log.device_len();
+        let store = log.into_store().crash(Some(durable as usize - 2));
+        let log = OpLog::open(store).unwrap();
+        let report = log.scan_report();
+        assert_eq!(report.records, 1);
+        assert_eq!(report.tail_skipped_bytes, (HEADER_LEN + 2) as u64);
+        assert!(matches!(
+            report.issue,
+            Some(ScanIssue::TornPayload {
+                declared: 4,
+                remaining: 2,
+                ..
+            })
+        ));
+        assert_eq!(report.issue.unwrap().reason(), "torn_payload");
+    }
+
+    #[test]
+    fn huge_declared_length_is_a_torn_tail_not_an_allocation() {
+        // Fuzz finding: a frame header declaring a ~4 GiB payload on a
+        // tiny device must be treated as a torn tail — no slice-index
+        // panic, no unbounded allocation, typed accounting.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC.to_be_bytes());
+        frame.push(0); // flags
+        frame.extend_from_slice(&1u64.to_be_bytes()); // seq
+        frame.push(0); // kind
+        frame.extend_from_slice(&u32::MAX.to_be_bytes()); // declared len
+        frame.extend_from_slice(&0u32.to_be_bytes()); // crc (never reached)
+        frame.extend_from_slice(b"only a few real bytes");
+        let mut store = MemStore::new();
+        store.reset(&frame).unwrap();
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.tail_skipped_bytes(), frame.len() as u64);
+        assert!(matches!(
+            log.scan_report().issue,
+            Some(ScanIssue::TornPayload {
+                at: 0,
+                declared,
+                ..
+            }) if declared == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn overwritten_region_reports_bad_magic() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        log.append(RecordKind::Request, b"ok".to_vec()).unwrap();
+        let mut store = log.into_store();
+        let mut bytes = store.read_all().unwrap();
+        let good = bytes.len();
+        bytes.extend_from_slice(&[0u8; 40]); // zeroed region after the frame
+        store.reset(&bytes).unwrap();
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 1);
+        let issue = log.scan_report().issue.unwrap();
+        assert_eq!(issue.reason(), "bad_magic");
+        assert_eq!(issue.at(), good as u64);
+    }
+
+    #[test]
+    fn corrupt_compressed_payload_reports_decompress_failure() {
+        // A frame whose CRC is valid but whose "compressed" payload is
+        // garbage: the CRC covers the stored bytes, so only the
+        // decompressor can catch this.
+        let payload = b"\xFF\xFF\xFF\xFF not lzss";
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC.to_be_bytes());
+        frame.push(FLAG_COMPRESSED);
+        frame.extend_from_slice(&1u64.to_be_bytes());
+        frame.push(0);
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(payload).to_be_bytes());
+        frame.extend_from_slice(payload);
+        let mut store = MemStore::new();
+        store.reset(&frame).unwrap();
+        let log = OpLog::open(store).unwrap();
+        assert_eq!(log.len(), 0);
+        assert_eq!(
+            log.scan_report().issue.unwrap().reason(),
+            "decompress_failed"
+        );
+    }
+
+    #[test]
+    fn clean_open_has_an_empty_report() {
+        let mut log = OpLog::open(MemStore::new()).unwrap();
+        log.append(RecordKind::Request, b"a".to_vec()).unwrap();
+        let log = OpLog::open(log.into_store()).unwrap();
+        assert_eq!(
+            log.scan_report(),
+            ScanReport {
+                records: 1,
+                issue: None,
+                tail_skipped_bytes: 0
+            }
+        );
     }
 
     #[test]

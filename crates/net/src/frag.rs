@@ -50,6 +50,13 @@ pub fn split_envelope(env: Envelope, mtu: usize, msg_id: u64) -> Vec<Envelope> {
     out
 }
 
+/// Upper bound on the fragment count a single message may declare.
+/// `total` arrives off the wire and sizes the chunk table: without a cap
+/// a hostile fragment declaring `total = u32::MAX` forces a multi-GiB
+/// allocation before the first chunk lands. 64 Ki fragments × the
+/// largest real MTU covers any envelope the toolkit produces.
+pub const MAX_FRAGMENTS: u32 = 1 << 16;
+
 struct Partial {
     total: u32,
     count: u32,
@@ -61,6 +68,7 @@ pub struct Reassembler {
     partials: HashMap<(u32, u64), Partial>,
     order: VecDeque<(u32, u64)>,
     cap: usize,
+    rejected: u64,
 }
 
 impl Reassembler {
@@ -72,6 +80,7 @@ impl Reassembler {
             partials: HashMap::new(),
             order: VecDeque::new(),
             cap: cap.max(1),
+            rejected: 0,
         }
     }
 
@@ -84,9 +93,16 @@ impl Reassembler {
         // Shared decode: `frag.chunk` is a view of `env.body`, which is
         // itself a view of the received wire buffer — no copy until the
         // final reassembly rebuild.
-        let frag = Fragment::from_shared(&env.body).ok()?;
-        let kind = MsgKind::from_byte(frag.orig_kind)?;
-        if frag.total == 0 || frag.idx >= frag.total {
+        let Ok(frag) = Fragment::from_shared(&env.body) else {
+            self.rejected += 1;
+            return None;
+        };
+        let Some(kind) = MsgKind::from_byte(frag.orig_kind) else {
+            self.rejected += 1;
+            return None;
+        };
+        if frag.total == 0 || frag.total > MAX_FRAGMENTS || frag.idx >= frag.total {
+            self.rejected += 1;
             return None;
         }
         let key = (env.src.0, frag.msg_id);
@@ -99,26 +115,23 @@ impl Reassembler {
             }
         });
         if p.total != frag.total {
+            self.rejected += 1;
             return None; // Corrupt or colliding stream.
         }
-        if p.chunks[frag.idx as usize].is_none() {
-            p.chunks[frag.idx as usize] = Some(frag.chunk);
+        if let Some(slot @ None) = p.chunks.get_mut(frag.idx as usize) {
+            *slot = Some(frag.chunk);
             p.count += 1;
         }
         if p.count == p.total {
-            let p = self.partials.remove(&key).expect("present");
+            let p = self.partials.remove(&key)?;
             self.order.retain(|k| *k != key);
             // Single exactly-sized rebuild: the chunks are views of
             // their fragment buffers, so this is the first (and only)
             // copy of the payload on the receive path.
-            let total_len: usize = p
-                .chunks
-                .iter()
-                .map(|c| c.as_ref().expect("all chunks present").len())
-                .sum();
+            let total_len: usize = p.chunks.iter().flatten().map(Bytes::len).sum();
             let mut body = Vec::with_capacity(total_len);
-            for c in p.chunks {
-                body.extend_from_slice(&c.expect("all chunks present"));
+            for c in p.chunks.into_iter().flatten() {
+                body.extend_from_slice(&c);
             }
             return Some(Envelope {
                 kind,
@@ -140,6 +153,13 @@ impl Reassembler {
     pub fn pending(&self) -> usize {
         self.partials.len()
     }
+
+    /// Total malformed fragments rejected since creation (undecodable
+    /// body, unknown original kind, zero/oversized `total`, index out of
+    /// range, or a `total` disagreeing with the open partial).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
 }
 
 /// Wraps a message handler with reassembly: fragments accumulate
@@ -149,8 +169,15 @@ where
     F: FnMut(&mut Sim, &Net, Envelope),
 {
     let mut r = Reassembler::new(64);
+    let mut counted = 0u64;
     move |sim: &mut Sim, net: &Net, env: Envelope| {
-        if let Some(msg) = r.accept(env) {
+        let msg = r.accept(env);
+        let rejected = r.rejected();
+        if rejected > counted {
+            sim.stats.add("net.frag_rejected", rejected - counted);
+            counted = rejected;
+        }
+        if let Some(msg) = msg {
             f(sim, net, msg);
         }
     }
@@ -250,6 +277,61 @@ mod tests {
             r.accept(frags[0].clone());
         }
         assert!(r.pending() <= 2);
+    }
+
+    #[test]
+    fn hostile_fragment_total_is_rejected_without_allocating() {
+        // Fuzz finding: a fragment declaring `total = u32::MAX` used to
+        // size the chunk table before any validation — a multi-GiB
+        // allocation from one hostile packet.
+        let frag = Fragment {
+            orig_kind: MsgKind::Reply.to_byte(),
+            msg_id: 1,
+            idx: 0,
+            total: u32::MAX,
+            chunk: Bytes::from_static(b"x"),
+        };
+        let mut r = Reassembler::new(8);
+        let e = Envelope {
+            kind: MsgKind::Fragment,
+            src: HostId(1),
+            dst: HostId(2),
+            body: frag.to_bytes(),
+        };
+        assert_eq!(r.accept(e), None);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.rejected(), 1);
+        // A total just past the cap is also refused; at the cap is fine.
+        for (total, want_rejected) in [(MAX_FRAGMENTS + 1, 2), (MAX_FRAGMENTS, 2)] {
+            let frag = Fragment {
+                orig_kind: MsgKind::Reply.to_byte(),
+                msg_id: u64::from(total),
+                idx: 0,
+                total,
+                chunk: Bytes::from_static(b"x"),
+            };
+            let e = Envelope {
+                kind: MsgKind::Fragment,
+                src: HostId(1),
+                dst: HostId(2),
+                body: frag.to_bytes(),
+            };
+            assert_eq!(r.accept(e), None);
+            assert_eq!(r.rejected(), want_rejected);
+        }
+    }
+
+    #[test]
+    fn undecodable_fragment_bodies_count_as_rejected() {
+        let mut r = Reassembler::new(8);
+        let e = Envelope {
+            kind: MsgKind::Fragment,
+            src: HostId(1),
+            dst: HostId(2),
+            body: Bytes::from_static(b"\x00\x01garbage"),
+        };
+        assert_eq!(r.accept(e), None);
+        assert_eq!(r.rejected(), 1);
     }
 
     #[test]

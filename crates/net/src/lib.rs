@@ -26,6 +26,8 @@
 //!   spool with polling delay, letting QRPC replies reach a client that
 //!   was disconnected when the reply was generated.
 
+#![deny(unsafe_code)]
+
 mod fault;
 mod frag;
 mod sched;
@@ -35,7 +37,9 @@ mod stream;
 mod topo;
 
 pub use fault::{FaultSpec, FlapSpec};
-pub use frag::{register_reassembling_host, split_envelope, wrap_reassembly, Reassembler};
+pub use frag::{
+    register_reassembling_host, split_envelope, wrap_reassembly, Reassembler, MAX_FRAGMENTS,
+};
 pub use sched::{HostSched, SchedMode, SchedRef, DEFAULT_MTU};
 pub use smtp::{SmtpRelay, SmtpRelayRef};
 pub use spec::{LinkId, LinkSpec};

@@ -13,6 +13,11 @@ pub struct ScriptError {
     /// errors are not catchable by scripts (a sandboxed RDO must not be
     /// able to outlive its budget by wrapping itself in `catch`).
     pub budget_exhausted: bool,
+    /// True when the source text never parsed at all (malformed input,
+    /// as opposed to a script that ran and failed). Hosts count these
+    /// separately — a parse rejection means bytes from outside were
+    /// hostile or corrupt, not that an application script misbehaved.
+    pub parse: bool,
 }
 
 impl ScriptError {
@@ -21,6 +26,16 @@ impl ScriptError {
         ScriptError {
             message: message.into(),
             budget_exhausted: false,
+            parse: false,
+        }
+    }
+
+    /// Creates a parse (malformed-source) error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        ScriptError {
+            message: message.into(),
+            budget_exhausted: false,
+            parse: true,
         }
     }
 
@@ -29,6 +44,7 @@ impl ScriptError {
         ScriptError {
             message: "execution budget exhausted".into(),
             budget_exhausted: true,
+            parse: false,
         }
     }
 }

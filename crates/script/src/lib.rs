@@ -36,6 +36,8 @@
 //! assert_eq!(v, Value::Int(55));
 //! ```
 
+#![deny(unsafe_code)]
+
 mod builtins;
 mod error;
 mod expr;

@@ -138,15 +138,24 @@ pub fn program_cache_stats() -> (u64, u64, usize) {
     })
 }
 
+/// Maximum nesting depth of substitution fragments (`$a($b($c(...`).
+/// The parser recurses once per nested array index, so attacker-supplied
+/// source of the form `$a($a($a(...` would otherwise grow the call stack
+/// linearly in input length and abort the process with a stack overflow.
+/// Real RDO scripts nest a handful deep; 100 is far past any of them.
+const MAX_PARSE_DEPTH: usize = 100;
+
 struct P<'a> {
     s: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 pub(crate) fn parse_script(src: &str) -> Result<Script, ScriptError> {
     let mut p = P {
         s: src.as_bytes(),
         i: 0,
+        depth: 0,
     };
     let mut commands = Vec::new();
     loop {
@@ -239,14 +248,14 @@ impl<'a> P<'a> {
                     depth -= 1;
                     if depth == 0 {
                         let text = std::str::from_utf8(&self.s[start..self.i - 1])
-                            .map_err(|_| ScriptError::new("script is not valid UTF-8"))?;
+                            .map_err(|_| ScriptError::parse("script is not valid UTF-8"))?;
                         return Ok(Word::Braced(Rc::from(text)));
                     }
                 }
                 _ => {}
             }
         }
-        Err(ScriptError::new("missing close-brace"))
+        Err(ScriptError::parse("missing close-brace"))
     }
 
     fn parse_quoted(&mut self) -> Result<Word, ScriptError> {
@@ -254,7 +263,7 @@ impl<'a> P<'a> {
         self.bump();
         let frags = self.parse_frags(|c| c == b'"')?;
         if self.at_end() {
-            return Err(ScriptError::new("missing close-quote"));
+            return Err(ScriptError::parse("missing close-quote"));
         }
         self.bump(); // closing quote
         Ok(Word::Subst(frags))
@@ -268,6 +277,17 @@ impl<'a> P<'a> {
     /// Parses substitution fragments until `stop` matches (not consumed)
     /// or end of input.
     fn parse_frags(&mut self, stop: impl Fn(u8) -> bool) -> Result<Vec<Frag>, ScriptError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            self.depth -= 1;
+            return Err(ScriptError::parse("substitution nesting too deep"));
+        }
+        let out = self.parse_frags_inner(stop);
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_frags_inner(&mut self, stop: impl Fn(u8) -> bool) -> Result<Vec<Frag>, ScriptError> {
         let mut frags = Vec::new();
         let mut lit = String::new();
         macro_rules! flush {
@@ -311,7 +331,7 @@ impl<'a> P<'a> {
                     let start = self.i;
                     self.i += utf8_len(self.s[self.i]);
                     let chunk = std::str::from_utf8(&self.s[start..self.i.min(self.s.len())])
-                        .map_err(|_| ScriptError::new("script is not valid UTF-8"))?;
+                        .map_err(|_| ScriptError::parse("script is not valid UTF-8"))?;
                     lit.push_str(chunk);
                 }
             }
@@ -330,10 +350,10 @@ impl<'a> P<'a> {
                 self.i += 1;
             }
             if self.at_end() {
-                return Err(ScriptError::new("missing close-brace for variable name"));
+                return Err(ScriptError::parse("missing close-brace for variable name"));
             }
             let name = std::str::from_utf8(&self.s[start..self.i])
-                .map_err(|_| ScriptError::new("script is not valid UTF-8"))?
+                .map_err(|_| ScriptError::parse("script is not valid UTF-8"))?
                 .to_owned();
             self.bump();
             return Ok(Some(Frag::Var(name, None)));
@@ -346,14 +366,14 @@ impl<'a> P<'a> {
             return Ok(None);
         }
         let name = std::str::from_utf8(&self.s[start..self.i])
-            .map_err(|_| ScriptError::new("script is not valid UTF-8"))?
+            .map_err(|_| ScriptError::parse("script is not valid UTF-8"))?
             .to_owned();
         // Array element: $name(index), index itself substituted.
         if !self.at_end() && self.peek() == b'(' {
             self.bump();
             let idx = self.parse_frags(|c| c == b')')?;
             if self.at_end() {
-                return Err(ScriptError::new("missing close-paren in array reference"));
+                return Err(ScriptError::parse("missing close-paren in array reference"));
             }
             self.bump();
             return Ok(Some(Frag::Var(name, Some(idx))));
@@ -377,7 +397,7 @@ impl<'a> P<'a> {
                     depth -= 1;
                     if depth == 0 {
                         let text = std::str::from_utf8(&self.s[start..self.i - 1])
-                            .map_err(|_| ScriptError::new("script is not valid UTF-8"))?;
+                            .map_err(|_| ScriptError::parse("script is not valid UTF-8"))?;
                         return Ok(text.to_owned());
                     }
                 }
@@ -396,7 +416,7 @@ impl<'a> P<'a> {
                 _ => {}
             }
         }
-        Err(ScriptError::new("missing close-bracket"))
+        Err(ScriptError::parse("missing close-bracket"))
     }
 }
 
@@ -597,6 +617,33 @@ mod tests {
         // Both attempts re-parse: errors never enter the interner.
         assert_eq!(misses_after, misses_before);
         assert!(parse_script_cached("set still_fine 1").is_ok());
+    }
+
+    #[test]
+    fn deep_array_nesting_is_rejected_not_a_stack_overflow() {
+        // Fuzz finding: `$a($a($a(...` recursed once per level with no
+        // bound — a few thousand bytes of hostile source aborted the
+        // process. The depth budget turns it into a typed parse error.
+        let bomb = "puts ".to_owned() + &"$a(".repeat(50_000);
+        let err = parse_script(&bomb).unwrap_err();
+        assert!(err.parse, "depth exhaustion must be a parse error");
+        assert!(err.message.contains("nesting too deep"));
+    }
+
+    #[test]
+    fn nesting_under_the_budget_still_parses() {
+        let mut src = "$v".to_owned();
+        for _ in 0..(MAX_PARSE_DEPTH / 2) {
+            src = format!("$a({src})");
+        }
+        assert!(parse_script(&format!("puts {src}")).is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_the_parse_flag() {
+        for src in ["puts {a", "puts \"a", "puts [cmd", "puts $arr(1"] {
+            assert!(parse_script(src).unwrap_err().parse, "{src:?}");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! sim.run();
 //! ```
 
+#![deny(unsafe_code)]
 mod cpu;
 mod event;
 mod stats;

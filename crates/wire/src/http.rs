@@ -121,7 +121,9 @@ impl HttpRequest {
             return Err(HttpError::Malformed(format!("bad version {version}")));
         }
         let len = body_len(&headers, method == "GET" || method == "HEAD")?;
-        if buf.len() < body_at + len {
+        // `len` is attacker-controlled: the add must not wrap.
+        let end = body_at.checked_add(len).ok_or(HttpError::BadLength)?;
+        if buf.len() < end {
             return Err(HttpError::Incomplete);
         }
         Ok((
@@ -181,7 +183,8 @@ impl HttpResponse {
             .ok_or_else(|| HttpError::Malformed("bad status".into()))?;
         let reason = parts.next().unwrap_or("").to_owned();
         let len = body_len(&headers, false)?;
-        if buf.len() < body_at + len {
+        let end = body_at.checked_add(len).ok_or(HttpError::BadLength)?;
+        if buf.len() < end {
             return Err(HttpError::Incomplete);
         }
         Ok((
@@ -376,6 +379,23 @@ mod tests {
         // Bad Content-Length.
         let raw = b"POST / HTTP/1.0\r\nContent-Length: banana\r\n\r\n";
         assert_eq!(HttpRequest::parse(raw).unwrap_err(), HttpError::BadLength);
+    }
+
+    #[test]
+    fn huge_content_length_cannot_wrap_the_bounds_check() {
+        // Fuzz finding: a Content-Length near usize::MAX made
+        // `body_at + len` wrap past the buffer length, turning the
+        // Incomplete check into an out-of-range slice.
+        let raw = format!("POST / HTTP/1.0\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert_eq!(
+            HttpRequest::parse(raw.as_bytes()).unwrap_err(),
+            HttpError::BadLength
+        );
+        let raw = format!("HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert_eq!(
+            HttpResponse::parse(raw.as_bytes()).unwrap_err(),
+            HttpError::BadLength
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! assert_eq!(dec.get_u64().unwrap(), 7);
 //! ```
 
+#![deny(unsafe_code)]
+
 mod checksum;
 mod commit;
 mod http;
@@ -45,7 +47,7 @@ pub use http::{
     envelope_http_bytes, envelope_to_http_request, envelope_to_http_response,
     http_request_to_envelope, http_response_to_envelope, HttpError, HttpRequest, HttpResponse,
 };
-pub use lzss::{compress, decompress, LzssError};
+pub use lzss::{compress, decompress, decompress_with_budget, LzssError, MAX_DECOMPRESSED};
 pub use marshal::{Decoder, Encoder, Wire, WireError, MAX_FIELD_LEN};
 pub use message::{
     Envelope, Fragment, HostId, MsgKind, OpStatus, Priority, QrpcReply, QrpcRequest, ReplicaFrame,

@@ -26,6 +26,10 @@ const MAX_MATCH: usize = 18;
 /// bounding the walk.
 const MAX_CHAIN: usize = 64;
 
+/// Default cap on declared uncompressed size (64 MiB): anything larger
+/// coming off the wire or the log is corruption, not a Rover payload.
+pub const MAX_DECOMPRESSED: usize = 64 << 20;
+
 /// Errors produced while decompressing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LzssError {
@@ -45,6 +49,13 @@ pub enum LzssError {
         /// Actually decoded length.
         got: usize,
     },
+    /// The declared uncompressed length exceeded the caller's budget.
+    BudgetExceeded {
+        /// Declared uncompressed length.
+        declared: usize,
+        /// The budget it blew through.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for LzssError {
@@ -56,6 +67,9 @@ impl fmt::Display for LzssError {
             }
             LzssError::LengthMismatch { expected, got } => {
                 write!(f, "declared length {expected} but decoded {got}")
+            }
+            LzssError::BudgetExceeded { declared, budget } => {
+                write!(f, "declared length {declared} exceeds budget {budget}")
             }
         }
     }
@@ -165,13 +179,39 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Decompresses an LZSS stream produced by [`compress`].
+/// Decompresses an LZSS stream produced by [`compress`], with the
+/// default [`MAX_DECOMPRESSED`] output budget.
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
+    decompress_with_budget(input, MAX_DECOMPRESSED)
+}
+
+/// Decompresses an LZSS stream produced by [`compress`], rejecting any
+/// stream whose declared uncompressed length exceeds `budget`.
+///
+/// The declared length in the header is untrusted: allocation is capped
+/// by what the compressed body could actually expand to (each input
+/// byte yields at most 18 output bytes), so a hostile header cannot
+/// force a large allocation, loop forever, or over-produce output.
+pub fn decompress_with_budget(input: &[u8], budget: usize) -> Result<Vec<u8>, LzssError> {
     if input.len() < 4 {
         return Err(LzssError::Truncated);
     }
-    let expected = u32::from_be_bytes(input[..4].try_into().expect("len 4")) as usize;
-    let mut out = Vec::with_capacity(expected);
+    let header: [u8; 4] = match input[..4].try_into() {
+        Ok(a) => a,
+        Err(_) => return Err(LzssError::Truncated),
+    };
+    let expected = u32::from_be_bytes(header) as usize;
+    if expected > budget {
+        return Err(LzssError::BudgetExceeded {
+            declared: expected,
+            budget,
+        });
+    }
+    // A compressed body of B bytes expands to at most B * MAX_MATCH
+    // output bytes, so cap the up-front reservation by that and never
+    // trust the header alone.
+    let max_yield = (input.len() - 4).saturating_mul(MAX_MATCH);
+    let mut out = Vec::with_capacity(expected.min(max_yield).min(budget));
     let mut pos = 4;
 
     while out.len() < expected {
@@ -192,7 +232,10 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
                 if pos + 2 > input.len() {
                     return Err(LzssError::Truncated);
                 }
-                let word = u16::from_be_bytes(input[pos..pos + 2].try_into().expect("len 2"));
+                let word = match input[pos..pos + 2].try_into() {
+                    Ok(a) => u16::from_be_bytes(a),
+                    Err(_) => return Err(LzssError::Truncated),
+                };
                 pos += 2;
                 let dist = (word >> 4) as usize + 1;
                 let len = (word & 0xF) as usize + MIN_MATCH;
@@ -314,6 +357,49 @@ mod tests {
         let z = compress(b"hello hello hello hello");
         assert_eq!(decompress(&z[..2]), Err(LzssError::Truncated));
         assert!(decompress(&z[..z.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn hostile_header_cannot_force_allocation_or_output() {
+        // Fuzz finding: a 4 GiB declared length with a tiny body used to
+        // reserve `expected` bytes up front. Now the reservation is
+        // bounded by what the body can yield and the declared length is
+        // budget-checked.
+        let mut stream = vec![0xFF, 0xFF, 0xFF, 0xFF];
+        stream.extend_from_slice(&[0b0000_0001, b'x']);
+        assert!(matches!(
+            decompress(&stream),
+            Err(LzssError::BudgetExceeded { .. })
+        ));
+        // Under an explicit budget the same stream is rejected before
+        // any decoding work happens.
+        assert_eq!(
+            decompress_with_budget(&stream, 1024),
+            Err(LzssError::BudgetExceeded {
+                declared: u32::MAX as usize,
+                budget: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn budget_accepts_streams_within_it() {
+        let data = b"budgeted budgeted budgeted".repeat(8);
+        let z = compress(&data);
+        assert_eq!(decompress_with_budget(&z, data.len()).unwrap(), data);
+        assert!(matches!(
+            decompress_with_budget(&z, data.len() - 1),
+            Err(LzssError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_length_over_body_yield_is_truncation_not_a_hang() {
+        // Header promises 1 MiB but the body is a single literal: the
+        // loop must stop at end-of-input, not spin or over-allocate.
+        let mut stream = (1u32 << 20).to_be_bytes().to_vec();
+        stream.extend_from_slice(&[0b0000_0001, b'x']);
+        assert_eq!(decompress(&stream), Err(LzssError::Truncated));
     }
 
     #[test]

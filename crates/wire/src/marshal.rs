@@ -28,6 +28,13 @@ pub enum WireError {
     TooLarge(usize),
     /// Trailing bytes remained after a complete decode.
     TrailingBytes(usize),
+    /// An embedded checksum did not match the covered bytes.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        stored: u32,
+        /// Checksum recomputed over the covered bytes.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -43,6 +50,12 @@ impl fmt::Display for WireError {
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::TooLarge(n) => write!(f, "length prefix {n} exceeds limit"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            WireError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
         }
     }
 }
@@ -230,6 +243,15 @@ impl<'a> Decoder<'a> {
         Ok(s)
     }
 
+    /// Like [`take`](Self::take) but returns a fixed-size array, so
+    /// fixed-width reads need no fallible slice-to-array conversion.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
@@ -237,27 +259,27 @@ impl<'a> Decoder<'a> {
 
     /// Reads a big-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `i64`.
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(i64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads an IEEE-754 `f64`.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(f64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a boolean tag byte.

@@ -584,8 +584,12 @@ impl Wire for Envelope {
         let dst = HostId::decode(dec)?;
         let body = dec.get_bytes_shared()?;
         let sum = dec.get_u32()?;
-        if sum != crate::crc32(&body) {
-            return Err(WireError::BadTag(0xCC));
+        let computed = crate::crc32(&body);
+        if sum != computed {
+            return Err(WireError::ChecksumMismatch {
+                stored: sum,
+                computed,
+            });
         }
         Ok(Envelope {
             kind,
@@ -703,7 +707,10 @@ mod tests {
         let mut bytes = env.to_bytes().to_vec();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
-        assert!(Envelope::from_bytes(&bytes).is_err());
+        assert!(matches!(
+            Envelope::from_bytes(&bytes),
+            Err(WireError::ChecksumMismatch { .. }) | Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
