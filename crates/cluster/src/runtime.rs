@@ -1,0 +1,549 @@
+//! Server and client drive loops bridging `Sim`/`Net` onto TCP sockets.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use rover_core::{
+    Client, ClientConfig, CommitPolicy, Guarantees, LogPolicy, Priority, ReexecuteResolver,
+    RoverObject, Server, ServerConfig, StorageModel, Urn,
+};
+use rover_log::{FileStore, MemStore};
+use rover_net::{
+    register_reassembling_host, LinkId, LinkSpec, Net, ReconnectPolicy, TcpTransport, Transport,
+    TransportEvent,
+};
+use rover_sim::{Clock, Sim, SimDuration, SimTime, WallClock};
+use rover_wire::HostId;
+
+/// The server's host id on every per-process loopback fabric. Client
+/// host ids are chosen by the client process (any value but this one).
+pub const SERVER_HOST: HostId = HostId(1_000_000);
+
+/// Effectively-infinite MTU: framing over TCP makes sim-level
+/// fragmentation pure overhead, so it is disabled on both sides.
+const NO_FRAG_MTU: usize = 1 << 30;
+
+/// The shared workload object: one counter RDO, incremented by `add`.
+pub fn counter_urn() -> Urn {
+    Urn::parse("urn:rover:cluster/counter").expect("static urn")
+}
+
+/// Builds the counter object seeded into a fresh server.
+pub fn counter_object() -> RoverObject {
+    RoverObject::new(counter_urn(), "counter")
+        .with_code(
+            "proc get {} {rover::get n 0}
+             proc add {k} {rover::set n [expr {[rover::get n 0] + $k}]}",
+        )
+        .with_field("n", "0")
+}
+
+/// Writes `contents` to `path` atomically (tmp + rename), so concurrent
+/// readers never observe a torn file.
+pub fn atomic_write(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+/// Advances `sim` to the wall clock's current instant, firing everything
+/// due. (`run_until` requires a non-decreasing deadline.)
+fn catch_up(sim: &mut Sim, clock: &WallClock) {
+    let wall = clock.now().max(sim.now());
+    sim.run_until(wall);
+}
+
+/// Computes how long the driver may sleep: until the sim's next timer,
+/// capped by the poll tick (which bounds shutdown-flag latency).
+fn next_wait(sim: &mut Sim, clock: &WallClock, tick: Duration) -> SimTime {
+    let cap = clock.now() + SimDuration::from_micros(tick.as_micros().max(1) as u64);
+    match sim.next_deadline() {
+        Some(d) => d.min(cap),
+        None => cap,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server runtime
+// ---------------------------------------------------------------------
+
+/// Configuration for [`run_server`].
+#[derive(Debug, Clone)]
+pub struct ServerOpts {
+    /// Listen address, e.g. `127.0.0.1:0`.
+    pub listen: String,
+    /// Path of the write-ahead log file (created if absent; a non-empty
+    /// file is recovered from).
+    pub wal: PathBuf,
+    /// Group-commit batch size; `0` selects per-operation commit.
+    pub group_batch: usize,
+    /// Group-commit window in milliseconds.
+    pub group_window_ms: u64,
+    /// Commits between checkpoints.
+    pub checkpoint_every: usize,
+    /// When set, the actually-bound address is written here once
+    /// listening (lets harnesses bind port 0).
+    pub addr_file: Option<PathBuf>,
+    /// Driver poll tick (bounds shutdown latency).
+    pub tick: Duration,
+}
+
+impl Default for ServerOpts {
+    fn default() -> Self {
+        ServerOpts {
+            listen: "127.0.0.1:0".into(),
+            wal: PathBuf::from("rover.wal"),
+            group_batch: 32,
+            group_window_ms: 2,
+            checkpoint_every: 64,
+            addr_file: None,
+            tick: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What a server run did, reported after a graceful shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct ServerSummary {
+    /// Commits recovered from the WAL at boot.
+    pub recovered: u64,
+    /// Requests executed this run.
+    pub requests: u64,
+    /// Group-commit flushes this run.
+    pub group_commits: u64,
+    /// Checkpoints written this run (includes the shutdown checkpoint).
+    pub checkpoints: u64,
+    /// Distinct client connections accepted.
+    pub connections: u64,
+}
+
+/// One accepted client connection and the host id it authenticated as
+/// (learned from its first envelope's `src`).
+struct Conn {
+    transport: TcpTransport,
+    host: Option<HostId>,
+    dead: bool,
+}
+
+/// Runs a Rover home server on real TCP + a real fsync'd WAL until
+/// `shutdown` becomes true, then flushes any staged group-commit batch,
+/// checkpoints, and returns.
+pub fn run_server(opts: &ServerOpts, shutdown: Arc<AtomicBool>) -> Result<ServerSummary, String> {
+    let listener =
+        TcpListener::bind(&opts.listen).map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    if let Some(f) = &opts.addr_file {
+        atomic_write(f, &local.to_string())?;
+    }
+
+    let clock = WallClock::new();
+    let mut sim = Sim::new(0);
+    let net = Net::new();
+
+    let mut cfg = ServerConfig::workstation(SERVER_HOST);
+    cfg.storage = StorageModel::FREE; // The FileStore's fsync is the real cost.
+    cfg.mtu = NO_FRAG_MTU;
+    cfg.checkpoint_every = opts.checkpoint_every;
+    if opts.group_batch > 0 {
+        cfg.commit = CommitPolicy::Group {
+            max_batch: opts.group_batch,
+            window: SimDuration::from_millis(opts.group_window_ms),
+        };
+    }
+    let server = Server::new(&net, cfg);
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    // Seed before attaching: on an empty device the object lands in the
+    // initial checkpoint; on recovery the checkpoint replaces it.
+    server.borrow_mut().put_object(counter_object());
+    let store =
+        FileStore::open(&opts.wal).map_err(|e| format!("wal {}: {e}", opts.wal.display()))?;
+    Server::attach_wal(&server, &mut sim, Box::new(store))
+        .map_err(|e| format!("attach wal: {e}"))?;
+    let recovered = sim.stats.counter("server.recovered_commits");
+
+    // Acceptor thread: hands fresh transports to the driver. Each
+    // connection's reader thread notifies the wall clock, waking the
+    // driver out of its timer wait.
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpTransport>();
+    let acc_clock = clock.clone();
+    let acc_stop = shutdown.clone();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking: {e}"))?;
+    let acceptor = std::thread::spawn(move || {
+        while !acc_stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((sock, _)) => {
+                    let _ = sock.set_nonblocking(false);
+                    let c = acc_clock.clone();
+                    if let Ok(t) = TcpTransport::from_stream(sock, move || c.notify()) {
+                        if conn_tx.send(t).is_err() {
+                            return;
+                        }
+                        acc_clock.notify();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return,
+            }
+        }
+    });
+
+    // Per-client plumbing, shared with the outbound proxy handlers.
+    let conns: Rc<RefCell<Vec<Conn>>> = Rc::new(RefCell::new(Vec::new()));
+    let routes: Rc<RefCell<HashMap<HostId, usize>>> = Rc::new(RefCell::new(HashMap::new()));
+    let mut links: HashMap<HostId, LinkId> = HashMap::new();
+    let mut connections_total = 0u64;
+
+    while !shutdown.load(Ordering::Relaxed) {
+        while let Ok(t) = conn_rx.try_recv() {
+            connections_total += 1;
+            conns.borrow_mut().push(Conn {
+                transport: t,
+                host: None,
+                dead: false,
+            });
+        }
+
+        // Drain every connection's inbound events, binding connections
+        // to client hosts on first contact (latest connection wins, so
+        // a reconnect simply re-routes replies).
+        let n_conns = conns.borrow().len();
+        for idx in 0..n_conns {
+            loop {
+                let ev = {
+                    let mut cs = conns.borrow_mut();
+                    if cs[idx].dead {
+                        break;
+                    }
+                    cs[idx].transport.poll_event()
+                };
+                match ev {
+                    None => break,
+                    Some(TransportEvent::Connected) => {}
+                    Some(TransportEvent::Disconnected(_)) => {
+                        let mut cs = conns.borrow_mut();
+                        cs[idx].dead = true;
+                        if let Some(h) = cs[idx].host {
+                            let mut rt = routes.borrow_mut();
+                            if rt.get(&h) == Some(&idx) {
+                                rt.remove(&h);
+                            }
+                        }
+                    }
+                    Some(TransportEvent::Frame(env)) => {
+                        let src = env.src;
+                        if src == SERVER_HOST {
+                            continue; // A client may not impersonate us.
+                        }
+                        {
+                            let mut cs = conns.borrow_mut();
+                            if cs[idx].host.is_none() {
+                                cs[idx].host = Some(src);
+                            }
+                        }
+                        routes.borrow_mut().insert(src, idx);
+                        let link = *links.entry(src).or_insert_with(|| {
+                            let link = net.add_link(LinkSpec::LOOPBACK, src, SERVER_HOST);
+                            server.borrow_mut().add_route(src, link);
+                            // Outbound proxy: replies addressed to this
+                            // host leave through its live connection.
+                            let conns2 = conns.clone();
+                            let routes2 = routes.clone();
+                            register_reassembling_host(&net, src, move |_sim, _net, env| {
+                                let target = routes2.borrow().get(&env.dst).copied();
+                                if let Some(i) = target {
+                                    // A failed write is a drop: the
+                                    // client retransmits and the dedup
+                                    // table replays the reply.
+                                    let _ = conns2.borrow_mut()[i].transport.send(&env);
+                                }
+                            });
+                            link
+                        });
+                        let _ = net.send(&mut sim, link, env);
+                    }
+                }
+            }
+        }
+
+        catch_up(&mut sim, &clock);
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let wait = next_wait(&mut sim, &clock, opts.tick);
+        clock.wait_until(Some(wait));
+    }
+
+    // Graceful shutdown: make the staged batch durable and checkpoint,
+    // then let immediate follow-up events (reply dispatch) drain.
+    Server::flush_and_checkpoint(&server, &mut sim);
+    sim.run_for(SimDuration::from_millis(5));
+    let _ = acceptor.join();
+
+    Ok(ServerSummary {
+        recovered,
+        requests: sim.stats.counter("server.requests"),
+        group_commits: sim.stats.counter("server.group_commits"),
+        checkpoints: sim.stats.counter("server.checkpoints"),
+        connections: connections_total,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Client runtime
+// ---------------------------------------------------------------------
+
+/// Configuration for [`run_client`].
+#[derive(Debug, Clone)]
+pub struct ClientOpts {
+    /// Server address to dial.
+    pub connect: String,
+    /// This client's host id (any value except [`SERVER_HOST`]).
+    pub host_id: u32,
+    /// Number of counter increments to drive to durable commit.
+    pub ops: u64,
+    /// Maximum exports in flight at once.
+    pub window: usize,
+    /// When set, the committed-op count is atomically rewritten here
+    /// every time it changes (the chaos harness watches this file).
+    pub progress: Option<PathBuf>,
+    /// Real-time retransmission timeout for the first probe.
+    pub rto: Duration,
+    /// Driver poll tick.
+    pub tick: Duration,
+    /// Overall wall-clock budget; exceeded = error.
+    pub deadline: Duration,
+}
+
+impl Default for ClientOpts {
+    fn default() -> Self {
+        ClientOpts {
+            connect: String::new(),
+            host_id: 1,
+            ops: 100,
+            window: 8,
+            progress: None,
+            rto: Duration::from_millis(500),
+            tick: Duration::from_millis(25),
+            deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a client run observed.
+#[derive(Debug, Clone, Default)]
+pub struct ClientSummary {
+    /// Ops driven to durable commit (equals `opts.ops` on success).
+    pub committed: u64,
+    /// QRPC retransmissions sent (non-zero across a server kill).
+    pub retransmits: u64,
+    /// TCP reconnects after the initial connect.
+    pub reconnects: u64,
+    /// Wall time from first to last commit, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Runs one client: imports the counter, then drives `ops` exports
+/// (`add 1`) to durable commit, riding out any server outage via the
+/// standard QRPC retransmission path over a reconnecting TCP transport.
+pub fn run_client(opts: &ClientOpts) -> Result<ClientSummary, String> {
+    let clock = WallClock::new();
+    let mut sim = Sim::new(0);
+    let net = Net::new();
+    let me = HostId(opts.host_id);
+    if me == SERVER_HOST {
+        return Err("host id collides with the server".into());
+    }
+    let link = net.add_link(LinkSpec::LOOPBACK, me, SERVER_HOST);
+
+    let mut cfg = ClientConfig::thinkpad(me, SERVER_HOST);
+    cfg.storage = StorageModel::FREE;
+    cfg.mtu = NO_FRAG_MTU;
+    cfg.log_policy = LogPolicy::PerOperation;
+    cfg.rto = SimDuration::from_micros(opts.rto.as_micros().max(1000) as u64);
+    cfg.rto_backoff = 2.0;
+    cfg.rto_max = SimDuration::from_micros((opts.rto.as_micros() as u64).saturating_mul(16));
+    cfg.rto_jitter = 0.0;
+    cfg.retry_budget = None; // Retry until the server returns.
+    let client = Client::new(&mut sim, &net, cfg, vec![link]);
+    let session = Client::create_session(&client, Guarantees::ALL, true);
+
+    // Outbound proxy: envelopes the sim routes to the server host go
+    // out the TCP transport; failures are drops (RTO recovers).
+    let notify_clock = clock.clone();
+    let policy = ReconnectPolicy {
+        initial: Duration::from_millis(50),
+        backoff: 2.0,
+        max: Duration::from_secs(1),
+    };
+    let transport = Rc::new(RefCell::new(TcpTransport::connect(
+        opts.connect.clone(),
+        policy,
+        move || notify_clock.notify(),
+    )));
+    let t2 = transport.clone();
+    register_reassembling_host(&net, SERVER_HOST, move |_sim, _net, env| {
+        let _ = t2.borrow_mut().send(&env);
+    });
+    // Down until the dial completes; the up transition re-arms every
+    // parked request exactly as a sim link flap would.
+    net.set_up(&mut sim, link, false);
+
+    let import = Client::import(
+        &client,
+        &mut sim,
+        &counter_urn(),
+        session,
+        Priority::FOREGROUND,
+    )
+    .map_err(|e| format!("import: {e}"))?;
+
+    let mut handles: Vec<rover_core::ExportHandle> = Vec::with_capacity(opts.ops as usize);
+    let mut committed_floor = 0usize; // handles[..floor] are all committed.
+    let mut reported = u64::MAX;
+    let mut reconnects: i64 = -1; // First Connected is the initial dial.
+    let started = clock.now();
+    let mut first_commit_at: Option<SimTime> = None;
+
+    loop {
+        {
+            let mut t = transport.borrow_mut();
+            while let Some(ev) = t.poll_event() {
+                match ev {
+                    TransportEvent::Connected => {
+                        reconnects += 1;
+                        net.set_up(&mut sim, link, true);
+                    }
+                    TransportEvent::Disconnected(_) => net.set_up(&mut sim, link, false),
+                    TransportEvent::Frame(env) => {
+                        let _ = net.send(&mut sim, link, env);
+                    }
+                }
+            }
+        }
+        catch_up(&mut sim, &clock);
+
+        // Op pump: once the import resolves, keep `window` exports in
+        // flight until all `ops` are issued.
+        if import.is_ready() {
+            while (handles.len() as u64) < opts.ops {
+                let in_flight = handles[committed_floor..]
+                    .iter()
+                    .filter(|h| !h.committed.is_ready())
+                    .count();
+                if in_flight >= opts.window {
+                    break;
+                }
+                let h = Client::export(
+                    &client,
+                    &mut sim,
+                    &counter_urn(),
+                    session,
+                    "add",
+                    &["1"],
+                    Priority::NORMAL,
+                )
+                .map_err(|e| format!("export: {e}"))?;
+                handles.push(h);
+            }
+        }
+        while committed_floor < handles.len() && handles[committed_floor].committed.is_ready() {
+            committed_floor += 1;
+        }
+        let committed = committed_floor as u64
+            + handles[committed_floor..]
+                .iter()
+                .filter(|h| h.committed.is_ready())
+                .count() as u64;
+        if committed > 0 && first_commit_at.is_none() {
+            first_commit_at = Some(clock.now());
+        }
+        if committed != reported {
+            reported = committed;
+            if let Some(p) = &opts.progress {
+                atomic_write(p, &committed.to_string())?;
+            }
+        }
+        if committed >= opts.ops {
+            break;
+        }
+        if clock.now().since(started) > SimDuration::from_micros(opts.deadline.as_micros() as u64) {
+            return Err(format!(
+                "deadline exceeded: {committed}/{} ops committed",
+                opts.ops
+            ));
+        }
+        let wait = next_wait(&mut sim, &clock, opts.tick);
+        clock.wait_until(Some(wait));
+    }
+
+    transport.borrow_mut().shutdown();
+    let wall_ms = first_commit_at
+        .map(|t0| clock.now().since(t0).as_micros() / 1000)
+        .unwrap_or(0);
+    Ok(ClientSummary {
+        committed: opts.ops,
+        retransmits: sim.stats.counter("client.retransmits"),
+        reconnects: reconnects.max(0) as u64,
+        wall_ms,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Offline WAL inspection
+// ---------------------------------------------------------------------
+
+/// Recovers server state from a WAL file *without touching it*: the
+/// device bytes are copied into a [`MemStore`] and replayed through the
+/// standard recovery path. Returns the canonical state snapshot
+/// ([`Server::export_store`]) and the recovered counter value.
+pub fn recover_snapshot(wal: &Path) -> Result<(Vec<u8>, u64), String> {
+    let bytes = std::fs::read(wal).map_err(|e| format!("read {}: {e}", wal.display()))?;
+    let mut store = MemStore::new();
+    use rover_log::StableStore;
+    store
+        .reset(&bytes)
+        .map_err(|e| format!("load wal image: {e}"))?;
+
+    let mut sim = Sim::new(0);
+    let net = Net::new();
+    let mut cfg = ServerConfig::workstation(SERVER_HOST);
+    cfg.storage = StorageModel::FREE;
+    cfg.mtu = NO_FRAG_MTU;
+    let server = Server::new(&net, cfg);
+    server
+        .borrow_mut()
+        .register_resolver("counter", Box::new(ReexecuteResolver));
+    server.borrow_mut().put_object(counter_object());
+    Server::attach_wal(&server, &mut sim, Box::new(store)).map_err(|e| format!("recover: {e}"))?;
+    sim.run();
+
+    let snap = server.borrow().export_store();
+    let n = read_counter(&server)?;
+    Ok((snap, n))
+}
+
+/// Reads the counter object's value from a live server reference.
+pub fn read_counter(server: &rover_core::ServerRef) -> Result<u64, String> {
+    let s = server.borrow();
+    let obj = s
+        .get_object(&counter_urn())
+        .ok_or_else(|| "counter object missing".to_string())?;
+    obj.field("n")
+        .ok_or_else(|| "counter field missing".to_string())?
+        .parse::<u64>()
+        .map_err(|e| format!("counter not a number: {e}"))
+}

@@ -138,6 +138,11 @@ pub struct Client {
     /// Requests logged but awaiting a group-commit flush.
     parked: Vec<u64>,
     group_timer_armed: bool,
+    /// Generation stamp for the window timer: a size-cap flush retires
+    /// the armed timer's batch, and the stamp keeps that stale timer
+    /// from cutting the *next* batch's window short (mirrors the
+    /// server-side group-commit guard).
+    group_timer_gen: u64,
     unflushed: usize,
     next_req: u64,
     next_session: u64,
@@ -272,6 +277,7 @@ impl Client {
             inflight_imports: HashMap::new(),
             parked: Vec::new(),
             group_timer_armed: false,
+            group_timer_gen: 0,
             unflushed: 0,
             next_req: 1,
             next_session: 1,
@@ -1205,14 +1211,28 @@ impl Client {
                         let cost = c.cfg.storage.flush_cost(receipt);
                         sim.stats.sample_duration("client.flush_ms", cost);
                         c.unflushed = 0;
+                        // The size cap beat the window timer to this
+                        // batch: retire the timer (generation bump) so
+                        // its eventual firing cannot cut the next
+                        // batch's window short.
+                        c.group_timer_armed = false;
+                        c.group_timer_gen += 1;
                         let ready = std::mem::take(&mut c.parked);
                         (seq, cost, ready)
                     } else {
                         if !c.group_timer_armed {
                             c.group_timer_armed = true;
+                            c.group_timer_gen += 1;
+                            let gen = c.group_timer_gen;
                             let cl2 = cl.clone();
                             sim.schedule_after(timeout, move |sim| {
-                                Client::group_flush(&cl2, sim);
+                                let live = {
+                                    let c = cl2.borrow();
+                                    c.group_timer_armed && c.group_timer_gen == gen
+                                };
+                                if live {
+                                    Client::group_flush(&cl2, sim);
+                                }
                             });
                         }
                         (seq, rover_sim::SimDuration::ZERO, Vec::new())

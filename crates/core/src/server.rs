@@ -1250,6 +1250,26 @@ impl Server {
         }
     }
 
+    /// Graceful-shutdown path: durably flushes any staged group-commit
+    /// batch, then writes a checkpoint so the next recovery replays
+    /// nothing. Replies for the flushed batch are scheduled as usual —
+    /// whether they leave before the process exits is immaterial, since
+    /// the commits are durable and retransmissions replay their replies
+    /// from the dedup table after restart.
+    ///
+    /// A no-op on a crashed server or one without a WAL.
+    pub fn flush_and_checkpoint(sv: &ServerRef, sim: &mut Sim) {
+        if sv.borrow().crashed || sv.borrow().wal.is_none() {
+            return;
+        }
+        Server::group_flush(sv, sim);
+        // A WAL fault during the flush crashes the server; don't follow
+        // a failed flush with a checkpoint of un-replayable state.
+        if !sv.borrow().crashed {
+            let _ = Server::write_checkpoint(sv, sim);
+        }
+    }
+
     /// Sends the replies of one durably committed group, coalescing the
     /// per-client runs into single [`ReplyBatch`] envelopes, then fans
     /// out the group's deferred invalidation callbacks.

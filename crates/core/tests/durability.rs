@@ -673,3 +673,84 @@ mod committed_prefix {
         }
     }
 }
+
+mod committed_prefix_real_file {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Unique scratch path for one proptest case.
+    fn wal_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rover-durab-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.wal"))
+    }
+
+    // The committed-prefix oracle again, but on a *real* file: the WAL
+    // is written through `FileStore` (real `fsync`), the crash is a
+    // real `set_len` truncation at an arbitrary byte offset (torn tail
+    // included), and recovery re-opens the same path. The sim-backed
+    // run above proves the logic; this proves the file backend.
+    proptest! {
+        #[test]
+        fn recovery_equals_committed_prefix_oracle_on_real_files(
+            k in 3u64..9,
+            frac in 0.0f64..1.0,
+            seed in 0u64..500,
+        ) {
+            let path = wal_path(&format!("cp-{seed}-{k}"));
+            let _ = std::fs::remove_file(&path);
+
+            // Full run onto the real device, learning its geometry.
+            let (base_len, full_len) = {
+                let mut d = raw_rig(seed, 0);
+                let store = FileStore::open(&path).unwrap();
+                Server::attach_wal(&d.server, &mut d.sim, Box::new(store)).unwrap();
+                let base = d.server.borrow().wal_device_len();
+                for j in 0..k {
+                    raw_send(&mut d, j);
+                }
+                let full = d.server.borrow().wal_device_len();
+                (base, full)
+            };
+            prop_assert!(full_len > base_len);
+            prop_assert_eq!(full_len, std::fs::metadata(&path).unwrap().len());
+
+            // Power failure: everything past `cut` never hit the disk.
+            let cut = base_len + ((full_len - base_len) as f64 * frac) as u64;
+            let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            file.set_len(cut).unwrap();
+            file.sync_data().unwrap();
+            drop(file);
+
+            // Reboot from the truncated file.
+            let mut f = raw_rig(seed, 0);
+            let store = FileStore::open(&path).unwrap();
+            Server::attach_wal(&f.server, &mut f.sim, Box::new(store)).unwrap();
+            let m = f.sim.stats.counter("server.recovered_commits");
+            prop_assert!(m <= k);
+
+            // Oracle: crash-free volatile server fed exactly the prefix.
+            let mut o = raw_rig(seed, 0);
+            for j in 0..m {
+                raw_send(&mut o, j);
+            }
+            prop_assert_eq!(
+                f.server.borrow().export_store(),
+                o.server.borrow().export_store(),
+                "recovered state != committed-prefix oracle (m={}, cut={})", m, cut
+            );
+
+            // Convergence: replaying the whole stream dedups the prefix
+            // and executes the rest, exactly once each.
+            for j in 0..k {
+                raw_send(&mut f, j);
+            }
+            prop_assert_eq!(
+                f.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+                Some(format!("{k}").as_str())
+            );
+            prop_assert_eq!(f.sim.stats.counter("server.dedup_miss_reexec"), 0);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

@@ -287,6 +287,51 @@ fn duplicate_of_staged_commit_is_dropped_not_replayed() {
 }
 
 #[test]
+fn flush_and_checkpoint_drains_staged_batch_for_graceful_shutdown() {
+    // The SIGTERM path of the real-clock runtime: a partially filled
+    // batch (window nowhere near expiring, size cap not hit) must be
+    // made durable and checkpointed on demand, so a clean shutdown
+    // loses nothing and the next boot replays nothing.
+    let mut r = raw_rig(36, group_cfg(64, SimDuration::from_secs(3600)));
+    Server::attach_wal(&r.server, &mut r.sim, Box::new(MemStore::new())).unwrap();
+    let ckpts_before = r.sim.stats.counter("server.checkpoints");
+
+    raw_burst_enqueue(&mut r, 0..3);
+    r.sim.run_for(SimDuration::from_millis(100));
+    assert_eq!(server_field_n(&r.server), "3", "executed but staged");
+    assert_eq!(r.sim.stats.counter("server.group_commits"), 0);
+
+    Server::flush_and_checkpoint(&r.server, &mut r.sim);
+    assert_eq!(r.sim.stats.counter("server.group_commits"), 1);
+    assert_eq!(
+        r.sim.stats.counter("server.checkpoints"),
+        ckpts_before + 1,
+        "shutdown wrote a checkpoint"
+    );
+
+    // "Exit" here; the next incarnation recovers from the checkpoint
+    // alone — nothing to replay, all three commits present, and
+    // retransmissions replay from the dedup table (no re-execution).
+    Server::crash_restart(&r.server, &mut r.sim).unwrap();
+    assert_eq!(r.sim.stats.counter("server.recovered_commits"), 0);
+    assert_eq!(server_field_n(&r.server), "3");
+    for j in 0..3 {
+        assert!(r
+            .server
+            .borrow()
+            .executed_contains(CLIENT, RequestId(j + 1)));
+    }
+    raw_burst_enqueue(&mut r, 0..3);
+    r.sim.run();
+    assert_eq!(server_field_n(&r.server), "3", "duplicates replayed");
+    assert_eq!(r.sim.stats.counter("server.dedup_miss_reexec"), 0);
+
+    // Idempotent: with nothing staged it is a clean no-op checkpoint.
+    Server::flush_and_checkpoint(&r.server, &mut r.sim);
+    assert_eq!(r.sim.stats.counter("server.group_commits"), 1);
+}
+
+#[test]
 fn mid_batch_flush_failure_crashes_host_and_no_group_reply_leaks() {
     // Learn where the device stands after the attach checkpoint, then
     // tear the *group* frame of the first batch.

@@ -773,6 +773,78 @@ fn group_commit_timeout_releases_stragglers() {
 }
 
 #[test]
+fn stale_group_window_timer_does_not_cut_next_batch_short() {
+    // Regression (found by the clock-seam extraction): a size-cap flush
+    // left the window timer armed for the batch it had just committed.
+    // The stale timer then fired mid-way through the *next* batch's
+    // window and flushed it early — the configured window was silently
+    // shortened. The generation guard retires a timer with its batch.
+    let mut cfg = ClientConfig::thinkpad(CLIENT, SERVER);
+    cfg.log_policy = LogPolicy::GroupCommit {
+        n: 2,
+        timeout: SimDuration::from_secs(10),
+    };
+    let mut b = bed_with(LinkSpec::ETHERNET_10M, cfg);
+    b.server.borrow_mut().put_object(counter_obj("c"));
+    let p = Client::import(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        Priority::FOREGROUND,
+    )
+    .unwrap();
+    b.sim.run();
+    assert!(p.is_ready());
+
+    // Exports A and B fill the group: the size cap flushes them while
+    // A's 10 s window timer is still pending.
+    for _ in 0..2 {
+        let _ = Client::export(
+            &b.client,
+            &mut b.sim,
+            &urn("c"),
+            b.session,
+            "add",
+            &["1"],
+            Priority::NORMAL,
+        )
+        .unwrap();
+    }
+    b.sim.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("2"),
+        "size-cap batch committed"
+    );
+
+    // Export C parks 5 s into A's old window. Its own window must run
+    // the full 10 s (until t+15); the stale timer would have cut it to
+    // 5 s (flush at t+10).
+    let h = Client::export(
+        &b.client,
+        &mut b.sim,
+        &urn("c"),
+        b.session,
+        "add",
+        &["1"],
+        Priority::NORMAL,
+    )
+    .unwrap();
+    b.sim.run_for(SimDuration::from_secs(8));
+    assert!(
+        !h.committed.is_ready(),
+        "stale window timer flushed the next batch early"
+    );
+    b.sim.run();
+    assert!(h.committed.is_ready());
+    assert_eq!(
+        b.server.borrow().get_object(&urn("c")).unwrap().field("n"),
+        Some("3")
+    );
+}
+
+#[test]
 fn smtp_fallback_carries_replies_across_disconnection() {
     let mut b = bed(LinkSpec::WAVELAN_2M);
     let relay = SmtpRelay::new(b.net.clone(), b.link, SimDuration::from_secs(30));

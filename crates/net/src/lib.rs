@@ -35,6 +35,7 @@ mod smtp;
 mod spec;
 mod stream;
 mod topo;
+mod transport;
 
 pub use fault::{FaultSpec, FlapSpec};
 pub use frag::{
@@ -45,5 +46,9 @@ pub use smtp::{SmtpRelay, SmtpRelayRef};
 pub use spec::{LinkId, LinkSpec};
 pub use stream::{Stream, StreamRef};
 pub use topo::{DeliveryTicket, Net, NetError};
+pub use transport::{
+    read_frame, write_frame, ReconnectPolicy, SimTransport, TcpTransport, Transport,
+    TransportError, TransportEvent, MAX_FRAME_BYTES,
+};
 
 pub use rover_wire::{Envelope, HostId, MsgKind, Priority};

@@ -86,6 +86,19 @@ impl LinkSpec {
         setup: SimDuration::from_secs(8),
     };
 
+    /// An ideal in-process link: effectively infinite bandwidth, zero
+    /// latency, zero overhead. The real-clock runtime uses it to splice
+    /// a per-process [`Net`](crate::Net) onto a real socket — the wire
+    /// cost is paid by the actual kernel TCP path, so the sim-side hop
+    /// must charge (virtually) nothing.
+    pub const LOOPBACK: LinkSpec = LinkSpec {
+        name: "loopback",
+        bandwidth_bps: u64::MAX / 16,
+        latency: SimDuration::ZERO,
+        overhead_bytes: 0,
+        setup: SimDuration::ZERO,
+    };
+
     /// The four testbed channels, fastest first.
     pub const TESTBED: [LinkSpec; 4] = [
         LinkSpec::ETHERNET_10M,

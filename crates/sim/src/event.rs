@@ -356,6 +356,55 @@ impl Sim {
         let deadline = self.now + d;
         self.run_until(deadline);
     }
+
+    /// Returns the instant of the earliest live pending event, or `None`
+    /// when the queue holds no live events.
+    ///
+    /// Takes `&mut self` because stale (cancelled) records at the head
+    /// of either queue are lazily discarded here — exactly as `step`
+    /// would have skipped them — so external drivers never sleep until a
+    /// deadline that belongs to a cancelled timer.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(rec) = self.now_queue.front() {
+            if self.slots[rec.slot as usize].gen == rec.gen {
+                return Some(self.now);
+            }
+            self.now_queue.pop_front();
+            self.dead -= 1;
+        }
+        while let Some(rec) = self.heap.peek() {
+            if self.slots[rec.slot as usize].gen == rec.gen {
+                return Some(rec.at);
+            }
+            self.heap.pop();
+            self.dead -= 1;
+        }
+        None
+    }
+
+    /// Runs the event loop against an external [`Clock`] until the queue
+    /// drains: fire everything due at the clock's current instant, then
+    /// wait for the next deadline, repeat.
+    ///
+    /// Under a [`crate::VirtualClock`] this is observably identical to
+    /// [`Sim::run`] (the wait warps straight to the deadline). Under a
+    /// [`crate::WallClock`] the same events fire in real time. Long-lived
+    /// runtimes (which also need to inject I/O between waits) should
+    /// write their own drive loop from [`Sim::next_deadline`] +
+    /// [`Sim::run_until`]; this method is the canonical reference shape.
+    pub fn run_driven(&mut self, clock: &dyn crate::Clock) {
+        loop {
+            let wall = clock.now().max(self.now);
+            self.run_until(wall);
+            match self.next_deadline() {
+                Some(d) => {
+                    clock.wait_until(Some(d));
+                }
+                None => break,
+            }
+        }
+        self.record_loop_stats();
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +625,73 @@ mod tests {
         sim.run();
         assert_eq!(*depth.borrow(), 50);
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_deadline_skips_cancelled_records() {
+        let mut sim = Sim::new(1);
+        let a = sim.schedule_at(SimTime::from_micros(10), |_| {});
+        let _b = sim.schedule_at(SimTime::from_micros(20), |_| {});
+        assert_eq!(sim.next_deadline(), Some(SimTime::from_micros(10)));
+        sim.cancel(a);
+        // The cancelled record is discarded lazily by the peek itself.
+        assert_eq!(sim.next_deadline(), Some(SimTime::from_micros(20)));
+        assert_eq!(sim.cancelled_live(), 0);
+        sim.run();
+        assert_eq!(sim.next_deadline(), None);
+    }
+
+    #[test]
+    fn next_deadline_reports_now_for_micro_queue_work() {
+        let mut sim = Sim::new(1);
+        sim.schedule_at(SimTime::from_micros(5), |sim| {
+            sim.schedule_after(SimDuration::ZERO, |_| {});
+        });
+        sim.run_until(SimTime::from_micros(4));
+        assert_eq!(sim.next_deadline(), Some(SimTime::from_micros(5)));
+        // Fire the outer event only: its same-instant child is due "now".
+        assert!(sim.step());
+        assert_eq!(sim.next_deadline(), Some(sim.now()));
+    }
+
+    #[test]
+    fn run_driven_virtual_matches_run() {
+        // The same workload — nested scheduling, same-instant chains,
+        // cancellation — executed by run() and by run_driven() under a
+        // VirtualClock must produce identical event orders, final
+        // clocks, and loop counters.
+        fn workload(sim: &mut Sim, order: Rc<RefCell<Vec<(u64, u32)>>>) {
+            for i in 0..8u32 {
+                let order = order.clone();
+                let at = SimTime::from_micros(u64::from(i % 3) * 50);
+                sim.schedule_at(at, move |sim| {
+                    order.borrow_mut().push((sim.now().as_micros(), i));
+                    let order2 = order.clone();
+                    sim.schedule_after(SimDuration::ZERO, move |sim| {
+                        order2.borrow_mut().push((sim.now().as_micros(), 100 + i));
+                    });
+                    let victim = sim.schedule_after(SimDuration::from_micros(7), |_| {
+                        panic!("cancelled event fired");
+                    });
+                    sim.cancel(victim);
+                });
+            }
+        }
+        let run_order = Rc::new(RefCell::new(Vec::new()));
+        let mut a = Sim::new(3);
+        workload(&mut a, run_order.clone());
+        a.run();
+
+        let driven_order = Rc::new(RefCell::new(Vec::new()));
+        let mut b = Sim::new(3);
+        workload(&mut b, driven_order.clone());
+        b.run_driven(&crate::VirtualClock::new());
+
+        assert_eq!(*run_order.borrow(), *driven_order.borrow());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.loop_counters(), b.loop_counters());
+        assert_eq!(a.pending(), 0);
+        assert_eq!(b.pending(), 0);
     }
 
     #[test]

@@ -19,12 +19,14 @@
 //! ```
 
 #![deny(unsafe_code)]
+mod clock;
 mod cpu;
 mod event;
 mod stats;
 mod time;
 mod trace;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use cpu::CpuModel;
 pub use event::{EventId, Sim};
 pub use stats::{Counter, Samples, Stats};
